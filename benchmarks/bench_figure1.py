@@ -1,0 +1,42 @@
+"""Figure 1 — distribution of affected vertices per single change.
+
+Benchmarks the full change-stream replay per dataset (the paper's Figure 1
+legend datasets) and records the sorted-percentile shape of
+``|Λ| / |V|`` in ``extra_info`` — max, median, min, matching the figure's
+descending curves.  Rendered series: ``python -m repro.bench figure1``.
+"""
+
+import pytest
+
+from repro.bench.experiments.figure1 import FIGURE1_DATASETS
+from repro.core.dynamic import DynamicHCL
+from repro.workloads.updates import sample_edge_insertions
+
+
+@pytest.mark.parametrize("dataset", FIGURE1_DATASETS)
+def test_affected_distribution(benchmark, cache, profile, dataset):
+    spec, graph, _, _ = cache.dataset(dataset)
+    insertions = sample_edge_insertions(
+        graph, profile.figure1_updates, rng=11
+    )
+
+    def replay():
+        oracle = DynamicHCL.build(graph.copy(), num_landmarks=spec.num_landmarks)
+        num_vertices = graph.num_vertices
+        pcts = []
+        for u, v in insertions:
+            stats = oracle.insert_edge(u, v)
+            pcts.append(100.0 * stats.affected_union / num_vertices)
+        pcts.sort(reverse=True)
+        return pcts
+
+    pcts = benchmark.pedantic(replay, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "paper_row": True,
+        "figure": "1",
+        "dataset": dataset,
+        "updates": len(pcts),
+        "max_pct": round(pcts[0], 4),
+        "median_pct": round(pcts[len(pcts) // 2], 5),
+        "min_pct": round(pcts[-1], 6),
+    })

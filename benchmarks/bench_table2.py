@@ -1,0 +1,31 @@
+"""Table 2 — dataset summary statistics (|V|, |E|, avg deg, avg dist).
+
+Benchmarks the summary computation per stand-in and records the Table 2
+row in ``extra_info``.  Regenerate the rendered table (with the paper's
+published values side by side) via ``python -m repro.bench table2``.
+"""
+
+import pytest
+
+from repro.graph.statistics import summarize
+from repro.workloads.datasets import dataset_names
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_summarize(benchmark, cache, dataset):
+    spec, graph, _, _ = cache.dataset(dataset)
+    summary = benchmark.pedantic(
+        lambda: summarize(graph, num_sources=24, rng=1),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({
+        "paper_row": True,
+        "table": "2",
+        "dataset": dataset,
+        "V": summary.num_vertices,
+        "E": summary.num_edges,
+        "avg_deg": round(summary.average_degree, 2),
+        "avg_dist": round(summary.average_distance, 2),
+        "paper_deg": spec.paper_avg_degree,
+        "paper_dist": spec.paper_avg_distance,
+    })

@@ -1,0 +1,101 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*.py`` module regenerates one table/figure of the paper by
+benchmarking the exact operation the paper times (update streams, query
+streams) per dataset and method.  Workload sizes follow the profile from
+``REPRO_BENCH_PROFILE`` (default: ``default``); a terminal-summary hook
+assembles the per-benchmark ``extra_info`` into paper-style rows so the
+bench output reads like the paper's tables.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fd import FullDynamicOracle
+from repro.baselines.incpll import IncPLL
+from repro.bench.profile import bench_profile
+from repro.core.dynamic import DynamicHCL
+from repro.exceptions import ConstructionBudgetExceeded
+from repro.workloads.datasets import DATASETS, build_dataset
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.updates import sample_edge_insertions
+
+SEED = 2021
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return bench_profile()
+
+
+class DatasetCache:
+    """Session-wide cache of built graphs and workload streams."""
+
+    def __init__(self, profile) -> None:
+        self.profile = profile
+        self._graphs: dict[str, tuple] = {}
+
+    def dataset(self, name: str):
+        if name not in self._graphs:
+            spec, graph = build_dataset(name, profile=self.profile.name, seed=SEED)
+            insertions = sample_edge_insertions(
+                graph, self.profile.num_updates, rng=hash((SEED, name, "u")) & 0xFFFF
+            )
+            queries = sample_query_pairs(
+                graph, self.profile.num_queries, rng=hash((SEED, name, "q")) & 0xFFFF
+            )
+            self._graphs[name] = (spec, graph, insertions, queries)
+        return self._graphs[name]
+
+    def build_oracle(self, name: str, method: str):
+        """Fresh oracle of ``method`` on a private copy of the dataset.
+
+        Returns ``None`` when the method cannot be built on this dataset
+        (the paper's '-' cells for IncPLL).
+        """
+        spec, graph, _, _ = self.dataset(name)
+        working = graph.copy()
+        if method == "IncHL+":
+            return DynamicHCL.build(working, num_landmarks=spec.num_landmarks)
+        if method == "IncFD":
+            return FullDynamicOracle(working, num_landmarks=spec.num_landmarks)
+        if method == "IncPLL":
+            if not spec.pll_feasible:
+                return None
+            try:
+                return IncPLL(working, time_budget_s=self.profile.pll_budget_s)
+            except ConstructionBudgetExceeded:
+                return None
+        raise ValueError(f"unknown method {method!r}")
+
+
+@pytest.fixture(scope="session")
+def cache(profile):
+    return DatasetCache(profile)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Assemble benchmark extra_info into paper-style summary rows."""
+    session = getattr(config, "_benchmarksession", None)
+    if session is None or not session.benchmarks:
+        return
+    rows = []
+    for bench in session.benchmarks:
+        info = dict(bench.extra_info or {})
+        if not info.get("paper_row"):
+            continue
+        info["benchmark"] = bench.name
+        stats = bench.stats
+        stats = getattr(stats, "stats", stats)  # BenchmarkStats vs Stats
+        info["mean_s"] = round(stats.mean, 6)
+        rows.append(info)
+    if not rows:
+        return
+    tr = terminalreporter
+    tr.section("paper-style summary (from benchmark extra_info)")
+    for info in sorted(rows, key=lambda r: r["benchmark"]):
+        parts = [f"{k}={v}" for k, v in info.items() if k != "paper_row"]
+        tr.write_line("  " + "  ".join(parts))

@@ -1,0 +1,79 @@
+"""Head-to-head comparison of IncHL+, IncFD, IncPLL and online BFS.
+
+A miniature of the paper's Table 1 on a single dataset stand-in: all four
+methods index the same graph, replay the same edge-insertion stream, and
+answer the same query stream — while a referee asserts they agree on every
+answer.
+
+Run:  python examples/compare_methods.py [dataset]      (default: flickr-s)
+"""
+
+import sys
+import time
+
+from repro.baselines import FullDynamicOracle, IncPLL, OnlineBFS
+from repro.bench.report import format_bytes, format_table
+from repro.core.dynamic import DynamicHCL
+from repro.workloads.datasets import build_dataset, dataset_names
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.updates import sample_edge_insertions
+
+
+def timed(fn, stream):
+    start = time.perf_counter()
+    for args in stream:
+        fn(*args)
+    return 1e3 * (time.perf_counter() - start) / max(len(stream), 1)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "flickr-s"
+    if name not in dataset_names():
+        raise SystemExit(f"unknown dataset {name!r}; choose from {dataset_names()}")
+    spec, graph = build_dataset(name, profile="smoke")
+    print(f"Dataset {name} (stands in for {spec.stands_in_for}): "
+          f"|V| = {graph.num_vertices:,}, |E| = {graph.num_edges:,}, "
+          f"|R| = {spec.num_landmarks}")
+
+    insertions = sample_edge_insertions(graph, 40, rng=1)
+    queries = sample_query_pairs(graph, 300, rng=2)
+
+    print("Building all four oracles on identical copies ...")
+    oracles = {
+        "IncHL+": DynamicHCL.build(graph.copy(), num_landmarks=spec.num_landmarks),
+        "IncFD": FullDynamicOracle(graph.copy(), num_landmarks=spec.num_landmarks),
+        "IncPLL": IncPLL(graph.copy()),
+        "BFS (no index)": OnlineBFS(graph.copy()),
+    }
+
+    rows = []
+    for method, oracle in oracles.items():
+        update_ms = timed(oracle.insert_edge, insertions)
+        query_ms = timed(oracle.query, queries)
+        rows.append({
+            "Method": method,
+            "Update (ms)": update_ms,
+            "Query (ms)": query_ms,
+            "Index size": format_bytes(oracle.size_bytes()),
+        })
+
+    print()
+    print(format_table(
+        ["Method", "Update (ms)", "Query (ms)", "Index size"],
+        rows,
+        title=f"Mini Table 1 on {name}",
+    ))
+
+    # Referee: all methods must return identical distances.
+    print("\nCross-checking 300 query answers across all methods ... ", end="")
+    disagreements = 0
+    for u, v in queries:
+        answers = {oracle.query(u, v) for oracle in oracles.values()}
+        if len(answers) != 1:
+            disagreements += 1
+    print("all agree!" if disagreements == 0
+          else f"{disagreements} DISAGREEMENTS (bug!)")
+
+
+if __name__ == "__main__":
+    main()

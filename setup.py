@@ -1,0 +1,11 @@
+"""Legacy-install shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which need ``bdist_wheel``) fail; this ``setup.py`` lets
+``pip install -e .`` take the legacy ``develop`` path.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

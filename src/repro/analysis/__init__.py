@@ -1,0 +1,44 @@
+"""Analysis toolkit over labellings, affected sets and update costs.
+
+Three modules support the paper's empirical narrative beyond the headline
+tables:
+
+* :mod:`repro.analysis.affected` — affected-vertex measurement (the
+  quantity of Figure 1 and of the complexity bound ``O(|R| m d l)``);
+* :mod:`repro.analysis.labels` — label/highway distribution statistics
+  (what "minimality" buys in concrete bytes and entry counts);
+* :mod:`repro.analysis.costmodel` — a least-squares fit of measured
+  update times against the paper's ``|R| · m · d · l`` cost term;
+* :mod:`repro.analysis.queries` — query-cost decomposition (how often
+  the label bound alone is exact vs the sparsified search winning).
+"""
+
+from repro.analysis.affected import (
+    AffectedMeasurement,
+    measure_affected_ratios,
+    probe_affected_ratio,
+)
+from repro.analysis.costmodel import CostModel, UpdateRecord
+from repro.analysis.labels import (
+    HighwayStats,
+    LabelStats,
+    highway_stats,
+    label_stats,
+    landmark_entry_counts,
+)
+from repro.analysis.queries import QueryCostProfile, query_cost_profile
+
+__all__ = [
+    "AffectedMeasurement",
+    "measure_affected_ratios",
+    "probe_affected_ratio",
+    "CostModel",
+    "UpdateRecord",
+    "LabelStats",
+    "HighwayStats",
+    "label_stats",
+    "highway_stats",
+    "landmark_entry_counts",
+    "QueryCostProfile",
+    "query_cost_profile",
+]

@@ -1,0 +1,112 @@
+"""Affected-vertex measurement (Figure 1's quantity, as a reusable tool).
+
+The paper's Figure 1 plots, per network, the percentage of vertices
+affected by each of 1,000 single edge insertions, sorted descending —
+the empirical justification for incremental maintenance (most changes
+touch tiny regions; a few touch up to 10%).  The benchmark experiment
+:mod:`repro.bench.experiments.figure1` renders that figure; this module
+exposes the underlying measurement for programmatic use:
+
+* :func:`probe_affected_ratio` measures one *hypothetical* insertion
+  without permanently changing anything (insert, measure, roll back);
+* :func:`measure_affected_ratios` replays a whole stream of insertions,
+  permanently, recording the affected footprint of each.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.inchl import apply_edge_insertion, find_affected
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.query import landmark_distance
+
+__all__ = [
+    "AffectedMeasurement",
+    "probe_affected_ratio",
+    "measure_affected_ratios",
+]
+
+
+@dataclass(frozen=True)
+class AffectedMeasurement:
+    """Affected footprint of one edge insertion.
+
+    ``ratio`` is the paper's Figure 1 quantity: ``|Λ| / |V|`` where
+    ``Λ = ∪_r Λ_r`` (distinct affected vertices over all landmarks).
+    """
+
+    edge: tuple[int, int]
+    affected_union: int
+    total_affected: int
+    num_vertices: int
+
+    @property
+    def ratio(self) -> float:
+        """``|Λ| / |V|`` in [0, 1]."""
+        return self.affected_union / self.num_vertices
+
+    @property
+    def percentage(self) -> float:
+        """``ratio`` as a percentage, as Figure 1's y-axis reports it."""
+        return 100.0 * self.ratio
+
+
+def probe_affected_ratio(
+    graph, labelling: HighwayCoverLabelling, a: int, b: int
+) -> AffectedMeasurement:
+    """Measure the affected set of inserting ``(a, b)`` without committing.
+
+    Runs FindAffected for every landmark on a temporarily inserted edge,
+    then removes the edge again; the labelling is never touched.  Useful
+    for what-if analyses (e.g. ranking candidate edges by disruption).
+    """
+    graph.add_edge(a, b)
+    try:
+        union: set[int] = set()
+        total = 0
+        for r in labelling.landmarks:
+            da = landmark_distance(labelling, r, a)
+            db = landmark_distance(labelling, r, b)
+            if da == db:
+                continue
+            anchor, root, dist = (a, b, da) if da < db else (b, a, db)
+            search = find_affected(graph, labelling, r, anchor, root, dist)
+            union.update(search.new_dist)
+            total += search.num_affected
+    finally:
+        graph.remove_edge(a, b)
+    return AffectedMeasurement(
+        edge=(a, b),
+        affected_union=len(union),
+        total_affected=total,
+        num_vertices=graph.num_vertices,
+    )
+
+
+def measure_affected_ratios(
+    graph,
+    labelling: HighwayCoverLabelling,
+    insertions: Sequence[tuple[int, int]],
+) -> list[AffectedMeasurement]:
+    """Replay ``insertions`` (permanently), measuring each footprint.
+
+    This is Figure 1's protocol: each insertion is applied with IncHL+,
+    so later measurements see the graph (and labelling) as updated by the
+    earlier ones.  Sort the resulting percentages descending to get the
+    paper's curve.
+    """
+    measurements = []
+    for a, b in insertions:
+        graph.add_edge(a, b)
+        stats = apply_edge_insertion(graph, labelling, a, b)
+        measurements.append(
+            AffectedMeasurement(
+                edge=(a, b),
+                affected_union=stats.affected_union,
+                total_affected=stats.total_affected,
+                num_vertices=graph.num_vertices,
+            )
+        )
+    return measurements

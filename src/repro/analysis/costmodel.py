@@ -1,0 +1,82 @@
+"""Least-squares validation of the paper's update-cost bound.
+
+Section 5 bounds one IncHL+ update by ``O(|R| · m · d · l)`` — affected
+vertices ``m``, average degree ``d``, average label size ``l``, summed
+over landmarks.  This module turns that asymptotic claim into a measurable
+one: collect ``(cost_term, seconds)`` pairs from instrumented updates and
+fit ``seconds ≈ α + β · cost_term`` by ordinary least squares.  A good fit
+(high R², positive β) is empirical support that the implementation tracks
+the analysis; the complexity test-suite and an ablation bench both use it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UpdateRecord", "CostModel"]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One measured update: the bound's ingredients plus wall time.
+
+    ``affected_total`` is ``Σ_r |Λ_r|`` (the bound charges per landmark,
+    so the sum — not the distinct union — is the right ``|R| · m``).
+    """
+
+    affected_total: int
+    avg_degree: float
+    avg_label_size: float
+    seconds: float
+
+    @property
+    def cost_term(self) -> float:
+        """The bound's product ``(Σ_r |Λ_r|) · d · l``."""
+        return self.affected_total * self.avg_degree * self.avg_label_size
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """An affine fit ``seconds ≈ intercept + slope · cost_term``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    num_records: int
+
+    @classmethod
+    def fit(cls, records: Sequence[UpdateRecord]) -> "CostModel":
+        """Ordinary least squares over measured updates.
+
+        Requires at least two records with distinct cost terms; constant
+        inputs make the slope unidentifiable.
+        """
+        if len(records) < 2:
+            raise ValueError(f"need at least 2 records, got {len(records)}")
+        x = np.array([rec.cost_term for rec in records], dtype=float)
+        y = np.array([rec.seconds for rec in records], dtype=float)
+        if np.ptp(x) == 0:
+            raise ValueError("all cost terms identical; slope unidentifiable")
+        design = np.column_stack([x, np.ones_like(x)])
+        (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+        predicted = design @ np.array([slope, intercept])
+        residual = float(((y - predicted) ** 2).sum())
+        total = float(((y - y.mean()) ** 2).sum())
+        r_squared = 1.0 if total == 0 else 1.0 - residual / total
+        return cls(
+            slope=float(slope),
+            intercept=float(intercept),
+            r_squared=r_squared,
+            num_records=len(records),
+        )
+
+    def predict(self, record: UpdateRecord) -> float:
+        """Predicted seconds for a record's cost term."""
+        return self.intercept + self.slope * record.cost_term
+
+    def predict_cost_term(self, cost_term: float) -> float:
+        """Predicted seconds for a raw cost-term value."""
+        return self.intercept + self.slope * cost_term

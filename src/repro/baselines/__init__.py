@@ -1,0 +1,26 @@
+"""Baseline distance oracles the paper compares against.
+
+* :class:`~repro.baselines.bfs.OnlineBFS` — index-free ground truth;
+* :class:`~repro.baselines.pll.PrunedLandmarkLabelling` and
+  :class:`~repro.baselines.incpll.IncPLL` — 2-hop cover labelling and its
+  incremental variant (Akiba et al., SIGMOD 2013 / WWW 2014);
+* :class:`~repro.baselines.fd.FullDynamicOracle` (``IncFD``) — landmark
+  shortest-path trees plus bounded search (Hayashi et al., CIKM 2016).
+
+All oracles implement the :class:`~repro.baselines.interface.DistanceOracle`
+protocol so the benchmark harness can drive them interchangeably.
+"""
+
+from repro.baselines.interface import DistanceOracle
+from repro.baselines.bfs import OnlineBFS
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.baselines.incpll import IncPLL
+from repro.baselines.fd import FullDynamicOracle
+
+__all__ = [
+    "DistanceOracle",
+    "OnlineBFS",
+    "PrunedLandmarkLabelling",
+    "IncPLL",
+    "FullDynamicOracle",
+]

@@ -1,0 +1,51 @@
+"""Index-free online BFS oracle — ground truth and sanity baseline.
+
+This is the "traditional algorithm" of the paper's related-work discussion:
+exact, zero index cost, but query time grows with the explored ball.  The
+test-suite uses it as the reference implementation for every other oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.traversal import bidirectional_bfs
+
+__all__ = ["OnlineBFS"]
+
+
+class OnlineBFS:
+    """Answer every query with a bidirectional BFS; no index to maintain.
+
+    >>> from repro.graph.generators import grid_graph
+    >>> oracle = OnlineBFS(grid_graph(4, 4))
+    >>> oracle.query(0, 15)
+    6
+    """
+
+    name = "BFS"
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The underlying graph."""
+        return self._graph
+
+    def query(self, u: int, v: int) -> float:
+        """Exact distance via bidirectional BFS."""
+        return bidirectional_bfs(self._graph, u, v)
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert the edge; nothing to repair."""
+        self._graph.add_edge(u, v)
+
+    def insert_vertex(self, v: int, neighbors: Iterable[int]) -> None:
+        """Insert the vertex and its edges; nothing to repair."""
+        self._graph.insert_vertex(v, neighbors)
+
+    def size_bytes(self) -> int:
+        """No index: zero bytes."""
+        return 0

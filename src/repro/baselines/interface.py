@@ -1,0 +1,34 @@
+"""The common oracle protocol shared by IncHL+ and all baselines.
+
+The benchmark harness (Table 1, Figures 3–4) drives every method through
+this protocol: build once, then interleave :meth:`insert_edge` and
+:meth:`query`, reading :meth:`size_bytes` afterwards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+__all__ = ["DistanceOracle"]
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Structural interface of a dynamic exact-distance oracle."""
+
+    def query(self, u: int, v: int) -> float:
+        """Exact distance between ``u`` and ``v`` (inf when disconnected)."""
+        ...
+
+    def insert_edge(self, u: int, v: int) -> object:
+        """Insert edge ``(u, v)`` into the graph and repair the index."""
+        ...
+
+    def insert_vertex(self, v: int, neighbors: Iterable[int]) -> object:
+        """Insert vertex ``v`` with edges to existing ``neighbors``."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Logical index footprint in bytes (Table 1 accounting)."""
+        ...

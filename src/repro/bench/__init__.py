@@ -1,0 +1,31 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Each experiment module produces structured rows *and* a paper-style text
+rendering; ``python -m repro.bench <experiment>`` runs one from the command
+line, and ``benchmarks/bench_*.py`` wraps the same code in pytest-benchmark.
+
+Experiments (see DESIGN.md §5 for the index):
+
+========= ==============================================================
+table1    update time / query time / labelling size, IncHL+ vs IncFD vs
+          IncPLL, 12 datasets
+table2    dataset summary statistics
+figure1   distribution of affected vertices per single change
+figure3   update time under 10–50 landmarks, IncHL+ vs IncFD
+figure4   cumulative update time vs from-scratch construction
+ablations A1 landmark strategies, A2 update-vs-rebuild speedup,
+          A3 random-pair vs replayed-real-edge workloads
+========= ==============================================================
+"""
+
+from repro.bench.profile import bench_profile
+from repro.bench.report import format_table, render_series
+from repro.bench.runner import OracleFactory, build_oracles
+
+__all__ = [
+    "bench_profile",
+    "format_table",
+    "render_series",
+    "OracleFactory",
+    "build_oracles",
+]

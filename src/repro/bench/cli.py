@@ -1,0 +1,96 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Examples::
+
+    python -m repro.bench table1
+    python -m repro.bench figure3 --profile smoke --datasets flickr-s uk-s
+    python -m repro.bench all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import (
+    ablations,
+    extensions,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table1,
+    table2,
+)
+from repro.bench.profile import PROFILE_NAMES
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "ablations": ablations.run,
+    "extensions": extensions.run,
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Regenerate the tables and figures of 'Efficient Maintenance of "
+            "Distance Labelling for Incremental Updates in Large Dynamic "
+            "Graphs' (EDBT 2021) on the synthetic stand-in datasets."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=PROFILE_NAMES,
+        default=None,
+        help="workload scale (default: REPRO_BENCH_PROFILE or 'default')",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict to these dataset stand-ins (default: experiment-specific)",
+    )
+    parser.add_argument("--seed", type=int, default=2021, help="workload seed")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment (or all) and print its paper-style report."""
+    args = _parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports: list[str] = []
+    for name in names:
+        result: ExperimentResult = EXPERIMENTS[name](
+            profile=args.profile, datasets=args.datasets, seed=args.seed
+        )
+        reports.append(result.text)
+        print(result.text)
+        print()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

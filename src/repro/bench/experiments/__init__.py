@@ -1,0 +1,19 @@
+"""Experiment modules — one per table/figure (DESIGN.md §5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output: structured rows plus a text rendering."""
+
+    name: str
+    rows: list[dict] = field(default_factory=list)
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text

@@ -1,0 +1,73 @@
+"""Table 2 — summary of datasets (|V|, |E|, avg degree, avg distance).
+
+Renders the stand-ins' measured statistics next to the paper's published
+values, making the scale substitution (DESIGN.md §3) explicit.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.profile import bench_profile
+from repro.bench.report import format_table
+from repro.exceptions import BenchmarkError
+from repro.graph.statistics import summarize
+from repro.workloads.datasets import DATASETS, build_dataset
+
+__all__ = ["run"]
+
+
+def run(
+    profile: str | None = None,
+    datasets: list[str] | None = None,
+    seed: int = 2021,
+    num_sources: int = 24,
+) -> ExperimentResult:
+    """Compute the Table 2 row for every stand-in dataset."""
+    prof = bench_profile(profile)
+    names = datasets if datasets is not None else list(DATASETS)
+    unknown = [n for n in names if n not in DATASETS]
+    if unknown:
+        raise BenchmarkError(f"unknown datasets: {unknown}")
+
+    rows = []
+    for name in names:
+        spec, graph = build_dataset(name, profile=prof.name, seed=seed)
+        summary = summarize(graph, num_sources=num_sources, rng=seed)
+        rows.append({
+            "dataset": name,
+            "network": f"{spec.network_class} (u)",
+            "stands_in_for": spec.stands_in_for,
+            "num_vertices": summary.num_vertices,
+            "num_edges": summary.num_edges,
+            "avg_degree": summary.average_degree,
+            "avg_distance": summary.average_distance,
+            "paper_vertices": spec.paper_vertices,
+            "paper_edges": spec.paper_edges,
+            "paper_avg_degree": spec.paper_avg_degree,
+            "paper_avg_distance": spec.paper_avg_distance,
+        })
+    return ExperimentResult(name="table2", rows=rows, text=_render(rows))
+
+
+def _render(rows: list[dict]) -> str:
+    display = [
+        {
+            "Dataset": r["dataset"],
+            "Network": r["network"],
+            "|V|": r["num_vertices"],
+            "|E|": r["num_edges"],
+            "avg. deg": r["avg_degree"],
+            "avg. dist": r["avg_distance"],
+            "Paper |V|": r["paper_vertices"],
+            "Paper |E|": r["paper_edges"],
+            "Paper deg": r["paper_avg_degree"],
+            "Paper dist": r["paper_avg_distance"],
+        }
+        for r in rows
+    ]
+    return format_table(
+        ["Dataset", "Network", "|V|", "|E|", "avg. deg", "avg. dist",
+         "Paper |V|", "Paper |E|", "Paper deg", "Paper dist"],
+        display,
+        title="Table 2 — summary of datasets (stand-ins vs paper)",
+    )

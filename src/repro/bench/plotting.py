@@ -1,0 +1,153 @@
+"""Terminal plotting: ASCII bar charts, line charts and sparklines.
+
+The paper's Figures 1, 3 and 4 are log-scale plots; the harness is
+terminal-first, so these renderers give the figure experiments a visual
+output alongside the numeric series of
+:func:`repro.bench.report.render_series`.  Log scaling is supported on
+both chart types because nearly every quantity in the paper's evaluation
+spans decades (update times from 10⁻² to 10⁴ ms).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.bench.report import format_value
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _scale(value: float, low: float, high: float, log: bool) -> float:
+    """Map ``value`` to [0, 1] linearly or logarithmically."""
+    if high <= low:
+        return 1.0
+    if log:
+        value, low, high = math.log10(value), math.log10(low), math.log10(high)
+    return max(0.0, min(1.0, (value - low) / (high - low)))
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    With ``log=True`` bar lengths are proportional to ``log10`` of the
+    value over the data range — the right rendering for quantities that
+    span decades (e.g. Figure 3's per-dataset update times).  Zero or
+    negative values render as empty bars; the smallest positive value
+    keeps a one-cell bar so it stays visible.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values must align: {len(labels)} vs {len(values)}"
+        )
+    positives = [v for v in values if v > 0]
+    lines = [title]
+    if not positives:
+        lines.extend(f"  {label}  (no data)" for label in labels)
+        return "\n".join(lines)
+    low, high = min(positives), max(positives)
+    label_w = max((len(lbl) for lbl in labels), default=0)
+    for label, value in zip(labels, values):
+        if value <= 0:
+            bar = ""
+        else:
+            # Bars keep at least one cell so the smallest value is visible.
+            frac = _scale(value, low, high, log)
+            bar = "█" * max(1, round(frac * width))
+        suffix = f"{format_value(value)}{(' ' + unit) if unit else ''}"
+        lines.append(f"  {label.ljust(label_w)}  {bar.ljust(width)}  {suffix}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], log: bool = False) -> str:
+    """One-line block-character rendering of a numeric series.
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    """
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return " " * len(values)
+    low, high = min(positives), max(positives)
+    chars = []
+    for v in values:
+        if v <= 0:
+            chars.append(" ")
+        else:
+            frac = _scale(v, low, high, log)
+            chars.append(_BLOCKS[min(len(_BLOCKS) - 1, int(frac * len(_BLOCKS)))])
+    return "".join(chars)
+
+
+def line_chart(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series ASCII scatter/line chart on a character grid.
+
+    Each named series gets its own marker (cycled from ``*+o x#@``); the
+    y-axis can be log-scaled.  Points with non-positive y are dropped when
+    ``log_y`` is set.  Intended for the Figure 4 cumulative-time curves.
+    """
+    markers = "*+ox#@"
+    points = {
+        name: [
+            (float(x), float(y))
+            for x, y in pts
+            if not (log_y and y <= 0) and y == y  # drop log-invalid and NaN
+        ]
+        for name, pts in series.items()
+    }
+    all_points = [p for pts in points.values() for p in pts]
+    if not all_points:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = round(_scale(x, x_low, x_high, False) * (width - 1))
+            row = round(_scale(y, y_low, y_high, log_y) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_top = format_value(y_high)
+    y_bottom = format_value(y_low)
+    gutter = max(len(y_top), len(y_bottom))
+    lines = [title]
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(gutter)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = (
+        f"{format_value(x_low)}{' ' * max(1, width - len(format_value(x_low)) - len(format_value(x_high)))}"
+        f"{format_value(x_high)}"
+    )
+    lines.append(" " * (gutter + 2) + x_axis)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(points)
+    )
+    lines.append(f"  [{x_label} vs {y_label}{', log-y' if log_y else ''}]  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Benchmark profiles: how much work each experiment does.
+
+The paper's raw workload sizes (1,000 insertions, 100,000 queries, up to
+10,000 cumulative updates) are scaled per profile so that the pure-Python
+harness finishes in sensible wall-clock time while preserving every
+qualitative comparison.  Select with ``REPRO_BENCH_PROFILE`` or the CLI's
+``--profile``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.exceptions import BenchmarkError
+
+__all__ = ["BenchProfile", "bench_profile", "PROFILE_NAMES"]
+
+PROFILE_NAMES = ("smoke", "default", "full")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Workload sizes for one profile (paper-scale values in comments)."""
+
+    name: str
+    num_updates: int  # Table 1: paper 1,000
+    num_queries: int  # Table 1: paper 100,000
+    figure1_updates: int  # Figure 1: paper 1,000
+    figure3_updates: int  # Figure 3 per |R| value
+    figure3_landmark_counts: tuple[int, ...]  # paper: 10..50
+    # Figure 3 builds 2 oracles per |R| per dataset, so smaller profiles
+    # sweep a representative dataset subset; None = all 12 (paper).
+    figure3_datasets: tuple[str, ...] | None
+    figure4_batch: int  # Figure 4: paper 500
+    figure4_total: int  # Figure 4: paper 10,000
+    pll_budget_s: float  # construction gate for IncPLL
+    ablation_updates: int
+    ablation_queries: int
+
+
+_PROFILES = {
+    "smoke": BenchProfile(
+        name="smoke",
+        num_updates=10,
+        num_queries=60,
+        figure1_updates=25,
+        figure3_updates=8,
+        figure3_landmark_counts=(10, 20),
+        figure3_datasets=("skitter-s", "flickr-s"),
+        figure4_batch=10,
+        figure4_total=40,
+        pll_budget_s=30.0,
+        ablation_updates=8,
+        ablation_queries=40,
+    ),
+    "default": BenchProfile(
+        name="default",
+        num_updates=120,
+        num_queries=1500,
+        figure1_updates=250,
+        figure3_updates=40,
+        figure3_landmark_counts=(10, 20, 30, 40, 50),
+        figure3_datasets=(
+            "skitter-s", "flickr-s", "orkut-s",
+            "indochina-s", "twitter-s", "uk-s",
+        ),
+        figure4_batch=100,
+        figure4_total=2000,
+        pll_budget_s=90.0,
+        ablation_updates=60,
+        ablation_queries=400,
+    ),
+    "full": BenchProfile(
+        name="full",
+        num_updates=1000,
+        num_queries=10000,
+        figure1_updates=1000,
+        figure3_updates=150,
+        figure3_landmark_counts=(10, 20, 30, 40, 50),
+        figure3_datasets=None,
+        figure4_batch=500,
+        figure4_total=10000,
+        pll_budget_s=600.0,
+        ablation_updates=200,
+        ablation_queries=2000,
+    ),
+}
+
+
+def bench_profile(name: str | None = None) -> BenchProfile:
+    """Resolve a profile by name, ``REPRO_BENCH_PROFILE``, or the default."""
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown bench profile {name!r}; expected one of {PROFILE_NAMES}"
+        ) from None

@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results in the paper's shapes.
+
+Tables render as aligned fixed-width text (the paper's Table 1/2 layout);
+figure data renders as labelled series — one line per x-value — since the
+harness is terminal-first.  Values render through :func:`format_value`,
+which picks sensible precision and unit suffixes (ms / MB) to match the
+units the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_value", "format_bytes", "format_table", "render_series"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable size with the paper's MB/GB units.
+
+    >>> format_bytes(44_040_192)
+    '42.0 MB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    for unit, factor in (("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.1f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get 3 significant-ish decimals, None is '-'.
+
+    ``None`` renders as "-", mirroring the paper's dashes for methods that
+    failed to build on a dataset.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts keyed by header) as an aligned text table."""
+    cells = [[format_value(row.get(h)) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[object, object]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render figure data: one block per named series, one line per point.
+
+    This is the text equivalent of the paper's figures — the series carry
+    the same (x, y) points a plot would.
+    """
+    lines = [title, f"  [{x_label} -> {y_label}]"]
+    for name, points in series.items():
+        lines.append(f"  {name}:")
+        for x, y in points:
+            lines.append(f"    {format_value(x):>10}  {format_value(y)}")
+    return "\n".join(lines)

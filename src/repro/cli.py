@@ -1,0 +1,202 @@
+"""``python -m repro`` — build, persist, query and update oracles from files.
+
+The library-level entry point for users who want the paper's system as a
+tool rather than an API (the benchmark harness has its own entry point,
+``python -m repro.bench``).  Subcommands:
+
+* ``build``   — construct an oracle from an edge list and save it;
+* ``query``   — answer ``u v`` distance queries from a saved oracle;
+* ``path``    — print one exact shortest path;
+* ``insert``  / ``delete`` — apply updates (IncHL+ / DecHL) and re-save;
+* ``stats``   — labelling and highway statistics.
+
+All file formats are the library's own: SNAP-style edge lists (``.gz``
+transparently) in, ``save_oracle`` JSON (``.gz`` transparently) out.
+
+Examples::
+
+    python -m repro build graph.txt -o oracle.json.gz --landmarks 20 --csr
+    python -m repro query oracle.json.gz 17 4242
+    python -m repro path oracle.json.gz 17 4242
+    python -m repro insert oracle.json.gz 17 4242
+    python -m repro stats oracle.json.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Dynamic exact-distance oracle (IncHL+/DecHL over a highway "
+            "cover labelling) as a command-line tool."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build an oracle from an edge list")
+    build.add_argument("edge_list", help="whitespace edge list (.gz ok)")
+    build.add_argument("-o", "--out", required=True, help="oracle output path")
+    build.add_argument("--landmarks", type=int, default=20, help="|R| (default 20)")
+    build.add_argument(
+        "--strategy", default="degree",
+        choices=("degree", "random", "betweenness", "spread"),
+        help="landmark selection strategy",
+    )
+    build.add_argument(
+        "--csr", action="store_true",
+        help="use the numpy CSR construction fast path",
+    )
+    build.add_argument("--seed", type=int, default=2021, help="selection seed")
+
+    query = sub.add_parser("query", help="exact distance between two vertices")
+    query.add_argument("oracle", help="saved oracle path")
+    query.add_argument("u", type=int)
+    query.add_argument("v", type=int)
+
+    path = sub.add_parser("path", help="one exact shortest path")
+    path.add_argument("oracle", help="saved oracle path")
+    path.add_argument("u", type=int)
+    path.add_argument("v", type=int)
+
+    insert = sub.add_parser("insert", help="insert an edge (IncHL+ repair)")
+    insert.add_argument("oracle", help="saved oracle path (updated in place)")
+    insert.add_argument("u", type=int)
+    insert.add_argument("v", type=int)
+    insert.add_argument("-o", "--out", default=None,
+                        help="write to a different path (default: in place)")
+
+    delete = sub.add_parser("delete", help="delete an edge (DecHL repair)")
+    delete.add_argument("oracle", help="saved oracle path (updated in place)")
+    delete.add_argument("u", type=int)
+    delete.add_argument("v", type=int)
+    delete.add_argument("-o", "--out", default=None,
+                        help="write to a different path (default: in place)")
+
+    stats = sub.add_parser("stats", help="labelling / highway statistics")
+    stats.add_argument("oracle", help="saved oracle path")
+    return parser
+
+
+def _cmd_build(args) -> int:
+    from repro.core.dynamic import DynamicHCL
+    from repro.graph.io import read_edge_list
+    from repro.utils.serialization import save_oracle
+
+    graph = read_edge_list(args.edge_list)
+    print(f"loaded |V|={graph.num_vertices:,} |E|={graph.num_edges:,} "
+          f"from {args.edge_list}")
+    oracle = DynamicHCL.build(
+        graph,
+        num_landmarks=min(args.landmarks, graph.num_vertices),
+        strategy=args.strategy,
+        rng=args.seed,
+        construction="csr" if args.csr else "python",
+    )
+    save_oracle(oracle, args.out)
+    print(f"built |R|={len(oracle.landmarks)} size(L)={oracle.label_entries:,} "
+          f"entries -> {args.out}")
+    return 0
+
+
+def _load(path):
+    from repro.utils.serialization import load_oracle
+
+    return load_oracle(path)
+
+
+def _cmd_query(args) -> int:
+    distance = _load(args.oracle).query(args.u, args.v)
+    print("unreachable" if distance == float("inf") else int(distance))
+    return 0
+
+
+def _cmd_path(args) -> int:
+    path = _load(args.oracle).shortest_path(args.u, args.v)
+    if path is None:
+        print("unreachable")
+    else:
+        print(" -> ".join(str(v) for v in path))
+    return 0
+
+
+def _cmd_insert(args) -> int:
+    from repro.utils.serialization import save_oracle
+
+    oracle = _load(args.oracle)
+    stats = oracle.insert_edge(args.u, args.v)
+    out = args.out or args.oracle
+    save_oracle(oracle, out)
+    print(f"inserted ({args.u}, {args.v}); affected {stats.affected_union} "
+          f"vertices; size(L)={oracle.label_entries:,} -> {out}")
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    from repro.utils.serialization import save_oracle
+
+    oracle = _load(args.oracle)
+    stats = oracle.remove_edge(args.u, args.v)
+    out = args.out or args.oracle
+    save_oracle(oracle, out)
+    print(f"deleted ({args.u}, {args.v}); affected {stats.affected_union} "
+          f"vertices; size(L)={oracle.label_entries:,} -> {out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.analysis import highway_stats, label_stats, landmark_entry_counts
+
+    oracle = _load(args.oracle)
+    graph = oracle.graph
+    lstats = label_stats(oracle.labelling, graph.num_vertices)
+    hstats = highway_stats(oracle.labelling)
+    counts = landmark_entry_counts(oracle.labelling)
+    print(f"graph      |V|={graph.num_vertices:,} |E|={graph.num_edges:,} "
+          f"avg deg={graph.average_degree():.2f}")
+    print(f"landmarks  |R|={hstats.num_landmarks} "
+          f"highway connectivity={hstats.connectivity:.0%} "
+          f"mean highway dist={hstats.mean_distance:.2f}")
+    print(f"labels     size(L)={lstats.total_entries:,} entries "
+          f"({lstats.size_bytes:,} bytes)  l={lstats.mean_label_size:.2f} "
+          f"max={lstats.max_label_size}")
+    busiest = max(counts, key=counts.get)
+    idlest = min(counts, key=counts.get)
+    print(f"coverage   busiest landmark {busiest} ({counts[busiest]:,} entries), "
+          f"idlest {idlest} ({counts[idlest]:,})")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "path": _cmd_path,
+    "insert": _cmd_insert,
+    "delete": _cmd_delete,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

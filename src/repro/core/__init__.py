@@ -1,0 +1,38 @@
+"""Core: highway cover labelling and its incremental maintenance (IncHL+).
+
+Public surface:
+
+* :class:`~repro.core.labelling.HighwayCoverLabelling` — the (H, L) pair.
+* :func:`~repro.core.construction.build_hcl` — static construction.
+* :func:`~repro.core.query.query_distance` — exact distance queries (Q).
+* :class:`~repro.core.dynamic.DynamicHCL` — the maintained graph+labelling
+  facade implementing the paper's IncHL+ (and the decremental extension).
+"""
+
+from repro.core.highway import Highway
+from repro.core.labels import LabelStore
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.construction import build_hcl
+from repro.core.query import query_distance, landmark_distance, upper_bound
+from repro.core.inchl import apply_edge_insertion, find_affected, repair_affected
+from repro.core.dynamic import DynamicHCL
+from repro.core.decremental import apply_edge_deletion
+from repro.core.directed import DirectedHCL
+from repro.core.weighted_hcl import WeightedHCL
+
+__all__ = [
+    "Highway",
+    "LabelStore",
+    "HighwayCoverLabelling",
+    "build_hcl",
+    "query_distance",
+    "landmark_distance",
+    "upper_bound",
+    "apply_edge_insertion",
+    "find_affected",
+    "repair_affected",
+    "apply_edge_deletion",
+    "DynamicHCL",
+    "DirectedHCL",
+    "WeightedHCL",
+]

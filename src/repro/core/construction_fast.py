@@ -1,0 +1,129 @@
+"""Vectorized construction of a minimal highway cover labelling.
+
+Semantically identical to :func:`repro.core.construction.build_hcl` — the
+test-suite asserts exact equality of the produced labelling — but the
+per-landmark BFS with cover flags runs on a
+:class:`~repro.graph.csr.CSRGraph` snapshot with numpy level sweeps.  This
+is the construction counterpart of the CSR fast path: the paper's C++
+implementation builds billion-edge labellings offline, and this module is
+what lets the Python reproduction build its scaled stand-ins (tens of
+thousands of vertices, |R| up to 60) in seconds rather than minutes.
+
+The cover flag of the reference construction ("some shortest path from the
+root contains another landmark") propagates as a scatter-max: at every BFS
+level, each newly discovered vertex takes the OR of its shortest-path
+parents' flags, which is exactly ``np.maximum.at`` over the flattened
+frontier adjacency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.highway import Highway
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.labels import LabelStore
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.csr import CSRGraph, _gather_neighbors
+
+__all__ = ["build_hcl_fast"]
+
+
+def build_hcl_fast(
+    graph,
+    landmarks: Sequence[int] | Iterable[int],
+    csr: CSRGraph | None = None,
+) -> HighwayCoverLabelling:
+    """Build the minimal highway cover labelling on the CSR fast path.
+
+    Produces a labelling equal (entry-for-entry and cell-for-cell) to
+    :func:`repro.core.construction.build_hcl` on the same inputs.  Pass a
+    pre-built ``csr`` snapshot to amortize snapshotting across calls; it
+    must describe the same graph.
+
+    >>> from repro.graph.generators import grid_graph
+    >>> from repro.core.construction import build_hcl
+    >>> g = grid_graph(4, 4)
+    >>> build_hcl_fast(g, [0, 15]) == build_hcl(g, [0, 15])
+    True
+    """
+    landmark_list = list(landmarks)
+    if not landmark_list:
+        raise GraphError("at least one landmark is required")
+    for r in landmark_list:
+        if not graph.has_vertex(r):
+            raise VertexNotFoundError(r)
+
+    if csr is None:
+        csr = CSRGraph.from_graph(graph)
+    highway = Highway(landmark_list)
+    labels = LabelStore()
+
+    num_vertices = csr.num_vertices
+    ids = csr.ids
+    is_landmark = np.zeros(num_vertices, dtype=bool)
+    for r in landmark_list:
+        is_landmark[csr.index(r)] = True
+
+    for r in landmark_list:
+        _labelling_bfs_csr(csr, csr.index(r), r, is_landmark, ids, highway, labels)
+    return HighwayCoverLabelling(highway, labels)
+
+
+def _labelling_bfs_csr(
+    csr: CSRGraph,
+    root_index: int,
+    root_id: int,
+    is_landmark: np.ndarray,
+    ids: np.ndarray,
+    highway: Highway,
+    labels: LabelStore,
+) -> None:
+    """One landmark BFS with vectorized cover-flag propagation.
+
+    ``flag[v] = 1`` means "some shortest root→v path contains a landmark
+    other than the root (possibly v itself)".  Per level: gather all
+    frontier→unseen edges, scatter-max parent flags onto the new level,
+    then force flags of landmark vertices (recording their highway
+    distance) and emit label entries for flag-free non-landmarks.
+    """
+    indptr = csr.indptr
+    indices = csr.indices
+    dist = np.full(csr.num_vertices, -1, dtype=np.int32)
+    flag = np.zeros(csr.num_vertices, dtype=np.uint8)
+    member = np.zeros(csr.num_vertices, dtype=bool)
+    dist[root_index] = 0
+    frontier = np.array([root_index], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        sources, neighbours = _gather_neighbors(indptr, indices, frontier)
+        if neighbours.size == 0:
+            break
+        unseen = dist[neighbours] < 0
+        sources = sources[unseen]
+        neighbours = neighbours[unseen]
+        if neighbours.size == 0:
+            break
+        # Mask-scatter dedup (cheaper than np.unique on heavy levels);
+        # nonzero returns the level sorted, matching the reference order.
+        member[neighbours] = True
+        new_level = np.nonzero(member)[0]
+        member[new_level] = False
+        dist[new_level] = depth
+        # OR of parent flags over every shortest-path (frontier → new
+        # level) edge: scatter 1 to every neighbour reached from a flagged
+        # parent (duplicate targets write the same value, so plain fancy
+        # assignment is the OR).
+        flag[neighbours[flag[sources] != 0]] = 1
+
+        level_landmarks = new_level[is_landmark[new_level]]
+        for v in ids[level_landmarks].tolist():
+            highway.set_distance(root_id, v, depth)
+        flag[level_landmarks] = 1
+
+        uncovered = new_level[(flag[new_level] == 0) & ~is_landmark[new_level]]
+        labels.bulk_set_new(root_id, ids[uncovered].tolist(), depth)
+        frontier = new_level

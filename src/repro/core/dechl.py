@@ -1,0 +1,390 @@
+"""DecHL — fine-grained decremental maintenance of a highway cover labelling.
+
+The paper defers decremental updates to future work (Section 7); the
+repository's first extension, :mod:`repro.core.decremental`, answers with a
+sound but coarse per-landmark rebuild.  This module is the fine-grained
+counterpart: it confines all work to the *affected region* of a deletion,
+in the spirit of IncHL+'s two-phase find/repair, and the test-suite
+verifies it produces the exact minimal labelling after every deletion.
+
+Why deletions are genuinely harder (and what this module does about it)
+------------------------------------------------------------------------
+For an inserted edge, distances only decrease and path sets only grow, so
+a label entry can only need *removal or a smaller value*.  For a deleted
+edge ``(a, b)``:
+
+1. distances of affected vertices can **increase, stay equal, or become
+   infinite** (disconnection);
+2. path sets *shrink*, so a vertex that was covered by another landmark
+   can become uncovered — its entry must be **added**, which is why repair
+   cannot be confined to vertices whose distance changed.
+
+Per relevant landmark ``r`` (``|d_G(r,a) − d_G(r,b)| = 1`` — the only
+landmarks whose shortest-path DAG can contain the edge), three phases:
+
+* **Find** — the affected set ``Λ_r`` = vertices with some old shortest
+  path through ``(a, b)`` = descendants of ``b`` in the old shortest-path
+  DAG.  A level sweep from ``b`` over old distances (queried from the
+  pristine labelling, exact by Eq. 1) discovers exactly the closure, and
+  records the old distance of every scanned unaffected border vertex.
+* **Re-distance** — new distances over the affected region only: a
+  bucket-queue relaxation seeded by ``old(u) + 1`` over unaffected border
+  neighbours ``u`` (their distances are provably unchanged).  Vertices
+  never settled are disconnected from ``r``.
+* **Repair** — re-derive the cover flag of every affected vertex in
+  increasing new-distance order with the same parent predicate as
+  IncHL+'s RepairAffected (landmark parent, covered affected parent, or
+  unaffected non-landmark parent whose absent ``r``-entry witnesses a
+  landmark on a shortest path), then add/modify/remove entries and patch
+  the highway — including dropping highway pairs that became unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.query import landmark_distance
+from repro.exceptions import InvariantViolationError, LabellingError
+from repro.graph.traversal import INF
+
+__all__ = [
+    "DeletionSearch",
+    "DeletionStats",
+    "find_affected_deletion",
+    "repair_affected_deletion",
+    "apply_edge_deletion_partial",
+    "apply_vertex_deletion",
+]
+
+
+@dataclass
+class DeletionSearch:
+    """Result of the find + re-distance phases for one landmark.
+
+    ``old_dist`` holds pre-deletion distances of affected vertices;
+    ``new_dist`` their post-deletion distances (``inf`` when the deletion
+    disconnected them from the landmark); ``border_old`` the unchanged
+    distances of every scanned unaffected neighbour of the region.
+    """
+
+    landmark: int
+    old_dist: dict[int, int] = field(default_factory=dict)
+    new_dist: dict[int, float] = field(default_factory=dict)
+    border_old: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def affected(self) -> set[int]:
+        """``Λ_r`` — the affected vertices w.r.t. this landmark."""
+        return set(self.old_dist)
+
+    @property
+    def num_affected(self) -> int:
+        """``|Λ_r|`` for this landmark."""
+        return len(self.old_dist)
+
+    @property
+    def disconnected(self) -> set[int]:
+        """Affected vertices the deletion cut off from the landmark."""
+        return {v for v, d in self.new_dist.items() if d == INF}
+
+
+@dataclass
+class DeletionStats:
+    """Bookkeeping returned by :func:`apply_edge_deletion_partial`."""
+
+    edge: tuple[int, int]
+    affected_per_landmark: dict[int, int]
+    affected_union: int = 0
+    entries_added: int = 0
+    entries_modified: int = 0
+    entries_removed: int = 0
+    highway_updates: int = 0
+
+    @property
+    def total_affected(self) -> int:
+        """Sum of ``|Λ_r|`` over landmarks."""
+        return sum(self.affected_per_landmark.values())
+
+
+def find_affected_deletion(
+    graph,
+    labelling: HighwayCoverLabelling,
+    r: int,
+    anchor: int,
+    root: int,
+    root_old: int,
+) -> DeletionSearch:
+    """Find ``Λ_r`` for a deleted edge oriented ``anchor → root``.
+
+    ``anchor``/``root`` are the deleted edge's endpoints with
+    ``d_G(r, root) = d_G(r, anchor) + 1 = root_old``; ``graph`` must
+    already be ``G'`` (edge removed) while ``labelling`` is still the
+    pristine labelling of ``G`` — old distances are queried from it.
+
+    Affected vertices are exactly the descendants of ``root`` in the old
+    shortest-path DAG of ``r`` (every old shortest path through the edge
+    continues through DAG edges), discovered level-by-level; each level
+    sweep also computes the new distances' border seeds.
+    """
+    adj = graph.adjacency()
+    labels = labelling.labels
+    highway = labelling.highway
+    row = highway.row(r)
+    landmark_set = highway.landmark_set
+
+    search = DeletionSearch(landmark=r)
+    old_dist = search.old_dist
+    border_old = search.border_old
+    old_dist[root] = root_old
+    border_old[anchor] = root_old - 1
+
+    def old_distance(w: int) -> float:
+        # Inline landmark_distance — pristine labelling, exact by Eq. (1).
+        if w == r:
+            return 0.0
+        if w in landmark_set:
+            return row.get(w, INF)
+        best = INF
+        for ri, delta in labels.label(w).items():
+            via = row.get(ri)
+            if via is not None and via + delta < best:
+                best = via + delta
+        return best
+
+    frontier = [root]
+    depth = root_old
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        for v in frontier:
+            for w in adj[v]:
+                if w in old_dist:
+                    continue
+                old = border_old.get(w)
+                if old is None:
+                    old = old_distance(w)
+                if old == depth:
+                    # DAG edge v → w: w inherits a shortest path through
+                    # the deleted edge, so it is affected (Lemma 4.3
+                    # transposed to deletions).
+                    old_dist[w] = depth
+                    border_old.pop(w, None)
+                    next_frontier.append(w)
+                else:
+                    border_old.setdefault(w, old)
+        frontier = next_frontier
+
+    _compute_new_distances(adj, search)
+    return search
+
+
+def _compute_new_distances(adj, search: DeletionSearch) -> None:
+    """Bucket-queue relaxation of new distances over the affected region.
+
+    Seeds: ``old(u) + 1`` for each unaffected border neighbour ``u`` of an
+    affected vertex (border distances are unchanged by the deletion).
+    Unit edge weights make the bucket sweep monotone; affected vertices
+    never settled are disconnected and keep ``inf``.
+    """
+    old_dist = search.old_dist
+    border_old = search.border_old
+    new_dist = search.new_dist
+
+    buckets: dict[int, list[int]] = {}
+    for v in old_dist:
+        best = INF
+        for u in adj[v]:
+            if u in old_dist:
+                continue
+            old = border_old.get(u, INF)
+            if old + 1 < best:
+                best = old + 1
+        new_dist[v] = INF
+        if best < INF:
+            buckets.setdefault(int(best), []).append(v)
+
+    while buckets:
+        depth = min(buckets)
+        frontier = buckets.pop(depth)
+        settled: list[int] = []
+        for v in frontier:
+            if new_dist[v] <= depth:
+                continue  # already settled through a shorter detour
+            new_dist[v] = depth
+            settled.append(v)
+        next_depth = depth + 1
+        for v in settled:
+            for w in adj[v]:
+                if w in old_dist and new_dist[w] > next_depth:
+                    buckets.setdefault(next_depth, []).append(w)
+
+
+def repair_affected_deletion(
+    graph,
+    labelling: HighwayCoverLabelling,
+    search: DeletionSearch,
+    stats: DeletionStats | None = None,
+) -> None:
+    """Repair labels and highway for one landmark after a deletion.
+
+    Sweeps the affected region in increasing *new* distance, re-deriving
+    the cover flag of every vertex from its shortest-path parents in
+    ``G'`` — the same predicate as IncHL+'s RepairAffected, but evaluated
+    from scratch because deletions can flip it in either direction.
+    """
+    r = search.landmark
+    adj = graph.adjacency()
+    labels = labelling.labels
+    highway = labelling.highway
+    landmark_set = highway.landmark_set
+    new_dist = search.new_dist
+    border_old = search.border_old
+
+    # Disconnected vertices lose their entry (and highway pair) outright.
+    by_level: dict[int, list[int]] = {}
+    for v, d in new_dist.items():
+        if d == INF:
+            if v in landmark_set:
+                if highway.remove_distance(r, v) and stats is not None:
+                    stats.highway_updates += 1
+            elif labels.remove_entry(v, r) and stats is not None:
+                stats.entries_removed += 1
+        else:
+            by_level.setdefault(int(d), []).append(v)
+
+    covered: dict[int, bool] = {}
+    for depth in sorted(by_level):
+        parent_depth = depth - 1
+        for v in by_level[depth]:
+            if v in landmark_set:
+                covered[v] = True
+                if highway.distance(r, v) != depth:
+                    highway.set_distance(r, v, depth)
+                    if stats is not None:
+                        stats.highway_updates += 1
+                continue
+            is_covered = False
+            has_parent = False
+            for u in adj[v]:
+                du = new_dist.get(u)
+                if du is not None:
+                    if du != parent_depth:
+                        continue
+                    has_parent = True
+                    if covered[u]:
+                        is_covered = True
+                        break
+                    continue
+                if u == r:
+                    if parent_depth == 0:
+                        has_parent = True
+                    continue
+                old = border_old.get(u)
+                if old is None or old != parent_depth:
+                    continue
+                has_parent = True
+                if u in landmark_set or not labels.has_entry(u, r):
+                    is_covered = True
+                    break
+            if not has_parent:
+                raise InvariantViolationError(
+                    f"affected vertex {v} at new depth {depth} (landmark {r}) "
+                    f"has no shortest-path parent after deletion — labelling "
+                    f"out of sync with graph"
+                )
+            covered[v] = is_covered
+            if is_covered:
+                if labels.remove_entry(v, r) and stats is not None:
+                    stats.entries_removed += 1
+            else:
+                if stats is not None:
+                    if labels.has_entry(v, r):
+                        stats.entries_modified += 1
+                    else:
+                        stats.entries_added += 1
+                labels.set_entry(v, r, depth)
+
+
+def apply_edge_deletion_partial(
+    graph,
+    labelling: HighwayCoverLabelling,
+    a: int,
+    b: int,
+) -> DeletionStats:
+    """DecHL for one edge deletion ``(a, b)``.
+
+    Removes the edge from ``graph`` and repairs the labelling in place
+    from a valid minimal labelling of ``G`` to a valid minimal labelling
+    of ``G'``.  Work is confined to landmarks whose BFS level of ``a`` and
+    ``b`` differ by one, and within those to the affected region.
+
+    Returns per-landmark affected counts and entry-change statistics.
+    """
+    if not graph.has_edge(a, b):
+        raise InvariantViolationError(
+            f"apply_edge_deletion_partial expects edge ({a}, {b}) to be present"
+        )
+    stats = DeletionStats(edge=(a, b), affected_per_landmark={})
+
+    # Phase A on the pristine labelling: orientation per landmark.  Only
+    # |d(r,a) - d(r,b)| == 1 admits the edge on a shortest path.
+    plans: list[tuple[int, int, int, int]] = []
+    for r in labelling.landmarks:
+        da = landmark_distance(labelling, r, a)
+        db = landmark_distance(labelling, r, b)
+        if db == INF:
+            # da == db == inf: the whole component is landmark-free, so no
+            # shortest r-path exists at all (inf + 1 == inf would otherwise
+            # fool the level test below).  da finite with db infinite is
+            # impossible while the edge exists.
+            stats.affected_per_landmark[r] = 0
+        elif da + 1 == db:
+            plans.append((r, a, b, int(db)))
+        elif db + 1 == da:
+            plans.append((r, b, a, int(da)))
+        else:
+            stats.affected_per_landmark[r] = 0
+
+    graph.remove_edge(a, b)
+
+    # Phase B: all finds before any repair (labels stay pristine for the
+    # old-distance queries; repairs touch only their own landmark's
+    # entries, but find may consult any entry, so ordering matters).
+    searches = [
+        find_affected_deletion(graph, labelling, r, anchor, root, root_old)
+        for r, anchor, root, root_old in plans
+    ]
+
+    union: set[int] = set()
+    for search in searches:
+        stats.affected_per_landmark[search.landmark] = search.num_affected
+        union.update(search.old_dist)
+        repair_affected_deletion(graph, labelling, search, stats)
+    stats.affected_union = len(union)
+    return stats
+
+
+def apply_vertex_deletion(
+    graph,
+    labelling: HighwayCoverLabelling,
+    v: int,
+) -> list[DeletionStats]:
+    """Vertex deletion: remove all incident edges, then the vertex.
+
+    The mirror of the paper's vertex insertion (Section 3): decomposed
+    into edge deletions, each repaired by :func:`apply_edge_deletion_partial`.
+    Landmarks cannot be deleted this way — demote them first with
+    :func:`repro.landmarks.maintenance.remove_landmark`.
+    """
+    if v in labelling.landmark_set:
+        raise LabellingError(
+            f"vertex {v} is a landmark; demote it with "
+            f"repro.landmarks.maintenance.remove_landmark before deletion"
+        )
+    stats = [
+        apply_edge_deletion_partial(graph, labelling, v, w)
+        for w in list(graph.neighbors(v))
+    ]
+    graph.remove_vertex(v)
+    return stats

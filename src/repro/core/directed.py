@@ -1,0 +1,547 @@
+"""Directed highway cover labelling — the paper's Section 5 extension.
+
+"For directed graphs, we can store sets of forward and backward labels,
+namely ``L_f(v)`` and ``L_b(v)``, for each vertex ``v`` which contain pairs
+``(r_i, δ_{r_i v})`` from forward and backward BFSs w.r.t. each landmark.
+Accordingly, we can store forward and backward highways ``H_f`` and ``H_b``.
+Then, we conduct two BFSs to update these labels and highways: one in the
+forward direction and the other in the backward direction."
+
+Concretely:
+
+* ``L_f(v)`` holds ``(r, d(r → v))`` — minimal rule: kept iff no shortest
+  ``r → v`` path contains another landmark;
+* ``L_b(v)`` holds ``(r, d(v → r))`` — the mirror statement on reversed
+  edges;
+* one directed highway matrix ``δ_H(r1, r2) = d(r1 → r2)`` plays the role
+  of both ``H_f`` and ``H_b`` (they are transposes of each other);
+* ``Q(u, v)``: join ``L_b(u)`` with ``L_f(v)`` through the highway, then a
+  bounded bidirectional *directed* search on the landmark-free subgraph;
+* an inserted arc ``a → b`` triggers a *forward* IncHL+ pass (distances
+  from landmarks, expanding out-edges from ``b``) and a *backward* pass
+  (distances to landmarks, expanding in-edges from ``a``).
+
+Both passes reuse one generic implementation parameterised by the
+expansion direction; the undirected module's three-phase structure and
+covered-predicate reasoning (DESIGN.md §4.3) carry over verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.labels import LabelStore
+from repro.exceptions import (
+    GraphError,
+    InvariantViolationError,
+    NotALandmarkError,
+    VertexNotFoundError,
+)
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import INF
+
+__all__ = ["DirectedHighway", "DirectedHCL"]
+
+
+class DirectedHighway:
+    """Asymmetric landmark distance table: ``δ_H(r1, r2) = d(r1 → r2)``."""
+
+    __slots__ = ("_landmarks", "_landmark_set", "_rows")
+
+    def __init__(self, landmarks: Iterable[int]) -> None:
+        self._landmarks = list(landmarks)
+        self._landmark_set = frozenset(self._landmarks)
+        if len(self._landmark_set) != len(self._landmarks):
+            raise ValueError("duplicate landmarks")
+        self._rows: dict[int, dict[int, float]] = {r: {r: 0} for r in self._landmarks}
+
+    @property
+    def landmarks(self) -> list[int]:
+        """Landmarks in selection order.  Must not be mutated."""
+        return self._landmarks
+
+    @property
+    def landmark_set(self) -> frozenset[int]:
+        """Frozen landmark set for membership tests."""
+        return self._landmark_set
+
+    def distance(self, r1: int, r2: int) -> float:
+        """``d(r1 → r2)``; infinity when unreachable."""
+        if r2 not in self._landmark_set:
+            raise NotALandmarkError(r2)
+        try:
+            return self._rows[r1].get(r2, INF)
+        except KeyError:
+            raise NotALandmarkError(r1) from None
+
+    def set_distance(self, r1: int, r2: int, distance: float) -> None:
+        """Set the one-way distance ``δ_H(r1 → r2)``."""
+        if r1 not in self._landmark_set:
+            raise NotALandmarkError(r1)
+        if r2 not in self._landmark_set:
+            raise NotALandmarkError(r2)
+        if r1 == r2:
+            if distance != 0:
+                raise ValueError("diagonal must stay 0")
+            return
+        self._rows[r1][r2] = distance
+
+    def row(self, r: int) -> dict[int, float]:
+        """Forward row of ``r`` (distances from ``r`` to other landmarks)."""
+        try:
+            return self._rows[r]
+        except KeyError:
+            raise NotALandmarkError(r) from None
+
+    def clear_row(self, r: int) -> None:
+        """Drop all distances *from* ``r`` (decremental forward rebuild)."""
+        if r not in self._landmark_set:
+            raise NotALandmarkError(r)
+        self._rows[r] = {r: 0}
+
+    def clear_column(self, r: int) -> None:
+        """Drop all distances *to* ``r`` (decremental backward rebuild)."""
+        if r not in self._landmark_set:
+            raise NotALandmarkError(r)
+        for other, row in self._rows.items():
+            if other != r:
+                row.pop(r, None)
+
+    def column(self, r: int) -> dict[int, float]:
+        """Backward view: distances from each landmark *to* ``r``."""
+        if r not in self._landmark_set:
+            raise NotALandmarkError(r)
+        return {
+            other: row[r] for other, row in self._rows.items() if r in row
+        }
+
+    def as_dict(self) -> dict[int, dict[int, float]]:
+        """Deep-copied plain-dict snapshot of the forward rows."""
+        return {r: dict(row) for r, row in self._rows.items()}
+
+
+class DirectedHCL:
+    """Dynamic directed distance oracle with highway cover labelling.
+
+    >>> g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+    >>> oracle = DirectedHCL(g, landmarks=[0])
+    >>> oracle.query(1, 0)
+    2
+    >>> _ = oracle.insert_edge(1, 0)
+    >>> oracle.query(1, 0)
+    1
+    """
+
+    def __init__(
+        self,
+        graph: DynamicDiGraph,
+        landmarks: Sequence[int] | None = None,
+        num_landmarks: int = 20,
+    ) -> None:
+        self._graph = graph
+        if landmarks is None:
+            ranked = sorted(
+                graph.vertices(),
+                key=lambda v: (-(graph.out_degree(v) + graph.in_degree(v)), v),
+            )
+            landmarks = ranked[: min(num_landmarks, graph.num_vertices)]
+        else:
+            landmarks = list(landmarks)
+            for r in landmarks:
+                if not graph.has_vertex(r):
+                    raise VertexNotFoundError(r)
+        if not landmarks:
+            raise GraphError("at least one landmark is required")
+        self._highway = DirectedHighway(landmarks)
+        self._forward = LabelStore()   # (r, d(r -> v)) at v
+        self._backward = LabelStore()  # (r, d(v -> r)) at v
+        for r in landmarks:
+            self._labelling_bfs(r, forward=True)
+            self._labelling_bfs(r, forward=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _labelling_bfs(self, r: int, forward: bool) -> None:
+        """Directed analogue of the undirected flag-carrying full BFS."""
+        adj = self._graph.out_adjacency() if forward else self._graph.in_adjacency()
+        labels = self._forward if forward else self._backward
+        landmark_set = self._highway.landmark_set
+        dist: dict[int, int] = {r: 0}
+        has_lm: dict[int, bool] = {r: False}
+        frontier = [r]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: list[int] = []
+            for v in frontier:
+                flag = has_lm[v]
+                for w in adj[v]:
+                    seen = dist.get(w)
+                    if seen is None:
+                        dist[w] = depth
+                        has_lm[w] = flag
+                        next_frontier.append(w)
+                    elif seen == depth and flag and not has_lm[w]:
+                        has_lm[w] = True
+            for w in next_frontier:
+                if w in landmark_set:
+                    if forward:
+                        self._highway.set_distance(r, w, depth)
+                    else:
+                        self._highway.set_distance(w, r, depth)
+                    has_lm[w] = True
+                elif not has_lm[w]:
+                    labels.set_entry(w, r, depth)
+            frontier = next_frontier
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicDiGraph:
+        """The underlying digraph (mutate only through the oracle)."""
+        return self._graph
+
+    @property
+    def landmarks(self) -> list[int]:
+        """Landmarks in selection order.  Must not be mutated."""
+        return self._highway.landmarks
+
+    @property
+    def highway(self) -> DirectedHighway:
+        """The directed highway ``H`` (forward distances)."""
+        return self._highway
+
+    @property
+    def forward_labels(self) -> LabelStore:
+        """Labels from landmarks: entries ``(r, d(r → v))`` at ``v``."""
+        return self._forward
+
+    @property
+    def backward_labels(self) -> LabelStore:
+        """Labels to landmarks: entries ``(r, d(v → r))`` at ``v``."""
+        return self._backward
+
+    @property
+    def label_entries(self) -> int:
+        """``size(L_f) + size(L_b)``."""
+        return self._forward.total_entries + self._backward.total_entries
+
+    def size_bytes(self) -> int:
+        """Logical labelling footprint in bytes (Table 1 accounting)."""
+        n = len(self._highway.landmarks)
+        return (
+            self._forward.size_bytes()
+            + self._backward.size_bytes()
+            + n * n * 4
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _from_landmark(self, r: int, v: int) -> float:
+        """Exact ``d(r → v)`` from the forward labelling."""
+        if v == r:
+            return 0
+        if v in self._highway.landmark_set:
+            return self._highway.distance(r, v)
+        row = self._highway.row(r)
+        best = INF
+        for ri, delta in self._forward.label(v).items():
+            via = row.get(ri)
+            if via is not None and via + delta < best:
+                best = via + delta
+        return best
+
+    def _to_landmark(self, v: int, r: int) -> float:
+        """Exact ``d(v → r)`` from the backward labelling."""
+        if v == r:
+            return 0
+        if v in self._highway.landmark_set:
+            return self._highway.distance(v, r)
+        best = INF
+        for ri, delta in self._backward.label(v).items():
+            via = self._highway.distance(ri, r)
+            if delta + via < best:
+                best = delta + via
+        return best
+
+    def upper_bound(self, u: int, v: int) -> float:
+        """``d⊤``: best ``u → r_i → r_j → v`` through the highway."""
+        best = INF
+        label_u = self._backward.label(u)
+        label_v = self._forward.label(v)
+        for ri, du in label_u.items():
+            row = self._highway.row(ri)
+            for rj, dv in label_v.items():
+                via = row.get(rj)
+                if via is not None:
+                    candidate = du + via + dv
+                    if candidate < best:
+                        best = candidate
+        return best
+
+    def query(self, u: int, v: int) -> float:
+        """Exact directed distance ``d(u → v)``; inf when unreachable."""
+        if not self._graph.has_vertex(u):
+            raise VertexNotFoundError(u)
+        if not self._graph.has_vertex(v):
+            raise VertexNotFoundError(v)
+        if u == v:
+            return 0
+        landmark_set = self._highway.landmark_set
+        if u in landmark_set:
+            return self._from_landmark(u, v)
+        if v in landmark_set:
+            return self._to_landmark(u, v)
+        bound = self.upper_bound(u, v)
+        sparsified = self._bounded_directed_search(u, v, bound)
+        return sparsified if sparsified <= bound else bound
+
+    def _bounded_directed_search(self, u: int, v: int, bound: float) -> float:
+        """Bounded bidirectional directed BFS skipping landmark interiors."""
+        skip = self._highway.landmark_set
+        out_adj = self._graph.out_adjacency()
+        in_adj = self._graph.in_adjacency()
+        if bound < 1:
+            return INF
+        dist_f: dict[int, int] = {u: 0}
+        dist_b: dict[int, int] = {v: 0}
+        frontier_f = [u]
+        frontier_b = [v]
+        radius_f = radius_b = 0
+        best = INF
+        while frontier_f and frontier_b and radius_f + radius_b < min(best, bound):
+            if len(frontier_f) <= len(frontier_b):
+                frontier, adj = frontier_f, out_adj
+                dist_own, dist_other = dist_f, dist_b
+            else:
+                frontier, adj = frontier_b, in_adj
+                dist_own, dist_other = dist_b, dist_f
+            next_frontier: list[int] = []
+            for x in frontier:
+                base = dist_own[x] + 1
+                for w in adj[x]:
+                    other = dist_other.get(w)
+                    if other is not None and base + other < best:
+                        best = base + other
+                    if w not in dist_own and w not in skip:
+                        dist_own[w] = base
+                        next_frontier.append(w)
+            if dist_own is dist_f:
+                frontier_f = next_frontier
+                radius_f += 1
+            else:
+                frontier_b = next_frontier
+                radius_b += 1
+        return best if best <= bound else INF
+
+    # ------------------------------------------------------------------
+    # Updates (Section 5: one forward and one backward pass)
+    # ------------------------------------------------------------------
+    def insert_edge(self, a: int, b: int) -> dict[str, int]:
+        """Insert arc ``a → b`` and repair both labelling directions.
+
+        Returns per-direction affected counts.
+        """
+        self._graph.add_edge(a, b)
+        forward_affected = self._update_direction(a, b, forward=True)
+        backward_affected = self._update_direction(b, a, forward=False)
+        return {"forward": forward_affected, "backward": backward_affected}
+
+    def insert_vertex(self, v: int, out_neighbors: Iterable[int],
+                      in_neighbors: Iterable[int] = ()) -> list[dict[str, int]]:
+        """Vertex insertion: new vertex plus out- and in-arcs."""
+        outs = list(out_neighbors)
+        ins = list(in_neighbors)
+        self._graph.add_vertex(v)
+        stats = []
+        for w in outs:
+            stats.append(self.insert_edge(v, w))
+        for w in ins:
+            stats.append(self.insert_edge(w, v))
+        return stats
+
+    def shortest_path(self, u: int, v: int) -> list[int] | None:
+        """One exact directed shortest path ``u → v``; ``None`` if unreachable.
+
+        Greedy descent over distance queries (the directed analogue of
+        :func:`repro.core.paths.shortest_path`): from the current vertex,
+        step to any out-neighbour one unit closer to ``v`` — such a
+        neighbour exists on every shortest path.
+        """
+        from repro.exceptions import InvariantViolationError
+        from repro.graph.traversal import INF
+
+        total = self.query(u, v)
+        if total == INF:
+            return None
+        path = [u]
+        current = u
+        remaining = int(total)
+        while remaining > 0:
+            for w in self._graph.out_neighbors(current):
+                if w == v or self.query(w, v) == remaining - 1:
+                    path.append(w)
+                    current = w
+                    remaining -= 1
+                    break
+            else:
+                raise InvariantViolationError(
+                    f"no out-neighbour of {current} advances towards {v} "
+                    f"(remaining={remaining}) — labelling out of sync"
+                )
+        return path
+
+    def remove_edge(self, a: int, b: int) -> dict[str, list[int]]:
+        """Delete arc ``a → b`` (decremental extension, cf.
+        :mod:`repro.core.decremental`).
+
+        A landmark's forward labelling can only change if the arc sat on its
+        forward shortest-path DAG (``d(r→a) + 1 == d(r→b)``); symmetrically
+        for backward (``d(b→r) + 1 == d(a→r)``).  Relevant directions are
+        rebuilt with one fresh labelling BFS each.
+        """
+        forward_relevant = []
+        backward_relevant = []
+        for r in self.landmarks:
+            fa, fb = self._from_landmark(r, a), self._from_landmark(r, b)
+            if fa != fb and fa + 1 == fb:  # != guards the INF == INF case
+                forward_relevant.append(r)
+            ba, bb = self._to_landmark(b, r), self._to_landmark(a, r)
+            if ba != bb and ba + 1 == bb:
+                backward_relevant.append(r)
+        self._graph.remove_edge(a, b)
+        for r in forward_relevant:
+            self._forward.clear_landmark(r)
+            self._highway.clear_row(r)
+            self._labelling_bfs(r, forward=True)
+        for r in backward_relevant:
+            self._backward.clear_landmark(r)
+            self._highway.clear_column(r)
+            self._labelling_bfs(r, forward=False)
+        return {"forward": forward_relevant, "backward": backward_relevant}
+
+    def _update_direction(self, anchor_end: int, root_end: int, forward: bool) -> int:
+        """One IncHL+ pass.  ``forward``: distances *from* landmarks change
+        downstream of ``b`` (expand out-edges); backward: distances *to*
+        landmarks change upstream of ``a`` (expand in-edges)."""
+        if forward:
+            expand_adj = self._graph.out_adjacency()
+            parent_adj = self._graph.in_adjacency()
+            labels = self._forward
+            old_dist = self._from_landmark
+        else:
+            expand_adj = self._graph.in_adjacency()
+            parent_adj = self._graph.out_adjacency()
+            labels = self._backward
+            old_dist = lambda r, x: self._to_landmark(x, r)  # noqa: E731
+
+        landmark_set = self._highway.landmark_set
+        plans = []
+        for r in self.landmarks:
+            da = old_dist(r, anchor_end)
+            db = old_dist(r, root_end)
+            # Directed arcs are traversed one way only: the pass repairs
+            # distances through anchor -> root, so there is no orientation
+            # swap — the landmark is skipped unless the arc strictly
+            # shortens or duplicates a path (d(anchor) + 1 <= d(root)).
+            if not da < db:
+                continue
+            plans.append((r, anchor_end, root_end, da))
+
+        searches = []
+        for r, anchor, root, anchor_dist in plans:
+            new_dist: dict[int, float] = {root: anchor_dist + 1}
+            border_old: dict[int, float] = {anchor: anchor_dist}
+            # Prospective shortest-path parents: the repair consults
+            # *opposite-direction* neighbours, which the expansion never
+            # classifies.  They are recorded separately — folding them into
+            # ``border_old`` would block the expansion from later marking
+            # them affected.  Values are pristine (finds precede repairs).
+            parent_old: dict[int, float] = {}
+            frontier = [root]
+            depth = anchor_dist + 1
+            while frontier:
+                depth += 1
+                next_frontier = []
+                for x in frontier:
+                    for w in expand_adj[x]:
+                        if w in new_dist or w in border_old:
+                            continue
+                        old = old_dist(r, w)
+                        if old >= depth:
+                            new_dist[w] = depth
+                            next_frontier.append(w)
+                        else:
+                            border_old[w] = old
+                    for u in parent_adj[x]:
+                        if u not in new_dist and u not in parent_old:
+                            parent_old[u] = old_dist(r, u)
+                frontier = next_frontier
+            # Merge for the repair: expansion-rejected values and parent
+            # recordings agree wherever they overlap (both are exact old
+            # distances); affected vertices are looked up in new_dist first.
+            border_old.update(parent_old)
+            searches.append((r, new_dist, border_old))
+
+        total_affected = 0
+        for r, new_dist, border_old in searches:
+            total_affected += len(new_dist)
+            self._repair_direction(
+                r, new_dist, border_old, parent_adj, labels, landmark_set, forward
+            )
+        return total_affected
+
+    def _repair_direction(
+        self, r, new_dist, border_old, parent_adj, labels, landmark_set, forward
+    ) -> None:
+        by_level: dict[float, list[int]] = {}
+        for v, d in new_dist.items():
+            by_level.setdefault(d, []).append(v)
+        covered: dict[int, bool] = {}
+        for depth in sorted(by_level):
+            parent_depth = depth - 1
+            for v in by_level[depth]:
+                if v in landmark_set:
+                    covered[v] = True
+                    if forward:
+                        self._highway.set_distance(r, v, depth)
+                    else:
+                        self._highway.set_distance(v, r, depth)
+                    continue
+                is_covered = False
+                has_parent = False
+                for u in parent_adj[v]:
+                    du = new_dist.get(u)
+                    if du is not None:
+                        if du != parent_depth:
+                            continue
+                        has_parent = True
+                        if covered[u]:
+                            is_covered = True
+                            break
+                        continue
+                    if u == r:
+                        if parent_depth == 0:
+                            has_parent = True
+                        continue
+                    old = border_old.get(u)
+                    if old is None or old != parent_depth:
+                        continue
+                    has_parent = True
+                    if u in landmark_set or not labels.has_entry(u, r):
+                        is_covered = True
+                        break
+                if not has_parent:
+                    raise InvariantViolationError(
+                        f"directed repair: affected vertex {v} at depth "
+                        f"{depth} (landmark {r}, forward={forward}) has no "
+                        f"shortest-path parent"
+                    )
+                covered[v] = is_covered
+                if is_covered:
+                    labels.remove_entry(v, r)
+                else:
+                    labels.set_entry(v, r, int(depth))

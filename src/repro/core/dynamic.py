@@ -1,0 +1,264 @@
+"""DynamicHCL — the user-facing dynamic distance oracle.
+
+Couples a :class:`~repro.graph.dynamic_graph.DynamicGraph` with a
+:class:`~repro.core.labelling.HighwayCoverLabelling` and keeps the two in
+sync through the paper's update operations plus this repository's
+extensions:
+
+* :meth:`DynamicHCL.insert_edge` — IncHL+ edge insertion (Section 4);
+* :meth:`DynamicHCL.insert_vertex` — vertex insertion, decomposed into edge
+  insertions (Section 3);
+* :meth:`DynamicHCL.insert_edges_batch` — one find/repair sweep per
+  landmark for a whole burst of insertions (:mod:`repro.core.batch`);
+* :meth:`DynamicHCL.remove_edge` / :meth:`DynamicHCL.remove_vertex` — the
+  decremental extension (paper's future work), either fine-grained DecHL
+  (:mod:`repro.core.dechl`) or the coarse per-landmark rebuild
+  (:mod:`repro.core.decremental`);
+* :meth:`DynamicHCL.add_landmark` / :meth:`DynamicHCL.remove_landmark` —
+  online landmark-set resizing (:mod:`repro.landmarks.maintenance`);
+* :meth:`DynamicHCL.shortest_path` — path extraction on top of the
+  distance oracle (:mod:`repro.core.paths`).
+
+Queries are answered exactly at any point between updates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.core.construction import build_hcl
+from repro.core.inchl import UpdateStats, apply_edge_insertion
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.query import landmark_distance, query_distance, upper_bound
+from repro.exceptions import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.landmarks.selection import select_landmarks
+
+__all__ = ["DynamicHCL"]
+
+
+class DynamicHCL:
+    """A dynamic graph with an incrementally maintained distance labelling.
+
+    >>> from repro.graph.generators import grid_graph
+    >>> oracle = DynamicHCL.build(grid_graph(3, 3), num_landmarks=2)
+    >>> oracle.query(0, 8)
+    4
+    >>> _ = oracle.insert_edge(0, 8)
+    >>> oracle.query(0, 8)
+    1
+    """
+
+    def __init__(self, graph: DynamicGraph, labelling: HighwayCoverLabelling) -> None:
+        self._graph = graph
+        self._labelling = labelling
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DynamicGraph,
+        num_landmarks: int = 20,
+        strategy: str = "degree",
+        landmarks: Sequence[int] | None = None,
+        rng: int | random.Random | None = None,
+        construction: str = "python",
+    ) -> "DynamicHCL":
+        """Build the labelling for ``graph`` and wrap both in an oracle.
+
+        Either pass explicit ``landmarks`` or let the named selection
+        ``strategy`` pick ``num_landmarks`` of them (paper default: the 20
+        highest-degree vertices).  The graph is used *by reference*: updates
+        through the oracle mutate it.
+
+        ``construction`` selects the builder: ``"python"`` (reference) or
+        ``"csr"`` (the numpy fast path of
+        :func:`repro.core.construction_fast.build_hcl_fast`; same labelling,
+        much faster on large graphs).
+        """
+        if landmarks is None:
+            landmarks = select_landmarks(graph, num_landmarks, strategy, rng=rng)
+        if construction == "python":
+            labelling = build_hcl(graph, landmarks)
+        elif construction == "csr":
+            from repro.core.construction_fast import build_hcl_fast
+
+            labelling = build_hcl_fast(graph, landmarks)
+        else:
+            raise ValueError(
+                f"unknown construction {construction!r}; use 'python' or 'csr'"
+            )
+        return cls(graph, labelling)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DynamicGraph:
+        """The underlying graph (mutate only through the oracle)."""
+        return self._graph
+
+    @property
+    def labelling(self) -> HighwayCoverLabelling:
+        """The maintained labelling ``Γ = (H, L)``."""
+        return self._labelling
+
+    @property
+    def landmarks(self) -> list[int]:
+        """Landmarks ``R`` in selection order."""
+        return self._labelling.landmarks
+
+    @property
+    def label_entries(self) -> int:
+        """``size(L)`` — the paper's labelling-size metric."""
+        return self._labelling.label_entries
+
+    def size_bytes(self) -> int:
+        """Logical labelling footprint in bytes (Table 1 accounting)."""
+        return self._labelling.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Exact distance ``d_G(u, v)``; ``inf`` when disconnected."""
+        return query_distance(self._graph, self._labelling, u, v)
+
+    def distance_bound(self, u: int, v: int) -> float:
+        """The label-only upper bound ``d⊤`` (Eq. 2) — useful on its own as
+        a fast approximate distance."""
+        landmark_set = self._labelling.landmark_set
+        if u == v:
+            return 0
+        if u in landmark_set:
+            return landmark_distance(self._labelling, u, v)
+        if v in landmark_set:
+            return landmark_distance(self._labelling, v, u)
+        return upper_bound(self._labelling, u, v)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> UpdateStats:
+        """Insert edge ``(u, v)`` and repair the labelling (IncHL+).
+
+        Returns the update statistics (affected counts per landmark).
+        """
+        self._graph.add_edge(u, v)
+        return apply_edge_insertion(self._graph, self._labelling, u, v)
+
+    def insert_vertex(self, v: int, neighbors: Iterable[int]) -> list[UpdateStats]:
+        """The paper's vertex insertion: new vertex ``v`` plus edges to
+        existing vertices, processed as a sequence of edge insertions."""
+        neighbor_list = list(neighbors)
+        self._graph.insert_vertex(v, [])
+        stats = []
+        for w in neighbor_list:
+            self._graph.add_edge(v, w)
+            stats.append(apply_edge_insertion(self._graph, self._labelling, v, w))
+        return stats
+
+    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> list[UpdateStats]:
+        """Batch convenience: apply a stream of edge insertions in order.
+
+        The paper's model is strictly online (one repair per change), so
+        this simply loops :meth:`insert_edge`; it exists so workloads can be
+        replayed in one call.  For one *combined* sweep per landmark use
+        :meth:`insert_edges_batch` instead.
+        """
+        return [self.insert_edge(u, v) for u, v in edges]
+
+    def insert_edges_batch(self, edges: Iterable[tuple[int, int]]) -> UpdateStats:
+        """Insert a burst of edges with one find/repair sweep per landmark.
+
+        Semantically identical to :meth:`insert_edges` (both end on the
+        canonical minimal labelling of the final graph) but the affected
+        regions of the whole batch are discovered and repaired together —
+        see :mod:`repro.core.batch` for the algorithm and the ablation
+        benchmark for the crossover.
+        """
+        from repro.core.batch import apply_edge_insertions_batch
+
+        edge_list = list(edges)
+        for u, v in edge_list:
+            self._graph.add_edge(u, v)
+        return apply_edge_insertions_batch(self._graph, self._labelling, edge_list)
+
+    def remove_edge(self, u: int, v: int, strategy: str = "partial"):
+        """Decremental update (the paper's stated future work).
+
+        ``strategy="partial"`` (default) runs the fine-grained DecHL of
+        :mod:`repro.core.dechl`, confining work to the affected region;
+        ``strategy="rebuild"`` runs the coarse per-relevant-landmark
+        rebuild of :mod:`repro.core.decremental`.  Both preserve exact
+        minimality; they differ only in cost profile.
+        """
+        if strategy == "partial":
+            from repro.core.dechl import apply_edge_deletion_partial
+
+            return apply_edge_deletion_partial(self._graph, self._labelling, u, v)
+        if strategy == "rebuild":
+            from repro.core.decremental import apply_edge_deletion
+
+            return apply_edge_deletion(self._graph, self._labelling, u, v)
+        raise GraphError(
+            f"unknown deletion strategy {strategy!r}; use 'partial' or 'rebuild'"
+        )
+
+    def remove_vertex(self, v: int) -> None:
+        """Remove a vertex and all incident edges (decremental extension).
+
+        Landmarks must be demoted first (:meth:`remove_landmark`).
+        """
+        from repro.core.dechl import apply_vertex_deletion
+
+        apply_vertex_deletion(self._graph, self._labelling, v)
+
+    # ------------------------------------------------------------------
+    # Landmark maintenance
+    # ------------------------------------------------------------------
+    def add_landmark(self, v: int) -> int:
+        """Promote ``v`` to a landmark online (extension).
+
+        Returns the number of now-covered entries removed; see
+        :mod:`repro.landmarks.maintenance`.
+        """
+        from repro.landmarks.maintenance import add_landmark
+
+        return add_landmark(self._graph, self._labelling, v)
+
+    def remove_landmark(self, v: int) -> list[int]:
+        """Demote landmark ``v`` online (extension).
+
+        Returns the landmarks whose labellings were rebuilt.
+        """
+        from repro.landmarks.maintenance import remove_landmark
+
+        return remove_landmark(self._graph, self._labelling, v)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def shortest_path(self, u: int, v: int) -> list[int] | None:
+        """One exact shortest path (``None`` when disconnected)."""
+        from repro.core.paths import shortest_path
+
+        return shortest_path(self._graph, self._labelling, u, v)
+
+    def approximate_path(self, u: int, v: int) -> list[int] | None:
+        """A landmark-routed path of length ``d⊤`` (Eq. 2) — cheap, exact
+        whenever some shortest path meets a landmark."""
+        from repro.core.paths import approximate_path_via_landmarks
+
+        return approximate_path_via_landmarks(self._graph, self._labelling, u, v)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicHCL(|V|={self._graph.num_vertices}, "
+            f"|E|={self._graph.num_edges}, |R|={len(self.landmarks)}, "
+            f"size(L)={self.label_entries})"
+        )

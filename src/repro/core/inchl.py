@@ -1,0 +1,304 @@
+"""IncHL+ — online incremental maintenance of a highway cover labelling.
+
+This module implements the paper's Section 4 for an edge insertion
+``G ↩→ G'``: per landmark ``r``, find the affected vertices (Algorithm 2)
+and repair their labels (Algorithm 3), preserving both correctness
+(Theorem 5.1) and minimality (Theorem 5.2).
+
+Implementation notes (DESIGN.md §4.3)
+-------------------------------------
+The paper interleaves find/repair per landmark and phrases its checks as
+queries ``Q(r, w, Γ)`` against the *pre-insertion* distances.  To make the
+old/new distinction airtight, the implementation stages the same algorithms
+into three phases:
+
+* **Phase A** snapshots ``d_G(r, a)``/``d_G(r, b)`` for every landmark on the
+  pristine labelling (landmark queries are label-only — exact by Eq. (1) —
+  so the already-mutated graph is never consulted).
+* **Phase B** runs every FindAffected before any repair.  The jumped BFS
+  (Lemma 4.4) starts at ``b`` with depth ``d_G(r,a) + 1`` and expands a
+  neighbour ``w`` at candidate depth ``π+1`` iff ``Q(r, w, Γ) ≥ π+1``
+  (Algorithm 2, line 7).  Because the affected region is closed under
+  shortest-path predecessors beyond ``b``, the BFS discovers exactly
+  ``Λ_r`` with exact *new* distances; the old distances of every scanned
+  unaffected neighbour are recorded so that…
+* **Phase C** repairs each landmark without issuing any further queries.
+  It sweeps ``Λ_r`` level-by-level and evaluates the paper's *covered*
+  predicate (Lemma 4.6) from shortest-path parents in ``G'``:
+  a parent that is a landmark, a covered affected vertex, or an unaffected
+  vertex without an ``r``-entry (minimality makes that absence a witness of
+  a landmark on a shortest path) makes the vertex covered.  Covered
+  landmark → highway update; covered non-landmark → entry removal;
+  uncovered → entry add/modify.  Phase C touches only ``r``-entries, so
+  repairs commute across landmarks.
+
+Affected-vertex classification is robust to *any* old-distance estimate in
+``[d_{G'}(r,w), d_G(r,w)]``; using the pristine labelling gives the exact
+upper end of that interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.query import landmark_distance
+from repro.exceptions import InvariantViolationError
+from repro.graph.traversal import INF
+
+__all__ = [
+    "AffectedSearch",
+    "UpdateStats",
+    "find_affected",
+    "repair_affected",
+    "apply_edge_insertion",
+]
+
+
+@dataclass
+class AffectedSearch:
+    """Result of FindAffected for one landmark.
+
+    ``new_dist`` maps every affected vertex to its exact post-insertion
+    distance ``d_{G'}(r, v)``; ``border_old`` maps every scanned unaffected
+    neighbour of the affected region to its (unchanged) distance.  Together
+    they let RepairAffected run without any further labelling queries.
+    """
+
+    landmark: int
+    new_dist: dict[int, int] = field(default_factory=dict)
+    border_old: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def affected(self) -> set[int]:
+        """``Λ_r`` — the affected vertices w.r.t. this landmark."""
+        return set(self.new_dist)
+
+    @property
+    def num_affected(self) -> int:
+        """``|Λ_r|`` for this landmark."""
+        return len(self.new_dist)
+
+
+@dataclass
+class UpdateStats:
+    """Bookkeeping returned by :func:`apply_edge_insertion` (used by the
+    Figure 1 experiment and the complexity-analysis sanity tests)."""
+
+    edge: tuple[int, int]
+    affected_per_landmark: dict[int, int]
+    affected_union: int = 0
+    entries_added: int = 0
+    entries_modified: int = 0
+    entries_removed: int = 0
+    highway_updates: int = 0
+
+    @property
+    def total_affected(self) -> int:
+        """Sum of ``|Λ_r|`` over landmarks — the quantity the complexity
+        analysis ``O(|R| · m d l)`` charges (``affected_union`` holds the
+        distinct count ``|Λ| = |∪_r Λ_r|`` that Figure 1 plots)."""
+        return sum(self.affected_per_landmark.values())
+
+
+def find_affected(
+    graph,
+    labelling: HighwayCoverLabelling,
+    r: int,
+    anchor: int,
+    root: int,
+    anchor_dist: float,
+) -> AffectedSearch:
+    """Algorithm 2 (FindAffected): jumped BFS from ``root`` w.r.t. ``r``.
+
+    ``anchor``/``root`` are the inserted edge's endpoints oriented so that
+    ``d_G(r, anchor) < d_G(r, root)`` (``anchor_dist`` is the old
+    ``d_G(r, anchor)``); the BFS "jumps" to ``root`` at depth
+    ``anchor_dist + 1`` (Lemma 4.4) and only expands neighbours whose old
+    distance is at least the candidate depth (Lemma 4.3).
+
+    ``graph`` must already contain the inserted edge (it is ``G'``);
+    ``labelling`` must not have been repaired for any landmark yet.
+    """
+    adj = graph.adjacency()
+    labels = labelling.labels
+    highway = labelling.highway
+    row = highway.row(r)
+    landmark_set = highway.landmark_set
+
+    seed_depth = anchor_dist + 1
+    search = AffectedSearch(landmark=r)
+    new_dist = search.new_dist
+    border_old = search.border_old
+    border_old[anchor] = anchor_dist
+    new_dist[root] = seed_depth
+
+    frontier = [root]
+    depth = seed_depth
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        for v in frontier:
+            for w in adj[v]:
+                if w in new_dist or w in border_old:
+                    continue
+                # Inline landmark_distance(labelling, r, w) — this is the
+                # update hot path.
+                if w == r:
+                    old = 0.0
+                elif w in landmark_set:
+                    old = row.get(w, INF)
+                else:
+                    old = INF
+                    for ri, delta in labels.label(w).items():
+                        via = row.get(ri)
+                        if via is not None and via + delta < old:
+                            old = via + delta
+                if old >= depth:
+                    new_dist[w] = depth
+                    next_frontier.append(w)
+                else:
+                    border_old[w] = old
+        frontier = next_frontier
+    return search
+
+
+def repair_affected(
+    graph,
+    labelling: HighwayCoverLabelling,
+    search: AffectedSearch,
+    stats: UpdateStats | None = None,
+) -> None:
+    """Algorithm 3 (RepairAffected): repair ``Λ_r`` level-by-level.
+
+    For each affected vertex, the *covered* predicate of Lemma 4.6 is
+    evaluated over its shortest-path parents in ``G'`` (all of which are
+    either affected with known new distance, or recorded border vertices
+    with unchanged distance).  Covered landmarks update the highway; covered
+    non-landmarks lose their ``r``-entry; uncovered vertices get their
+    ``r``-entry set to the exact new distance — precisely the add/modify/
+    remove actions of Algorithm 3, lines 8–25.
+    """
+    r = search.landmark
+    adj = graph.adjacency()
+    labels = labelling.labels
+    highway = labelling.highway
+    landmark_set = highway.landmark_set
+    new_dist = search.new_dist
+    border_old = search.border_old
+
+    # Level-synchronous sweep: parents' covered flags are final before any
+    # child consults them.
+    by_level: dict[int, list[int]] = {}
+    for v, d in new_dist.items():
+        by_level.setdefault(d, []).append(v)
+
+    covered: dict[int, bool] = {}
+    for depth in sorted(by_level):
+        parent_depth = depth - 1
+        for v in by_level[depth]:
+            if v in landmark_set:
+                # An affected landmark is covered by itself (Lemma 4.6);
+                # only the highway changes (Algorithm 3, lines 9-10).
+                covered[v] = True
+                if highway.distance(r, v) != depth:
+                    highway.set_distance(r, v, depth)
+                    if stats is not None:
+                        stats.highway_updates += 1
+                continue
+            is_covered = False
+            has_parent = False
+            for u in adj[v]:
+                du = new_dist.get(u)
+                if du is not None:
+                    if du != parent_depth:
+                        continue
+                    has_parent = True
+                    if covered[u]:
+                        is_covered = True
+                        break
+                    continue
+                if u == r:
+                    if parent_depth == 0:
+                        has_parent = True
+                    continue
+                old = border_old.get(u)
+                if old is None or old != parent_depth:
+                    continue
+                has_parent = True
+                if u in landmark_set or not labels.has_entry(u, r):
+                    # Landmark parent, or an unaffected parent whose missing
+                    # r-entry witnesses a landmark on a shortest r-path.
+                    is_covered = True
+                    break
+            if not has_parent:
+                raise InvariantViolationError(
+                    f"affected vertex {v} at new depth {depth} (landmark {r}) "
+                    f"has no shortest-path parent — labelling out of sync "
+                    f"with graph"
+                )
+            covered[v] = is_covered
+            if is_covered:
+                if labels.remove_entry(v, r) and stats is not None:
+                    stats.entries_removed += 1
+            else:
+                if stats is not None:
+                    if labels.has_entry(v, r):
+                        stats.entries_modified += 1
+                    else:
+                        stats.entries_added += 1
+                labels.set_entry(v, r, depth)
+
+
+def apply_edge_insertion(
+    graph,
+    labelling: HighwayCoverLabelling,
+    a: int,
+    b: int,
+) -> UpdateStats:
+    """IncHL+ (Algorithm 1) for one edge insertion ``(a, b)``.
+
+    ``graph`` must already contain the edge (i.e. it is ``G'``); the
+    labelling is updated in place from a valid minimal labelling of ``G``
+    to a valid minimal labelling of ``G'``.
+
+    Returns per-landmark affected counts and entry-change statistics.
+    """
+    if not graph.has_edge(a, b):
+        raise InvariantViolationError(
+            f"apply_edge_insertion expects the edge ({a}, {b}) to be present "
+            f"in the graph (G') before the labelling update"
+        )
+
+    stats = UpdateStats(edge=(a, b), affected_per_landmark={})
+
+    # Phase A: snapshot old distances on the pristine labelling and orient
+    # the edge per landmark.  Landmarks with d_G(r,a) == d_G(r,b) have
+    # Λ_r = ∅ (Lemma 4.3) and are skipped.
+    plans: list[tuple[int, int, int, float]] = []
+    for r in labelling.landmarks:
+        da = landmark_distance(labelling, r, a)
+        db = landmark_distance(labelling, r, b)
+        if da == db:
+            stats.affected_per_landmark[r] = 0
+            continue
+        if da < db:
+            plans.append((r, a, b, da))
+        else:
+            plans.append((r, b, a, db))
+
+    # Phase B: find all affected sets before any repair mutates the labels.
+    searches = [
+        find_affected(graph, labelling, r, anchor, root, anchor_dist)
+        for r, anchor, root, anchor_dist in plans
+    ]
+
+    # Phase C: repair; touches only r-entries per landmark, so order is
+    # irrelevant.
+    union: set[int] = set()
+    for search in searches:
+        stats.affected_per_landmark[search.landmark] = search.num_affected
+        union.update(search.new_dist)
+        repair_affected(graph, labelling, search, stats)
+    stats.affected_union = len(union)
+    return stats

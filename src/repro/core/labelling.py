@@ -1,0 +1,57 @@
+"""The highway cover labelling ``Γ = (H, L)`` (Definition 3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.highway import Highway
+from repro.core.labels import LabelStore
+
+__all__ = ["HighwayCoverLabelling"]
+
+
+@dataclass
+class HighwayCoverLabelling:
+    """A highway plus a distance labelling, as one value.
+
+    Instances are produced by :func:`repro.core.construction.build_hcl` and
+    mutated in place by :mod:`repro.core.inchl` (IncHL+) and
+    :mod:`repro.core.decremental`.
+    """
+
+    highway: Highway
+    labels: LabelStore
+
+    @property
+    def landmarks(self) -> list[int]:
+        """Landmarks ``R`` in selection order."""
+        return self.highway.landmarks
+
+    @property
+    def landmark_set(self) -> frozenset[int]:
+        """Frozen landmark set for membership tests."""
+        return self.highway.landmark_set
+
+    @property
+    def label_entries(self) -> int:
+        """``size(L)`` — the paper's labelling-size metric."""
+        return self.labels.total_entries
+
+    def size_bytes(self) -> int:
+        """Logical byte footprint of labels + highway (Table 1 accounting)."""
+        return self.labels.size_bytes() + self.highway.size_bytes()
+
+    def average_label_size(self, num_vertices: int) -> float:
+        """``l = size(L) / |V|`` from the paper's complexity analysis."""
+        if num_vertices <= 0:
+            raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+        return self.labels.total_entries / num_vertices
+
+    def copy(self) -> "HighwayCoverLabelling":
+        """Independent deep copy (used by tests and what-if analyses)."""
+        return HighwayCoverLabelling(self.highway.copy(), self.labels.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HighwayCoverLabelling):
+            return NotImplemented
+        return self.highway == other.highway and self.labels == other.labels

@@ -1,0 +1,195 @@
+"""Labelling invariant checkers — executable versions of the paper's theory.
+
+Used heavily by the test suite; each checker raises
+:class:`~repro.exceptions.InvariantViolationError` with a precise message on
+the first violation found.
+
+* :func:`check_cover_property` — Definition 3.2 / Eq. (1) plus highway
+  exactness, against ground-truth BFS.
+* :func:`check_minimality` — the entry rule behind Theorem 5.2: entry
+  ``(r, ·) ∈ L(v)`` iff no shortest ``r``–``v`` path contains another
+  landmark (computed over the exact shortest-path DAG).
+* :func:`check_query_exactness` — ``Q(u, v, Γ) = d_G(u, v)`` on sampled or
+  exhaustive pairs.
+* :func:`brute_force_affected` — Lemma 4.3's definition of ``Λ_r``,
+  evaluated directly with BFS on ``G'`` (ground truth for FindAffected).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.construction import build_hcl
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.query import landmark_distance, query_distance
+from repro.exceptions import InvariantViolationError
+from repro.graph.traversal import INF, bfs_distances, bfs_with_parents
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "check_cover_property",
+    "check_minimality",
+    "check_query_exactness",
+    "check_matches_rebuild",
+    "brute_force_affected",
+]
+
+
+def check_cover_property(graph, labelling: HighwayCoverLabelling) -> None:
+    """Verify Eq. (1) and highway exactness for every landmark.
+
+    For each landmark ``r`` and vertex ``v``:
+    ``min{δ_L(r_i, v) + δ_H(r, r_i)} == d_G(r, v)`` (∞ if unreachable),
+    and ``δ_H(r, r') == d_G(r, r')`` for every other landmark ``r'``.
+    """
+    landmark_set = labelling.landmark_set
+    for r in labelling.landmarks:
+        truth = bfs_distances(graph, r)
+        for v in graph.vertices():
+            expected = truth.get(v, INF)
+            if v in landmark_set:
+                actual = 0 if v == r else labelling.highway.distance(r, v)
+                kind = "highway"
+            else:
+                actual = landmark_distance(labelling, r, v)
+                kind = "cover"
+            if actual != expected:
+                raise InvariantViolationError(
+                    f"{kind} violation: decoded d({r}, {v}) = {actual}, "
+                    f"BFS says {expected}"
+                )
+
+
+def _covered_flags(graph, r: int, landmark_set: frozenset[int]) -> tuple[dict, dict]:
+    """``(dist, covered)`` where ``covered[v]`` = some shortest ``r→v`` path
+    contains a landmark other than ``r`` (possibly ``v`` itself)."""
+    dist, parents = bfs_with_parents(graph, r)
+    covered: dict[int, bool] = {}
+    for v in sorted(dist, key=dist.__getitem__):
+        if v == r:
+            covered[v] = False
+            continue
+        flag = False
+        for p in parents[v]:
+            if (p != r and p in landmark_set) or covered[p]:
+                flag = True
+                break
+        covered[v] = flag or (v in landmark_set)
+    return dist, covered
+
+
+def check_minimality(graph, labelling: HighwayCoverLabelling) -> None:
+    """Verify the minimal-entry rule for every landmark/vertex pair.
+
+    Entry ``(r, d)`` must be present iff ``v ∉ R``, ``v`` reachable, and no
+    shortest ``r``–``v`` path contains another landmark; when present, the
+    stored distance must be exact.
+    """
+    landmark_set = labelling.landmark_set
+    labels = labelling.labels
+    for r in labelling.landmarks:
+        dist, covered = _covered_flags(graph, r, landmark_set)
+        for v in graph.vertices():
+            stored = labels.entry(v, r)
+            if v in landmark_set:
+                if stored is not None:
+                    raise InvariantViolationError(
+                        f"landmark {v} must not carry label entries, "
+                        f"found ({r}, {stored})"
+                    )
+                continue
+            if v not in dist:
+                expected = None
+            elif covered[v]:
+                expected = None
+            else:
+                expected = dist[v]
+            if stored != expected:
+                raise InvariantViolationError(
+                    f"minimality violation at vertex {v}, landmark {r}: "
+                    f"stored={stored}, expected={expected} "
+                    f"(reachable={v in dist}, covered={covered.get(v)})"
+                )
+
+
+def check_query_exactness(
+    graph,
+    labelling: HighwayCoverLabelling,
+    num_pairs: int | None = None,
+    rng: int | random.Random | None = None,
+) -> None:
+    """Verify ``Q(u, v, Γ) == d_G(u, v)`` on all pairs (``num_pairs=None``)
+    or on a uniform sample of pairs."""
+    vertices = list(graph.vertices())
+    rng = ensure_rng(rng)
+    if num_pairs is None:
+        pairs = [(u, v) for i, u in enumerate(vertices) for v in vertices[i:]]
+    else:
+        pairs = [
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(num_pairs)
+        ]
+    truth_cache: dict[int, dict[int, int]] = {}
+    for u, v in pairs:
+        if u not in truth_cache:
+            truth_cache[u] = bfs_distances(graph, u)
+        expected = truth_cache[u].get(v, INF)
+        actual = query_distance(graph, labelling, u, v)
+        if actual != expected:
+            raise InvariantViolationError(
+                f"query violation: Q({u}, {v}) = {actual}, BFS says {expected}"
+            )
+
+
+def check_matches_rebuild(graph, labelling: HighwayCoverLabelling) -> None:
+    """Verify the maintained labelling equals a from-scratch rebuild.
+
+    This is the strongest check: by order-independence the minimal
+    labelling of a graph is unique for a landmark set, so IncHL+ must land
+    on *exactly* the labelling ``build_hcl`` produces — entry for entry and
+    highway cell for highway cell.
+    """
+    rebuilt = build_hcl(graph, labelling.landmarks)
+    if labelling.highway != rebuilt.highway:
+        ours = labelling.highway.as_dict()
+        fresh = rebuilt.highway.as_dict()
+        diffs = [
+            (r1, r2, row.get(r2), fresh[r1].get(r2))
+            for r1, row in ours.items()
+            for r2 in set(row) | set(fresh[r1])
+            if row.get(r2) != fresh[r1].get(r2)
+        ]
+        raise InvariantViolationError(f"highway differs from rebuild: {diffs[:5]}")
+    if labelling.labels != rebuilt.labels:
+        ours_l = labelling.labels.as_dict()
+        fresh_l = rebuilt.labels.as_dict()
+        for v in set(ours_l) | set(fresh_l):
+            if ours_l.get(v, {}) != fresh_l.get(v, {}):
+                raise InvariantViolationError(
+                    f"labels differ from rebuild at vertex {v}: "
+                    f"maintained={ours_l.get(v, {})}, rebuilt={fresh_l.get(v, {})}"
+                )
+
+
+def brute_force_affected(new_graph, r: int, a: int, b: int) -> set[int]:
+    """``Λ_r`` per Lemma 4.3, computed directly on ``G'`` with BFS.
+
+    ``v`` is affected iff some shortest ``r``–``v`` path in ``G'`` passes
+    through the inserted edge ``(a, b)`` in either direction, i.e.
+    ``d'(r,a) + 1 + d'(b,v) == d'(r,v)`` or
+    ``d'(r,b) + 1 + d'(a,v) == d'(r,v)``.
+    """
+    from_r = bfs_distances(new_graph, r)
+    from_a = bfs_distances(new_graph, a)
+    from_b = bfs_distances(new_graph, b)
+    affected = set()
+    ra = from_r.get(a, INF)
+    rb = from_r.get(b, INF)
+    for v in new_graph.vertices():
+        rv = from_r.get(v, INF)
+        if rv == INF:
+            continue
+        via_ab = ra + 1 + from_b.get(v, INF)
+        via_ba = rb + 1 + from_a.get(v, INF)
+        if via_ab == rv or via_ba == rv:
+            affected.add(v)
+    return affected

@@ -1,0 +1,341 @@
+"""Weighted highway cover labelling — the paper's Section 5 extension.
+
+"Our method can also be easily extended to handling weighted graphs by
+using Dijkstra's algorithm instead of BFSs."  Concretely, every BFS in the
+static construction, the query engine and IncHL+ becomes a Dijkstra pass:
+
+* construction: one full Dijkstra per landmark; the landmark-on-a-shortest-
+  path flags propagate over the weighted shortest-path DAG (``u`` is a
+  parent of ``v`` iff ``dist[u] + w(u, v) == dist[v]``), which is safe to
+  evaluate in settle order because positive weights make parents settle
+  strictly earlier;
+* queries: label join + bounded bidirectional Dijkstra on ``G[V \\ R]``;
+* insertion of a weighted edge: a "jumped Dijkstra" finds the affected set
+  (seeded at the far endpoint with ``d(r, near) + w``), and the repair
+  sweeps affected vertices in increasing new distance with the same covered
+  predicate as the unweighted case.
+
+Exact float equality is used to recognise shortest-path parents, so edge
+weights should be exactly representable in binary floating point (integers
+or dyadic rationals) — the natural setting for the paper's ``N+``-valued
+distances.  Arbitrary floats still give exact *queries*; only maintained
+minimality could be perturbed by rounding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from heapq import heappop, heappush
+
+from repro.core.highway import Highway
+from repro.core.labels import LabelStore
+from repro.exceptions import (
+    GraphError,
+    InvariantViolationError,
+    VertexNotFoundError,
+)
+from repro.graph.traversal import INF, bidirectional_dijkstra
+from repro.graph.weighted import WeightedGraph
+
+__all__ = ["WeightedHCL"]
+
+
+class WeightedHCL:
+    """Dynamic weighted distance oracle with highway cover labelling.
+
+    >>> g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 2.0)])
+    >>> oracle = WeightedHCL(g, landmarks=[0])
+    >>> oracle.query(0, 2)
+    4.0
+    >>> _ = oracle.insert_edge(0, 2, 1.0)
+    >>> oracle.query(0, 2)
+    1.0
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        landmarks: Sequence[int] | None = None,
+        num_landmarks: int = 20,
+    ) -> None:
+        self._graph = graph
+        if landmarks is None:
+            ranked = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+            landmarks = ranked[: min(num_landmarks, graph.num_vertices)]
+        else:
+            landmarks = list(landmarks)
+            for r in landmarks:
+                if not graph.has_vertex(r):
+                    raise VertexNotFoundError(r)
+        if not landmarks:
+            raise GraphError("at least one landmark is required")
+        self._highway = Highway(landmarks)
+        self._labels = LabelStore()
+        for r in landmarks:
+            self._labelling_dijkstra(r)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _labelling_dijkstra(self, r: int) -> None:
+        """Full Dijkstra from ``r`` plus flag propagation in settle order."""
+        adj = self._graph.adjacency()
+        landmark_set = self._highway.landmark_set
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, r)]
+        order: list[int] = []
+        while heap:
+            d, v = heappop(heap)
+            if v in dist:
+                continue
+            dist[v] = d
+            order.append(v)
+            for w, weight in adj[v]:
+                if w not in dist:
+                    heappush(heap, (d + weight, w))
+        has_lm: dict[int, bool] = {}
+        for v in order:
+            if v == r:
+                has_lm[v] = False
+                continue
+            dv = dist[v]
+            flag = False
+            for u, weight in adj[v]:
+                du = dist.get(u)
+                if du is not None and du + weight == dv and has_lm[u]:
+                    flag = True
+                    break
+            if v in landmark_set:
+                self._highway.set_distance(r, v, dv)
+                has_lm[v] = True
+            else:
+                has_lm[v] = flag
+                if not flag:
+                    self._labels.set_entry(v, r, dv)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> WeightedGraph:
+        """The underlying weighted graph (mutate only through the oracle)."""
+        return self._graph
+
+    @property
+    def landmarks(self) -> list[int]:
+        """Landmarks in selection order."""
+        return self._highway.landmarks
+
+    @property
+    def highway(self) -> Highway:
+        """The highway ``H`` over the landmarks."""
+        return self._highway
+
+    @property
+    def labels(self) -> LabelStore:
+        """The distance labelling ``L``."""
+        return self._labels
+
+    @property
+    def label_entries(self) -> int:
+        """``size(L)`` — the paper's labelling-size metric."""
+        return self._labels.total_entries
+
+    def size_bytes(self) -> int:
+        """Logical labelling footprint in bytes (Table 1 accounting)."""
+        return self._labels.size_bytes() + self._highway.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _landmark_distance(self, r: int, v: int) -> float:
+        if v == r:
+            return 0.0
+        if v in self._highway.landmark_set:
+            return self._highway.distance(r, v)
+        row = self._highway.row(r)
+        best = INF
+        for ri, delta in self._labels.label(v).items():
+            via = row.get(ri)
+            if via is not None and via + delta < best:
+                best = via + delta
+        return best
+
+    def upper_bound(self, u: int, v: int) -> float:
+        """``d⊤`` of Eq. (2), weighted."""
+        best = INF
+        label_u = self._labels.label(u)
+        label_v = self._labels.label(v)
+        for ri, du in label_u.items():
+            row = self._highway.row(ri)
+            for rj, dv in label_v.items():
+                via = row.get(rj)
+                if via is not None:
+                    candidate = du + via + dv
+                    if candidate < best:
+                        best = candidate
+        return best
+
+    def query(self, u: int, v: int) -> float:
+        """Exact weighted distance ``d(u, v)``; inf when disconnected."""
+        if not self._graph.has_vertex(u):
+            raise VertexNotFoundError(u)
+        if not self._graph.has_vertex(v):
+            raise VertexNotFoundError(v)
+        if u == v:
+            return 0.0
+        landmark_set = self._highway.landmark_set
+        if u in landmark_set:
+            return self._landmark_distance(u, v)
+        if v in landmark_set:
+            return self._landmark_distance(v, u)
+        bound = self.upper_bound(u, v)
+        sparsified = bidirectional_dijkstra(
+            self._graph, u, v, bound=bound, skip=landmark_set
+        )
+        return sparsified if sparsified <= bound else bound
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, a: int, b: int, weight: float) -> dict[int, int]:
+        """Insert weighted edge ``(a, b)`` and repair the labelling.
+
+        Returns the affected count per landmark.
+        """
+        self._graph.add_edge(a, b, weight)
+        weight = self._graph.weight(a, b)  # normalised float
+
+        # Phase A: snapshot + orientation on the pristine labelling.
+        plans: list[tuple[int, int, int, float]] = []
+        affected_counts: dict[int, int] = {}
+        for r in self.landmarks:
+            da = self._landmark_distance(r, a)
+            db = self._landmark_distance(r, b)
+            if da == db:
+                affected_counts[r] = 0
+                continue
+            anchor, root, anchor_dist, other = (
+                (a, b, da, db) if da < db else (b, a, db, da)
+            )
+            if anchor_dist + weight > other:
+                # The new edge is too long to lie on any shortest path.
+                affected_counts[r] = 0
+                continue
+            plans.append((r, anchor, root, anchor_dist))
+
+        # Phase B: jumped Dijkstra per landmark, before any repair.
+        searches = []
+        for r, anchor, root, anchor_dist in plans:
+            searches.append(self._find_affected(r, anchor, root, anchor_dist, weight))
+
+        # Phase C: repairs (only r-entries each; order irrelevant).
+        for r, new_dist, border_old in searches:
+            affected_counts[r] = len(new_dist)
+            self._repair(r, new_dist, border_old)
+        return affected_counts
+
+    def insert_vertex(
+        self, v: int, neighbors: Iterable[tuple[int, float]]
+    ) -> list[dict[int, int]]:
+        """Vertex insertion: new vertex plus weighted edges."""
+        pairs = list(neighbors)
+        self._graph.add_vertex(v)
+        return [self.insert_edge(v, w, weight) for w, weight in pairs]
+
+    def remove_edge(self, a: int, b: int) -> list[int]:
+        """Delete weighted edge ``(a, b)`` (decremental extension).
+
+        A landmark is relevant iff the edge can sit on one of its shortest
+        paths: ``d(r,a) + w == d(r,b)`` or vice versa.  Relevant landmarks
+        are rebuilt with one fresh labelling Dijkstra each (the same
+        strategy as :mod:`repro.core.decremental`).
+        """
+        weight = self._graph.weight(a, b)
+        relevant = []
+        for r in self.landmarks:
+            da = self._landmark_distance(r, a)
+            db = self._landmark_distance(r, b)
+            if da == db:
+                continue
+            if da + weight == db or db + weight == da:
+                relevant.append(r)
+        self._graph.remove_edge(a, b)
+        for r in relevant:
+            self._labels.clear_landmark(r)
+            self._highway.clear_row(r)
+            self._labelling_dijkstra(r)
+        return relevant
+
+    def _find_affected(
+        self, r: int, anchor: int, root: int, anchor_dist: float, weight: float
+    ):
+        """Jumped Dijkstra (Algorithm 2 with a heap instead of a queue)."""
+        adj = self._graph.adjacency()
+        new_dist: dict[int, float] = {}
+        border_old: dict[int, float] = {anchor: anchor_dist}
+        heap: list[tuple[float, int]] = [(anchor_dist + weight, root)]
+        while heap:
+            d, v = heappop(heap)
+            if v in new_dist or v in border_old:
+                continue
+            old = self._landmark_distance(r, v) if v != root else INF
+            # the root is affected by construction (anchor_dist + weight
+            # <= old distance was checked in Phase A)
+            if v == root or old >= d:
+                new_dist[v] = d
+                for w, edge_weight in adj[v]:
+                    if w not in new_dist and w not in border_old:
+                        heappush(heap, (d + edge_weight, w))
+            else:
+                border_old[v] = old
+        return r, new_dist, border_old
+
+    def _repair(self, r: int, new_dist: dict[int, float], border_old) -> None:
+        """Algorithm 3 with a distance-ordered sweep (weights > 0 make all
+        shortest-path parents settle strictly earlier)."""
+        adj = self._graph.adjacency()
+        labels = self._labels
+        highway = self._highway
+        landmark_set = highway.landmark_set
+        covered: dict[int, bool] = {}
+        for v in sorted(new_dist, key=new_dist.__getitem__):
+            dv = new_dist[v]
+            if v in landmark_set:
+                covered[v] = True
+                if highway.distance(r, v) != dv:
+                    highway.set_distance(r, v, dv)
+                continue
+            is_covered = False
+            has_parent = False
+            for u, weight in adj[v]:
+                du = new_dist.get(u)
+                if du is not None:
+                    if du + weight != dv:
+                        continue
+                    has_parent = True
+                    if covered[u]:
+                        is_covered = True
+                        break
+                    continue
+                if u == r:
+                    if weight == dv:
+                        has_parent = True
+                    continue
+                old = border_old.get(u)
+                if old is None or old + weight != dv:
+                    continue
+                has_parent = True
+                if u in landmark_set or not labels.has_entry(u, r):
+                    is_covered = True
+                    break
+            if not has_parent:
+                raise InvariantViolationError(
+                    f"weighted repair: affected vertex {v} at distance {dv} "
+                    f"(landmark {r}) has no shortest-path parent"
+                )
+            covered[v] = is_covered
+            if is_covered:
+                labels.remove_entry(v, r)
+            else:
+                labels.set_entry(v, r, dv)

@@ -1,0 +1,29 @@
+"""Graph substrate: dynamic graphs, generators, traversal, statistics, I/O.
+
+The labelling algorithms in :mod:`repro.core` and the baselines in
+:mod:`repro.baselines` all operate on the graph types defined here.  The
+substrate is deliberately self-contained — the paper's evaluation runs on
+plain adjacency structures, and so does this reproduction.
+"""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.weighted import WeightedGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_distances_bounded,
+    bidirectional_bfs,
+    dijkstra_distances,
+    bidirectional_dijkstra,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "DynamicDiGraph",
+    "WeightedGraph",
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "bidirectional_bfs",
+    "dijkstra_distances",
+    "bidirectional_dijkstra",
+]

@@ -1,0 +1,183 @@
+"""A dynamic, directed, unweighted simple graph.
+
+Supports the paper's Section 5 extension ("Directed and weighted graphs"):
+directed highway cover labelling stores forward and backward labels obtained
+from forward and backward BFSs, so the digraph exposes both out- and
+in-adjacency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+__all__ = ["DynamicDiGraph"]
+
+
+class DynamicDiGraph:
+    """A directed, unweighted simple graph supporting online updates.
+
+    >>> g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+    >>> g.out_neighbors(0), g.in_neighbors(2)
+    ([1], [1])
+    """
+
+    __slots__ = ("_out", "_in", "_num_edges")
+
+    def __init__(self, vertices: Iterable[int] = ()) -> None:
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._num_edges = 0
+        for v in vertices:
+            self.add_vertex(v)
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], num_vertices: int | None = None
+    ) -> "DynamicDiGraph":
+        """Build a digraph from directed ``(u, v)`` pairs."""
+        graph = cls(range(num_vertices) if num_vertices is not None else ())
+        for u, v in edges:
+            graph.add_vertex(u)
+            graph.add_vertex(v)
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "DynamicDiGraph":
+        """Return an independent deep copy of this digraph."""
+        clone = DynamicDiGraph()
+        clone._out = {v: list(nbrs) for v, nbrs in self._out.items()}
+        clone._in = {v: list(nbrs) for v, nbrs in self._in.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def reverse(self) -> "DynamicDiGraph":
+        """Return the digraph with every edge direction flipped."""
+        clone = DynamicDiGraph()
+        clone._out = {v: list(nbrs) for v, nbrs in self._in.items()}
+        clone._in = {v: list(nbrs) for v, nbrs in self._out.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the digraph."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (arcs)."""
+        return self._num_edges
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is a vertex of this digraph."""
+        return v in self._out
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``u → v`` is present."""
+        nbrs = self._out.get(u)
+        return nbrs is not None and v in nbrs
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertices (insertion order)."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all directed edges."""
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def out_neighbors(self, v: int) -> list[int]:
+        """Successors of ``v``.  The returned list must not be mutated."""
+        try:
+            return self._out[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """Predecessors of ``v``.  The returned list must not be mutated."""
+        try:
+            return self._in[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of ``v``."""
+        return len(self.out_neighbors(v))
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of ``v``."""
+        return len(self.in_neighbors(v))
+
+    def out_adjacency(self) -> dict[int, list[int]]:
+        """Raw out-adjacency for read-only use in hot loops."""
+        return self._out
+
+    def in_adjacency(self) -> dict[int, list[int]]:
+        """Raw in-adjacency for read-only use in hot loops."""
+        return self._in
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> bool:
+        """Add an isolated vertex; returns ``True`` if it was new."""
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise TypeError(f"vertex ids must be ints, got {v!r}")
+        if v < 0:
+            raise ValueError(f"vertex ids must be non-negative, got {v}")
+        if v in self._out:
+            return False
+        self._out[v] = []
+        self._in[v] = []
+        return True
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the directed edge ``u -> v``."""
+        if u == v:
+            raise SelfLoopError(u)
+        if u not in self._out:
+            raise VertexNotFoundError(u)
+        if v not in self._out:
+            raise VertexNotFoundError(v)
+        if v in self._out[u]:
+            raise EdgeExistsError(u, v)
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``u -> v``."""
+        if u not in self._out:
+            raise VertexNotFoundError(u)
+        if v not in self._out:
+            raise VertexNotFoundError(v)
+        try:
+            self._out[u].remove(v)
+        except ValueError:
+            raise EdgeNotFoundError(u, v) from None
+        self._in[v].remove(u)
+        self._num_edges -= 1
+
+    def average_degree(self) -> float:
+        """Average out-degree (``|E| / |V|``); 0.0 for the empty graph."""
+        if not self._out:
+            return 0.0
+        return self._num_edges / len(self._out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

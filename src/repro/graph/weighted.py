@@ -1,0 +1,174 @@
+"""A dynamic, undirected graph with positive edge weights.
+
+Supports the paper's Section 5 extension: "Our method can also be easily
+extended to handling weighted graphs by using Dijkstra's algorithm instead
+of BFSs."  Weights must be strictly positive, matching the paper's
+``N+``-valued highway decoding function (we allow positive floats too, which
+strictly generalises it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """An undirected simple graph with strictly positive edge weights.
+
+    Adjacency maps each vertex to a list of ``(neighbor, weight)`` pairs.
+
+    >>> g = WeightedGraph.from_edges([(0, 1, 2.5), (1, 2, 1.0)])
+    >>> g.weight(0, 1)
+    2.5
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, vertices: Iterable[int] = ()) -> None:
+        self._adj: dict[int, list[tuple[int, float]]] = {}
+        self._num_edges = 0
+        for v in vertices:
+            self.add_vertex(v)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int, float]],
+        num_vertices: int | None = None,
+    ) -> "WeightedGraph":
+        """Build from ``(u, v, weight)`` triples."""
+        graph = cls(range(num_vertices) if num_vertices is not None else ())
+        for u, v, w in edges:
+            graph.add_vertex(u)
+            graph.add_vertex(v)
+            graph.add_edge(u, v, w)
+        return graph
+
+    def copy(self) -> "WeightedGraph":
+        """Independent deep copy of this graph."""
+        clone = WeightedGraph()
+        clone._adj = {v: list(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) weighted edges."""
+        return self._num_edges
+
+    def has_vertex(self, v: int) -> bool:
+        """Whether ``v`` is a vertex of this graph."""
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` is present."""
+        nbrs = self._adj.get(u)
+        if nbrs is None:
+            return False
+        return any(w == v for w, _ in nbrs)
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertices (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate each undirected edge once as ``(u, v, weight)``."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs:
+                if u < v:
+                    yield (u, v, w)
+
+    def neighbors(self, v: int) -> list[tuple[int, float]]:
+        """``(neighbor, weight)`` pairs.  Must not be mutated by callers."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def degree(self, v: int) -> int:
+        """Number of incident edges of ``v``."""
+        return len(self.neighbors(v))
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``."""
+        for w, weight in self.neighbors(u):
+            if w == v:
+                return weight
+        raise EdgeNotFoundError(u, v)
+
+    def adjacency(self) -> dict[int, list[tuple[int, float]]]:
+        """Raw adjacency for read-only use in hot loops."""
+        return self._adj
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> bool:
+        """Add an isolated vertex.  Returns ``True`` if it was new."""
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise TypeError(f"vertex ids must be ints, got {v!r}")
+        if v < 0:
+            raise ValueError(f"vertex ids must be non-negative, got {v}")
+        if v in self._adj:
+            return False
+        self._adj[v] = []
+        return True
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert the undirected edge ``(u, v)`` with the given weight."""
+        if u == v:
+            raise SelfLoopError(u)
+        if not weight > 0:
+            raise ValueError(f"edge weights must be positive, got {weight!r}")
+        if u not in self._adj:
+            raise VertexNotFoundError(u)
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        if self.has_edge(u, v):
+            raise EdgeExistsError(u, v)
+        self._adj[u].append((v, float(weight)))
+        self._adj[v].append((u, float(weight)))
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``(u, v)``."""
+        if u not in self._adj:
+            raise VertexNotFoundError(u)
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        before = len(self._adj[u])
+        self._adj[u] = [(w, wt) for w, wt in self._adj[u] if w != v]
+        if len(self._adj[u]) == before:
+            raise EdgeNotFoundError(u, v)
+        self._adj[v] = [(w, wt) for w, wt in self._adj[v] if w != u]
+        self._num_edges -= 1
+
+    def average_degree(self) -> float:
+        """Average vertex degree (``2|E| / |V|``); 0.0 when empty."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

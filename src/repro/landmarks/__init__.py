@@ -1,0 +1,17 @@
+"""Landmark selection strategies for highway cover labellings."""
+
+from repro.landmarks.selection import (
+    select_landmarks,
+    top_degree_landmarks,
+    random_landmarks,
+    betweenness_landmarks,
+    spread_degree_landmarks,
+)
+
+__all__ = [
+    "select_landmarks",
+    "top_degree_landmarks",
+    "random_landmarks",
+    "betweenness_landmarks",
+    "spread_degree_landmarks",
+]

@@ -1,0 +1,121 @@
+"""Online landmark maintenance: promote or demote landmarks on a live labelling.
+
+The paper fixes ``R`` at construction time (|R| = 20, or 150 for the
+billion-vertex Clueweb09) and Figure 3 studies sensitivity to |R| by
+rebuilding from scratch per setting.  This extension makes the landmark
+set itself dynamic, so a deployment can tune |R| online — e.g. promote a
+hub that emerged from densification, or demote a landmark that stopped
+paying for its labelling footprint — without a full reconstruction.
+
+Both operations preserve the canonical minimal labelling exactly (the
+test-suite compares against a from-scratch build with the new landmark
+set), so they compose freely with IncHL+/DecHL updates.
+
+* :func:`add_landmark` costs one BFS plus one filtering pass over the
+  existing entries — ``O(n + m + size(L))``.
+* :func:`remove_landmark` rebuilds the per-landmark labellings that could
+  have routed shortest paths through the demoted landmark (detected with
+  one BFS); demotion can *uncover* vertices for every other landmark, so
+  a per-landmark partial rebuild is the price of exact minimality.
+"""
+
+from __future__ import annotations
+
+from repro.core.construction import _labelling_bfs
+from repro.core.labelling import HighwayCoverLabelling
+from repro.exceptions import LabellingError, VertexNotFoundError
+from repro.graph.traversal import bfs_distances
+
+__all__ = ["add_landmark", "remove_landmark"]
+
+
+def add_landmark(graph, labelling: HighwayCoverLabelling, r_new: int) -> int:
+    """Promote vertex ``r_new`` to a landmark, repairing labels in place.
+
+    After one labelling BFS from ``r_new`` (which fills its highway row
+    and emits its minimal entries), minimality of the *other* landmarks'
+    entries is restored by removing every entry ``(r, d)`` of a vertex
+    ``v`` with ``d_G(r, r_new) + d_G(r_new, v) = d`` — exactly the
+    vertices for which ``r_new`` now lies on a shortest ``r``-path
+    (Lemma 4.6 with ``r' = r_new``).
+
+    Returns the number of entries removed by the filtering pass.
+    """
+    if not graph.has_vertex(r_new):
+        raise VertexNotFoundError(r_new)
+    highway = labelling.highway
+    labels = labelling.labels
+    if r_new in highway.landmark_set:
+        raise LabellingError(f"vertex {r_new} is already a landmark")
+
+    dist_new = bfs_distances(graph, r_new)
+    highway.add_landmark(r_new)
+
+    # The promoted vertex stops carrying a label: its entries move into
+    # the highway row (each existing entry (r, d) is an exact d_G(r, r_new)).
+    for r, d in list(labels.label(r_new).items()):
+        highway.set_distance(r, r_new, d)
+        labels.remove_entry(r_new, r)
+
+    # One labelling BFS emits r_new's minimal entries and records its
+    # distance to every other landmark it reaches (completing the row for
+    # landmarks whose old shortest path to r_new was covered).
+    _labelling_bfs(
+        graph.adjacency(), r_new, highway.landmark_set, highway, labels
+    )
+
+    # Filtering pass: entries now covered by r_new must go.
+    row_new = highway.row(r_new)
+    removed = 0
+    doomed: list[tuple[int, int]] = []
+    for v, label in labels.items():
+        dv = dist_new.get(v)
+        if dv is None:
+            continue
+        for r, d in label.items():
+            if r == r_new:
+                continue
+            via = row_new.get(r)
+            if via is not None and via + dv == d:
+                doomed.append((v, r))
+    for v, r in doomed:
+        labels.remove_entry(v, r)
+        removed += 1
+    return removed
+
+
+def remove_landmark(graph, labelling: HighwayCoverLabelling, r_old: int) -> list[int]:
+    """Demote landmark ``r_old`` back to a plain vertex, in place.
+
+    All of ``r_old``'s entries and highway distances are dropped, and the
+    labellings of the landmarks that could reach ``r_old`` are rebuilt:
+    demotion shrinks the cover, so vertices whose only covering landmark
+    was ``r_old`` regain entries — including fresh entries for ``r_old``
+    itself, which is a plain vertex again.
+
+    Returns the landmarks whose labellings were rebuilt.
+    """
+    highway = labelling.highway
+    labels = labelling.labels
+    if r_old not in highway.landmark_set:
+        raise LabellingError(f"vertex {r_old} is not a landmark")
+    if len(highway.landmarks) == 1:
+        raise LabellingError("cannot demote the last landmark")
+
+    reachable = bfs_distances(graph, r_old)
+    labels.clear_landmark(r_old)
+    highway.remove_landmark(r_old)
+
+    adj = graph.adjacency()
+    landmark_set = highway.landmark_set
+    rebuilt: list[int] = []
+    for r in highway.landmarks:
+        if r not in reachable:
+            # r_old cannot lie on any shortest path from r, so r's
+            # labelling (and highway row) are untouched by the demotion.
+            continue
+        labels.clear_landmark(r)
+        highway.clear_row(r)
+        _labelling_bfs(adj, r, landmark_set, highway, labels)
+        rebuilt.append(r)
+    return rebuilt

@@ -1,0 +1,151 @@
+"""Landmark selection strategies.
+
+The paper (following Farhan et al. 2019 and Hayashi et al. 2016) selects the
+``|R|`` *highest-degree* vertices as landmarks; that is the library default.
+Alternative strategies are provided for the ablation experiment A1
+(DESIGN.md §5): random selection, sampled approximate betweenness, and
+degree-with-spacing (high degree but pairwise non-adjacent, which spreads
+landmarks across the graph).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import GraphError
+from repro.graph.traversal import bfs_with_parents
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "top_degree_landmarks",
+    "random_landmarks",
+    "betweenness_landmarks",
+    "spread_degree_landmarks",
+    "select_landmarks",
+]
+
+
+def _check_count(graph, count: int) -> None:
+    if count < 1:
+        raise GraphError(f"landmark count must be >= 1, got {count}")
+    if count > graph.num_vertices:
+        raise GraphError(
+            f"cannot select {count} landmarks from {graph.num_vertices} vertices"
+        )
+
+
+def top_degree_landmarks(graph, count: int) -> list[int]:
+    """The ``count`` highest-degree vertices (ties broken by lower id).
+
+    This is the paper's selection rule; degree order also serves as the
+    PLL vertex order in :mod:`repro.baselines.pll`.
+    """
+    _check_count(graph, count)
+    ranked = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+    return ranked[:count]
+
+
+def random_landmarks(
+    graph, count: int, rng: int | random.Random | None = None
+) -> list[int]:
+    """``count`` vertices sampled uniformly without replacement."""
+    _check_count(graph, count)
+    rng = ensure_rng(rng)
+    return sorted(rng.sample(list(graph.vertices()), count))
+
+
+def betweenness_landmarks(
+    graph,
+    count: int,
+    num_sources: int = 32,
+    rng: int | random.Random | None = None,
+) -> list[int]:
+    """Approximate-betweenness landmarks via sampled Brandes accumulation.
+
+    Runs Brandes' dependency accumulation from ``num_sources`` sampled
+    sources; picks the ``count`` vertices with the largest accumulated
+    betweenness scores.  This is the classic sampling estimator — adequate
+    for ranking, which is all landmark selection needs.
+    """
+    _check_count(graph, count)
+    rng = ensure_rng(rng)
+    vertices = list(graph.vertices())
+    sources = rng.sample(vertices, min(num_sources, len(vertices)))
+    score: dict[int, float] = {v: 0.0 for v in vertices}
+    for s in sources:
+        dist, parents = bfs_with_parents(graph, s)
+        # Count shortest paths from s (sigma), then accumulate dependencies
+        # in decreasing-distance order.
+        order = sorted(dist, key=dist.__getitem__)
+        sigma: dict[int, float] = {v: 0.0 for v in dist}
+        sigma[s] = 1.0
+        for v in order:
+            for p in parents[v]:
+                sigma[v] += sigma[p]
+        delta: dict[int, float] = {v: 0.0 for v in dist}
+        for v in reversed(order):
+            for p in parents[v]:
+                if sigma[v] > 0:
+                    delta[p] += sigma[p] / sigma[v] * (1.0 + delta[v])
+            if v != s:
+                score[v] += delta[v]
+    ranked = sorted(vertices, key=lambda v: (-score[v], v))
+    return ranked[:count]
+
+
+def spread_degree_landmarks(graph, count: int) -> list[int]:
+    """High-degree landmarks constrained to be pairwise non-adjacent.
+
+    Greedy: walk the degree-descending order, skipping vertices adjacent to
+    an already-chosen landmark; falls back to plain degree order if the
+    constraint cannot be satisfied (e.g. in dense graphs).
+    """
+    _check_count(graph, count)
+    ranked = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+    chosen: list[int] = []
+    chosen_set: set[int] = set()
+    for v in ranked:
+        if len(chosen) == count:
+            break
+        if any(w in chosen_set for w in graph.neighbors(v)):
+            continue
+        chosen.append(v)
+        chosen_set.add(v)
+    for v in ranked:  # fallback fill if the spacing constraint ran dry
+        if len(chosen) == count:
+            break
+        if v not in chosen_set:
+            chosen.append(v)
+            chosen_set.add(v)
+    return chosen
+
+
+_STRATEGIES = {
+    "degree": top_degree_landmarks,
+    "random": random_landmarks,
+    "betweenness": betweenness_landmarks,
+    "spread": spread_degree_landmarks,
+}
+
+
+def select_landmarks(
+    graph,
+    count: int,
+    strategy: str = "degree",
+    rng: int | random.Random | None = None,
+) -> list[int]:
+    """Select ``count`` landmarks using the named strategy.
+
+    ``strategy`` is one of ``"degree"`` (paper default), ``"random"``,
+    ``"betweenness"``, or ``"spread"``.
+    """
+    try:
+        fn = _STRATEGIES[strategy]
+    except KeyError:
+        raise GraphError(
+            f"unknown landmark strategy {strategy!r}; "
+            f"expected one of {sorted(_STRATEGIES)}"
+        ) from None
+    if strategy in ("random", "betweenness"):
+        return fn(graph, count, rng=rng)
+    return fn(graph, count)

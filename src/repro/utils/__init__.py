@@ -1,0 +1,6 @@
+"""Shared utilities: RNG handling, timing, serialization helpers."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch, TimingStats
+
+__all__ = ["ensure_rng", "Stopwatch", "TimingStats"]

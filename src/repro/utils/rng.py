@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (generators, workload samplers,
+landmark selection) accepts either a seed or a :class:`random.Random`
+instance.  Centralising the coercion here keeps experiments reproducible:
+the benchmark harness passes integer seeds all the way down.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = "int | random.Random | None"
+
+
+def ensure_rng(rng: int | random.Random | None) -> random.Random:
+    """Coerce ``rng`` into a :class:`random.Random` instance.
+
+    ``None`` yields a freshly seeded generator (non-deterministic), an
+    ``int`` seeds a new generator, and an existing generator is returned
+    unchanged so callers can share state across samplers.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):  # bool is an int subclass; almost surely a bug
+        raise TypeError(f"rng must be an int seed or random.Random, got {rng!r}")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be an int seed or random.Random, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: random.Random, stream: str) -> random.Random:
+    """Derive an independent, reproducible child generator.
+
+    ``stream`` names the logical substream (e.g. ``"updates"``); the same
+    parent state and stream name always produce the same child.  Used by the
+    harness so that e.g. query sampling does not perturb update sampling.
+    """
+    seed = rng.getrandbits(64) ^ (hash(stream) & 0xFFFFFFFFFFFFFFFF)
+    return random.Random(seed)

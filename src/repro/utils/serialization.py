@@ -1,0 +1,132 @@
+"""Saving and loading highway cover labellings.
+
+Production deployments precompute the labelling offline and load it next to
+the query service; these helpers provide a portable JSON format (optionally
+gzip-compressed) that round-trips :class:`HighwayCoverLabelling` exactly.
+Distances are stored as ints where possible so unweighted labellings
+round-trip type-stably.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+from repro.core.highway import Highway
+from repro.core.labelling import HighwayCoverLabelling
+from repro.core.labels import LabelStore
+from repro.exceptions import ReproError
+from repro.graph.traversal import INF
+
+__all__ = ["save_labelling", "load_labelling", "save_oracle", "load_oracle"]
+
+_FORMAT = "repro-hcl-v1"
+_ORACLE_FORMAT = "repro-oracle-v1"
+
+
+def _open(path: str | os.PathLike, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_labelling(labelling: HighwayCoverLabelling, path: str | os.PathLike) -> None:
+    """Write ``labelling`` to ``path`` (gzip if the name ends in ``.gz``)."""
+    highway_cells = []
+    seen = set()
+    for r, row in labelling.highway.as_dict().items():
+        for r2, d in row.items():
+            if r == r2 or (r2, r) in seen:
+                continue
+            seen.add((r, r2))
+            highway_cells.append([r, r2, d])
+    payload = {
+        "format": _FORMAT,
+        "landmarks": labelling.landmarks,
+        "highway": highway_cells,
+        "labels": [
+            [v, r, d]
+            for v, label in labelling.labels.items()
+            for r, d in label.items()
+        ],
+    }
+    with _open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_labelling(path: str | os.PathLike) -> HighwayCoverLabelling:
+    """Read a labelling previously written by :func:`save_labelling`."""
+    with _open(path, "r") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _FORMAT:
+        raise ReproError(
+            f"{path}: not a {_FORMAT} file (format={payload.get('format')!r})"
+        )
+    return _labelling_from_payload(payload)
+
+
+def _labelling_from_payload(payload: dict) -> HighwayCoverLabelling:
+    highway = Highway(payload["landmarks"])
+    for r1, r2, d in payload["highway"]:
+        if d != INF:
+            highway.set_distance(r1, r2, d)
+    labels = LabelStore()
+    for v, r, d in payload["labels"]:
+        labels.set_entry(v, r, d)
+    return HighwayCoverLabelling(highway, labels)
+
+
+def save_oracle(oracle, path: str | os.PathLike) -> None:
+    """Write a :class:`~repro.core.dynamic.DynamicHCL` — graph *and*
+    labelling — to ``path`` (gzip if the name ends in ``.gz``).
+
+    The deployment story behind it: precompute offline, ship one file,
+    restore with :func:`load_oracle` and continue updating online.
+    """
+    graph = oracle.graph
+    labelling = oracle.labelling
+    highway_cells = []
+    seen = set()
+    for r, row in labelling.highway.as_dict().items():
+        for r2, d in row.items():
+            if r == r2 or (r2, r) in seen:
+                continue
+            seen.add((r, r2))
+            highway_cells.append([r, r2, d])
+    payload = {
+        "format": _ORACLE_FORMAT,
+        "vertices": sorted(graph.vertices()),
+        "edges": sorted(graph.edges()),
+        "landmarks": labelling.landmarks,
+        "highway": highway_cells,
+        "labels": [
+            [v, r, d]
+            for v, label in labelling.labels.items()
+            for r, d in label.items()
+        ],
+    }
+    with _open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_oracle(path: str | os.PathLike):
+    """Read an oracle previously written by :func:`save_oracle`.
+
+    Round-trips graph, landmark order, highway, and every label entry
+    exactly; the restored oracle accepts updates immediately.
+    """
+    from repro.core.dynamic import DynamicHCL
+    from repro.graph.dynamic_graph import DynamicGraph
+
+    with _open(path, "r") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _ORACLE_FORMAT:
+        raise ReproError(
+            f"{path}: not a {_ORACLE_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    graph = DynamicGraph(payload["vertices"])
+    for u, v in payload["edges"]:
+        graph.add_edge(u, v)
+    return DynamicHCL(graph, _labelling_from_payload(payload))

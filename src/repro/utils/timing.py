@@ -1,0 +1,101 @@
+"""Small timing helpers used by the benchmark harness.
+
+``pytest-benchmark`` handles the statistically careful timing in
+``benchmarks/``; these helpers serve the paper-style experiment runner
+(:mod:`repro.bench`) which reports the same aggregate numbers the paper's
+tables report (means over update/query batches).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time with ``perf_counter``.
+
+    >>> with Stopwatch() as sw:
+    ...     sum(range(10))
+    45
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingStats:
+    """Accumulates individual operation timings and derives summary stats."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        """Record one timing sample, in seconds."""
+        if seconds < 0 or math.isnan(seconds):
+            raise ValueError(f"timing sample must be non-negative, got {seconds!r}")
+        self.samples.append(seconds)
+
+    def time(self, fn, *args, **kwargs):
+        """Run ``fn`` once, record its duration, and return its result."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.add(time.perf_counter() - start)
+        return result
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples in seconds."""
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean sample in seconds (0.0 when empty)."""
+        if not self.samples:
+            raise ValueError("no timing samples recorded")
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        """Median sample in seconds (0.0 when empty)."""
+        if not self.samples:
+            raise ValueError("no timing samples recorded")
+        return statistics.median(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample in seconds (0.0 when empty)."""
+        if not self.samples:
+            raise ValueError("no timing samples recorded")
+        return max(self.samples)
+
+    def mean_ms(self) -> float:
+        """Mean in milliseconds — the unit used throughout the paper."""
+        return self.mean * 1000.0
+
+    def summary(self) -> dict[str, float]:
+        """Summary dictionary used by the experiment report renderer."""
+        return {
+            "count": float(self.count),
+            "total_s": self.total,
+            "mean_ms": self.mean_ms(),
+            "median_ms": self.median * 1000.0,
+            "max_ms": self.maximum * 1000.0,
+        }

@@ -1,0 +1,43 @@
+"""Workloads: update streams, query streams, and the dataset registry."""
+
+from repro.workloads.updates import (
+    sample_edge_insertions,
+    sample_vertex_insertions,
+    held_out_edges,
+)
+from repro.workloads.queries import sample_query_pairs
+from repro.workloads.datasets import (
+    DATASETS,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+)
+from repro.workloads.streams import (
+    ReplayRecord,
+    UpdateEvent,
+    densification_stream,
+    insertion_stream,
+    mixed_stream,
+    replay,
+    sliding_window_stream,
+    split_events,
+)
+
+__all__ = [
+    "sample_edge_insertions",
+    "sample_vertex_insertions",
+    "held_out_edges",
+    "sample_query_pairs",
+    "DATASETS",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_names",
+    "UpdateEvent",
+    "ReplayRecord",
+    "insertion_stream",
+    "mixed_stream",
+    "densification_stream",
+    "sliding_window_stream",
+    "replay",
+    "split_events",
+]

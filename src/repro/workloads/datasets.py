@@ -1,0 +1,230 @@
+"""The 12 dataset stand-ins for the paper's Table 2 networks.
+
+The paper evaluates on 12 real networks from 1.7M to 1.7B vertices.  Those
+inputs (and the hardware to hold them) are unavailable here, so each is
+replaced by a *topology-class-matched* synthetic stand-in (DESIGN.md §3):
+
+* social networks  → preferential attachment (Barabási–Albert) or the
+  Holme–Kim clustered variant: heavy-tailed degrees, small avg distance;
+* web graphs       → community-ring graphs: dense "sites" with sparse
+  cross-site links, matching the large average distances (7+) of Table 2;
+* computer network → Watts–Strogatz small-world.
+
+Per dataset we preserve (i) the topology class, (ii) the *relative* size
+ordering, (iii) the *relative* density ordering, and (iv) the avg-distance
+regime (small for social, large for web), because those are the properties
+the paper's observations hinge on (e.g. "On Indochina and IT, IncHL+
+performs relatively worse because these networks have large average
+distances").  Absolute scale shrinks to interpreter-feasible sizes.
+
+Profiles: ``smoke`` (tests/CI), ``default`` (benchmarks), ``full`` (longer
+runs); select via the ``profile`` argument or ``REPRO_BENCH_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import WorkloadError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    community_web_graph,
+    ensure_connected,
+    powerlaw_cluster,
+    watts_strogatz,
+)
+
+__all__ = ["DatasetSpec", "DATASETS", "build_dataset", "dataset_names", "PROFILES"]
+
+PROFILES = ("smoke", "default", "full")
+
+#: Vertex-count multiplier per profile (edge parameters stay proportional).
+_PROFILE_SCALE = {"smoke": 0.1, "default": 1.0, "full": 3.0}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One stand-in dataset: identity, provenance, generator, defaults."""
+
+    name: str
+    network_class: str  # "comp" | "social" | "web"
+    stands_in_for: str  # the paper's dataset name
+    paper_vertices: str  # Table 2 |V| (display form, e.g. "1.7M")
+    paper_edges: str  # Table 2 |E|
+    paper_avg_degree: float  # Table 2 avg. deg
+    paper_avg_distance: float  # Table 2 avg. dist
+    base_vertices: int  # |V| at the default profile
+    num_landmarks: int  # |R| used by Table 1 (paper: 20; Clueweb09: 150)
+    builder: Callable[[int, random.Random], DynamicGraph]
+    pll_feasible: bool  # whether IncPLL is built (paper: 5 of 12 datasets)
+
+    def build(self, profile: str = "default", seed: int = 2021) -> DynamicGraph:
+        """Instantiate the stand-in graph for ``profile`` (deterministic)."""
+        if profile not in _PROFILE_SCALE:
+            raise WorkloadError(
+                f"unknown profile {profile!r}; expected one of {PROFILES}"
+            )
+        n = max(64, int(self.base_vertices * _PROFILE_SCALE[profile]))
+        rng = random.Random((seed, self.name, profile).__hash__() & 0x7FFFFFFF)
+        graph = self.builder(n, rng)
+        return ensure_connected(graph, rng=rng)
+
+
+def _social(attach: int):
+    def build(n: int, rng: random.Random) -> DynamicGraph:
+        return barabasi_albert(n, attach=attach, rng=rng)
+
+    return build
+
+
+def _clustered_social(attach: int, triangle_prob: float):
+    def build(n: int, rng: random.Random) -> DynamicGraph:
+        return powerlaw_cluster(n, attach=attach, triangle_prob=triangle_prob, rng=rng)
+
+    return build
+
+
+def _small_world(k: int, beta: float):
+    def build(n: int, rng: random.Random) -> DynamicGraph:
+        return watts_strogatz(n, k=k, beta=beta, rng=rng)
+
+    return build
+
+
+def _web(num_communities: int, intra_attach: int, inter: int, chords: int):
+    def build(n: int, rng: random.Random) -> DynamicGraph:
+        community_size = max(intra_attach + 2, n // num_communities)
+        return community_web_graph(
+            n,
+            community_size=community_size,
+            intra_attach=intra_attach,
+            inter_edges_per_community=inter,
+            long_range_edges=chords,
+            rng=rng,
+        )
+
+    return build
+
+
+#: Registry in the paper's Table 2 order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="skitter-s", network_class="comp", stands_in_for="Skitter",
+            paper_vertices="1.7M", paper_edges="11M",
+            paper_avg_degree=13.081, paper_avg_distance=5.1,
+            base_vertices=4000, num_landmarks=20,
+            builder=_small_world(k=12, beta=0.12), pll_feasible=True,
+        ),
+        DatasetSpec(
+            name="flickr-s", network_class="social", stands_in_for="Flickr",
+            paper_vertices="1.7M", paper_edges="16M",
+            paper_avg_degree=18.133, paper_avg_distance=5.3,
+            base_vertices=4000, num_landmarks=20,
+            builder=_social(attach=9), pll_feasible=True,
+        ),
+        DatasetSpec(
+            name="hollywood-s", network_class="social", stands_in_for="Hollywood",
+            paper_vertices="1.1M", paper_edges="114M",
+            paper_avg_degree=98.913, paper_avg_distance=3.9,
+            base_vertices=3000, num_landmarks=20,
+            builder=_clustered_social(attach=24, triangle_prob=0.4),
+            pll_feasible=True,
+        ),
+        DatasetSpec(
+            name="orkut-s", network_class="social", stands_in_for="Orkut",
+            paper_vertices="3.1M", paper_edges="117M",
+            paper_avg_degree=76.281, paper_avg_distance=4.2,
+            base_vertices=6000, num_landmarks=20,
+            builder=_social(attach=19), pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="enwiki-s", network_class="social", stands_in_for="Enwiki",
+            paper_vertices="4.2M", paper_edges="101M",
+            paper_avg_degree=43.746, paper_avg_distance=3.4,
+            base_vertices=7000, num_landmarks=20,
+            builder=_social(attach=11), pll_feasible=True,
+        ),
+        DatasetSpec(
+            name="livejournal-s", network_class="social", stands_in_for="Livejournal",
+            paper_vertices="4.8M", paper_edges="69M",
+            paper_avg_degree=17.679, paper_avg_distance=5.6,
+            base_vertices=8000, num_landmarks=20,
+            builder=_clustered_social(attach=9, triangle_prob=0.2),
+            pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="indochina-s", network_class="web", stands_in_for="Indochina",
+            paper_vertices="7.4M", paper_edges="194M",
+            paper_avg_degree=40.725, paper_avg_distance=7.7,
+            base_vertices=9000, num_landmarks=20,
+            builder=_web(num_communities=26, intra_attach=8, inter=3, chords=22),
+            pll_feasible=True,
+        ),
+        DatasetSpec(
+            name="it-s", network_class="web", stands_in_for="IT",
+            paper_vertices="41M", paper_edges="1.2B",
+            paper_avg_degree=49.768, paper_avg_distance=7.0,
+            base_vertices=14000, num_landmarks=20,
+            builder=_web(num_communities=24, intra_attach=12, inter=4, chords=26),
+            pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="twitter-s", network_class="social", stands_in_for="Twitter",
+            paper_vertices="42M", paper_edges="1.5B",
+            paper_avg_degree=57.741, paper_avg_distance=3.6,
+            base_vertices=14000, num_landmarks=20,
+            builder=_social(attach=14), pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="friendster-s", network_class="social", stands_in_for="Friendster",
+            paper_vertices="66M", paper_edges="1.8B",
+            paper_avg_degree=55.056, paper_avg_distance=5.0,
+            base_vertices=16000, num_landmarks=20,
+            builder=_social(attach=13), pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="uk-s", network_class="web", stands_in_for="UK",
+            paper_vertices="106M", paper_edges="3.7B",
+            paper_avg_degree=62.772, paper_avg_distance=6.9,
+            base_vertices=18000, num_landmarks=20,
+            builder=_web(num_communities=22, intra_attach=15, inter=4, chords=28),
+            pll_feasible=False,
+        ),
+        DatasetSpec(
+            name="clueweb09-s", network_class="web", stands_in_for="Clueweb09",
+            paper_vertices="1.7B", paper_edges="7.8B",
+            paper_avg_degree=9.27, paper_avg_distance=7.4,
+            base_vertices=24000, num_landmarks=60,
+            builder=_web(num_communities=28, intra_attach=4, inter=3, chords=40),
+            pll_feasible=False,
+        ),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """All registry names in the paper's Table 2 order."""
+    return list(DATASETS)
+
+
+def build_dataset(
+    name: str, profile: str = "default", seed: int = 2021
+) -> tuple[DatasetSpec, DynamicGraph]:
+    """Look up ``name`` and instantiate its graph; returns ``(spec, graph)``.
+
+    >>> spec, graph = build_dataset("skitter-s", profile="smoke")
+    >>> spec.stands_in_for
+    'Skitter'
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown dataset {name!r}; expected one of {dataset_names()}"
+        ) from None
+    return spec, spec.build(profile=profile, seed=seed)

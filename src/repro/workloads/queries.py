@@ -1,0 +1,44 @@
+"""Query workloads — Section 6: "we evaluate the average query time with
+100,000 randomly sampled pairs of vertices from each network"."""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["sample_query_pairs"]
+
+
+def sample_query_pairs(
+    graph,
+    count: int,
+    rng: int | random.Random | None = None,
+    distinct_endpoints: bool = True,
+) -> list[tuple[int, int]]:
+    """``count`` uniformly random vertex pairs (with replacement across
+    pairs, as in the paper's methodology).
+
+    >>> from repro.graph.generators import grid_graph
+    >>> pairs = sample_query_pairs(grid_graph(4, 4), 5, rng=1)
+    >>> len(pairs)
+    5
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(rng)
+    vertices = list(graph.vertices())
+    if not vertices:
+        raise WorkloadError("graph has no vertices")
+    if distinct_endpoints and len(vertices) < 2:
+        raise WorkloadError("need at least two vertices for distinct pairs")
+    pairs = []
+    n = len(vertices)
+    while len(pairs) < count:
+        u = vertices[rng.randrange(n)]
+        v = vertices[rng.randrange(n)]
+        if distinct_endpoints and u == v:
+            continue
+        pairs.append((u, v))
+    return pairs

@@ -1,0 +1,116 @@
+"""Update workloads — Section 6, "Updates and queries".
+
+The paper: "For each network, we randomly sampled 1,000 pairs of vertices
+as edge insertions, denoted as EI, where EI ∩ E = ∅".  The sampler below
+reproduces that: uniformly random vertex pairs that are not current edges,
+not self-loops, and pairwise distinct (they are inserted sequentially, so
+each must still be a non-edge when its turn comes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["sample_edge_insertions", "sample_vertex_insertions", "held_out_edges"]
+
+
+def sample_edge_insertions(
+    graph,
+    count: int,
+    rng: int | random.Random | None = None,
+    max_attempts_factor: int = 200,
+) -> list[tuple[int, int]]:
+    """Sample ``count`` distinct non-edges ``EI`` with ``EI ∩ E = ∅``.
+
+    >>> from repro.graph.generators import grid_graph
+    >>> edges = sample_edge_insertions(grid_graph(5, 5), 10, rng=0)
+    >>> len(edges)
+    10
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(rng)
+    vertices = list(graph.vertices())
+    n = len(vertices)
+    capacity = n * (n - 1) // 2 - graph.num_edges
+    if count > capacity:
+        raise WorkloadError(
+            f"cannot sample {count} non-edges: only {capacity} exist"
+        )
+    chosen: set[tuple[int, int]] = set()
+    sampled: list[tuple[int, int]] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    while len(sampled) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise WorkloadError(
+                f"sampling stalled after {attempts} attempts "
+                f"({len(sampled)}/{count} found); graph too dense for "
+                f"rejection sampling"
+            )
+        u = vertices[rng.randrange(n)]
+        v = vertices[rng.randrange(n)]
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in chosen or graph.has_edge(u, v):
+            continue
+        chosen.add(key)
+        sampled.append(key)
+    return sampled
+
+
+def sample_vertex_insertions(
+    graph,
+    count: int,
+    degree: int,
+    rng: int | random.Random | None = None,
+) -> list[tuple[int, list[int]]]:
+    """Sample ``count`` vertex insertions, each wiring a fresh vertex to
+    ``degree`` distinct existing vertices (Section 3's node insertion).
+
+    Returns ``[(new_vertex_id, neighbours), ...]``; ids continue from the
+    current maximum so they never collide.
+    """
+    if degree < 1:
+        raise WorkloadError(f"degree must be >= 1, got {degree}")
+    if degree > graph.num_vertices:
+        raise WorkloadError(
+            f"cannot attach {degree} neighbours in a {graph.num_vertices}-vertex graph"
+        )
+    rng = ensure_rng(rng)
+    vertices = list(graph.vertices())
+    next_id = graph.max_vertex_id() + 1
+    insertions = []
+    for i in range(count):
+        neighbors = rng.sample(vertices, degree)
+        insertions.append((next_id + i, neighbors))
+    return insertions
+
+
+def held_out_edges(
+    graph,
+    count: int,
+    rng: int | random.Random | None = None,
+) -> list[tuple[int, int]]:
+    """Remove ``count`` random edges from ``graph`` and return them.
+
+    Produces a "replay" workload: build the labelling on the shrunken graph,
+    then re-insert the held-out (real!) edges one by one.  This is the
+    realistic alternative to random-pair insertion and is used by the
+    ablation experiments.
+    """
+    if count > graph.num_edges:
+        raise WorkloadError(
+            f"cannot hold out {count} of {graph.num_edges} edges"
+        )
+    rng = ensure_rng(rng)
+    edges = list(graph.edges())
+    held = rng.sample(edges, count)
+    for u, v in held:
+        graph.remove_edge(u, v)
+    return held

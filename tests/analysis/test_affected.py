@@ -1,0 +1,98 @@
+"""Tests for affected-vertex measurement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.affected import (
+    AffectedMeasurement,
+    measure_affected_ratios,
+    probe_affected_ratio,
+)
+from repro.core.construction import build_hcl
+from repro.core.inchl import apply_edge_insertion
+from repro.core.validation import brute_force_affected, check_matches_rebuild
+from repro.graph.dynamic_graph import DynamicGraph
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+class TestProbe:
+    def test_probe_leaves_graph_and_labelling_intact(self):
+        graph = random_connected_graph(5)
+        landmarks = sorted(graph.vertices())[:2]
+        labelling = build_hcl(graph, landmarks)
+        snapshot_labels = labelling.copy()
+        edges_before = sorted(graph.edges())
+        a, b = non_edges(graph)[0]
+        probe_affected_ratio(graph, labelling, a, b)
+        assert sorted(graph.edges()) == edges_before
+        assert labelling == snapshot_labels
+
+    def test_probe_rolls_back_on_error(self):
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        labelling = build_hcl(graph, [0])
+        # Force an error mid-probe: landmark_distance with a vertex the
+        # graph knows but the labelling doesn't is fine, so instead probe
+        # an edge whose insertion itself is invalid.
+        with pytest.raises(Exception):
+            probe_affected_ratio(graph, labelling, 0, 1)  # edge exists
+        assert graph.has_edge(0, 1)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_probe_union_matches_brute_force(self, seed):
+        graph = random_connected_graph(seed)
+        candidates = non_edges(graph)
+        if not candidates:
+            return
+        r = sorted(graph.vertices())[0]
+        labelling = build_hcl(graph, [r])
+        a, b = candidates[0]
+        measurement = probe_affected_ratio(graph, labelling, a, b)
+        mutated = graph.copy()
+        mutated.add_edge(a, b)
+        expected = brute_force_affected(mutated, r, a, b)
+        assert measurement.affected_union == len(expected)
+
+    def test_measurement_properties(self):
+        m = AffectedMeasurement(
+            edge=(0, 1), affected_union=5, total_affected=8, num_vertices=50
+        )
+        assert m.ratio == pytest.approx(0.1)
+        assert m.percentage == pytest.approx(10.0)
+
+
+class TestMeasureStream:
+    def test_measure_applies_permanently(self):
+        graph = random_connected_graph(9, n_min=10, n_max=20)
+        landmarks = sorted(graph.vertices())[:2]
+        labelling = build_hcl(graph, landmarks)
+        insertions = non_edges(graph)[:4]
+        edges_before = graph.num_edges
+        results = measure_affected_ratios(graph, labelling, insertions)
+        assert len(results) == 4
+        assert graph.num_edges == edges_before + 4
+        check_matches_rebuild(graph, labelling)
+
+    def test_measure_matches_direct_stats(self):
+        graph = random_connected_graph(21, n_min=10, n_max=20)
+        landmarks = sorted(graph.vertices())[:2]
+        insertions = non_edges(graph)[:3]
+
+        mirror = graph.copy()
+        mirror_labelling = build_hcl(mirror, landmarks)
+        expected = []
+        for a, b in insertions:
+            mirror.add_edge(a, b)
+            expected.append(
+                apply_edge_insertion(mirror, mirror_labelling, a, b).affected_union
+            )
+
+        labelling = build_hcl(graph, landmarks)
+        results = measure_affected_ratios(graph, labelling, insertions)
+        assert [m.affected_union for m in results] == expected
+
+    def test_empty_stream(self):
+        graph = random_connected_graph(2)
+        labelling = build_hcl(graph, sorted(graph.vertices())[:1])
+        assert measure_affected_ratios(graph, labelling, []) == []

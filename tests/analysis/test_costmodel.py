@@ -1,0 +1,68 @@
+"""Tests for the update-cost model fit."""
+
+import pytest
+
+from repro.analysis.costmodel import CostModel, UpdateRecord
+
+
+def record(affected, seconds, degree=4.0, label=2.0):
+    return UpdateRecord(
+        affected_total=affected,
+        avg_degree=degree,
+        avg_label_size=label,
+        seconds=seconds,
+    )
+
+
+class TestUpdateRecord:
+    def test_cost_term(self):
+        rec = record(10, 0.5, degree=3.0, label=2.0)
+        assert rec.cost_term == pytest.approx(60.0)
+
+
+class TestCostModel:
+    def test_perfect_linear_fit(self):
+        slope, intercept = 1e-6, 5e-4
+        records = [
+            record(m, intercept + slope * (m * 4.0 * 2.0)) for m in (1, 5, 10, 50)
+        ]
+        model = CostModel.fit(records)
+        assert model.slope == pytest.approx(slope, rel=1e-6)
+        assert model.intercept == pytest.approx(intercept, rel=1e-6)
+        assert model.r_squared == pytest.approx(1.0)
+        assert model.num_records == 4
+
+    def test_predict_roundtrip(self):
+        records = [record(m, 0.1 + 0.01 * m * 8.0) for m in (1, 2, 3)]
+        model = CostModel.fit(records)
+        for rec in records:
+            assert model.predict(rec) == pytest.approx(rec.seconds, rel=1e-6)
+            assert model.predict_cost_term(rec.cost_term) == pytest.approx(
+                rec.seconds, rel=1e-6
+            )
+
+    def test_noisy_fit_recovers_trend(self):
+        import random
+
+        rng = random.Random(7)
+        records = [
+            record(m, 1e-4 + 2e-7 * (m * 4.0 * 2.0) * rng.uniform(0.9, 1.1))
+            for m in range(1, 200, 5)
+        ]
+        model = CostModel.fit(records)
+        assert model.slope > 0
+        assert model.r_squared > 0.9
+
+    def test_too_few_records_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.fit([record(1, 0.1)])
+
+    def test_constant_cost_terms_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.fit([record(5, 0.1), record(5, 0.2)])
+
+    def test_constant_times_r_squared_one(self):
+        records = [record(m, 0.25) for m in (1, 2, 4)]
+        model = CostModel.fit(records)
+        assert model.r_squared == pytest.approx(1.0)
+        assert model.slope == pytest.approx(0.0, abs=1e-12)

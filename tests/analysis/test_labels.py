@@ -1,0 +1,87 @@
+"""Tests for label/highway distribution statistics."""
+
+import pytest
+
+from repro.analysis.labels import highway_stats, label_stats, landmark_entry_counts
+from repro.core.construction import build_hcl
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph
+
+from tests.conftest import random_connected_graph
+
+
+def path_graph(n):
+    return DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestLabelStats:
+    def test_path_single_landmark(self):
+        graph = path_graph(5)
+        labelling = build_hcl(graph, [0])
+        stats = label_stats(labelling, graph.num_vertices)
+        # Vertices 1..4 each carry exactly the entry for landmark 0.
+        assert stats.total_entries == 4
+        assert stats.labelled_vertices == 4
+        assert stats.empty_vertices == 1
+        assert stats.max_label_size == 1
+        assert stats.mean_label_size == pytest.approx(0.8)
+        assert stats.size_bytes == labelling.size_bytes()
+
+    def test_mean_below_num_landmarks(self):
+        """The paper's observation: l is significantly smaller than |R|."""
+        graph = random_connected_graph(33, n_min=20, n_max=30)
+        landmarks = sorted(graph.vertices(), key=graph.degree, reverse=True)[:5]
+        labelling = build_hcl(graph, landmarks)
+        stats = label_stats(labelling, graph.num_vertices)
+        assert stats.mean_label_size < len(landmarks)
+
+    def test_invalid_vertex_count(self):
+        labelling = build_hcl(path_graph(3), [0])
+        with pytest.raises(ValueError):
+            label_stats(labelling, 0)
+
+
+class TestLandmarkEntryCounts:
+    def test_counts_sum_to_total(self):
+        graph = random_connected_graph(44)
+        landmarks = sorted(graph.vertices())[:3]
+        labelling = build_hcl(graph, landmarks)
+        counts = landmark_entry_counts(labelling)
+        assert set(counts) == set(landmarks)
+        assert sum(counts.values()) == labelling.label_entries
+
+    def test_redundant_landmark_contributes_nothing(self):
+        # 0 - 1 - 2: landmark 1 separates 0 from 2, so with landmarks
+        # {0, 1} vertex 2 is covered by 1 and keeps only 1's entry.
+        graph = path_graph(3)
+        labelling = build_hcl(graph, [0, 1])
+        counts = landmark_entry_counts(labelling)
+        assert counts[1] == 1  # entry (2, r=1)
+        assert counts[0] == 0  # everything beyond 1 is covered
+
+
+class TestHighwayStats:
+    def test_connected_highway(self):
+        graph = grid_graph(3, 3)
+        labelling = build_hcl(graph, [0, 4, 8])
+        stats = highway_stats(labelling)
+        assert stats.num_landmarks == 3
+        assert stats.total_pairs == 3
+        assert stats.reachable_pairs == 3
+        assert stats.connectivity == 1.0
+        assert stats.max_distance == 4  # corners of the 3x3 grid
+        assert stats.mean_distance == pytest.approx((2 + 2 + 4) / 3)
+
+    def test_disconnected_highway(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        labelling = build_hcl(graph, [0, 2])
+        stats = highway_stats(labelling)
+        assert stats.reachable_pairs == 0
+        assert stats.connectivity == 0.0
+        assert stats.max_distance == 0.0
+
+    def test_single_landmark(self):
+        labelling = build_hcl(path_graph(3), [0])
+        stats = highway_stats(labelling)
+        assert stats.total_pairs == 0
+        assert stats.connectivity == 1.0

@@ -1,0 +1,33 @@
+"""Tests for the index-free online BFS oracle."""
+
+from repro.baselines.bfs import OnlineBFS
+from repro.graph.generators import grid_graph
+from repro.graph.traversal import INF
+
+
+class TestOnlineBFS:
+    def test_query(self):
+        oracle = OnlineBFS(grid_graph(4, 4))
+        assert oracle.query(0, 15) == 6
+
+    def test_insert_edge(self):
+        oracle = OnlineBFS(grid_graph(4, 4))
+        oracle.insert_edge(0, 15)
+        assert oracle.query(0, 15) == 1
+
+    def test_insert_vertex(self):
+        oracle = OnlineBFS(grid_graph(2, 2))
+        oracle.insert_vertex(9, [0])
+        assert oracle.query(9, 3) == 3
+
+    def test_disconnected(self):
+        oracle = OnlineBFS(grid_graph(2, 2))
+        oracle.insert_vertex(9, [])
+        assert oracle.query(9, 0) == INF
+
+    def test_zero_index_size(self):
+        assert OnlineBFS(grid_graph(2, 2)).size_bytes() == 0
+
+    def test_graph_property(self):
+        g = grid_graph(2, 2)
+        assert OnlineBFS(g).graph is g

@@ -1,0 +1,114 @@
+"""Integration: all four oracles must agree on dynamic workloads.
+
+This is the reproduction's analogue of the paper's implicit premise —
+IncHL+, IncPLL and IncFD answer the *same* queries exactly; they differ
+only in cost.  The protocol interface is also verified here.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bfs import OnlineBFS
+from repro.baselines.fd import FullDynamicOracle
+from repro.baselines.incpll import IncPLL
+from repro.baselines.interface import DistanceOracle
+from repro.core.dynamic import DynamicHCL
+from repro.graph.generators import grid_graph
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+def _make_all(graph):
+    return [
+        DynamicHCL.build(graph.copy(), num_landmarks=min(3, graph.num_vertices)),
+        IncPLL(graph.copy()),
+        FullDynamicOracle(graph.copy(), num_landmarks=min(3, graph.num_vertices)),
+        OnlineBFS(graph.copy()),
+    ]
+
+
+class TestProtocol:
+    def test_all_oracles_satisfy_protocol(self):
+        for oracle in _make_all(grid_graph(3, 3)):
+            assert isinstance(oracle, DistanceOracle)
+
+
+class TestAgreement:
+    @given(st.integers(0, 600), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_under_edge_insertions(self, seed, rng):
+        base = random_connected_graph(seed, n_max=15)
+        oracles = _make_all(base)
+        reference = base.copy()
+        for _ in range(4):
+            candidates = non_edges(reference)
+            if not candidates:
+                break
+            u, v = rng.choice(candidates)
+            reference.add_edge(u, v)
+            for oracle in oracles:
+                oracle.insert_edge(u, v)
+            vertices = list(reference.vertices())
+            for _ in range(15):
+                a, b = rng.choice(vertices), rng.choice(vertices)
+                answers = {o.query(a, b) for o in oracles}
+                assert len(answers) == 1, (a, b, [o.query(a, b) for o in oracles])
+
+    @given(st.integers(0, 200), st.randoms(use_true_random=False))
+    @settings(max_examples=10, deadline=None)
+    def test_agreement_under_vertex_insertions(self, seed, rng):
+        base = random_connected_graph(seed, n_max=12)
+        oracles = _make_all(base)
+        reference = base.copy()
+        next_id = max(reference.vertices()) + 1
+        for i in range(3):
+            neighbors = rng.sample(
+                list(reference.vertices()), min(2, reference.num_vertices)
+            )
+            reference.insert_vertex(next_id + i, neighbors)
+            for oracle in oracles:
+                oracle.insert_vertex(next_id + i, neighbors)
+            vertices = list(reference.vertices())
+            for _ in range(10):
+                a, b = rng.choice(vertices), rng.choice(vertices)
+                answers = {o.query(a, b) for o in oracles}
+                assert len(answers) == 1
+
+
+class TestSizeOrdering:
+    def test_paper_size_ordering_holds(self):
+        """IncHL+ labelling strictly smaller than IncFD's SPTs, which are
+        smaller than IncPLL's 2-hop labels — Table 1's size ordering —
+        on a representative power-law graph."""
+        from repro.graph.generators import barabasi_albert
+
+        g = barabasi_albert(400, attach=4, rng=7)
+        hl = DynamicHCL.build(g.copy(), num_landmarks=10)
+        fd = FullDynamicOracle(g.copy(), num_landmarks=10)
+        pll = IncPLL(g.copy())
+        assert hl.size_bytes() < fd.size_bytes() < pll.size_bytes()
+
+
+class TestBatchAgreement:
+    @given(st.integers(0, 400), st.randoms(use_true_random=False))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_inchl_agrees_with_sequential_baselines(self, seed, rng):
+        """DynamicHCL taking the whole burst through one batch sweep must
+        agree with baselines that saw the edges one at a time."""
+        base = random_connected_graph(seed, n_max=15)
+        batch_oracle = DynamicHCL.build(
+            base.copy(), num_landmarks=min(3, base.num_vertices)
+        )
+        others = [IncPLL(base.copy()), OnlineBFS(base.copy())]
+        candidates = non_edges(base)
+        if len(candidates) < 2:
+            return
+        burst = rng.sample(candidates, min(4, len(candidates)))
+        batch_oracle.insert_edges_batch(burst)
+        for oracle in others:
+            for u, v in burst:
+                oracle.insert_edge(u, v)
+        vertices = list(base.vertices())
+        for _ in range(20):
+            a, b = rng.choice(vertices), rng.choice(vertices)
+            answers = {o.query(a, b) for o in [batch_oracle, *others]}
+            assert len(answers) == 1

@@ -1,0 +1,160 @@
+"""Tests for the IncFD baseline (bit-parallel landmark SPTs)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fd import BitParallelSPT, FullDynamicOracle
+from repro.exceptions import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph, ring_of_cliques
+from repro.graph.traversal import INF, bfs_distances
+
+from tests.conftest import (
+    all_pairs_distances,
+    non_edges,
+    random_connected_graph,
+)
+
+
+class TestBitParallelSPT:
+    def test_distances_match_bfs(self):
+        g = ring_of_cliques(4, 4)
+        tree = BitParallelSPT(g, 0)
+        assert tree.dist == bfs_distances(g, 0)
+
+    def test_root_masks_empty(self):
+        g = grid_graph(3, 3)
+        tree = BitParallelSPT(g, 4)
+        assert tree.s_minus[4] == 0
+        assert tree.s_zero[4] == 0
+
+    def test_selected_neighbor_self_mask(self):
+        g = grid_graph(3, 3)
+        tree = BitParallelSPT(g, 4)
+        for s, bit in tree.selected_bit.items():
+            assert tree.s_minus[s] & bit
+
+    def test_masks_are_disjoint(self):
+        g = ring_of_cliques(3, 5)
+        tree = BitParallelSPT(g, 0)
+        for v in tree.dist:
+            assert tree.s_minus[v] & tree.s_zero[v] == 0
+
+    def test_mask_semantics_exact(self):
+        """S⁻/S⁰ must equal their definitional sets for every vertex."""
+        g = ring_of_cliques(3, 4)
+        tree = BitParallelSPT(g, 0)
+        by_bit = {bit: s for s, bit in tree.selected_bit.items()}
+        source_dist = {s: bfs_distances(g, s) for s in tree.selected_bit}
+        for v, d in tree.dist.items():
+            if v == 0:
+                continue
+            for bit, s in by_bit.items():
+                ds_v = source_dist[s].get(v, INF)
+                assert bool(tree.s_minus[v] & bit) == (ds_v == d - 1)
+                assert bool(tree.s_zero[v] & bit) == (ds_v == d)
+
+    def test_bound_refinement(self):
+        # path 1 - 0 - 2 with root 0: d(1,2) = 2 = 1 + 1 - 0? Masks say:
+        # S⁻(1) = {1}, S⁻(2) = {2} -> no overlap; S⁰? d(2,1) = 2 != 1.
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        tree = BitParallelSPT(g, 0)
+        # 1 and 2 adjacent: d(1,2) = 1 = 1 + 1 - 1 via S⁰/S⁻ overlap.
+        assert tree.bound_between(1, 2) == 1
+
+    def test_bound_unreachable(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=3)
+        tree = BitParallelSPT(g, 0)
+        assert tree.bound_between(1, 2) == INF
+
+    def test_size_bytes(self):
+        g = grid_graph(3, 3)
+        tree = BitParallelSPT(g, 0)
+        assert tree.size_bytes() == 9 * 8
+
+
+class TestRepair:
+    @given(st.integers(0, 500), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_repair_equals_rebuild(self, seed, rng):
+        """Maintained (dist, S⁻, S⁰) equal a fresh BP-BFS after updates."""
+        g = random_connected_graph(seed, n_max=18)
+        root = max(g.vertices(), key=g.degree)
+        tree = BitParallelSPT(g, root)
+        for _ in range(5):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            g.add_edge(a, b)
+            tree.repair_insertion(g, a, b)
+            fresh = BitParallelSPT.__new__(BitParallelSPT)
+            fresh.root = root
+            fresh.selected_bit = tree.selected_bit
+            fresh.dist = {}
+            fresh.s_minus = {}
+            fresh.s_zero = {}
+            fresh._full_build(g)
+            assert tree.dist == fresh.dist
+            assert tree.s_minus == fresh.s_minus
+            assert tree.s_zero == fresh.s_zero
+
+    def test_repair_reports_work(self):
+        g = grid_graph(3, 3)
+        tree = BitParallelSPT(g, 0)
+        g.add_edge(0, 8)
+        assert tree.repair_insertion(g, 0, 8) > 0
+
+    def test_connecting_components(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=4)
+        g.add_edge(2, 3)
+        tree = BitParallelSPT(g, 0)
+        assert 2 not in tree.dist
+        g.add_edge(1, 2)
+        tree.repair_insertion(g, 1, 2)
+        assert tree.dist[2] == 2
+        assert tree.dist[3] == 3
+
+
+class TestOracle:
+    def test_landmark_validation(self):
+        with pytest.raises(GraphError):
+            FullDynamicOracle(grid_graph(2, 2), landmarks=[99])
+
+    def test_query_landmark_endpoints(self):
+        oracle = FullDynamicOracle(grid_graph(3, 3), landmarks=[4])
+        assert oracle.query(4, 0) == 2
+        assert oracle.query(0, 4) == 2
+        assert oracle.query(4, 4) == 0
+
+    def test_size_bytes(self):
+        oracle = FullDynamicOracle(grid_graph(3, 3), landmarks=[0, 8])
+        assert oracle.size_bytes() == 2 * 9 * 8
+
+    def test_tree_access(self):
+        oracle = FullDynamicOracle(grid_graph(3, 3), landmarks=[4])
+        assert oracle.tree(4).root == 4
+
+    @given(st.integers(0, 400), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_dynamic_exactness(self, seed, rng):
+        g = random_connected_graph(seed, n_max=16)
+        k = 1 + seed % min(4, g.num_vertices)
+        oracle = FullDynamicOracle(g, num_landmarks=k)
+        for _ in range(5):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            oracle.insert_edge(a, b)
+            truth = all_pairs_distances(g)
+            vertices = list(g.vertices())
+            for _ in range(20):
+                u, v = rng.choice(vertices), rng.choice(vertices)
+                assert oracle.query(u, v) == truth[u].get(v, INF)
+
+    def test_insert_vertex(self):
+        oracle = FullDynamicOracle(grid_graph(3, 3), landmarks=[4])
+        oracle.insert_vertex(50, [0, 8])
+        assert oracle.query(50, 4) == 3
+        assert oracle.query(50, 0) == 1

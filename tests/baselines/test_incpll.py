@@ -1,0 +1,118 @@
+"""Tests for IncPLL: exactness restored after insertions, entries never
+removed (size growth — the behaviour the paper contrasts IncHL+ against)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.incpll import IncPLL
+from repro.graph.generators import grid_graph
+from repro.graph.traversal import INF
+
+from tests.conftest import (
+    all_pairs_distances,
+    non_edges,
+    random_connected_graph,
+)
+
+
+class TestBasics:
+    def test_query_before_updates(self):
+        oracle = IncPLL(grid_graph(3, 3))
+        assert oracle.query(0, 8) == 4
+
+    def test_insert_edge_restores_exactness(self):
+        oracle = IncPLL(grid_graph(3, 3))
+        oracle.insert_edge(0, 8)
+        assert oracle.query(0, 8) == 1
+        assert oracle.query(1, 8) == 2
+
+    def test_insert_returns_resumed_count(self):
+        oracle = IncPLL(grid_graph(3, 3))
+        resumed = oracle.insert_edge(0, 8)
+        assert resumed > 0
+
+    def test_size_never_decreases(self):
+        import random
+
+        rng = random.Random(0)
+        g = random_connected_graph(42, n_max=16)
+        oracle = IncPLL(g)
+        sizes = [oracle.label_entries]
+        for _ in range(6):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            u, v = rng.choice(candidates)
+            oracle.insert_edge(u, v)
+            sizes.append(oracle.label_entries)
+        assert sizes == sorted(sizes)
+
+    def test_stale_entries_accumulate(self):
+        """After a shortcut insertion an old (now overestimating) entry
+        remains — IncPLL does not remove outdated entries (the behaviour
+        the paper's IncHL+ is built to avoid).
+
+        Hub 0 is the top hub (degree 5).  Vertex 2 initially stores
+        (1, 3) for the path 1-3-4-2.  Inserting (0, 2) shortens d(1, 2)
+        to 2 via hub 0; the resumed BFS of hub 1 is pruned at 0, so the
+        stale (1, 3) entry survives while queries stay exact via hub 0.
+        """
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges(
+            [(0, 5), (0, 6), (0, 7), (0, 8), (0, 1), (1, 3), (3, 4), (4, 2)]
+        )
+        oracle = IncPLL(g)
+        assert oracle.pll.labels.entry(2, 1) == 3
+        entries_before = oracle.label_entries
+        oracle.insert_edge(0, 2)
+        truth = all_pairs_distances(g)
+        assert truth[1][2] == 2
+        assert oracle.pll.labels.entry(2, 1) == 3  # stale, never removed
+        assert oracle.query(1, 2) == 2  # ... yet queries stay exact
+        assert oracle.label_entries >= entries_before
+
+    def test_insert_vertex(self):
+        oracle = IncPLL(grid_graph(3, 3))
+        oracle.insert_vertex(100, [0, 8])
+        assert oracle.query(100, 0) == 1
+        assert oracle.query(100, 4) == 3
+        # the new vertex is the lowest-priority hub
+        assert oracle.pll.rank(100) == 9
+
+    def test_size_bytes_accounting(self):
+        oracle = IncPLL(grid_graph(2, 2))
+        assert oracle.size_bytes() == oracle.label_entries * 8
+
+
+class TestExactness:
+    @given(st.integers(0, 500), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_sequences_stay_exact(self, seed, rng):
+        g = random_connected_graph(seed, n_max=16)
+        oracle = IncPLL(g)
+        for _ in range(6):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            u, v = rng.choice(candidates)
+            oracle.insert_edge(u, v)
+            truth = all_pairs_distances(g)
+            vertices = list(g.vertices())
+            for _ in range(25):
+                a, b = rng.choice(vertices), rng.choice(vertices)
+                assert oracle.query(a, b) == truth[a].get(b, INF)
+
+    @given(st.integers(0, 200), st.randoms(use_true_random=False))
+    @settings(max_examples=15, deadline=None)
+    def test_vertex_insertions_stay_exact(self, seed, rng):
+        g = random_connected_graph(seed, n_max=12)
+        oracle = IncPLL(g)
+        next_id = max(g.vertices()) + 1
+        for i in range(3):
+            neighbors = rng.sample(list(g.vertices()), min(2, g.num_vertices))
+            oracle.insert_vertex(next_id + i, neighbors)
+        truth = all_pairs_distances(g)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert oracle.query(u, v) == truth[u].get(v, INF)

@@ -1,0 +1,113 @@
+"""Tests for the static pruned landmark labelling baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pll import PrunedLandmarkLabelling, pll_query
+from repro.core.labels import LabelStore
+from repro.exceptions import ConstructionBudgetExceeded, GraphError
+from repro.graph.generators import barabasi_albert, grid_graph
+from repro.graph.traversal import INF
+
+from tests.conftest import all_pairs_distances, random_connected_graph
+
+
+class TestPllQueryHelper:
+    def test_same_vertex(self):
+        assert pll_query(LabelStore(), 3, 3) == 0
+
+    def test_no_common_hub(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        store.set_entry(2, 9, 1)
+        assert pll_query(store, 1, 2) == INF
+
+    def test_min_over_common_hubs(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 3)
+        store.set_entry(1, 5, 1)
+        store.set_entry(2, 0, 1)
+        store.set_entry(2, 5, 2)
+        assert pll_query(store, 1, 2) == 3  # via hub 5
+
+
+class TestConstruction:
+    def test_every_vertex_has_self_entry(self):
+        g = grid_graph(3, 3)
+        pll = PrunedLandmarkLabelling(g)
+        for v in g.vertices():
+            assert pll.labels.entry(v, v) == 0
+
+    def test_pruning_reduces_size(self):
+        """2-hop labels must be far below the n²/2 un-pruned worst case."""
+        g = barabasi_albert(150, attach=3, rng=1)
+        pll = PrunedLandmarkLabelling(g)
+        assert pll.label_entries < 150 * 150 / 4
+
+    def test_rank_follows_degree_order(self):
+        g = barabasi_albert(50, attach=2, rng=0)
+        pll = PrunedLandmarkLabelling(g)
+        degrees = [g.degree(v) for v in sorted(g.vertices(), key=pll.rank)]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_explicit_order(self):
+        g = grid_graph(2, 2)
+        pll = PrunedLandmarkLabelling(g, order=[3, 2, 1, 0])
+        assert pll.rank(3) == 0
+
+    def test_invalid_order_rejected(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(GraphError):
+            PrunedLandmarkLabelling(g, order=[0, 1])
+
+    def test_budget_enforced(self):
+        g = barabasi_albert(300, attach=3, rng=0)
+        with pytest.raises(ConstructionBudgetExceeded):
+            PrunedLandmarkLabelling(g, time_budget_s=0.0)
+
+    def test_size_bytes(self):
+        g = grid_graph(2, 2)
+        pll = PrunedLandmarkLabelling(g)
+        assert pll.size_bytes() == pll.label_entries * 8
+
+
+class TestQueries:
+    def test_grid_exact(self):
+        g = grid_graph(4, 4)
+        pll = PrunedLandmarkLabelling(g)
+        truth = all_pairs_distances(g)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert pll.query(u, v) == truth[u].get(v, INF)
+
+    def test_disconnected(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=4)
+        g.add_edge(2, 3)
+        pll = PrunedLandmarkLabelling(g)
+        assert pll.query(0, 2) == INF
+        assert pll.query(2, 3) == 1
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_exhaustive_random_graphs(self, seed):
+        g = random_connected_graph(seed, n_max=18)
+        pll = PrunedLandmarkLabelling(g)
+        truth = all_pairs_distances(g)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert pll.query(u, v) == truth[u].get(v, INF)
+
+    @given(st.integers(0, 200), st.randoms(use_true_random=False))
+    @settings(max_examples=15, deadline=None)
+    def test_any_order_still_exact(self, seed, rng):
+        """Correctness must not depend on the hub order (only size does)."""
+        g = random_connected_graph(seed, n_max=14)
+        order = list(g.vertices())
+        rng.shuffle(order)
+        pll = PrunedLandmarkLabelling(g, order=order)
+        truth = all_pairs_distances(g)
+        for u in g.vertices():
+            for v in g.vertices():
+                assert pll.query(u, v) == truth[u].get(v, INF)

@@ -1,0 +1,108 @@
+"""Smoke runs of every experiment on tiny datasets — each table/figure
+generator must produce well-formed rows and a rendering."""
+
+import pytest
+
+from repro.bench.experiments import ablations, figure1, figure3, figure4, table1, table2
+from repro.bench.experiments.table1 import PAPER_TABLE1
+from repro.exceptions import BenchmarkError
+from repro.workloads.datasets import DATASETS
+
+_SMALL = ["skitter-s", "flickr-s"]
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        result = table1.run(profile="smoke", datasets=_SMALL)
+        assert result.name == "table1"
+        assert len(result.rows) == 2 * 3  # datasets x methods
+        for row in result.rows:
+            if row["method"] == "IncHL+":
+                assert row["update_ms"] is not None
+                assert row["query_ms"] is not None
+                assert row["size_bytes"] > 0
+        assert "Table 1" in result.text
+        assert "IncHL+" in result.text
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_TABLE1) == set(DATASETS)
+        # the paper's "-" cells are preserved
+        assert PAPER_TABLE1["clueweb09-s"]["IncFD"] is None
+        assert PAPER_TABLE1["uk-s"]["IncPLL"] is None
+
+    def test_infeasible_dataset_renders_dash(self):
+        result = table1.run(profile="smoke", datasets=["orkut-s"])
+        incpll_row = [r for r in result.rows if r["method"] == "IncPLL"][0]
+        assert incpll_row["update_ms"] is None
+
+    def test_unknown_dataset(self):
+        with pytest.raises(BenchmarkError):
+            table1.run(profile="smoke", datasets=["bogus"])
+
+
+class TestTable2:
+    def test_all_datasets_summarised(self):
+        result = table2.run(profile="smoke")
+        assert len(result.rows) == 12
+        for row in result.rows:
+            assert row["num_vertices"] > 0
+            assert row["avg_distance"] > 0
+        assert "Table 2" in result.text
+
+    def test_unknown_dataset(self):
+        with pytest.raises(BenchmarkError):
+            table2.run(profile="smoke", datasets=["bogus"])
+
+
+class TestFigure1:
+    def test_percentages_sorted_descending(self):
+        result = figure1.run(profile="smoke", datasets=_SMALL)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0.0 <= row["min_pct"] <= row["median_pct"] <= row["max_pct"] <= 100.0
+        assert "Figure 1" in result.text
+
+    def test_default_uses_paper_legend(self):
+        assert set(figure1.FIGURE1_DATASETS) <= set(DATASETS)
+        assert len(figure1.FIGURE1_DATASETS) == 6
+
+
+class TestFigure3:
+    def test_sweep_structure(self):
+        result = figure3.run(profile="smoke", datasets=["skitter-s"])
+        counts = {row["num_landmarks"] for row in result.rows}
+        assert counts == {10, 20}  # smoke profile sweep
+        for row in result.rows:
+            assert row["inchl_update_ms"] >= 0
+            assert row["incfd_update_ms"] >= 0
+        assert "Figure 3" in result.text
+
+
+class TestFigure4:
+    def test_cumulative_monotone(self):
+        result = figure4.run(profile="smoke", datasets=["flickr-s"])
+        row = result.rows[0]
+        assert row["num_updates"] > 0
+        assert row["cumulative_update_s"] > 0
+        assert row["reconstruction_s"] > 0
+        assert "Figure 4" in result.text
+
+
+class TestAblations:
+    def test_all_three_sections(self):
+        result = ablations.run(profile="smoke", datasets=_SMALL)
+        experiments = {row["experiment"] for row in result.rows}
+        assert experiments == {
+            "A1-landmark-strategy",
+            "A2-update-vs-rebuild",
+            "A3-workload-realism",
+        }
+        assert "A1" in result.text and "A3" in result.text
+
+    def test_a1_covers_all_strategies(self):
+        rows = ablations.run_landmark_strategies(
+            profile="smoke", datasets=["skitter-s"]
+        )
+        assert {r["strategy"] for r in rows} == {
+            "degree", "random", "betweenness", "spread"
+        }

@@ -1,0 +1,66 @@
+"""Smoke tests for the A4–A7 extension ablations (smoke profile)."""
+
+import pytest
+
+from repro.bench.experiments.extensions import (
+    run,
+    run_batch_vs_sequential,
+    run_construction_fast_path,
+    run_cost_model_fit,
+    run_decremental_strategies,
+)
+from repro.exceptions import BenchmarkError
+
+DATASETS = ["skitter-s"]
+
+
+class TestSections:
+    def test_batch_vs_sequential_rows(self):
+        rows = run_batch_vs_sequential(profile="smoke", datasets=DATASETS)
+        assert len(rows) == 3  # three batch sizes
+        for row in rows:
+            assert row["dataset"] == "skitter-s"
+            assert row["sequential_ms"] > 0
+            assert row["batch_ms"] > 0
+            assert row["speedup"] is not None
+
+    def test_decremental_strategies_rows(self):
+        rows = run_decremental_strategies(profile="smoke", datasets=DATASETS)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["deletions"] >= 4
+        # The fine-grained repair must beat per-landmark rebuilds, which
+        # must beat a full reconstruction per deletion.
+        assert row["partial_ms"] < row["full_rebuild_ms"]
+
+    def test_construction_fast_path_rows(self):
+        rows = run_construction_fast_path(profile="smoke", datasets=DATASETS)
+        names = [row["dataset"] for row in rows]
+        assert names[0] == "skitter-s"
+        assert any(name.startswith("ba-") for name in names)
+        for row in rows:
+            assert row["python_ms"] > 0 and row["csr_ms"] > 0
+
+    def test_cost_model_fit_rows(self):
+        rows = run_cost_model_fit(profile="smoke", datasets=DATASETS)
+        assert len(rows) == 1
+        assert rows[0]["updates"] >= 8
+
+
+class TestCombined:
+    def test_run_combines_all_sections(self):
+        result = run(profile="smoke", datasets=DATASETS)
+        assert result.name == "extensions"
+        experiments = {row["experiment"] for row in result.rows}
+        assert experiments == {
+            "A4-batch-vs-sequential",
+            "A5-decremental-strategies",
+            "A6-construction-fast-path",
+            "A7-cost-model-fit",
+        }
+        for title in ("A4", "A5", "A6", "A7"):
+            assert title in result.text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run(profile="smoke", datasets=["nope"])

@@ -1,0 +1,48 @@
+"""Tests for the Figure 2 worked-example experiment."""
+
+from repro.bench.experiments.figure2 import (
+    EXPECTED_AFFECTED,
+    FIGURE2_INSERTION,
+    FIGURE2_LANDMARKS,
+    paper_figure2_graph,
+    run,
+)
+
+
+class TestFigure2Experiment:
+    def test_every_landmark_matches_paper(self):
+        result = run()
+        assert result.name == "figure2"
+        assert len(result.rows) == 3
+        assert all(row["matches_paper"] == "yes" for row in result.rows)
+
+    def test_rows_carry_paper_sets(self):
+        result = run()
+        by_landmark = {row["landmark"]: row for row in result.rows}
+        assert by_landmark[0]["affected"] == "{5, 8, 9, 10, 13, 14}"
+        assert by_landmark[0]["repaired"] == "{5, 9}"
+        assert by_landmark[0]["covered"] == "{8, 13, 14}"
+        assert by_landmark[4]["affected"] == "{}"
+        assert by_landmark[10]["covered"] == "{1}"
+
+    def test_text_rendering(self):
+        text = run().text
+        assert "Figure 2" in text
+        assert str(FIGURE2_INSERTION) in text
+        assert "rebuild" in text
+
+    def test_graph_shape(self):
+        graph = paper_figure2_graph()
+        assert graph.num_vertices == 16
+        assert graph.num_edges == 20
+        for r in FIGURE2_LANDMARKS:
+            assert graph.has_vertex(r)
+        assert not graph.has_edge(*FIGURE2_INSERTION)
+
+    def test_expected_sets_cover_all_landmarks(self):
+        assert set(EXPECTED_AFFECTED) == set(FIGURE2_LANDMARKS)
+
+    def test_run_ignores_parameters(self):
+        default = run()
+        parameterised = run(profile="smoke", datasets=["flickr-s"], seed=7)
+        assert default.rows == parameterised.rows

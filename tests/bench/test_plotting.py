@@ -1,0 +1,101 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.bench.plotting import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_basic_layout(self):
+        chart = bar_chart("speeds", ["fast", "slow"], [1.0, 10.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "speeds"
+        assert len(lines) == 3
+        assert "fast" in lines[1] and "1.00" in lines[1]
+        assert "slow" in lines[2] and "10.00" in lines[2]
+
+    def test_max_value_fills_width(self):
+        chart = bar_chart("t", ["a", "b"], [1.0, 100.0], width=20)
+        assert "█" * 20 in chart.splitlines()[2]
+
+    def test_min_value_keeps_one_cell(self):
+        chart = bar_chart("t", ["a", "b"], [1.0, 100.0], width=20)
+        assert "█" in chart.splitlines()[1]
+
+    def test_log_scaling_orders_bars(self):
+        chart = bar_chart("t", ["a", "b", "c"], [1.0, 10.0, 100.0],
+                          width=20, log=True)
+        lengths = [line.count("█") for line in chart.splitlines()[1:]]
+        assert lengths == sorted(lengths)
+        # log scale: the middle decade sits halfway, not at 10%
+        assert lengths[1] == pytest.approx(10, abs=1)
+
+    def test_zero_values_render_empty(self):
+        chart = bar_chart("t", ["a", "b"], [0.0, 5.0], width=10)
+        assert chart.splitlines()[1].count("█") == 0
+
+    def test_all_nonpositive(self):
+        chart = bar_chart("t", ["a"], [0.0])
+        assert "(no data)" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        chart = bar_chart("t", ["a"], [3.0], unit="ms")
+        assert "3.00 ms" in chart
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([1, 2, 3, 4]) == "▁▃▆█"
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_zeros_render_blank(self):
+        assert sparkline([0, 1])[0] == " "
+
+    def test_empty_and_all_zero(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "  "
+
+    def test_log_scale(self):
+        linear = sparkline([1, 10, 100])
+        logged = sparkline([1, 10, 100], log=True)
+        assert logged[1] != linear[1]  # mid-decade lifts under log
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart(
+            "growth",
+            {"inchl": [(0, 1.0), (10, 2.0)], "rebuild": [(0, 5.0), (10, 5.0)]},
+            width=30,
+            height=8,
+        )
+        assert "growth" in chart
+        assert "* inchl" in chart
+        assert "+ rebuild" in chart
+        assert "*" in chart.splitlines()[1] or any(
+            "*" in line for line in chart.splitlines()
+        )
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart("t", {"a": []})
+
+    def test_log_y_drops_nonpositive(self):
+        chart = line_chart("t", {"a": [(0, 0.0), (1, 10.0)]}, log_y=True)
+        assert "(no data)" not in chart
+
+    def test_axis_labels(self):
+        chart = line_chart("t", {"a": [(0, 1.0), (5, 2.0)]},
+                           x_label="updates", y_label="seconds")
+        assert "updates" in chart and "seconds" in chart
+
+    def test_single_point(self):
+        chart = line_chart("t", {"a": [(1, 1.0)]}, width=10, height=4)
+        assert any("*" in line for line in chart.splitlines())

@@ -1,0 +1,37 @@
+"""Tests for benchmark profiles."""
+
+import pytest
+
+from repro.bench.profile import PROFILE_NAMES, bench_profile
+from repro.exceptions import BenchmarkError
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        for name in PROFILE_NAMES:
+            prof = bench_profile(name)
+            assert prof.name == name
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert bench_profile().name == "default"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+        assert bench_profile().name == "smoke"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+        assert bench_profile("full").name == "full"
+
+    def test_unknown_profile(self):
+        with pytest.raises(BenchmarkError):
+            bench_profile("gigantic")
+
+    def test_scaling_monotone(self):
+        smoke = bench_profile("smoke")
+        default = bench_profile("default")
+        full = bench_profile("full")
+        assert smoke.num_updates < default.num_updates < full.num_updates
+        assert smoke.num_queries < default.num_queries < full.num_queries
+        assert smoke.figure4_total < default.figure4_total < full.figure4_total

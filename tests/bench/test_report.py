@@ -1,0 +1,63 @@
+"""Tests for the report renderers."""
+
+import pytest
+
+from repro.bench.report import format_bytes, format_table, format_value, render_series
+
+
+class TestFormatValue:
+    def test_none_renders_dash(self):
+        assert format_value(None) == "-"
+
+    def test_float_precision_tiers(self):
+        assert format_value(0.1234) == "0.123"
+        assert format_value(5.678) == "5.68"
+        assert format_value(123.456) == "123.5"
+
+    def test_nan_and_inf(self):
+        assert format_value(float("nan")) == "-"
+        assert format_value(float("inf")) == "inf"
+
+    def test_ints_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(44_040_192) == "42.0 MB"
+        assert format_bytes(3 << 30) == "3.0 GB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(
+            ["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 10}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+        assert "-" in lines[4]  # missing cell renders as dash
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series(
+            "F", {"s1": [(0, 1.0), (1, 0.5)]}, x_label="i", y_label="pct"
+        )
+        assert "F" in text
+        assert "s1:" in text
+        assert "[i -> pct]" in text
+        assert text.count("\n") >= 3

@@ -1,0 +1,88 @@
+"""Empirical checks of the paper's Section 5 complexity claims.
+
+The analysis bounds IncHL+ by ``O(|R| · m · d · l)`` where ``m`` is the
+number of affected vertices, and observes that in practice (i) ``m`` is
+orders of magnitude smaller than ``|V|`` and (ii) the average label size
+``l`` is significantly smaller than ``|R|``.  These tests pin those
+empirical facts on the dataset stand-ins so a performance regression in
+the pruning logic fails loudly.
+"""
+
+from repro.core.dynamic import DynamicHCL
+from repro.workloads.datasets import build_dataset
+from repro.workloads.updates import sample_edge_insertions
+
+
+class TestAffectedSetsAreSmall:
+    def test_affected_fraction_social(self):
+        spec, graph = build_dataset("flickr-s", profile="smoke")
+        oracle = DynamicHCL.build(graph, num_landmarks=spec.num_landmarks)
+        fractions = []
+        for u, v in sample_edge_insertions(graph, 30, rng=1):
+            stats = oracle.insert_edge(u, v)
+            fractions.append(stats.affected_union / graph.num_vertices)
+        # median affected fraction stays well below 100% of V
+        fractions.sort()
+        assert fractions[len(fractions) // 2] < 0.25
+
+    def test_web_graphs_have_larger_affected_sets(self):
+        """The paper's Figure 1 / scalability observation: high-avg-distance
+        (web) graphs see larger affected sets than social graphs."""
+
+        def median_affected(name):
+            spec, graph = build_dataset(name, profile="smoke")
+            oracle = DynamicHCL.build(graph, num_landmarks=spec.num_landmarks)
+            fractions = sorted(
+                oracle.insert_edge(u, v).affected_union / graph.num_vertices
+                for u, v in sample_edge_insertions(graph, 30, rng=2)
+            )
+            return fractions[len(fractions) // 2]
+
+        assert median_affected("indochina-s") > median_affected("twitter-s")
+
+
+class TestLabelSizes:
+    def test_average_label_size_below_landmark_count(self):
+        """The paper: 'l is also significantly smaller than |R|'."""
+        for name in ("flickr-s", "indochina-s", "clueweb09-s"):
+            spec, graph = build_dataset(name, profile="smoke")
+            oracle = DynamicHCL.build(graph, num_landmarks=spec.num_landmarks)
+            l_avg = oracle.label_entries / graph.num_vertices
+            assert l_avg < spec.num_landmarks, name
+
+    def test_labelling_much_smaller_than_pll(self):
+        """HCL's raison d'être: far fewer entries than a 2-hop cover."""
+        from repro.baselines.pll import PrunedLandmarkLabelling
+
+        spec, graph = build_dataset("skitter-s", profile="smoke")
+        oracle = DynamicHCL.build(graph.copy(), num_landmarks=spec.num_landmarks)
+        pll = PrunedLandmarkLabelling(graph.copy())
+        assert oracle.label_entries * 2 < pll.label_entries
+
+    def test_size_stable_under_update_stream(self):
+        """Table 1 narrative: IncHL+ sizes 'remain stable' under updates
+        (within the minimal size of the evolving graph)."""
+        spec, graph = build_dataset("flickr-s", profile="smoke")
+        oracle = DynamicHCL.build(graph, num_landmarks=spec.num_landmarks)
+        before = oracle.label_entries
+        for u, v in sample_edge_insertions(graph, 40, rng=3):
+            oracle.insert_edge(u, v)
+        # inserting shortcuts can only shrink or mildly perturb the minimal
+        # labelling; it must not balloon the way IncPLL's does
+        assert oracle.label_entries <= before * 1.2
+
+
+class TestUpdateWorkScalesWithAffected:
+    def test_stats_account_for_all_label_changes(self):
+        spec, graph = build_dataset("skitter-s", profile="smoke")
+        oracle = DynamicHCL.build(graph, num_landmarks=spec.num_landmarks)
+        for u, v in sample_edge_insertions(graph, 20, rng=4):
+            stats = oracle.insert_edge(u, v)
+            changes = (
+                stats.entries_added
+                + stats.entries_modified
+                + stats.entries_removed
+                + stats.highway_updates
+            )
+            # every label change touches an affected vertex of some landmark
+            assert changes <= stats.total_affected

@@ -1,0 +1,135 @@
+"""Tests for static HCL construction: cover property, minimality,
+order-independence, and hand-checked small cases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.validation import (
+    check_cover_property,
+    check_minimality,
+)
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph, ring_of_cliques
+
+from tests.conftest import FIGURE2_LANDMARKS, random_connected_graph
+
+
+class TestHandChecked:
+    def test_path_graph_single_landmark(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        # Only landmark: every other vertex keeps its exact entry.
+        assert gamma.labels.as_dict() == {
+            1: {0: 1}, 2: {0: 2}, 3: {0: 3}, 4: {0: 4}
+        }
+
+    def test_path_graph_two_landmarks(self, path_graph):
+        gamma = build_hcl(path_graph, [0, 4])
+        # Vertices between the landmarks see both without intermediates.
+        assert gamma.labels.label(2) == {0: 2, 4: 2}
+        assert gamma.highway.distance(0, 4) == 4
+        # Landmarks carry no labels.
+        assert gamma.labels.label(0) == {}
+        assert gamma.labels.label(4) == {}
+
+    def test_landmark_between_blocks_entry(self):
+        # 0 - 1 - 2 with landmarks 0 and 1: every 0-2 shortest path passes
+        # landmark 1, so vertex 2 must not carry a 0-entry.
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        gamma = build_hcl(g, [0, 1])
+        assert gamma.labels.label(2) == {1: 1}
+        assert gamma.highway.distance(0, 1) == 1
+
+    def test_alternative_landmark_free_path_keeps_entry(self):
+        # square 0-1-2-3-0 plus landmark on one of the two paths: the other
+        # path is landmark-free so the entry must stay (the ∃-rule matters).
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+        gamma = build_hcl(g, [0, 1])
+        # 2 is reachable from 0 in 2 hops via landmark 1 AND via plain 3.
+        assert gamma.labels.entry(2, 0) is None  # some path passes 1 -> removed
+        # ... by the minimal rule an entry is dropped when ANY shortest path
+        # contains another landmark.
+        assert gamma.labels.entry(3, 0) == 1
+
+    def test_disconnected_component_unlabelled(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=4)
+        g.add_edge(2, 3)
+        gamma = build_hcl(g, [0])
+        assert gamma.labels.label(2) == {}
+        assert gamma.labels.label(3) == {}
+
+    def test_unreachable_landmark_pair_inf(self):
+        g = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        gamma = build_hcl(g, [0, 2])
+        assert gamma.highway.distance(0, 2) == float("inf")
+
+    def test_figure2_highway(self, paper_figure2_graph):
+        gamma = build_hcl(paper_figure2_graph, FIGURE2_LANDMARKS)
+        assert gamma.highway.distance(0, 4) == 2
+        assert gamma.highway.distance(4, 10) == 2
+        assert gamma.highway.distance(0, 10) == 4
+
+
+class TestValidation:
+    def test_empty_landmarks_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            build_hcl(path_graph, [])
+
+    def test_unknown_landmark_rejected(self, path_graph):
+        with pytest.raises(VertexNotFoundError):
+            build_hcl(path_graph, [99])
+
+    def test_size_accounting(self):
+        g = grid_graph(4, 4)
+        gamma = build_hcl(g, [0, 15])
+        assert gamma.label_entries == gamma.labels.total_entries
+        assert gamma.size_bytes() == gamma.labels.size_bytes() + gamma.highway.size_bytes()
+        assert gamma.average_label_size(16) == gamma.labels.total_entries / 16
+
+    def test_average_label_size_bad_n(self):
+        gamma = build_hcl(grid_graph(2, 2), [0])
+        with pytest.raises(ValueError):
+            gamma.average_label_size(0)
+
+
+class TestProperties:
+    @given(st.integers(0, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_cover_property_random_graphs(self, seed):
+        g = random_connected_graph(seed)
+        k = 1 + seed % min(5, g.num_vertices)
+        landmarks = sorted(g.vertices())[:k]
+        gamma = build_hcl(g, landmarks)
+        check_cover_property(g, gamma)
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_minimality_random_graphs(self, seed):
+        g = random_connected_graph(seed)
+        k = 1 + seed % min(5, g.num_vertices)
+        landmarks = sorted(g.vertices())[-k:]
+        gamma = build_hcl(g, landmarks)
+        check_minimality(g, gamma)
+
+    @given(st.integers(0, 200), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_order_independence(self, seed, rng):
+        """The minimal labelling is canonical: landmark order is irrelevant
+        (the paper's order-independence property)."""
+        g = random_connected_graph(seed)
+        landmarks = sorted(g.vertices())[: min(5, g.num_vertices)]
+        shuffled = list(landmarks)
+        rng.shuffle(shuffled)
+        a = build_hcl(g, landmarks)
+        b = build_hcl(g, shuffled)
+        assert a.labels == b.labels
+        assert a.highway.as_dict() == b.highway.as_dict()
+
+    def test_ring_of_cliques_labels_small(self):
+        """Highway cover keeps labels tiny when landmarks dominate cuts."""
+        g = ring_of_cliques(5, 4)
+        landmarks = [0, 4, 8, 12, 16]  # one per clique
+        gamma = build_hcl(g, landmarks)
+        avg = gamma.average_label_size(g.num_vertices)
+        assert avg <= len(landmarks)

@@ -1,0 +1,114 @@
+"""Tests for the vectorized HCL construction fast path.
+
+The contract is exact equality with the reference construction — same
+entries, same highway cells — on every input, so every test is an
+equivalence check plus the standard labelling invariants.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.construction_fast import build_hcl_fast
+from repro.core.validation import (
+    check_cover_property,
+    check_minimality,
+    check_query_exactness,
+)
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_graph,
+    ring_of_cliques,
+)
+
+from tests.conftest import random_connected_graph
+
+
+def assert_same_labelling(graph, landmarks):
+    reference = build_hcl(graph, landmarks)
+    fast = build_hcl_fast(graph, landmarks)
+    assert fast.highway == reference.highway
+    assert fast.labels == reference.labels
+
+
+class TestEquivalence:
+    def test_grid(self):
+        assert_same_labelling(grid_graph(4, 5), [0, 19, 9])
+
+    def test_ring_of_cliques(self):
+        assert_same_labelling(ring_of_cliques(4, 5), [0, 5, 10])
+
+    def test_barabasi_albert(self):
+        graph = barabasi_albert(120, 3, rng=5)
+        landmarks = sorted(graph.vertices(), key=graph.degree, reverse=True)[:8]
+        assert_same_labelling(graph, landmarks)
+
+    def test_adjacent_landmarks(self):
+        graph = grid_graph(3, 3)
+        assert_same_labelling(graph, [0, 1])
+
+    def test_all_vertices_landmarks(self):
+        graph = grid_graph(2, 3)
+        assert_same_labelling(graph, list(graph.vertices()))
+
+    @given(seed=st.integers(0, 10**6), num_landmarks=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_random_connected(self, seed, num_landmarks):
+        graph = random_connected_graph(seed)
+        vertices = sorted(graph.vertices())
+        landmarks = vertices[: min(num_landmarks, len(vertices))]
+        assert_same_labelling(graph, landmarks)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_disconnected(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(8, 25)
+        graph = erdos_renyi(n, max(1, n // 2), rng=rng)
+        landmarks = sorted(graph.vertices())[:3]
+        assert_same_labelling(graph, landmarks)
+
+    def test_invariants_hold(self):
+        graph = random_connected_graph(23, n_min=20, n_max=30)
+        landmarks = sorted(graph.vertices(), key=graph.degree, reverse=True)[:4]
+        labelling = build_hcl_fast(graph, landmarks)
+        check_cover_property(graph, labelling)
+        check_minimality(graph, labelling)
+        check_query_exactness(graph, labelling, num_pairs=50, rng=1)
+
+
+class TestInterface:
+    def test_reused_csr_snapshot(self):
+        graph = grid_graph(4, 4)
+        csr = CSRGraph.from_graph(graph)
+        first = build_hcl_fast(graph, [0, 15], csr=csr)
+        second = build_hcl_fast(graph, [5, 10], csr=csr)
+        assert first == build_hcl(graph, [0, 15])
+        assert second == build_hcl(graph, [5, 10])
+
+    def test_no_landmarks_rejected(self):
+        with pytest.raises(GraphError):
+            build_hcl_fast(grid_graph(2, 2), [])
+
+    def test_unknown_landmark_rejected(self):
+        with pytest.raises(VertexNotFoundError):
+            build_hcl_fast(grid_graph(2, 2), [99])
+
+    def test_landmark_order_preserved(self):
+        graph = grid_graph(3, 3)
+        labelling = build_hcl_fast(graph, [8, 0, 4])
+        assert labelling.landmarks == [8, 0, 4]
+
+    def test_isolated_vertex_gets_no_entries(self):
+        graph = DynamicGraph([0, 1, 2, 3])
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        labelling = build_hcl_fast(graph, [0])
+        assert labelling.labels.label(3) == {}
+        assert labelling == build_hcl(graph, [0])

@@ -1,0 +1,172 @@
+"""Model-based property tests for the core data structures.
+
+LabelStore and Highway are the two mutable stores every algorithm in the
+library leans on; here hypothesis drives them through random operation
+sequences against trivially-correct dict models, and random labellings
+through the serialization round-trip.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.highway import Highway
+from repro.core.labels import LabelStore
+from repro.exceptions import NotALandmarkError
+from repro.graph.traversal import INF
+from repro.utils.serialization import load_labelling, save_labelling
+
+from tests.conftest import random_connected_graph
+
+# One operation: (op, vertex, landmark, distance)
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "remove", "clear_landmark"]),
+        st.integers(0, 9),
+        st.integers(0, 4),
+        st.integers(0, 20),
+    ),
+    max_size=40,
+)
+
+
+class TestLabelStoreModel:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        store = LabelStore()
+        model: dict[int, dict[int, int]] = {}
+        for op, v, r, d in ops:
+            if op == "set":
+                store.set_entry(v, r, d)
+                model.setdefault(v, {})[r] = d
+            elif op == "remove":
+                removed = store.remove_entry(v, r)
+                assert removed == (r in model.get(v, {}))
+                if removed:
+                    del model[v][r]
+                    if not model[v]:
+                        del model[v]
+            else:  # clear_landmark
+                cleared = store.clear_landmark(r)
+                expected = sum(1 for lbl in model.values() if r in lbl)
+                assert cleared == expected
+                for v2 in list(model):
+                    model[v2].pop(r, None)
+                    if not model[v2]:
+                        del model[v2]
+        assert store.as_dict() == model
+        assert store.total_entries == sum(len(lbl) for lbl in model.values())
+        for v2, lbl in model.items():
+            assert store.label(v2) == lbl
+            assert store.label_size(v2) == len(lbl)
+        # Copies are independent.
+        clone = store.copy()
+        clone.set_entry(99, 0, 1)
+        assert not store.has_entry(99, 0)
+
+    @given(ops=_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_equality_follows_content(self, ops):
+        a = LabelStore()
+        b = LabelStore()
+        for op, v, r, d in ops:
+            if op == "set":
+                a.set_entry(v, r, d)
+                b.set_entry(v, r, d)
+        assert a == b
+        b.set_entry(50, 0, 1)
+        assert a != b
+
+
+_highway_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "remove", "clear_row"]),
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.integers(1, 30),
+    ),
+    max_size=30,
+)
+
+
+class TestHighwayModel:
+    @given(ops=_highway_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_symmetric_model(self, ops):
+        landmarks = [0, 1, 2, 3, 4]
+        highway = Highway(landmarks)
+        model: dict[tuple[int, int], float] = {}
+        for op, r1, r2, d in ops:
+            key = (min(r1, r2), max(r1, r2))
+            if op == "set":
+                if r1 == r2:
+                    continue
+                highway.set_distance(r1, r2, d)
+                model[key] = d
+            elif op == "remove":
+                if r1 == r2:
+                    continue
+                removed = highway.remove_distance(r1, r2)
+                assert removed == (key in model)
+                model.pop(key, None)
+            else:  # clear_row
+                highway.clear_row(r1)
+                for k in list(model):
+                    if r1 in k:
+                        del model[k]
+        for r1 in landmarks:
+            for r2 in landmarks:
+                if r1 == r2:
+                    assert highway.distance(r1, r2) == 0
+                else:
+                    key = (min(r1, r2), max(r1, r2))
+                    expected = model.get(key, INF)
+                    assert highway.distance(r1, r2) == expected
+                    assert highway.distance(r2, r1) == expected
+
+    def test_add_then_remove_landmark_roundtrip(self):
+        highway = Highway([0, 1])
+        highway.set_distance(0, 1, 3)
+        highway.add_landmark(7)
+        highway.set_distance(0, 7, 2)
+        highway.set_distance(1, 7, 4)
+        highway.remove_landmark(7)
+        assert highway.landmarks == [0, 1]
+        assert highway.distance(0, 1) == 3
+        with pytest.raises(NotALandmarkError):
+            highway.distance(0, 7)
+
+    def test_diagonal_cannot_be_removed(self):
+        highway = Highway([0, 1])
+        with pytest.raises(ValueError):
+            highway.remove_distance(0, 0)
+
+
+class TestSerializationRoundTrip:
+    @given(seed=st.integers(0, 10**6), num_landmarks=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_labelling_roundtrips(self, seed, num_landmarks, tmp_path_factory):
+        graph = random_connected_graph(seed)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl(graph, vertices[:num_landmarks])
+        path = tmp_path_factory.mktemp("ser") / "labelling.json"
+        save_labelling(labelling, path)
+        restored = load_labelling(path)
+        assert restored.highway == labelling.highway
+        assert restored.labels == labelling.labels
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_disconnected_labelling_roundtrips(self, seed, tmp_path_factory):
+        rng = random.Random(seed)
+        from repro.graph.generators import erdos_renyi
+
+        n = rng.randint(8, 20)
+        graph = erdos_renyi(n, max(1, n // 2), rng=rng)
+        labelling = build_hcl(graph, sorted(graph.vertices())[:2])
+        path = tmp_path_factory.mktemp("ser") / "labelling.json.gz"
+        save_labelling(labelling, path)
+        assert load_labelling(path) == labelling

@@ -1,0 +1,221 @@
+"""Tests for DecHL — fine-grained decremental maintenance.
+
+The strongest property: after any deletion (or interleaved
+insert/delete sequence), the maintained labelling equals the canonical
+minimal labelling of the final graph, exactly.  The affected set is also
+checked against a brute-force evaluation of "some old shortest path
+passes through the deleted edge".
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.dechl import (
+    DeletionStats,
+    apply_edge_deletion_partial,
+    apply_vertex_deletion,
+    find_affected_deletion,
+)
+from repro.core.inchl import apply_edge_insertion
+from repro.core.query import query_distance
+from repro.core.validation import check_matches_rebuild, check_query_exactness
+from repro.exceptions import InvariantViolationError, LabellingError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.traversal import INF, bfs_distances
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+def brute_force_deletion_affected(old_graph, r, a, b):
+    """Λ_r per the deletion transpose of Lemma 4.3, on the *old* graph."""
+    from_r = bfs_distances(old_graph, r)
+    from_a = bfs_distances(old_graph, a)
+    from_b = bfs_distances(old_graph, b)
+    affected = set()
+    ra, rb = from_r.get(a, INF), from_r.get(b, INF)
+    for v in old_graph.vertices():
+        rv = from_r.get(v, INF)
+        if rv == INF:
+            continue
+        if ra + 1 + from_b.get(v, INF) == rv or rb + 1 + from_a.get(v, INF) == rv:
+            affected.add(v)
+    return affected
+
+
+def path_graph(n):
+    return DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestSingleDeletion:
+    def test_path_middle_edge_disconnects(self):
+        graph = path_graph(6)
+        labelling = build_hcl(graph, [0])
+        apply_edge_deletion_partial(graph, labelling, 2, 3)
+        assert not graph.has_edge(2, 3)
+        check_matches_rebuild(graph, labelling)
+        assert query_distance(graph, labelling, 0, 5) == INF
+        assert query_distance(graph, labelling, 0, 2) == 2
+
+    def test_redundant_edge_cheap(self):
+        """Deleting one edge of a 4-cycle reroutes, never disconnects."""
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        labelling = build_hcl(graph, [0])
+        stats = apply_edge_deletion_partial(graph, labelling, 1, 2)
+        check_matches_rebuild(graph, labelling)
+        assert query_distance(graph, labelling, 0, 2) == 2
+
+    def test_equal_level_edge_touches_nothing(self):
+        """An edge between equal BFS levels lies on no shortest path."""
+        graph = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        before = labelling.copy()
+        stats = apply_edge_deletion_partial(graph, labelling, 1, 2)
+        assert stats.total_affected == 0
+        assert labelling == before
+        check_matches_rebuild(graph, labelling)
+
+    def test_landmark_adjacent_deletion(self):
+        graph = path_graph(5)
+        labelling = build_hcl(graph, [0, 4])
+        apply_edge_deletion_partial(graph, labelling, 0, 1)
+        check_matches_rebuild(graph, labelling)
+
+    def test_highway_pair_removed_on_disconnect(self):
+        graph = path_graph(4)
+        labelling = build_hcl(graph, [0, 3])
+        assert labelling.highway.distance(0, 3) == 3
+        apply_edge_deletion_partial(graph, labelling, 1, 2)
+        assert labelling.highway.distance(0, 3) == INF
+        check_matches_rebuild(graph, labelling)
+
+    def test_uncovering_adds_entries(self):
+        """Deleting the only landmark-covered path must *add* entries —
+        the case that makes decremental genuinely harder (module doc)."""
+        # 0 (landmark) - 1 (landmark) - 2: vertex 2 covered by 1.
+        # Removing (1, 2) leaves the detour 0 - 3 - 2 with no landmark.
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+        labelling = build_hcl(graph, [0, 1])
+        assert not labelling.labels.has_entry(2, 0)
+        stats = apply_edge_deletion_partial(graph, labelling, 1, 2)
+        assert labelling.labels.entry(2, 0) == 2
+        assert stats.entries_added >= 1
+        check_matches_rebuild(graph, labelling)
+
+    def test_deletion_in_landmark_free_component(self):
+        """Both endpoints unreachable from every landmark: no relevant
+        landmark (regression test for the inf + 1 == inf level guard)."""
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3), (3, 4), (2, 4)])
+        labelling = build_hcl(graph, [0])
+        stats = apply_edge_deletion_partial(graph, labelling, 2, 3)
+        assert stats.total_affected == 0
+        check_matches_rebuild(graph, labelling)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_deletion_matches_rebuild(self, seed):
+        graph = random_connected_graph(seed)
+        rng = random.Random(seed + 7)
+        landmarks = sorted(graph.vertices(), key=graph.degree, reverse=True)[:3]
+        labelling = build_hcl(graph, landmarks)
+        edge = rng.choice(list(graph.edges()))
+        apply_edge_deletion_partial(graph, labelling, *edge)
+        check_matches_rebuild(graph, labelling)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_affected_set_matches_brute_force(self, seed):
+        graph = random_connected_graph(seed)
+        rng = random.Random(seed + 9)
+        r = sorted(graph.vertices())[0]
+        labelling = build_hcl(graph, [r])
+        a, b = rng.choice(list(graph.edges()))
+        old = bfs_distances(graph, r)
+        da, db = old.get(a, INF), old.get(b, INF)
+        if abs(da - db) != 1:
+            return  # irrelevant landmark: Λ_r = ∅ by construction
+        if da > db:
+            a, b = b, a
+            da, db = db, da
+        expected = brute_force_deletion_affected(graph, r, a, b)
+        before = graph.copy()
+        graph.remove_edge(a, b)
+        search = find_affected_deletion(graph, labelling, r, a, b, int(db))
+        assert search.affected == expected
+
+
+class TestSequences:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_inserts_and_deletes(self, seed):
+        graph = random_connected_graph(seed, n_min=8, n_max=20)
+        rng = random.Random(seed + 11)
+        landmarks = sorted(graph.vertices())[:2]
+        labelling = build_hcl(graph, landmarks)
+        for _ in range(6):
+            if rng.random() < 0.5:
+                candidates = non_edges(graph)
+                if not candidates:
+                    continue
+                a, b = rng.choice(candidates)
+                graph.add_edge(a, b)
+                apply_edge_insertion(graph, labelling, a, b)
+            else:
+                edges = list(graph.edges())
+                if not edges:
+                    continue
+                a, b = rng.choice(edges)
+                apply_edge_deletion_partial(graph, labelling, a, b)
+        check_matches_rebuild(graph, labelling)
+        check_query_exactness(graph, labelling, num_pairs=30, rng=seed)
+
+    def test_delete_then_reinsert_roundtrip(self):
+        graph = random_connected_graph(55)
+        landmarks = sorted(graph.vertices())[:3]
+        labelling = build_hcl(graph, landmarks)
+        snapshot = labelling.copy()
+        edge = next(iter(graph.edges()))
+        apply_edge_deletion_partial(graph, labelling, *edge)
+        graph.add_edge(*edge)
+        apply_edge_insertion(graph, labelling, *edge)
+        assert labelling == snapshot
+
+
+class TestVertexDeletion:
+    def test_matches_rebuild_after_removal(self):
+        graph = random_connected_graph(19)
+        landmarks = sorted(graph.vertices(), key=graph.degree, reverse=True)[:2]
+        labelling = build_hcl(graph, landmarks)
+        victim = next(
+            v for v in sorted(graph.vertices()) if v not in labelling.landmark_set
+        )
+        apply_vertex_deletion(graph, labelling, victim)
+        assert not graph.has_vertex(victim)
+        check_matches_rebuild(graph, labelling)
+        assert labelling.labels.label(victim) == {}
+
+    def test_landmark_deletion_rejected(self):
+        graph = path_graph(4)
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(LabellingError):
+            apply_vertex_deletion(graph, labelling, 0)
+
+
+class TestInterface:
+    def test_missing_edge_rejected(self):
+        graph = path_graph(4)
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(InvariantViolationError):
+            apply_edge_deletion_partial(graph, labelling, 0, 3)
+
+    def test_stats_shape(self):
+        graph = path_graph(6)
+        labelling = build_hcl(graph, [0, 5])
+        stats = apply_edge_deletion_partial(graph, labelling, 2, 3)
+        assert isinstance(stats, DeletionStats)
+        assert stats.edge == (2, 3)
+        assert set(stats.affected_per_landmark) == {0, 5}
+        assert stats.affected_union <= stats.total_affected
+        assert stats.total_affected > 0

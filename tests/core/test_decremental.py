@@ -1,0 +1,109 @@
+"""Tests for the decremental extension (the paper's future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.decremental import (
+    apply_edge_deletion,
+    relevant_landmarks_for_deletion,
+)
+from repro.core.validation import (
+    check_matches_rebuild,
+    check_query_exactness,
+)
+from repro.exceptions import InvariantViolationError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.traversal import INF
+
+from tests.conftest import random_connected_graph
+
+
+class TestRelevance:
+    def test_edge_off_all_dags_skipped(self):
+        # triangle hanging off a path: deleting the triangle's far edge
+        # cannot touch shortest paths from landmark 0.
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (1, 3), (2, 3)])
+        gamma = build_hcl(g, [0])
+        assert relevant_landmarks_for_deletion(gamma, 2, 3) == []
+
+    def test_tree_edge_is_relevant(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        assert relevant_landmarks_for_deletion(gamma, 2, 3) == [0]
+
+    def test_unreachable_component_edge_skipped(self):
+        g = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        gamma = build_hcl(g, [0])
+        assert relevant_landmarks_for_deletion(gamma, 2, 3) == []
+
+
+class TestDeletion:
+    def test_missing_edge_rejected(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        with pytest.raises(InvariantViolationError):
+            apply_edge_deletion(path_graph, gamma, 0, 4)
+
+    def test_disconnecting_deletion(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        apply_edge_deletion(path_graph, gamma, 2, 3)
+        assert gamma.labels.entry(4, 0) is None
+        assert gamma.labels.entry(1, 0) == 1
+        check_matches_rebuild(path_graph, gamma)
+
+    def test_highway_becomes_unreachable(self, path_graph):
+        gamma = build_hcl(path_graph, [0, 4])
+        assert gamma.highway.distance(0, 4) == 4
+        apply_edge_deletion(path_graph, gamma, 1, 2)
+        assert gamma.highway.distance(0, 4) == INF
+        check_matches_rebuild(path_graph, gamma)
+
+    def test_deletion_can_add_entries(self):
+        # Vertex 2 reaches landmark 0 only through landmark 3 (0-3-2), so
+        # it carries no 0-entry.  Deleting (3, 2) reroutes via the
+        # landmark-free detour 0-5-6-2: the entry must APPEAR — the case
+        # that makes decremental updates genuinely hard (DESIGN.md §4.4).
+        g = DynamicGraph.from_edges([(0, 3), (3, 2), (0, 5), (5, 6), (6, 2)])
+        gamma = build_hcl(g, [0, 3])
+        assert gamma.labels.entry(2, 0) is None
+        apply_edge_deletion(g, gamma, 3, 2)
+        check_matches_rebuild(g, gamma)
+        assert gamma.labels.entry(2, 0) == 3
+
+    @given(st.integers(0, 500), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_deletion_sequences_match_rebuild(self, seed, rng):
+        g = random_connected_graph(seed, n_max=18)
+        k = 1 + seed % min(4, g.num_vertices)
+        landmarks = sorted(g.vertices(), key=lambda v: -g.degree(v))[:k]
+        gamma = build_hcl(g, landmarks)
+        for _ in range(6):
+            edges = list(g.edges())
+            if not edges:
+                break
+            u, v = rng.choice(edges)
+            apply_edge_deletion(g, gamma, u, v)
+            check_matches_rebuild(g, gamma)
+        check_query_exactness(g, gamma, num_pairs=40, rng=rng)
+
+    @given(st.integers(0, 300), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_insert_delete_sequences(self, seed, rng):
+        """Fully dynamic: interleave insertions and deletions."""
+        from repro.core.inchl import apply_edge_insertion
+        from tests.conftest import non_edges
+
+        g = random_connected_graph(seed, n_max=16)
+        landmarks = sorted(g.vertices())[:3]
+        gamma = build_hcl(g, landmarks)
+        for _ in range(8):
+            if rng.random() < 0.5 and g.num_edges > 1:
+                u, v = rng.choice(list(g.edges()))
+                apply_edge_deletion(g, gamma, u, v)
+            else:
+                candidates = non_edges(g)
+                if not candidates:
+                    continue
+                u, v = rng.choice(candidates)
+                g.add_edge(u, v)
+                apply_edge_insertion(g, gamma, u, v)
+            check_matches_rebuild(g, gamma)

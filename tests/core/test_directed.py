@@ -1,0 +1,259 @@
+"""Tests for the directed HCL extension (paper Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.directed import DirectedHCL, DirectedHighway
+from repro.exceptions import GraphError, NotALandmarkError, VertexNotFoundError
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import INF, bfs_distances_directed
+
+from tests.conftest import random_connected_graph
+
+
+def _random_digraph(seed: int, n_max: int = 14) -> DynamicDiGraph:
+    """Random digraph derived from a connected undirected base: each base
+    edge yields one or both arc directions (seed-dependent)."""
+    import random
+
+    rng = random.Random(seed)
+    base = random_connected_graph(seed, n_max=n_max)
+    g = DynamicDiGraph(base.vertices())
+    for u, v in base.edges():
+        mode = rng.randrange(3)
+        if mode == 0:
+            g.add_edge(u, v)
+        elif mode == 1:
+            g.add_edge(v, u)
+        else:
+            g.add_edge(u, v)
+            g.add_edge(v, u)
+    return g
+
+
+def _directed_truth(g: DynamicDiGraph, u: int) -> dict[int, int]:
+    return bfs_distances_directed(g, u, forward=True)
+
+
+def _check_exact(g: DynamicDiGraph, oracle: DirectedHCL, pairs=None) -> None:
+    vertices = list(g.vertices())
+    if pairs is None:
+        pairs = [(u, v) for u in vertices for v in vertices]
+    truth_cache = {}
+    for u, v in pairs:
+        if u not in truth_cache:
+            truth_cache[u] = _directed_truth(g, u)
+        assert oracle.query(u, v) == truth_cache[u].get(v, INF), (u, v)
+
+
+class TestDirectedHighway:
+    def test_asymmetric(self):
+        h = DirectedHighway([1, 2])
+        h.set_distance(1, 2, 3)
+        assert h.distance(1, 2) == 3
+        assert h.distance(2, 1) == INF
+
+    def test_diagonal(self):
+        h = DirectedHighway([1])
+        assert h.distance(1, 1) == 0
+        with pytest.raises(ValueError):
+            h.set_distance(1, 1, 2)
+
+    def test_non_landmark(self):
+        h = DirectedHighway([1])
+        with pytest.raises(NotALandmarkError):
+            h.distance(1, 9)
+        with pytest.raises(NotALandmarkError):
+            h.row(9)
+        with pytest.raises(NotALandmarkError):
+            h.column(9)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            DirectedHighway([1, 1])
+
+    def test_row_and_column_views(self):
+        h = DirectedHighway([1, 2])
+        h.set_distance(1, 2, 5)
+        assert h.row(1) == {1: 0, 2: 5}
+        assert h.column(2) == {1: 5, 2: 0}
+
+
+class TestConstruction:
+    def test_cycle(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        assert oracle.query(0, 2) == 2
+        assert oracle.query(2, 0) == 1
+        assert oracle.query(1, 2) == 1
+
+    def test_one_way_unreachable(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        assert oracle.query(0, 2) == 2
+        assert oracle.query(2, 0) == INF
+
+    def test_landmark_validation(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        with pytest.raises(VertexNotFoundError):
+            DirectedHCL(g, landmarks=[9])
+        with pytest.raises(GraphError):
+            DirectedHCL(g, landmarks=[])
+
+    def test_auto_landmark_selection(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (0, 2), (1, 0), (2, 0), (1, 2)])
+        oracle = DirectedHCL(g, num_landmarks=1)
+        assert oracle.landmarks == [0]  # highest total degree
+
+    def test_label_direction_split(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        # forward labels reached from 0; backward labels reach 0 (none here)
+        assert oracle.forward_labels.entry(2, 0) == 2
+        assert oracle.backward_labels.entry(2, 0) is None
+
+    def test_size_accounting(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        assert oracle.size_bytes() >= oracle.label_entries * 8
+
+    def test_unknown_query_vertices(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        with pytest.raises(VertexNotFoundError):
+            oracle.query(0, 42)
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_static_exactness_random_digraphs(self, seed):
+        g = _random_digraph(seed)
+        vertices = sorted(g.vertices())
+        k = 1 + seed % min(3, len(vertices))
+        oracle = DirectedHCL(g, landmarks=vertices[:k])
+        _check_exact(g, oracle)
+
+
+class TestIncrementalDirected:
+    def test_arc_insertion_shortens_one_direction(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        assert oracle.query(0, 3) == 3
+        oracle.insert_edge(0, 3)
+        assert oracle.query(0, 3) == 1
+        assert oracle.query(3, 0) == 1  # unchanged direction
+        _check_exact(g, oracle)
+
+    def test_highway_updates_directed(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        oracle = DirectedHCL(g, landmarks=[0, 3])
+        assert oracle.highway.distance(0, 3) == 3
+        assert oracle.highway.distance(3, 0) == INF
+        oracle.insert_edge(3, 0)
+        assert oracle.highway.distance(3, 0) == 1
+        assert oracle.highway.distance(0, 3) == 3
+        _check_exact(g, oracle)
+
+    def test_insert_vertex_directed(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 0)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        oracle.insert_vertex(5, out_neighbors=[0], in_neighbors=[1])
+        assert oracle.query(5, 0) == 1
+        assert oracle.query(0, 5) == 2  # 0 -> 1 -> 5
+        _check_exact(g, oracle)
+
+    @given(st.integers(0, 600), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_sequences_stay_exact(self, seed, rng):
+        g = _random_digraph(seed, n_max=12)
+        vertices = sorted(g.vertices())
+        k = 1 + seed % min(3, len(vertices))
+        oracle = DirectedHCL(g, landmarks=vertices[:k])
+        for _ in range(6):
+            candidates = [
+                (u, v)
+                for u in vertices
+                for v in vertices
+                if u != v and not g.has_edge(u, v)
+            ]
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            oracle.insert_edge(a, b)
+            _check_exact(g, oracle)
+
+    @given(st.integers(0, 200), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_match_rebuild(self, seed, rng):
+        """Maintained directed labelling equals a from-scratch rebuild."""
+        g = _random_digraph(seed, n_max=10)
+        vertices = sorted(g.vertices())
+        oracle = DirectedHCL(g, landmarks=vertices[:2])
+        for _ in range(4):
+            candidates = [
+                (u, v)
+                for u in vertices
+                for v in vertices
+                if u != v and not g.has_edge(u, v)
+            ]
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            oracle.insert_edge(a, b)
+            fresh = DirectedHCL(g, landmarks=vertices[:2])
+            assert oracle.forward_labels == fresh.forward_labels
+            assert oracle.backward_labels == fresh.backward_labels
+            assert oracle.highway.as_dict() == fresh.highway.as_dict()
+
+
+class TestDirectedShortestPath:
+    def test_path_matches_query_and_arcs(self):
+        graph = DynamicDiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        )
+        oracle = DirectedHCL(graph, landmarks=[0])
+        path = oracle.shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) - 1 == oracle.query(0, 3)
+        for u, v in zip(path, path[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_respects_direction(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        oracle = DirectedHCL(graph, landmarks=[0])
+        assert oracle.shortest_path(0, 2) == [0, 1, 2]
+        assert oracle.shortest_path(2, 0) == [2, 0]
+
+    def test_unreachable_returns_none(self):
+        graph = DynamicDiGraph.from_edges([(0, 1)])
+        oracle = DirectedHCL(graph, landmarks=[0])
+        assert oracle.shortest_path(1, 0) is None
+
+    def test_same_vertex(self):
+        graph = DynamicDiGraph.from_edges([(0, 1)])
+        oracle = DirectedHCL(graph, landmarks=[0])
+        assert oracle.shortest_path(1, 1) == [1]
+
+    def test_exact_after_updates(self):
+        import random
+
+        rng = random.Random(8)
+        graph = DynamicDiGraph(range(12))
+        arcs = set()
+        for _ in range(30):
+            u, v = rng.randrange(12), rng.randrange(12)
+            if u != v and (u, v) not in arcs:
+                arcs.add((u, v))
+                graph.add_edge(u, v)
+        oracle = DirectedHCL(graph, num_landmarks=2)
+        for _ in range(4):
+            u, v = rng.randrange(12), rng.randrange(12)
+            if u != v and not graph.has_edge(u, v):
+                oracle.insert_edge(u, v)
+        for u in range(12):
+            for v in range(12):
+                expected = oracle.query(u, v)
+                path = oracle.shortest_path(u, v)
+                if expected == float("inf"):
+                    assert path is None
+                else:
+                    assert len(path) - 1 == expected

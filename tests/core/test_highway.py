@@ -1,0 +1,101 @@
+"""Tests for the highway data structure (H = (R, δ_H))."""
+
+import pytest
+
+from repro.core.highway import Highway
+from repro.exceptions import NotALandmarkError
+from repro.graph.traversal import INF
+
+
+class TestBasics:
+    def test_diagonal_is_zero(self):
+        h = Highway([1, 2, 3])
+        assert h.distance(2, 2) == 0
+
+    def test_unset_pair_is_unreachable(self):
+        h = Highway([1, 2])
+        assert h.distance(1, 2) == INF
+
+    def test_set_is_symmetric(self):
+        h = Highway([1, 2])
+        h.set_distance(1, 2, 5)
+        assert h.distance(1, 2) == 5
+        assert h.distance(2, 1) == 5
+
+    def test_overwrite(self):
+        h = Highway([1, 2])
+        h.set_distance(1, 2, 5)
+        h.set_distance(2, 1, 3)
+        assert h.distance(1, 2) == 3
+
+    def test_duplicate_landmarks_rejected(self):
+        with pytest.raises(ValueError):
+            Highway([1, 1])
+
+    def test_membership(self):
+        h = Highway([4, 9])
+        assert 4 in h
+        assert 5 not in h
+        assert len(h) == 2
+        assert h.landmark_set == frozenset({4, 9})
+
+    def test_non_landmark_rejected(self):
+        h = Highway([1, 2])
+        with pytest.raises(NotALandmarkError):
+            h.distance(1, 3)
+        with pytest.raises(NotALandmarkError):
+            h.distance(3, 1)
+        with pytest.raises(NotALandmarkError):
+            h.set_distance(3, 1, 2)
+        with pytest.raises(NotALandmarkError):
+            h.row(3)
+
+    def test_diagonal_write_must_be_zero(self):
+        h = Highway([1])
+        h.set_distance(1, 1, 0)  # allowed no-op
+        with pytest.raises(ValueError):
+            h.set_distance(1, 1, 2)
+
+    def test_zero_distance_between_distinct_rejected(self):
+        h = Highway([1, 2])
+        with pytest.raises(ValueError):
+            h.set_distance(1, 2, 0)
+
+
+class TestRowsAndCopies:
+    def test_row_contains_diagonal(self):
+        h = Highway([1, 2])
+        h.set_distance(1, 2, 4)
+        assert h.row(1) == {1: 0, 2: 4}
+
+    def test_clear_row(self):
+        h = Highway([1, 2, 3])
+        h.set_distance(1, 2, 4)
+        h.set_distance(2, 3, 1)
+        h.clear_row(2)
+        assert h.distance(1, 2) == INF
+        assert h.distance(2, 3) == INF
+        assert h.distance(2, 2) == 0
+
+    def test_clear_row_non_landmark(self):
+        with pytest.raises(NotALandmarkError):
+            Highway([1]).clear_row(9)
+
+    def test_copy_independent(self):
+        h = Highway([1, 2])
+        h.set_distance(1, 2, 4)
+        clone = h.copy()
+        clone.set_distance(1, 2, 9)
+        assert h.distance(1, 2) == 4
+
+    def test_equality(self):
+        a = Highway([1, 2])
+        b = Highway([1, 2])
+        a.set_distance(1, 2, 3)
+        assert a != b
+        b.set_distance(1, 2, 3)
+        assert a == b
+
+    def test_size_bytes(self):
+        h = Highway(list(range(10)))
+        assert h.size_bytes() == 45 * 4

@@ -1,0 +1,287 @@
+"""Tests for IncHL+ — the paper's core contribution.
+
+The strongest properties verified here:
+
+* **maintenance == rebuild** (Theorems 5.1 + 5.2 together): after any
+  sequence of edge insertions, the maintained labelling is *identical* —
+  entry for entry, highway cell for highway cell — to a from-scratch
+  minimal construction on the final graph (the minimal labelling of a
+  graph is canonical, so exact equality is the right check);
+* **FindAffected == Lemma 4.3** against a brute-force BFS evaluation;
+* the paper's Figure 2 worked example, reproduced exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.inchl import apply_edge_insertion, find_affected
+from repro.core.query import landmark_distance
+from repro.core.validation import (
+    brute_force_affected,
+    check_cover_property,
+    check_matches_rebuild,
+    check_minimality,
+    check_query_exactness,
+)
+from repro.exceptions import InvariantViolationError
+from repro.graph.dynamic_graph import DynamicGraph
+
+from tests.conftest import (
+    FIGURE2_INSERTION,
+    FIGURE2_LANDMARKS,
+    non_edges,
+    random_connected_graph,
+)
+
+
+class TestPaperFigure2:
+    """The worked example of Sections 4.1-4.2 (Examples 4.2, 4.5, 4.7)."""
+
+    def test_affected_sets_match_paper(self, paper_figure2_graph):
+        g = paper_figure2_graph
+        gamma = build_hcl(g, FIGURE2_LANDMARKS)
+        a, b = FIGURE2_INSERTION
+        g.add_edge(a, b)
+        stats = apply_edge_insertion(g, gamma, a, b)
+        assert stats.affected_per_landmark[0] == 6   # {5, 8, 9, 10, 13, 14}
+        assert stats.affected_per_landmark[4] == 0   # d(4,2) == d(4,5)
+        assert stats.affected_per_landmark[10] == 3  # {0, 1, 2}
+
+    def test_find_affected_exact_sets(self, paper_figure2_graph):
+        g = paper_figure2_graph
+        gamma = build_hcl(g, FIGURE2_LANDMARKS)
+        g.add_edge(2, 5)
+        # landmark 0: jump to 5 at depth d(0,2)+1 = 2
+        search = find_affected(g, gamma, 0, anchor=2, root=5, anchor_dist=1)
+        assert search.affected == {5, 8, 9, 10, 13, 14}
+        assert search.new_dist == {5: 2, 9: 3, 10: 3, 8: 4, 13: 4, 14: 4}
+        # landmark 10: jump to 2 at depth d(10,5)+1 = 2
+        search10 = find_affected(g, gamma, 10, anchor=5, root=2, anchor_dist=1)
+        assert search10.affected == {0, 1, 2}
+        assert search10.new_dist == {2: 2, 0: 3, 1: 4}
+
+    def test_repair_matches_example_4_7(self, paper_figure2_graph):
+        g = paper_figure2_graph
+        gamma = build_hcl(g, FIGURE2_LANDMARKS)
+        before = gamma.labels.as_dict()
+        g.add_edge(2, 5)
+        apply_edge_insertion(g, gamma, 2, 5)
+        after = gamma.labels
+        # Landmark 0's repair: 5 and 9 get exact new entries...
+        assert after.entry(5, 0) == 2
+        assert after.entry(9, 0) == 3
+        # ... the highway entry for affected landmark 10 is updated ...
+        assert gamma.highway.distance(0, 10) == 3
+        # ... and the covered vertices 8, 13, 14 carry no 0-entry.
+        for v in (8, 13, 14):
+            assert after.entry(v, 0) is None
+        # Landmark 10's repair: 2 is repaired, 1 stays covered (via 0).
+        assert after.entry(2, 10) == 2
+        assert after.entry(1, 10) is None
+        # Unaffected landmark 4: nothing about 4 changed anywhere.
+        for v in g.vertices():
+            assert after.entry(v, 4) == before.get(v, {}).get(4)
+
+    def test_figure2_end_state_is_minimal_and_exact(self, paper_figure2_graph):
+        g = paper_figure2_graph
+        gamma = build_hcl(g, FIGURE2_LANDMARKS)
+        g.add_edge(2, 5)
+        apply_edge_insertion(g, gamma, 2, 5)
+        check_cover_property(g, gamma)
+        check_minimality(g, gamma)
+        check_matches_rebuild(g, gamma)
+        check_query_exactness(g, gamma)
+
+
+class TestGuards:
+    def test_edge_must_be_inserted_first(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        with pytest.raises(InvariantViolationError):
+            apply_edge_insertion(path_graph, gamma, 0, 4)
+
+    def test_update_stats_bookkeeping(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        path_graph.add_edge(0, 4)
+        stats = apply_edge_insertion(path_graph, gamma, 0, 4)
+        assert stats.edge == (0, 4)
+        assert stats.total_affected == sum(stats.affected_per_landmark.values())
+        assert stats.affected_union >= max(
+            stats.affected_per_landmark.values(), default=0
+        )
+        assert stats.entries_modified + stats.entries_added > 0
+
+
+class TestHandChecked:
+    def test_path_shortcut(self, path_graph):
+        gamma = build_hcl(path_graph, [0])
+        path_graph.add_edge(0, 4)
+        apply_edge_insertion(path_graph, gamma, 0, 4)
+        assert gamma.labels.entry(4, 0) == 1
+        assert gamma.labels.entry(3, 0) == 2
+        check_matches_rebuild(path_graph, gamma)
+
+    def test_equal_distance_no_change(self):
+        # 1 and 2 are both at distance 1 from landmark 0; inserting (1, 2)
+        # changes no labels at all.
+        g = DynamicGraph.from_edges([(0, 1), (0, 2)])
+        gamma = build_hcl(g, [0])
+        before = gamma.labels.as_dict()
+        g.add_edge(1, 2)
+        stats = apply_edge_insertion(g, gamma, 1, 2)
+        assert stats.affected_per_landmark == {0: 0}
+        assert gamma.labels.as_dict() == before
+
+    def test_connecting_components(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=4)
+        g.add_edge(2, 3)
+        gamma = build_hcl(g, [0])
+        assert gamma.labels.label(2) == {}
+        g.add_edge(1, 2)
+        apply_edge_insertion(g, gamma, 1, 2)
+        assert gamma.labels.entry(2, 0) == 2
+        assert gamma.labels.entry(3, 0) == 3
+        check_matches_rebuild(g, gamma)
+
+    def test_connecting_components_with_landmark_inside(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=5)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        gamma = build_hcl(g, [0, 3])
+        assert gamma.highway.distance(0, 3) == float("inf")
+        g.add_edge(1, 2)
+        apply_edge_insertion(g, gamma, 1, 2)
+        assert gamma.highway.distance(0, 3) == 3
+        check_matches_rebuild(g, gamma)
+
+    def test_entry_removal_when_new_path_hits_landmark(self):
+        # Path 0..4 with landmarks 0 and 3: vertex 4 initially reaches 0
+        # only through 3 (no entry).  Inserting (0, 4) gives it a direct
+        # landmark-free path: the entry must APPEAR.  Then the reverse
+        # case: vertex 2's entry for 0 must survive.
+        g = DynamicGraph.from_edges([(i, i + 1) for i in range(4)])
+        gamma = build_hcl(g, [0, 3])
+        assert gamma.labels.entry(4, 0) is None
+        g.add_edge(0, 4)
+        apply_edge_insertion(g, gamma, 0, 4)
+        assert gamma.labels.entry(4, 0) == 1
+        check_matches_rebuild(g, gamma)
+
+    def test_covered_entry_appears_after_shortcut(self):
+        # 0-1-2 plus landmark 5 adjacent to 0: vertex 2 reaches 5 only
+        # through landmark 0 (no 5-entry).  Inserting (5, 2) creates a
+        # landmark-free path so the 5-entry must appear with distance 1.
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (5, 0)])
+        gamma = build_hcl(g, [0, 5])
+        assert gamma.labels.entry(2, 5) is None
+        g.add_edge(5, 2)
+        apply_edge_insertion(g, gamma, 5, 2)
+        assert gamma.labels.entry(2, 5) == 1
+        check_matches_rebuild(g, gamma)
+
+
+class TestAffectedAgainstBruteForce:
+    @given(st.integers(0, 500), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_affected_counts_match_lemma_4_3(self, seed, rng):
+        g = random_connected_graph(seed, n_max=22)
+        k = 1 + seed % min(4, g.num_vertices)
+        landmarks = sorted(g.vertices(), key=lambda v: -g.degree(v))[:k]
+        gamma = build_hcl(g, landmarks)
+        candidates = non_edges(g)
+        if not candidates:
+            return
+        a, b = rng.choice(candidates)
+        g.add_edge(a, b)
+        stats = apply_edge_insertion(g, gamma, a, b)
+        for r in landmarks:
+            expected = brute_force_affected(g, r, a, b)
+            expected.discard(r)
+            assert stats.affected_per_landmark[r] == len(expected), (
+                f"landmark {r}: edge ({a},{b})"
+            )
+
+    @given(st.integers(0, 300), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_new_distances_are_exact(self, seed, rng):
+        from repro.graph.traversal import bfs_distances
+
+        g = random_connected_graph(seed, n_max=20)
+        landmarks = sorted(g.vertices())[:2]
+        gamma = build_hcl(g, landmarks)
+        candidates = non_edges(g)
+        if not candidates:
+            return
+        a, b = rng.choice(candidates)
+        r = landmarks[0]
+        da = landmark_distance(gamma, r, a)
+        db = landmark_distance(gamma, r, b)
+        if da == db:
+            return
+        if da > db:
+            a, b, da = b, a, db
+        g.add_edge(a, b)
+        search = find_affected(g, gamma, r, anchor=a, root=b, anchor_dist=da)
+        truth = bfs_distances(g, r)
+        for v, d in search.new_dist.items():
+            assert truth[v] == d
+
+
+class TestMaintenanceEqualsRebuild:
+    @given(st.integers(0, 1000), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_sequences(self, seed, rng):
+        """THE theorem test: after up to 8 insertions the maintained
+        labelling equals the canonical rebuild, and queries stay exact."""
+        g = random_connected_graph(seed, n_max=20)
+        k = 1 + seed % min(5, g.num_vertices)
+        landmarks = sorted(g.vertices(), key=lambda v: -g.degree(v))[:k]
+        gamma = build_hcl(g, landmarks)
+        for _ in range(8):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            g.add_edge(a, b)
+            apply_edge_insertion(g, gamma, a, b)
+            check_matches_rebuild(g, gamma)
+        check_query_exactness(g, gamma, num_pairs=50, rng=rng)
+
+    @given(st.integers(0, 300), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_insertions_into_disconnected_graph(self, seed, rng):
+        """Start from a forest of components and merge them online."""
+        from repro.graph.generators import erdos_renyi
+
+        rng2 = rng
+        g = erdos_renyi(16, 10, rng=seed)  # likely disconnected
+        landmarks = sorted(g.vertices(), key=lambda v: -g.degree(v))[:3]
+        gamma = build_hcl(g, landmarks)
+        for _ in range(10):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            a, b = rng2.choice(candidates)
+            g.add_edge(a, b)
+            apply_edge_insertion(g, gamma, a, b)
+            check_matches_rebuild(g, gamma)
+
+    def test_long_sequence_single_graph(self):
+        """One deep sequence (30 insertions) with full validation at end."""
+        import random
+
+        rng = random.Random(99)
+        g = random_connected_graph(31, n_max=25)
+        landmarks = sorted(g.vertices(), key=lambda v: -g.degree(v))[:4]
+        gamma = build_hcl(g, landmarks)
+        for _ in range(30):
+            candidates = non_edges(g)
+            if not candidates:
+                break
+            a, b = rng.choice(candidates)
+            g.add_edge(a, b)
+            apply_edge_insertion(g, gamma, a, b)
+        check_cover_property(g, gamma)
+        check_minimality(g, gamma)
+        check_matches_rebuild(g, gamma)
+        check_query_exactness(g, gamma)

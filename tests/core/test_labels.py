@@ -1,0 +1,133 @@
+"""Tests for the label store (L)."""
+
+import pytest
+
+from repro.core.labels import LabelStore
+
+
+class TestEntries:
+    def test_empty_label(self):
+        store = LabelStore()
+        assert store.label(42) == {}
+        assert store.entry(42, 0) is None
+        assert not store.has_entry(42, 0)
+        assert store.total_entries == 0
+
+    def test_set_and_get(self):
+        store = LabelStore()
+        store.set_entry(5, 0, 3)
+        assert store.entry(5, 0) == 3
+        assert store.has_entry(5, 0)
+        assert store.label_size(5) == 1
+
+    def test_modify_keeps_count(self):
+        store = LabelStore()
+        store.set_entry(5, 0, 3)
+        store.set_entry(5, 0, 2)
+        assert store.total_entries == 1
+        assert store.entry(5, 0) == 2
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LabelStore().set_entry(1, 0, -1)
+
+    def test_remove_entry(self):
+        store = LabelStore()
+        store.set_entry(5, 0, 3)
+        assert store.remove_entry(5, 0) is True
+        assert store.total_entries == 0
+        assert store.label(5) == {}
+
+    def test_remove_missing_entry(self):
+        store = LabelStore()
+        assert store.remove_entry(5, 0) is False
+        store.set_entry(5, 1, 2)
+        assert store.remove_entry(5, 0) is False
+        assert store.total_entries == 1
+
+    def test_empty_labels_reclaimed(self):
+        store = LabelStore()
+        store.set_entry(5, 0, 3)
+        store.remove_entry(5, 0)
+        assert len(store) == 0
+
+    def test_clear_landmark(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        store.set_entry(2, 0, 2)
+        store.set_entry(2, 7, 3)
+        removed = store.clear_landmark(0)
+        assert removed == 2
+        assert store.total_entries == 1
+        assert store.entry(2, 7) == 3
+        assert list(store.vertices_with_labels()) == [2]
+
+
+class TestAccounting:
+    def test_total_entries_across_vertices(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        store.set_entry(2, 0, 2)
+        store.set_entry(2, 3, 1)
+        assert store.total_entries == 3
+        assert sorted(store.vertices_with_labels()) == [1, 2]
+
+    def test_size_bytes(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        store.set_entry(2, 0, 2)
+        assert store.size_bytes() == 16
+        assert store.size_bytes(bytes_per_entry=4) == 8
+
+    def test_items_view(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        assert dict(store.items()) == {1: {0: 1}}
+
+    def test_copy_independent(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        clone = store.copy()
+        clone.set_entry(1, 5, 2)
+        assert store.total_entries == 1
+        assert clone.total_entries == 2
+
+    def test_equality(self):
+        a = LabelStore()
+        b = LabelStore()
+        a.set_entry(1, 0, 1)
+        assert a != b
+        b.set_entry(1, 0, 1)
+        assert a == b
+
+    def test_as_dict_snapshot(self):
+        store = LabelStore()
+        store.set_entry(1, 0, 1)
+        snapshot = store.as_dict()
+        snapshot[1][0] = 99
+        assert store.entry(1, 0) == 1
+
+
+class TestBulkSetNew:
+    def test_matches_individual_set_entry(self):
+        bulk = LabelStore()
+        loop = LabelStore()
+        bulk.set_entry(2, 9, 4)
+        loop.set_entry(2, 9, 4)
+        bulk.bulk_set_new(0, [1, 2, 3], 5)
+        for v in (1, 2, 3):
+            loop.set_entry(v, 0, 5)
+        assert bulk == loop
+        assert bulk.total_entries == loop.total_entries == 4
+
+    def test_empty_bulk_is_noop(self):
+        store = LabelStore()
+        store.bulk_set_new(0, [], 3)
+        assert store.total_entries == 0
+
+    def test_negative_distance_rejected(self):
+        store = LabelStore()
+        import pytest
+
+        with pytest.raises(ValueError):
+            store.bulk_set_new(0, [1], -1)

@@ -1,0 +1,122 @@
+"""Tests for shortest-path extraction on top of the distance oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.inchl import apply_edge_insertion
+from repro.core.paths import approximate_path_via_landmarks, shortest_path
+from repro.core.query import query_distance, upper_bound
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph
+
+from tests.conftest import random_connected_graph
+
+
+def assert_valid_path(graph, path):
+    for u, v in zip(path, path[1:]):
+        assert graph.has_edge(u, v), f"({u}, {v}) missing from path {path}"
+
+
+class TestShortestPath:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_path_is_shortest(self, seed):
+        graph = random_connected_graph(seed)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl(graph, vertices[:3])
+        u, v = vertices[0], vertices[-1]
+        path = shortest_path(graph, labelling, u, v)
+        assert path[0] == u and path[-1] == v
+        assert_valid_path(graph, path)
+        assert len(path) - 1 == query_distance(graph, labelling, u, v)
+
+    def test_same_vertex(self):
+        graph = grid_graph(2, 2)
+        labelling = build_hcl(graph, [0])
+        assert shortest_path(graph, labelling, 3, 3) == [3]
+
+    def test_adjacent_vertices(self):
+        graph = grid_graph(2, 2)
+        labelling = build_hcl(graph, [0])
+        assert shortest_path(graph, labelling, 0, 1) == [0, 1]
+
+    def test_disconnected_returns_none(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        assert shortest_path(graph, labelling, 0, 3) is None
+
+    def test_landmark_endpoints(self):
+        graph = grid_graph(3, 3)
+        labelling = build_hcl(graph, [0, 8])
+        path = shortest_path(graph, labelling, 0, 8)
+        assert len(path) - 1 == 4
+        assert_valid_path(graph, path)
+
+    def test_stays_exact_after_updates(self):
+        graph = random_connected_graph(31, n_min=12, n_max=20)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl(graph, vertices[:2])
+        from tests.conftest import non_edges
+
+        a, b = non_edges(graph)[0]
+        graph.add_edge(a, b)
+        apply_edge_insertion(graph, labelling, a, b)
+        path = shortest_path(graph, labelling, vertices[0], vertices[-1])
+        assert len(path) - 1 == query_distance(
+            graph, labelling, vertices[0], vertices[-1]
+        )
+        assert_valid_path(graph, path)
+
+
+class TestApproximatePath:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_length_equals_upper_bound(self, seed):
+        graph = random_connected_graph(seed)
+        vertices = sorted(graph.vertices())
+        landmarks = vertices[:2]
+        labelling = build_hcl(graph, landmarks)
+        non_landmarks = [v for v in vertices if v not in landmarks]
+        if len(non_landmarks) < 2:
+            return
+        u, v = non_landmarks[0], non_landmarks[-1]
+        path = approximate_path_via_landmarks(graph, labelling, u, v)
+        bound = upper_bound(labelling, u, v)
+        if path is None:
+            assert bound == float("inf")
+            return
+        assert_valid_path(graph, path)
+        assert path[0] == u and path[-1] == v
+        assert len(path) - 1 == bound
+
+    def test_exact_when_landmark_on_path(self):
+        """Center landmark of a grid lies on a corner-to-corner path."""
+        graph = grid_graph(3, 3)
+        labelling = build_hcl(graph, [4])
+        path = approximate_path_via_landmarks(graph, labelling, 0, 8)
+        assert len(path) - 1 == query_distance(graph, labelling, 0, 8) == 4
+        assert 4 in path
+
+    def test_same_vertex(self):
+        graph = grid_graph(2, 2)
+        labelling = build_hcl(graph, [0])
+        assert approximate_path_via_landmarks(graph, labelling, 2, 2) == [2]
+
+    def test_landmark_endpoint(self):
+        graph = grid_graph(3, 3)
+        labelling = build_hcl(graph, [4])
+        path = approximate_path_via_landmarks(graph, labelling, 4, 8)
+        assert path[0] == 4 and path[-1] == 8
+        assert len(path) - 1 == 2
+
+    def test_unreachable_landmark_endpoint(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        assert approximate_path_via_landmarks(graph, labelling, 0, 3) is None
+
+    def test_no_common_labels_returns_none(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        # vertex 3 has no labels at all (other component, no landmark)
+        assert approximate_path_via_landmarks(graph, labelling, 1, 3) is None

@@ -1,0 +1,112 @@
+"""Tests for the validation helpers themselves (they must catch breakage)."""
+
+import pytest
+
+from repro.core.construction import build_hcl
+from repro.core.validation import (
+    brute_force_affected,
+    check_cover_property,
+    check_matches_rebuild,
+    check_minimality,
+    check_query_exactness,
+)
+from repro.exceptions import InvariantViolationError
+from repro.graph.generators import grid_graph
+
+
+@pytest.fixture
+def valid_setup():
+    g = grid_graph(3, 3)
+    return g, build_hcl(g, [0, 8])
+
+
+class TestCheckersAcceptValid:
+    def test_all_pass_on_fresh_build(self, valid_setup):
+        g, gamma = valid_setup
+        check_cover_property(g, gamma)
+        check_minimality(g, gamma)
+        check_query_exactness(g, gamma)
+        check_matches_rebuild(g, gamma)
+
+    def test_sampled_query_check(self, valid_setup):
+        g, gamma = valid_setup
+        check_query_exactness(g, gamma, num_pairs=10, rng=0)
+
+
+class TestCheckersRejectCorruption:
+    def test_cover_catches_wrong_distance(self, valid_setup):
+        g, gamma = valid_setup
+        v = next(iter(gamma.labels.vertices_with_labels()))
+        r, d = next(iter(gamma.labels.label(v).items()))
+        gamma.labels.set_entry(v, r, d + 1)
+        with pytest.raises(InvariantViolationError, match="cover|minimality"):
+            check_cover_property(g, gamma)
+
+    def test_minimality_catches_extra_entry(self, valid_setup):
+        g, gamma = valid_setup
+        # grid centre 4: every 0-8 shortest path… pick a vertex without an
+        # entry for landmark 0 and give it a (correct-distance) extra entry.
+        from repro.graph.traversal import bfs_distances
+
+        dist = bfs_distances(g, 0)
+        target = None
+        for v in g.vertices():
+            if v not in (0, 8) and not gamma.labels.has_entry(v, 0):
+                target = v
+                break
+        if target is None:
+            pytest.skip("no pruned entry in this labelling")
+        gamma.labels.set_entry(target, 0, dist[target])
+        with pytest.raises(InvariantViolationError, match="minimality"):
+            check_minimality(g, gamma)
+
+    def test_minimality_catches_missing_entry(self, valid_setup):
+        g, gamma = valid_setup
+        v = next(iter(gamma.labels.vertices_with_labels()))
+        r = next(iter(gamma.labels.label(v)))
+        gamma.labels.remove_entry(v, r)
+        with pytest.raises(InvariantViolationError):
+            check_minimality(g, gamma)
+
+    def test_minimality_catches_landmark_entry(self, valid_setup):
+        g, gamma = valid_setup
+        gamma.labels.set_entry(0, 8, 4)
+        with pytest.raises(InvariantViolationError, match="landmark"):
+            check_minimality(g, gamma)
+
+    def test_rebuild_catches_label_drift(self, valid_setup):
+        g, gamma = valid_setup
+        v = next(iter(gamma.labels.vertices_with_labels()))
+        r = next(iter(gamma.labels.label(v)))
+        gamma.labels.remove_entry(v, r)
+        with pytest.raises(InvariantViolationError, match="labels differ"):
+            check_matches_rebuild(g, gamma)
+
+    def test_rebuild_catches_highway_drift(self, valid_setup):
+        g, gamma = valid_setup
+        gamma.highway.set_distance(0, 8, 2)
+        with pytest.raises(InvariantViolationError, match="highway"):
+            check_matches_rebuild(g, gamma)
+
+    def test_query_check_catches_corruption(self, valid_setup):
+        g, gamma = valid_setup
+        for v in list(gamma.labels.vertices_with_labels()):
+            for r, d in list(gamma.labels.label(v).items()):
+                gamma.labels.set_entry(v, r, max(0, d - 1))
+        with pytest.raises(InvariantViolationError):
+            check_query_exactness(g, gamma)
+
+
+class TestBruteForceAffected:
+    def test_simple_path(self, path_graph):
+        path_graph.add_edge(0, 4)
+        affected = brute_force_affected(path_graph, 0, 0, 4)
+        assert affected == {3, 4}
+
+    def test_no_affected_on_parallel_edge(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(0, 1), (0, 2)])
+        g.add_edge(1, 2)
+        affected = brute_force_affected(g, 0, 1, 2)
+        assert affected == set()

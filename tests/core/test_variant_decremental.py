@@ -1,0 +1,114 @@
+"""Decremental updates for the directed and weighted variants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.directed import DirectedHCL
+from repro.core.weighted_hcl import WeightedHCL
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.traversal import INF, bfs_distances_directed, dijkstra_distances
+from repro.graph.weighted import WeightedGraph
+
+from tests.core.test_directed import _random_digraph
+from tests.core.test_weighted_hcl import _WEIGHTS, _random_weighted
+
+
+class TestDirectedDeletion:
+    def test_deleting_shortcut_restores_long_route(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        assert oracle.query(0, 3) == 1
+        relevant = oracle.remove_edge(0, 3)
+        assert relevant["forward"] == [0]
+        assert oracle.query(0, 3) == 3
+
+    def test_disconnecting_deletion(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        oracle.remove_edge(1, 2)
+        assert oracle.query(0, 2) == INF
+        assert oracle.query(0, 1) == 1
+
+    def test_irrelevant_deletion_touches_nothing(self):
+        # arc 2->1 is never on a shortest path from 0 (0->1 is direct)
+        g = DynamicDiGraph.from_edges([(0, 1), (0, 2), (2, 1)])
+        oracle = DirectedHCL(g, landmarks=[0])
+        relevant = oracle.remove_edge(2, 1)
+        assert relevant == {"forward": [], "backward": []}
+        assert oracle.query(0, 1) == 1
+
+    @given(st.integers(0, 400), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_directed_updates_match_rebuild(self, seed, rng):
+        g = _random_digraph(seed, n_max=10)
+        vertices = sorted(g.vertices())
+        landmarks = vertices[:2]
+        oracle = DirectedHCL(g, landmarks=landmarks)
+        for _ in range(6):
+            if rng.random() < 0.45 and g.num_edges > 1:
+                u, v = rng.choice(list(g.edges()))
+                oracle.remove_edge(u, v)
+            else:
+                candidates = [
+                    (u, v)
+                    for u in vertices
+                    for v in vertices
+                    if u != v and not g.has_edge(u, v)
+                ]
+                if not candidates:
+                    continue
+                u, v = rng.choice(candidates)
+                oracle.insert_edge(u, v)
+            fresh = DirectedHCL(g, landmarks=landmarks)
+            assert oracle.forward_labels == fresh.forward_labels
+            assert oracle.backward_labels == fresh.backward_labels
+            assert oracle.highway.as_dict() == fresh.highway.as_dict()
+        for u in vertices:
+            truth = bfs_distances_directed(g, u, forward=True)
+            for v in vertices:
+                assert oracle.query(u, v) == truth.get(v, INF)
+
+
+class TestWeightedDeletion:
+    def test_deleting_shortcut(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 2.0), (0, 2, 1.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        assert oracle.query(0, 2) == 1.0
+        relevant = oracle.remove_edge(0, 2)
+        assert relevant == [0]
+        assert oracle.query(0, 2) == 4.0
+
+    def test_irrelevant_heavy_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (0, 2, 1.0), (1, 2, 50.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        assert oracle.remove_edge(1, 2) == []
+        assert oracle.query(1, 2) == 2.0
+
+    @given(st.integers(0, 400), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_weighted_updates_match_rebuild(self, seed, rng):
+        g = _random_weighted(seed, n_max=10)
+        vertices = sorted(g.vertices())
+        landmarks = vertices[:2]
+        oracle = WeightedHCL(g, landmarks=landmarks)
+        for _ in range(5):
+            if rng.random() < 0.45 and g.num_edges > 1:
+                u, v, _w = rng.choice(list(g.edges()))
+                oracle.remove_edge(u, v)
+            else:
+                candidates = [
+                    (u, v)
+                    for i, u in enumerate(vertices)
+                    for v in vertices[i + 1 :]
+                    if not g.has_edge(u, v)
+                ]
+                if not candidates:
+                    continue
+                u, v = rng.choice(candidates)
+                oracle.insert_edge(u, v, rng.choice(_WEIGHTS))
+            fresh = WeightedHCL(g, landmarks=landmarks)
+            assert oracle.labels == fresh.labels
+            assert oracle.highway.as_dict() == fresh.highway.as_dict()
+        for u in vertices:
+            truth = dijkstra_distances(g, u)
+            for v in vertices:
+                assert oracle.query(u, v) == truth.get(v, INF)

@@ -1,0 +1,142 @@
+"""Directed and weighted oracle cross-validation against networkx.
+
+The Section 5 variants (forward/backward labels for digraphs, Dijkstra
+labelling for weighted graphs) get the same external-oracle treatment as
+the undirected core: random graphs, random update sequences, answers
+compared against networkx's shortest-path machinery.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.directed import DirectedHCL
+from repro.core.weighted_hcl import WeightedHCL
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.weighted import WeightedGraph
+
+INF = float("inf")
+
+
+def random_digraph(seed: int) -> DynamicDiGraph:
+    rng = random.Random(seed)
+    n = rng.randint(6, 18)
+    graph = DynamicDiGraph(range(n))
+    arcs = set()
+    for _ in range(rng.randint(n, 3 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and (u, v) not in arcs:
+            arcs.add((u, v))
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_weighted_graph(seed: int) -> WeightedGraph:
+    rng = random.Random(seed)
+    n = rng.randint(6, 16)
+    graph = WeightedGraph(range(n))
+    # A random spanning tree keeps it connected, then extra chords.
+    order = list(range(n))
+    rng.shuffle(order)
+    for i, v in enumerate(order[1:], start=1):
+        graph.add_edge(v, order[rng.randrange(i)], round(rng.uniform(0.5, 4.0), 2))
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, round(rng.uniform(0.5, 4.0), 2))
+    return graph
+
+
+def digraph_to_networkx(graph: DynamicDiGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def weighted_to_networkx(graph: WeightedGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_weighted_edges_from(graph.edges())
+    return g
+
+
+class TestDirectedCrosscheck:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_static_queries_match(self, seed):
+        graph = random_digraph(seed)
+        nxg = digraph_to_networkx(graph)
+        oracle = DirectedHCL(graph, num_landmarks=3)
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        vertices = sorted(graph.vertices())
+        for u in vertices[::2]:
+            for v in vertices[::3]:
+                expected = lengths.get(u, {}).get(v, INF)
+                assert oracle.query(u, v) == expected, (u, v)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_queries_match_after_insertions(self, seed):
+        rng = random.Random(seed + 1)
+        graph = random_digraph(seed)
+        oracle = DirectedHCL(graph, num_landmarks=2)
+        vertices = sorted(graph.vertices())
+        for _ in range(4):
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            if u == v or graph.has_edge(u, v):
+                continue
+            oracle.insert_edge(u, v)
+        nxg = digraph_to_networkx(graph)
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for u in vertices[::2]:
+            for v in vertices[::3]:
+                expected = lengths.get(u, {}).get(v, INF)
+                assert oracle.query(u, v) == expected, (u, v)
+
+    def test_asymmetry_preserved(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        oracle = DirectedHCL(graph, landmarks=[0])
+        assert oracle.query(0, 2) == 2
+        assert oracle.query(2, 0) == 1
+
+
+class TestWeightedCrosscheck:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_static_queries_match(self, seed):
+        graph = random_weighted_graph(seed)
+        nxg = weighted_to_networkx(graph)
+        oracle = WeightedHCL(graph, num_landmarks=3)
+        vertices = sorted(graph.vertices())
+        for u in vertices[::2]:
+            for v in vertices[::3]:
+                expected = nx.dijkstra_path_length(nxg, u, v)
+                assert oracle.query(u, v) == pytest.approx(expected), (u, v)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_queries_match_after_insertions(self, seed):
+        rng = random.Random(seed + 2)
+        graph = random_weighted_graph(seed)
+        oracle = WeightedHCL(graph, num_landmarks=2)
+        vertices = sorted(graph.vertices())
+        for _ in range(3):
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            if u == v or graph.has_edge(u, v):
+                continue
+            oracle.insert_edge(u, v, round(rng.uniform(0.1, 2.0), 2))
+        nxg = weighted_to_networkx(graph)
+        for u in vertices[::2]:
+            for v in vertices[::3]:
+                expected = nx.dijkstra_path_length(nxg, u, v)
+                assert oracle.query(u, v) == pytest.approx(expected), (u, v)
+
+    def test_shortcut_with_larger_weight_is_ignored(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        oracle = WeightedHCL(graph, landmarks=[1])
+        assert oracle.query(0, 2) == 2.0
+        oracle.insert_edge(0, 2, 5.0)
+        assert oracle.query(0, 2) == 2.0

@@ -1,0 +1,162 @@
+"""Tests for the weighted HCL extension (paper Section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weighted_hcl import WeightedHCL
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.traversal import INF, dijkstra_distances
+from repro.graph.weighted import WeightedGraph
+
+from tests.conftest import random_connected_graph
+
+#: Exactly representable weights keep parent detection exact (module doc).
+_WEIGHTS = [0.5, 1.0, 2.0, 2.5, 4.0]
+
+
+def _random_weighted(seed: int, n_max: int = 14) -> WeightedGraph:
+    import random
+
+    rng = random.Random(seed)
+    base = random_connected_graph(seed, n_max=n_max)
+    g = WeightedGraph(base.vertices())
+    for u, v in base.edges():
+        g.add_edge(u, v, rng.choice(_WEIGHTS))
+    return g
+
+
+def _check_exact(g: WeightedGraph, oracle: WeightedHCL) -> None:
+    for u in g.vertices():
+        truth = dijkstra_distances(g, u)
+        for v in g.vertices():
+            assert oracle.query(u, v) == truth.get(v, INF), (u, v)
+
+
+class TestConstruction:
+    def test_weighted_path(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 3.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        assert oracle.labels.entry(2, 0) == 5.0
+        assert oracle.query(0, 2) == 5.0
+
+    def test_landmark_on_path_prunes_entry(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        oracle = WeightedHCL(g, landmarks=[0, 1])
+        assert oracle.labels.entry(2, 0) is None
+        assert oracle.highway.distance(0, 1) == 1.0
+        assert oracle.query(0, 2) == 2.0
+
+    def test_weighted_detour_beats_hops(self):
+        # direct heavy edge vs light two-hop detour
+        g = WeightedGraph.from_edges([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        assert oracle.query(0, 1) == 2.0
+
+    def test_sub_unit_weights(self):
+        g = WeightedGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+        oracle = WeightedHCL(g, landmarks=[0, 2])
+        assert oracle.highway.distance(0, 2) == 1.0
+
+    def test_validation(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(VertexNotFoundError):
+            WeightedHCL(g, landmarks=[5])
+        with pytest.raises(GraphError):
+            WeightedHCL(g, landmarks=[])
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_static_exactness(self, seed):
+        g = _random_weighted(seed)
+        vertices = sorted(g.vertices(), key=lambda v: -g.degree(v))
+        k = 1 + seed % min(3, len(vertices))
+        oracle = WeightedHCL(g, landmarks=vertices[:k])
+        _check_exact(g, oracle)
+
+
+class TestIncrementalWeighted:
+    def test_shortcut_insertion(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 2.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        oracle.insert_edge(0, 2, 1.0)
+        assert oracle.query(0, 2) == 1.0
+        assert oracle.labels.entry(2, 0) == 1.0
+        _check_exact(g, oracle)
+
+    def test_heavy_edge_changes_nothing(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        before = oracle.labels.as_dict()
+        counts = oracle.insert_edge(0, 2, 100.0)
+        assert counts == {0: 0}
+        assert oracle.labels.as_dict() == before
+        _check_exact(g, oracle)
+
+    def test_equal_length_path_still_repairs_minimality(self):
+        # new edge creates an equal-length path through landmark 1: the
+        # 0-entry of vertex 2 must be dropped (∃-rule).
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (0, 2, 2.0)])
+        oracle = WeightedHCL(g, landmarks=[0, 1])
+        assert oracle.labels.entry(2, 0) == 2.0
+        oracle.insert_edge(1, 2, 1.0)
+        assert oracle.labels.entry(2, 0) is None
+        _check_exact(g, oracle)
+
+    def test_highway_update(self):
+        g = WeightedGraph.from_edges([(0, 1, 4.0), (1, 2, 4.0)])
+        oracle = WeightedHCL(g, landmarks=[0, 2])
+        assert oracle.highway.distance(0, 2) == 8.0
+        oracle.insert_edge(0, 2, 3.0)
+        assert oracle.highway.distance(0, 2) == 3.0
+        _check_exact(g, oracle)
+
+    def test_insert_vertex_weighted(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        oracle = WeightedHCL(g, landmarks=[0])
+        oracle.insert_vertex(5, [(0, 2.0), (1, 0.5)])
+        assert oracle.query(5, 0) == 1.5
+        _check_exact(g, oracle)
+
+    @given(st.integers(0, 500), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_sequences_stay_exact(self, seed, rng):
+        g = _random_weighted(seed, n_max=12)
+        vertices = sorted(g.vertices(), key=lambda v: -g.degree(v))
+        k = 1 + seed % min(3, len(vertices))
+        oracle = WeightedHCL(g, landmarks=vertices[:k])
+        all_vertices = sorted(g.vertices())
+        for _ in range(5):
+            candidates = [
+                (u, v)
+                for i, u in enumerate(all_vertices)
+                for v in all_vertices[i + 1 :]
+                if not g.has_edge(u, v)
+            ]
+            if not candidates:
+                break
+            u, v = rng.choice(candidates)
+            oracle.insert_edge(u, v, rng.choice(_WEIGHTS))
+            _check_exact(g, oracle)
+
+    @given(st.integers(0, 300), st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_match_rebuild(self, seed, rng):
+        """Maintained weighted labelling equals a from-scratch rebuild."""
+        g = _random_weighted(seed, n_max=10)
+        vertices = sorted(g.vertices())
+        landmarks = vertices[:2]
+        oracle = WeightedHCL(g, landmarks=landmarks)
+        for _ in range(4):
+            candidates = [
+                (u, v)
+                for i, u in enumerate(vertices)
+                for v in vertices[i + 1 :]
+                if not g.has_edge(u, v)
+            ]
+            if not candidates:
+                break
+            u, v = rng.choice(candidates)
+            oracle.insert_edge(u, v, rng.choice(_WEIGHTS))
+            fresh = WeightedHCL(g, landmarks=landmarks)
+            assert oracle.labels == fresh.labels
+            assert oracle.highway.as_dict() == fresh.highway.as_dict()

@@ -1,0 +1,104 @@
+"""Unit tests for the directed dynamic graph."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.digraph import DynamicDiGraph
+
+
+class TestStructure:
+    def test_directed_edge_is_one_way(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_out_and_in_neighbors(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (2, 1)])
+        assert g.out_neighbors(0) == [1]
+        assert sorted(g.in_neighbors(1)) == [0, 2]
+        assert g.in_neighbors(0) == []
+
+    def test_degrees(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.in_degree(0) == 0
+
+    def test_both_directions_allowed(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 0)])
+        assert g.num_edges == 2
+
+    def test_edges_iteration(self):
+        g = DynamicDiGraph.from_edges([(1, 0), (0, 1)])
+        assert sorted(g.edges()) == [(0, 1), (1, 0)]
+
+    def test_len_and_contains(self):
+        g = DynamicDiGraph([0, 1, 2])
+        assert len(g) == 3
+        assert 2 in g
+        assert 5 not in g
+
+
+class TestMutation:
+    def test_duplicate_edge_rejected(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = DynamicDiGraph([0])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0)
+
+    def test_missing_vertex_rejected(self):
+        g = DynamicDiGraph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 9)
+
+    def test_remove_edge_directed(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 0)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_remove_missing_edge(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 0)
+
+    def test_vertex_validation(self):
+        g = DynamicDiGraph()
+        with pytest.raises(TypeError):
+            g.add_vertex("x")
+        with pytest.raises(ValueError):
+            g.add_vertex(-3)
+
+
+class TestViews:
+    def test_reverse_flips_all_edges(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        rev = g.reverse()
+        assert sorted(rev.edges()) == [(1, 0), (2, 0), (2, 1)]
+        assert rev.num_edges == g.num_edges
+
+    def test_reverse_is_independent(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        rev = g.reverse()
+        rev.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_copy_is_independent(self):
+        g = DynamicDiGraph.from_edges([(0, 1)])
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_average_degree(self):
+        g = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        assert g.average_degree() == pytest.approx(2 / 3)
+        assert DynamicDiGraph().average_degree() == 0.0

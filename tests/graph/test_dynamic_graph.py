@@ -1,0 +1,218 @@
+"""Unit tests for the undirected dynamic graph substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DynamicGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_pre_registered_vertices(self):
+        g = DynamicGraph(range(5))
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_from_edges(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_from_edges_rejects_duplicates(self):
+        with pytest.raises(EdgeExistsError):
+            DynamicGraph.from_edges([(0, 1), (1, 0)])
+
+    def test_copy_is_independent(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        clone = g.copy()
+        clone.add_vertex(9)
+        clone.add_edge(0, 9)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestVertices:
+    def test_add_vertex_new(self):
+        g = DynamicGraph()
+        assert g.add_vertex(3) is True
+        assert g.has_vertex(3)
+
+    def test_add_vertex_existing_is_noop(self):
+        g = DynamicGraph([1])
+        assert g.add_vertex(1) is False
+        assert g.num_vertices == 1
+
+    def test_add_vertex_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DynamicGraph().add_vertex(-1)
+
+    def test_add_vertex_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            DynamicGraph().add_vertex("a")
+
+    def test_add_vertex_rejects_bool(self):
+        with pytest.raises(TypeError):
+            DynamicGraph().add_vertex(True)
+
+    def test_contains_and_len(self):
+        g = DynamicGraph([0, 1, 2])
+        assert 1 in g
+        assert 7 not in g
+        assert len(g) == 3
+
+    def test_neighbors_unknown_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            DynamicGraph().neighbors(0)
+
+    def test_degree_unknown_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            DynamicGraph().degree(0)
+
+    def test_max_vertex_id(self):
+        g = DynamicGraph([3, 17, 5])
+        assert g.max_vertex_id() == 17
+        assert DynamicGraph().max_vertex_id() == -1
+
+
+class TestEdges:
+    def test_add_edge_symmetric(self):
+        g = DynamicGraph([0, 1])
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.neighbors(0) == [1]
+        assert g.neighbors(1) == [0]
+
+    def test_add_edge_missing_endpoint(self):
+        g = DynamicGraph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 1)
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(1, 0)
+
+    def test_add_edge_rejects_self_loop(self):
+        g = DynamicGraph([0])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0)
+
+    def test_add_edge_rejects_duplicate(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(0, 1)
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(1, 0)
+
+    def test_edges_iterates_each_once(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_has_edge_unknown_vertices(self):
+        assert DynamicGraph().has_edge(0, 1) is False
+
+    def test_remove_edge(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        g.add_vertex(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 2)
+
+    def test_remove_edge_unknown_vertex(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        with pytest.raises(VertexNotFoundError):
+            g.remove_edge(0, 99)
+
+
+class TestVertexInsertion:
+    def test_insert_vertex_returns_edge_list(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        inserted = g.insert_vertex(7, [0, 2])
+        assert inserted == [(7, 0), (7, 2)]
+        assert g.degree(7) == 2
+
+    def test_insert_vertex_existing_vertex(self):
+        g = DynamicGraph([0, 1])
+        with pytest.raises(ValueError):
+            g.insert_vertex(0, [1])
+
+    def test_insert_vertex_unknown_neighbor(self):
+        g = DynamicGraph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.insert_vertex(5, [3])
+
+    def test_insert_vertex_duplicate_neighbors(self):
+        g = DynamicGraph([0, 1])
+        with pytest.raises(ValueError):
+            g.insert_vertex(5, [0, 0])
+
+    def test_insert_vertex_self_neighbor(self):
+        g = DynamicGraph([0])
+        with pytest.raises(SelfLoopError):
+            g.insert_vertex(5, [5, 0])
+
+    def test_insert_vertex_no_neighbors(self):
+        g = DynamicGraph([0])
+        assert g.insert_vertex(5, []) == []
+        assert g.degree(5) == 0
+
+
+class TestDerived:
+    def test_average_degree(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        assert g.average_degree() == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert DynamicGraph().average_degree() == 0.0
+
+
+@given(st.integers(2, 30), st.randoms(use_true_random=False))
+def test_edge_count_matches_adjacency(n, rng):
+    """num_edges always equals half the adjacency list lengths."""
+    g = DynamicGraph(range(n))
+    for _ in range(3 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+    assert len(list(g.edges())) == g.num_edges
+
+
+@given(st.integers(2, 20), st.randoms(use_true_random=False))
+def test_insert_then_remove_roundtrip(n, rng):
+    """Removing a just-inserted edge restores the previous edge set."""
+    g = DynamicGraph(range(n))
+    for _ in range(2 * n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    before = sorted(g.edges())
+    candidates = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if not g.has_edge(u, v)
+    ]
+    if candidates:
+        u, v = candidates[0]
+        g.add_edge(u, v)
+        g.remove_edge(u, v)
+    assert sorted(g.edges()) == before

@@ -1,0 +1,249 @@
+"""Tests for the synthetic network generators (dataset substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    community_web_graph,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    powerlaw_cluster,
+    random_tree,
+    ring_of_cliques,
+    watts_strogatz,
+)
+from repro.graph.statistics import connected_components
+from repro.graph.traversal import bfs_distances
+
+
+class TestErdosRenyi:
+    def test_exact_counts(self):
+        g = erdos_renyi(40, 100, rng=0)
+        assert g.num_vertices == 40
+        assert g.num_edges == 100
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi(30, 60, rng=7)
+        b = erdos_renyi(30, 60, rng=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(30, 60, rng=1)
+        b = erdos_renyi(30, 60, rng=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 7, rng=0)
+
+    def test_complete_graph_possible(self):
+        g = erdos_renyi(5, 10, rng=0)
+        assert g.num_edges == 10
+
+    def test_zero_edges(self):
+        g = erdos_renyi(5, 0, rng=0)
+        assert g.num_edges == 0
+
+
+class TestBarabasiAlbert:
+    def test_connected_and_sized(self):
+        g = barabasi_albert(200, attach=3, rng=1)
+        assert g.num_vertices == 200
+        assert len(connected_components(g)) == 1
+        # every non-seed vertex contributes exactly `attach` edges
+        assert g.num_edges == 3 + (200 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, attach=2, rng=3)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # hubs dominate: top vertex far above the median
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, attach=3, rng=0)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, attach=0, rng=0)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_in_expectation(self):
+        g = watts_strogatz(100, k=6, beta=0.0, rng=0)
+        assert g.num_edges == 300
+        assert all(g.degree(v) == 6 for v in g.vertices())
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(100, k=6, beta=0.0, rng=0)
+        rewired = watts_strogatz(100, k=6, beta=0.5, rng=0)
+        assert sorted(lattice.edges()) != sorted(rewired.edges())
+        assert rewired.num_edges == lattice.num_edges
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=3, beta=0.1, rng=0)
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=2, beta=1.5, rng=0)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(4, k=4, beta=0.0, rng=0)
+
+
+class TestPowerlawCluster:
+    def test_size_and_connectivity(self):
+        g = powerlaw_cluster(150, attach=3, triangle_prob=0.5, rng=2)
+        assert g.num_vertices == 150
+        assert len(connected_components(g)) == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster(10, attach=2, triangle_prob=1.5, rng=0)
+
+    def test_more_triangles_than_ba(self):
+        def triangle_count(g):
+            count = 0
+            for u, v in g.edges():
+                nu = set(g.neighbors(u))
+                count += sum(1 for w in g.neighbors(v) if w in nu)
+            return count
+
+        ba = barabasi_albert(300, attach=3, rng=5)
+        hk = powerlaw_cluster(300, attach=3, triangle_prob=0.9, rng=5)
+        assert triangle_count(hk) > triangle_count(ba)
+
+
+class TestCommunityWebGraph:
+    def test_structure(self):
+        g = community_web_graph(
+            400, community_size=50, intra_attach=3,
+            inter_edges_per_community=2, rng=4,
+        )
+        assert g.num_vertices == 400
+        assert len(connected_components(g)) == 1
+
+    def test_high_average_distance(self):
+        """The web stand-in must have a larger diameter than a comparable
+        BA graph — the property Table 2's avg-dist column hinges on."""
+        web = community_web_graph(
+            600, community_size=30, intra_attach=3,
+            inter_edges_per_community=2, rng=1,
+        )
+        ba = barabasi_albert(600, attach=3, rng=1)
+        web_ecc = max(bfs_distances(web, 0).values())
+        ba_ecc = max(bfs_distances(ba, 0).values())
+        assert web_ecc > ba_ecc
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            community_web_graph(100, community_size=3, intra_attach=3,
+                                inter_edges_per_community=1, rng=0)
+        with pytest.raises(GraphError):
+            community_web_graph(10, community_size=50, intra_attach=3,
+                                inter_edges_per_community=1, rng=0)
+
+
+class TestDeterministicShapes:
+    def test_ring_of_cliques_distances(self):
+        g = ring_of_cliques(4, 4)
+        assert g.num_vertices == 16
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1  # same clique
+        # opposite clique needs two bridge hops plus intra steps
+        assert dist[8] >= 2
+
+    def test_ring_of_cliques_invalid(self):
+        with pytest.raises(GraphError):
+            ring_of_cliques(0, 3)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(50, rng=9)
+        assert g.num_edges == 49
+        assert len(connected_components(g)) == 1
+
+    def test_random_tree_single_vertex(self):
+        g = random_tree(1, rng=0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_grid_distances(self):
+        g = grid_graph(3, 4)
+        dist = bfs_distances(g, 0)
+        assert dist[11] == 5  # manhattan distance to opposite corner
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+
+class TestEnsureConnected:
+    def test_connects_components(self):
+        g = erdos_renyi(30, 10, rng=0)
+        ensure_connected(g, rng=0)
+        assert len(connected_components(g)) == 1
+
+    def test_already_connected_unchanged(self):
+        g = grid_graph(3, 3)
+        edges_before = sorted(g.edges())
+        ensure_connected(g, rng=0)
+        assert sorted(g.edges()) == edges_before
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_always_yields_single_component(self, seed):
+        g = erdos_renyi(25, 8, rng=seed)
+        ensure_connected(g, rng=seed)
+        assert len(connected_components(g)) == 1
+
+
+class TestForestFire:
+    def test_connected_and_sized(self):
+        from repro.graph.generators import forest_fire
+        from repro.graph.statistics import connected_components
+
+        graph = forest_fire(200, forward_prob=0.3, rng=3)
+        assert graph.num_vertices == 200
+        assert len(connected_components(graph)) == 1
+        assert graph.num_edges >= 199  # at least a spanning structure
+
+    def test_deterministic_under_seed(self):
+        from repro.graph.generators import forest_fire
+
+        a = forest_fire(80, forward_prob=0.4, rng=9)
+        b = forest_fire(80, forward_prob=0.4, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_densifies_with_forward_prob(self):
+        from repro.graph.generators import forest_fire
+
+        sparse = forest_fire(300, forward_prob=0.05, rng=5)
+        dense = forest_fire(300, forward_prob=0.6, rng=5)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_zero_forward_prob_is_tree(self):
+        from repro.graph.generators import forest_fire
+
+        graph = forest_fire(60, forward_prob=0.0, rng=2)
+        assert graph.num_edges == 59  # each arrival links only its ambassador
+
+    def test_burn_cap_respected(self):
+        from repro.graph.generators import forest_fire
+
+        graph = forest_fire(120, forward_prob=0.9, rng=4, max_burn=5)
+        degrees = [graph.degree(v) for v in graph.vertices()]
+        # New arrivals link at most max_burn vertices; hubs can still grow
+        # by later fires, but the minimum arrival degree is bounded.
+        assert min(degrees) >= 1
+
+    def test_parameter_validation(self):
+        from repro.exceptions import GraphError
+        from repro.graph.generators import forest_fire
+
+        with pytest.raises(GraphError):
+            forest_fire(1)
+        with pytest.raises(GraphError):
+            forest_fire(10, forward_prob=1.0)

@@ -1,0 +1,129 @@
+"""Tests for edge-list I/O (SNAP/KONECT-style files)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import (
+    read_directed_edge_list,
+    read_edge_list,
+    read_weighted_edge_list,
+    write_edge_list,
+    write_weighted_edge_list,
+)
+from repro.graph.weighted import WeightedGraph
+
+
+class TestUndirected:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(20, 40, rng=5)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% another\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_normalised(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_strict(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, deduplicate=False)
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_self_loops_strict(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, drop_self_loops=False)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected at least 2"):
+            read_edge_list(path)
+
+    def test_extra_fields_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1597536000\n")  # SNAP timestamped edge list
+        assert read_edge_list(path).num_edges == 1
+
+
+class TestDirected:
+    def test_direction_preserved(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n2 0\n")
+        g = read_directed_edge_list(path)
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 0) and g.has_edge(2, 0)
+
+    def test_duplicates_and_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n2 2\n")
+        g = read_directed_edge_list(path)
+        assert g.num_edges == 1
+
+
+class TestWeighted:
+    def test_roundtrip(self, tmp_path):
+        g = WeightedGraph.from_edges([(0, 1, 2.5), (1, 2, 1.25)])
+        path = tmp_path / "g.txt"
+        write_weighted_edge_list(g, path)
+        back = read_weighted_edge_list(path)
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_missing_weight_field(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_weighted_edge_list(path)
+
+
+class TestGzipRoundTrip:
+    def test_undirected_gzip_roundtrip(self, tmp_path):
+        from repro.graph.io import read_edge_list, write_edge_list
+        from tests.conftest import random_connected_graph
+
+        graph = random_connected_graph(14)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(graph, path)
+        import gzip
+
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("#")
+        restored = read_edge_list(path)
+        assert sorted(restored.edges()) == sorted(graph.edges())
+
+    def test_weighted_gzip_roundtrip(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list, write_weighted_edge_list
+        from repro.graph.weighted import WeightedGraph
+
+        graph = WeightedGraph.from_edges([(0, 1, 1.5), (1, 2, 2.25)])
+        path = tmp_path / "weighted.txt.gz"
+        write_weighted_edge_list(graph, path)
+        restored = read_weighted_edge_list(path)
+        assert sorted(restored.edges()) == sorted(graph.edges())
+
+    def test_plain_files_still_work(self, tmp_path):
+        from repro.graph.io import read_edge_list, write_edge_list
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        assert path.read_text().startswith("#")
+        assert sorted(read_edge_list(path).edges()) == [(0, 1), (1, 2)]

@@ -1,0 +1,138 @@
+"""Cross-validation against networkx — an independent reference.
+
+The in-repo reference implementations (tests/conftest.py) share no code
+with the library, but they were written by the same hands; networkx is a
+fully external oracle for the substrate's graph algorithms and for the
+distance semantics the labelling must reproduce.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.construction_fast import build_hcl_fast
+from repro.core.query import query_distance
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.statistics import (
+    average_distance,
+    clustering_coefficient,
+    connected_components,
+)
+from repro.graph.traversal import bfs_distances, bidirectional_bfs
+
+from tests.conftest import random_connected_graph
+
+INF = float("inf")
+
+
+def to_networkx(graph: DynamicGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def random_graph(seed: int, connected: bool = True) -> DynamicGraph:
+    if connected:
+        return random_connected_graph(seed)
+    rng = random.Random(seed)
+    from repro.graph.generators import erdos_renyi
+
+    n = rng.randint(6, 25)
+    return erdos_renyi(n, max(1, n // 2), rng=rng)
+
+
+class TestTraversal:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_distances_match(self, seed):
+        graph = random_graph(seed, connected=False)
+        nxg = to_networkx(graph)
+        source = sorted(graph.vertices())[0]
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        assert bfs_distances(graph, source) == dict(expected)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_bidirectional_bfs_matches(self, seed):
+        graph = random_graph(seed)
+        nxg = to_networkx(graph)
+        vertices = sorted(graph.vertices())
+        u, v = vertices[0], vertices[-1]
+        expected = nx.shortest_path_length(nxg, u, v)
+        assert bidirectional_bfs(graph, u, v, bound=INF) == expected
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_csr_bfs_matches(self, seed):
+        graph = random_graph(seed, connected=False)
+        nxg = to_networkx(graph)
+        source = sorted(graph.vertices())[0]
+        expected = dict(nx.single_source_shortest_path_length(nxg, source))
+        csr = CSRGraph.from_graph(graph)
+        dist = csr.bfs(source)
+        for v in graph.vertices():
+            assert int(dist[csr.index(v)]) == expected.get(v, -1)
+
+
+class TestStatistics:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_connected_components_match(self, seed):
+        graph = random_graph(seed, connected=False)
+        nxg = to_networkx(graph)
+        ours = {frozenset(c) for c in connected_components(graph)}
+        theirs = {frozenset(c) for c in nx.connected_components(nxg)}
+        assert ours == theirs
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_clustering_coefficient_matches(self, seed):
+        graph = random_graph(seed)
+        nxg = to_networkx(graph)
+        eligible = [v for v in graph.vertices() if graph.degree(v) >= 2]
+        if not eligible:
+            return
+        expected = sum(nx.clustering(nxg, eligible).values()) / len(eligible)
+        ours = clustering_coefficient(graph, num_samples=None)
+        assert ours == pytest.approx(expected)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_average_distance_matches(self, seed):
+        graph = random_graph(seed)
+        nxg = to_networkx(graph)
+        expected = nx.average_shortest_path_length(nxg)
+        ours = average_distance(graph, num_sources=None)
+        assert ours == pytest.approx(expected)
+
+
+class TestLabellingSemantics:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=12, deadline=None)
+    def test_queries_match_networkx(self, seed):
+        graph = random_graph(seed)
+        nxg = to_networkx(graph)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl(graph, vertices[:3])
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for u in vertices[::3]:
+            for v in vertices[::4]:
+                expected = lengths[u].get(v, INF)
+                assert query_distance(graph, labelling, u, v) == expected
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_fast_construction_queries_match_networkx(self, seed):
+        graph = random_graph(seed)
+        nxg = to_networkx(graph)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl_fast(graph, vertices[:2])
+        u, v = vertices[1], vertices[-1]
+        assert query_distance(graph, labelling, u, v) == nx.shortest_path_length(
+            nxg, u, v
+        )

@@ -1,0 +1,163 @@
+"""Tests for the graph statistics behind Table 2."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph, ring_of_cliques
+from repro.graph.statistics import (
+    average_distance,
+    connected_components,
+    degree_histogram,
+    largest_component_fraction,
+    summarize,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(grid_graph(2, 3)) == [[0, 1, 2, 3, 4, 5]]
+
+    def test_multiple_components_sorted_by_size(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        comps = connected_components(g)
+        assert comps == [[0, 1, 2], [3, 4], [5]]
+
+    def test_largest_component_fraction(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        assert largest_component_fraction(g) == pytest.approx(0.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            largest_component_fraction(DynamicGraph())
+
+
+class TestAverageDistance:
+    def test_exact_on_path(self, path_graph):
+        # pairs (ordered) distances: each unordered pair counted twice, mean
+        # = (4*1 + 3*2 + 2*3 + 1*4) / 10 = 2.0
+        assert average_distance(path_graph) == pytest.approx(2.0)
+
+    def test_sampled_close_to_exact(self):
+        g = ring_of_cliques(6, 5)
+        exact = average_distance(g)
+        sampled = average_distance(g, num_sources=15, rng=3)
+        assert sampled == pytest.approx(exact, rel=0.35)
+
+    def test_disconnected_pairs_ignored(self):
+        g = DynamicGraph.from_edges([(0, 1)], num_vertices=3)
+        assert average_distance(g) == pytest.approx(1.0)
+
+    def test_isolated_vertices_only(self):
+        g = DynamicGraph(range(3))
+        assert average_distance(g) == 0.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            average_distance(DynamicGraph())
+
+
+class TestDegreeHistogram:
+    def test_histogram_counts(self, path_graph):
+        assert degree_histogram(path_graph) == {1: 2, 2: 3}
+
+    def test_histogram_total(self):
+        g = grid_graph(3, 3)
+        hist = degree_histogram(g)
+        assert sum(hist.values()) == g.num_vertices
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        g = grid_graph(4, 4)
+        s = summarize(g, num_sources=None)
+        assert s.num_vertices == 16
+        assert s.num_edges == 24
+        assert s.average_degree == pytest.approx(3.0)
+        assert s.average_distance > 0
+
+    def test_as_row_keys(self):
+        g = grid_graph(2, 2)
+        row = summarize(g, num_sources=None).as_row()
+        assert set(row) == {"|V|", "|E|", "avg. deg", "avg. dist"}
+
+
+class TestEffectiveDiameter:
+    def test_path_graph_exact(self):
+        from repro.graph.statistics import effective_diameter
+
+        # Path 0-1-2-3-4: pair distance counts 1:8, 2:6, 3:4, 4:2 (ordered
+        # pairs over all sources).  90% of 20 = 18 → inside the d=3 step.
+        graph = DynamicGraph.from_edges([(i, i + 1) for i in range(4)])
+        d = effective_diameter(graph, percentile=0.9, num_sources=None)
+        assert 2.0 < d <= 4.0
+
+    def test_star_graph(self):
+        from repro.graph.statistics import effective_diameter
+
+        graph = DynamicGraph.from_edges([(0, i) for i in range(1, 10)])
+        # Leaf-leaf pairs dominate at distance 2.
+        d = effective_diameter(graph, percentile=0.9, num_sources=None)
+        assert 1.0 < d <= 2.0
+
+    def test_monotone_in_percentile(self):
+        from repro.graph.statistics import effective_diameter
+
+        graph = DynamicGraph.from_edges([(i, i + 1) for i in range(9)])
+        d50 = effective_diameter(graph, percentile=0.5, num_sources=None)
+        d95 = effective_diameter(graph, percentile=0.95, num_sources=None)
+        assert d50 < d95
+
+    def test_invalid_percentile(self):
+        from repro.graph.statistics import effective_diameter
+
+        graph = DynamicGraph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            effective_diameter(graph, percentile=1.5)
+
+    def test_edgeless_graph(self):
+        from repro.graph.statistics import effective_diameter
+
+        graph = DynamicGraph([0, 1, 2])
+        assert effective_diameter(graph, num_sources=None) == 0.0
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_fully_clustered(self):
+        from repro.graph.statistics import clustering_coefficient
+
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(graph, num_samples=None) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        from repro.graph.statistics import clustering_coefficient
+
+        graph = DynamicGraph.from_edges([(0, i) for i in range(1, 6)])
+        assert clustering_coefficient(graph, num_samples=None) == 0.0
+
+    def test_triangle_with_tail(self):
+        from repro.graph.statistics import clustering_coefficient
+
+        # Triangle 0-1-2 plus tail 2-3: vertices 0,1 have C=1, vertex 2
+        # has C=1/3 (one closed wedge of three); 3 has degree 1 (skipped).
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        expected = (1.0 + 1.0 + 1.0 / 3.0) / 3.0
+        assert clustering_coefficient(graph, num_samples=None) == pytest.approx(
+            expected
+        )
+
+    def test_degree_one_graph(self):
+        from repro.graph.statistics import clustering_coefficient
+
+        graph = DynamicGraph.from_edges([(0, 1)])
+        assert clustering_coefficient(graph, num_samples=None) == 0.0
+
+    def test_sampling_is_deterministic(self):
+        from repro.graph.generators import powerlaw_cluster
+        from repro.graph.statistics import clustering_coefficient
+
+        graph = powerlaw_cluster(300, 3, 0.5, rng=4)
+        a = clustering_coefficient(graph, num_samples=50, rng=9)
+        b = clustering_coefficient(graph, num_samples=50, rng=9)
+        assert a == b
+        assert 0.0 < a < 1.0

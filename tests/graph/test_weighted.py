@@ -1,0 +1,92 @@
+"""Unit tests for the weighted dynamic graph."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.weighted import WeightedGraph
+
+
+class TestStructure:
+    def test_from_edges_and_weight_lookup(self):
+        g = WeightedGraph.from_edges([(0, 1, 2.5), (1, 2, 1.0)])
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+        assert g.num_edges == 2
+
+    def test_weight_missing_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        g.add_vertex(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.weight(0, 2)
+
+    def test_edges_iterate_once_with_weight(self):
+        g = WeightedGraph.from_edges([(0, 1, 3.0), (1, 2, 4.0)])
+        assert sorted(g.edges()) == [(0, 1, 3.0), (1, 2, 4.0)]
+
+    def test_neighbors_are_pairs(self):
+        g = WeightedGraph.from_edges([(0, 1, 3.0)])
+        assert g.neighbors(0) == [(1, 3.0)]
+
+    def test_neighbors_unknown_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            WeightedGraph().neighbors(0)
+
+
+class TestMutation:
+    def test_zero_weight_rejected(self):
+        g = WeightedGraph([0, 1])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0.0)
+
+    def test_negative_weight_rejected(self):
+        g = WeightedGraph([0, 1])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -2.0)
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph([0])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0, 1.0)
+
+    def test_duplicate_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(1, 0, 2.0)
+
+    def test_missing_vertex_rejected(self):
+        g = WeightedGraph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 5, 1.0)
+
+    def test_remove_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        g.add_vertex(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 2)
+
+    def test_weights_coerced_to_float(self):
+        g = WeightedGraph([0, 1])
+        g.add_edge(0, 1, 3)
+        assert g.weight(0, 1) == 3.0
+        assert isinstance(g.weight(0, 1), float)
+
+    def test_copy_independent(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_average_degree(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert g.average_degree() == pytest.approx(4 / 3)

@@ -1,0 +1,168 @@
+"""Tests for online landmark maintenance (promote/demote).
+
+Both operations must land on the canonical minimal labelling for the new
+landmark set — the same labelling a from-scratch build produces.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.construction import build_hcl
+from repro.core.inchl import apply_edge_insertion
+from repro.core.validation import check_matches_rebuild, check_query_exactness
+from repro.exceptions import LabellingError, VertexNotFoundError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.landmarks.maintenance import add_landmark, remove_landmark
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+def assert_equals_fresh_build(graph, labelling):
+    fresh = build_hcl(graph, labelling.landmarks)
+    assert labelling.highway == fresh.highway
+    assert labelling.labels == fresh.labels
+
+
+class TestAddLandmark:
+    def test_small_graph(self):
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        labelling = build_hcl(graph, [0])
+        add_landmark(graph, labelling, 4)
+        assert labelling.landmarks == [0, 4]
+        assert_equals_fresh_build(graph, labelling)
+
+    def test_promoted_vertex_loses_label(self):
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        assert labelling.labels.has_entry(2, 0)
+        add_landmark(graph, labelling, 2)
+        assert labelling.labels.label(2) == {}
+        assert labelling.highway.distance(0, 2) == 2
+
+    def test_removal_count_reported(self):
+        # Path 0-1-2-3-4, landmark 0: all of 1..4 labelled.  Promoting 2
+        # covers 3 and 4 (and absorbs 2's own entry).
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        labelling = build_hcl(graph, [0])
+        removed = add_landmark(graph, labelling, 2)
+        assert removed == 2  # entries (3, r=0) and (4, r=0)
+        assert_equals_fresh_build(graph, labelling)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_promotion_equals_fresh_build(self, seed):
+        graph = random_connected_graph(seed)
+        rng = random.Random(seed + 3)
+        vertices = sorted(graph.vertices())
+        landmarks = vertices[:2]
+        labelling = build_hcl(graph, landmarks)
+        candidates = [v for v in vertices if v not in landmarks]
+        add_landmark(graph, labelling, rng.choice(candidates))
+        assert_equals_fresh_build(graph, labelling)
+
+    def test_promotion_in_other_component(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        labelling = build_hcl(graph, [0])
+        add_landmark(graph, labelling, 2)
+        assert_equals_fresh_build(graph, labelling)
+        assert labelling.highway.distance(0, 2) == float("inf")
+
+    def test_existing_landmark_rejected(self):
+        graph = DynamicGraph.from_edges([(0, 1)])
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(LabellingError):
+            add_landmark(graph, labelling, 0)
+
+    def test_unknown_vertex_rejected(self):
+        graph = DynamicGraph.from_edges([(0, 1)])
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(VertexNotFoundError):
+            add_landmark(graph, labelling, 99)
+
+    def test_incremental_updates_compose_after_promotion(self):
+        graph = random_connected_graph(77)
+        labelling = build_hcl(graph, sorted(graph.vertices())[:2])
+        promoted = next(
+            v for v in sorted(graph.vertices()) if v not in labelling.landmark_set
+        )
+        add_landmark(graph, labelling, promoted)
+        edge = non_edges(graph)[0]
+        graph.add_edge(*edge)
+        apply_edge_insertion(graph, labelling, *edge)
+        check_matches_rebuild(graph, labelling)
+
+
+class TestRemoveLandmark:
+    def test_small_graph(self):
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        labelling = build_hcl(graph, [0, 2])
+        rebuilt = remove_landmark(graph, labelling, 2)
+        assert labelling.landmarks == [0]
+        assert rebuilt == [0]
+        assert_equals_fresh_build(graph, labelling)
+
+    def test_demoted_vertex_regains_entries(self):
+        graph = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        labelling = build_hcl(graph, [0, 2])
+        remove_landmark(graph, labelling, 2)
+        assert labelling.labels.entry(2, 0) == 2
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_demotion_equals_fresh_build(self, seed):
+        graph = random_connected_graph(seed)
+        rng = random.Random(seed + 5)
+        vertices = sorted(graph.vertices())
+        landmarks = vertices[:3]
+        labelling = build_hcl(graph, landmarks)
+        remove_landmark(graph, labelling, rng.choice(landmarks))
+        assert_equals_fresh_build(graph, labelling)
+
+    def test_unreachable_landmark_skips_rebuilds(self):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3), (3, 4)])
+        labelling = build_hcl(graph, [0, 2])
+        rebuilt = remove_landmark(graph, labelling, 2)
+        assert rebuilt == []  # 0 cannot reach 2: nothing to repair
+        assert_equals_fresh_build(graph, labelling)
+
+    def test_non_landmark_rejected(self):
+        graph = DynamicGraph.from_edges([(0, 1)])
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(LabellingError):
+            remove_landmark(graph, labelling, 1)
+
+    def test_last_landmark_rejected(self):
+        graph = DynamicGraph.from_edges([(0, 1)])
+        labelling = build_hcl(graph, [0])
+        with pytest.raises(LabellingError):
+            remove_landmark(graph, labelling, 0)
+
+
+class TestRoundTrips:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_add_then_remove_restores(self, seed):
+        graph = random_connected_graph(seed)
+        rng = random.Random(seed + 13)
+        vertices = sorted(graph.vertices())
+        labelling = build_hcl(graph, vertices[:2])
+        snapshot = labelling.copy()
+        extra = rng.choice([v for v in vertices if v not in vertices[:2]])
+        add_landmark(graph, labelling, extra)
+        remove_landmark(graph, labelling, extra)
+        assert labelling == snapshot
+
+    def test_resize_landmark_set_online(self):
+        """Grow |R| from 2 to 5 and back while answering exact queries."""
+        graph = random_connected_graph(101, n_min=15, n_max=25)
+        by_degree = sorted(graph.vertices(), key=graph.degree, reverse=True)
+        labelling = build_hcl(graph, by_degree[:2])
+        for v in by_degree[2:5]:
+            add_landmark(graph, labelling, v)
+            check_query_exactness(graph, labelling, num_pairs=20, rng=v)
+        for v in by_degree[2:5]:
+            remove_landmark(graph, labelling, v)
+        assert sorted(labelling.landmarks) == sorted(by_degree[:2])
+        assert_equals_fresh_build(graph, labelling)

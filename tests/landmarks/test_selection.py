@@ -1,0 +1,90 @@
+"""Tests for landmark selection strategies."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert, grid_graph
+from repro.landmarks.selection import (
+    betweenness_landmarks,
+    random_landmarks,
+    select_landmarks,
+    spread_degree_landmarks,
+    top_degree_landmarks,
+)
+
+
+@pytest.fixture
+def star_plus_path():
+    """Vertex 0 is a hub of degree 5; a path hangs off vertex 1."""
+    edges = [(0, i) for i in range(1, 6)] + [(1, 6), (6, 7), (7, 8)]
+    return DynamicGraph.from_edges(edges)
+
+
+class TestTopDegree:
+    def test_picks_hub_first(self, star_plus_path):
+        assert top_degree_landmarks(star_plus_path, 1) == [0]
+
+    def test_tie_break_by_id(self):
+        g = grid_graph(2, 2)  # all degree 2
+        assert top_degree_landmarks(g, 2) == [0, 1]
+
+    def test_count_validation(self, star_plus_path):
+        with pytest.raises(GraphError):
+            top_degree_landmarks(star_plus_path, 0)
+        with pytest.raises(GraphError):
+            top_degree_landmarks(star_plus_path, 100)
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self, star_plus_path):
+        a = random_landmarks(star_plus_path, 3, rng=5)
+        b = random_landmarks(star_plus_path, 3, rng=5)
+        assert a == b
+
+    def test_distinct_and_valid(self, star_plus_path):
+        picks = random_landmarks(star_plus_path, 4, rng=1)
+        assert len(set(picks)) == 4
+        assert all(star_plus_path.has_vertex(v) for v in picks)
+
+
+class TestBetweenness:
+    def test_bridge_vertex_ranks_high(self, star_plus_path):
+        # vertex 1 bridges the star and the path: highest betweenness after
+        # (or alongside) the hub.
+        picks = betweenness_landmarks(star_plus_path, 2, num_sources=9, rng=0)
+        assert 1 in picks or 0 in picks
+
+    def test_count(self, star_plus_path):
+        assert len(betweenness_landmarks(star_plus_path, 3, rng=0)) == 3
+
+
+class TestSpread:
+    def test_landmarks_non_adjacent_when_possible(self):
+        g = grid_graph(4, 4)
+        picks = spread_degree_landmarks(g, 3)
+        for i, u in enumerate(picks):
+            for v in picks[i + 1 :]:
+                assert not g.has_edge(u, v)
+
+    def test_falls_back_when_constraint_impossible(self):
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 2)])  # triangle
+        picks = spread_degree_landmarks(g, 3)
+        assert sorted(picks) == [0, 1, 2]
+
+
+class TestDispatch:
+    def test_named_strategies(self):
+        g = barabasi_albert(60, attach=2, rng=0)
+        for strategy in ("degree", "random", "betweenness", "spread"):
+            picks = select_landmarks(g, 5, strategy, rng=0)
+            assert len(picks) == 5
+            assert len(set(picks)) == 5
+
+    def test_unknown_strategy(self):
+        with pytest.raises(GraphError, match="unknown landmark strategy"):
+            select_landmarks(grid_graph(2, 2), 1, "magic")
+
+    def test_degree_is_default(self):
+        g = barabasi_albert(60, attach=2, rng=0)
+        assert select_landmarks(g, 4) == top_degree_landmarks(g, 4)

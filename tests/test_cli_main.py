@@ -1,0 +1,117 @@
+"""Tests for the top-level ``python -m repro`` command line."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.io import write_edge_list
+from repro.utils.serialization import load_oracle
+
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture
+def edge_list(tmp_path):
+    graph = random_connected_graph(77, n_min=15, n_max=20)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+@pytest.fixture
+def oracle_file(edge_list, tmp_path):
+    path, graph = edge_list
+    out = tmp_path / "oracle.json"
+    assert main(["build", str(path), "-o", str(out), "--landmarks", "3"]) == 0
+    return out, graph
+
+
+class TestBuild:
+    def test_build_writes_loadable_oracle(self, oracle_file, capsys):
+        out, graph = oracle_file
+        oracle = load_oracle(out)
+        assert sorted(oracle.graph.edges()) == sorted(graph.edges())
+        assert len(oracle.landmarks) == 3
+
+    def test_build_csr_equals_python(self, edge_list, tmp_path):
+        path, _ = edge_list
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["build", str(path), "-o", str(a), "--landmarks", "3"])
+        main(["build", str(path), "-o", str(b), "--landmarks", "3", "--csr"])
+        assert load_oracle(a).labelling == load_oracle(b).labelling
+
+    def test_build_gzip_output(self, edge_list, tmp_path):
+        path, _ = edge_list
+        out = tmp_path / "oracle.json.gz"
+        assert main(["build", str(path), "-o", str(out)]) == 0
+        assert load_oracle(out).graph.num_vertices > 0
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "nope.txt"), "-o", "x.json"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueryAndPath:
+    def test_query_prints_distance(self, oracle_file, capsys):
+        out, graph = oracle_file
+        vertices = sorted(graph.vertices())
+        u, v = vertices[0], vertices[-1]
+        assert main(["query", str(out), str(u), str(v)]) == 0
+        printed = capsys.readouterr().out.strip()
+        oracle = load_oracle(out)
+        assert printed == str(int(oracle.query(u, v)))
+
+    def test_query_unreachable(self, tmp_path, capsys):
+        graph = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        edge_path = tmp_path / "g.txt"
+        write_edge_list(graph, edge_path)
+        out = tmp_path / "o.json"
+        main(["build", str(edge_path), "-o", str(out), "--landmarks", "1"])
+        main(["query", str(out), "0", "3"])
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_path_prints_route(self, oracle_file, capsys):
+        out, graph = oracle_file
+        vertices = sorted(graph.vertices())
+        u, v = vertices[0], vertices[-1]
+        assert main(["path", str(out), str(u), str(v)]) == 0
+        printed = capsys.readouterr().out.strip()
+        hops = [int(x) for x in printed.split(" -> ")]
+        assert hops[0] == u and hops[-1] == v
+        for a, b in zip(hops, hops[1:]):
+            assert graph.has_edge(a, b)
+
+
+class TestUpdates:
+    def test_insert_then_query(self, oracle_file, capsys):
+        out, graph = oracle_file
+        from tests.conftest import non_edges
+
+        u, v = non_edges(graph)[0]
+        assert main(["insert", str(out), str(u), str(v)]) == 0
+        main(["query", str(out), str(u), str(v)])
+        assert capsys.readouterr().out.strip().endswith("1")
+
+    def test_delete_roundtrip_to_new_file(self, oracle_file, tmp_path, capsys):
+        out, graph = oracle_file
+        u, v = sorted(graph.edges())[0]
+        updated = tmp_path / "updated.json"
+        assert main(["delete", str(out), str(u), str(v), "-o", str(updated)]) == 0
+        # original untouched, update written elsewhere
+        assert load_oracle(out).graph.has_edge(u, v)
+        restored = load_oracle(updated)
+        assert not restored.graph.has_edge(u, v)
+        from repro.core.validation import check_matches_rebuild
+
+        check_matches_rebuild(restored.graph, restored.labelling)
+
+
+class TestStats:
+    def test_stats_prints_summary(self, oracle_file, capsys):
+        out, _ = oracle_file
+        assert main(["stats", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "size(L)" in output
+        assert "|R|=3" in output
+        assert "busiest landmark" in output

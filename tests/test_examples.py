@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are living documentation — broken ones are worse than none.
+They run real workloads (10k-vertex builds), so the full sweep is gated
+behind ``REPRO_RUN_EXAMPLES=1``; the cheapest script runs unconditionally
+as a canary.
+
+    REPRO_RUN_EXAMPLES=1 pytest tests/test_examples.py
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: The cheapest script — always run, as a canary for the example surface.
+CANARY = "path_finding.py"
+
+run_all = os.environ.get("REPRO_RUN_EXAMPLES") == "1"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+def test_examples_directory_complete():
+    expected = {
+        "quickstart.py",
+        "social_network.py",
+        "web_graph.py",
+        "network_monitoring.py",
+        "compare_methods.py",
+        "fully_dynamic.py",
+        "landmark_tuning.py",
+        "path_finding.py",
+        "large_scale.py",
+    }
+    assert set(ALL_EXAMPLES) == expected
+
+
+def test_canary_example_runs():
+    result = run_example(CANARY)
+    assert result.returncode == 0, result.stderr
+    assert "Done" in result.stdout
+
+
+@pytest.mark.skipif(not run_all, reason="set REPRO_RUN_EXAMPLES=1 to run all")
+@pytest.mark.parametrize("name", [n for n in ALL_EXAMPLES if n != CANARY])
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,78 @@
+"""Tests for whole-oracle save/load."""
+
+import pytest
+
+from repro.core.dynamic import DynamicHCL
+from repro.core.validation import check_matches_rebuild
+from repro.exceptions import ReproError
+from repro.utils.serialization import load_oracle, save_labelling, save_oracle
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+def build_oracle(seed=57):
+    graph = random_connected_graph(seed, n_min=12, n_max=20)
+    return DynamicHCL.build(graph, num_landmarks=3)
+
+
+class TestRoundTrip:
+    def test_graph_and_labelling_roundtrip(self, tmp_path):
+        oracle = build_oracle()
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+        restored = load_oracle(path)
+        assert restored.labelling == oracle.labelling
+        assert sorted(restored.graph.edges()) == sorted(oracle.graph.edges())
+        assert sorted(restored.graph.vertices()) == sorted(oracle.graph.vertices())
+        assert restored.landmarks == oracle.landmarks
+
+    def test_gzip_roundtrip(self, tmp_path):
+        oracle = build_oracle(seed=58)
+        path = tmp_path / "oracle.json.gz"
+        save_oracle(oracle, path)
+        assert load_oracle(path).labelling == oracle.labelling
+
+    def test_restored_oracle_accepts_updates(self, tmp_path):
+        oracle = build_oracle(seed=59)
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+        restored = load_oracle(path)
+        a, b = non_edges(restored.graph)[0]
+        restored.insert_edge(a, b)
+        check_matches_rebuild(restored.graph, restored.labelling)
+        edge = next(iter(restored.graph.edges()))
+        restored.remove_edge(*edge)
+        check_matches_rebuild(restored.graph, restored.labelling)
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.core.construction import build_hcl
+
+        graph = DynamicGraph([0, 1, 2, 9])
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        oracle = DynamicHCL(graph, build_hcl(graph, [0]))
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+        restored = load_oracle(path)
+        assert restored.graph.has_vertex(9)
+        assert restored.graph.degree(9) == 0
+
+    def test_queries_identical_after_restore(self, tmp_path):
+        oracle = build_oracle(seed=60)
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+        restored = load_oracle(path)
+        vertices = sorted(oracle.graph.vertices())
+        for u in vertices[:4]:
+            for v in vertices[-4:]:
+                assert restored.query(u, v) == oracle.query(u, v)
+
+
+class TestFormatGuard:
+    def test_labelling_file_rejected_as_oracle(self, tmp_path):
+        oracle = build_oracle(seed=61)
+        path = tmp_path / "labelling.json"
+        save_labelling(oracle.labelling, path)
+        with pytest.raises(ReproError):
+            load_oracle(path)

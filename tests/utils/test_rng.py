@@ -1,0 +1,41 @@
+"""Tests for RNG plumbing."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_rng(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seeds_deterministically(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_rng_passthrough(self):
+        rng = random.Random(0)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_deterministic_per_stream(self):
+        a = spawn_rng(random.Random(1), "updates").random()
+        b = spawn_rng(random.Random(1), "updates").random()
+        assert a == b
+
+    def test_streams_differ(self):
+        parent = random.Random(1)
+        a = spawn_rng(parent, "updates").random()
+        parent = random.Random(1)
+        b = spawn_rng(parent, "queries").random()
+        assert a != b

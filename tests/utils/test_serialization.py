@@ -1,0 +1,65 @@
+"""Tests for labelling serialization."""
+
+import pytest
+
+from repro.core.construction import build_hcl
+from repro.core.validation import check_matches_rebuild
+from repro.exceptions import ReproError
+from repro.graph.generators import grid_graph, ring_of_cliques
+from repro.utils.serialization import load_labelling, save_labelling
+
+
+class TestRoundTrip:
+    def test_plain_json(self, tmp_path):
+        g = ring_of_cliques(4, 4)
+        gamma = build_hcl(g, [0, 4, 8])
+        path = tmp_path / "labelling.json"
+        save_labelling(gamma, path)
+        loaded = load_labelling(path)
+        assert loaded.labels == gamma.labels
+        assert loaded.highway == gamma.highway
+        assert loaded.landmarks == gamma.landmarks
+
+    def test_gzip(self, tmp_path):
+        g = grid_graph(4, 4)
+        gamma = build_hcl(g, [0, 15])
+        path = tmp_path / "labelling.json.gz"
+        save_labelling(gamma, path)
+        loaded = load_labelling(path)
+        assert loaded.labels == gamma.labels
+        assert loaded.highway == gamma.highway
+
+    def test_loaded_labelling_is_usable(self, tmp_path):
+        g = grid_graph(4, 4)
+        gamma = build_hcl(g, [0, 15])
+        path = tmp_path / "l.json"
+        save_labelling(gamma, path)
+        loaded = load_labelling(path)
+        # still valid against the graph it was built from
+        check_matches_rebuild(g, loaded)
+
+    def test_unreachable_highway_pairs_roundtrip(self, tmp_path):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(0, 1), (2, 3)])
+        gamma = build_hcl(g, [0, 2])
+        path = tmp_path / "l.json"
+        save_labelling(gamma, path)
+        loaded = load_labelling(path)
+        assert loaded.highway.distance(0, 2) == float("inf")
+
+    def test_format_check(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ReproError, match="not a repro-hcl-v1"):
+            load_labelling(path)
+
+    def test_maintained_labelling_roundtrips(self, tmp_path):
+        from repro.core.dynamic import DynamicHCL
+
+        oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+        oracle.insert_edges([(0, 15), (3, 12)])
+        path = tmp_path / "l.json"
+        save_labelling(oracle.labelling, path)
+        loaded = load_labelling(path)
+        assert loaded.labels == oracle.labelling.labels

@@ -1,0 +1,56 @@
+"""Tests for the timing helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.timing import Stopwatch, TimingStats
+
+
+class TestStopwatch:
+    def test_measures_nonnegative(self):
+        with Stopwatch() as sw:
+            sum(range(100))
+        assert sw.elapsed >= 0.0
+
+
+class TestTimingStats:
+    def test_add_and_aggregate(self):
+        stats = TimingStats()
+        for s in (0.001, 0.002, 0.003):
+            stats.add(s)
+        assert stats.count == 3
+        assert stats.total == pytest.approx(0.006)
+        assert stats.mean == pytest.approx(0.002)
+        assert stats.median == pytest.approx(0.002)
+        assert stats.maximum == pytest.approx(0.003)
+        assert stats.mean_ms() == pytest.approx(2.0)
+
+    def test_time_records_and_returns(self):
+        stats = TimingStats()
+        result = stats.time(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert stats.count == 1
+
+    def test_rejects_bad_samples(self):
+        stats = TimingStats()
+        with pytest.raises(ValueError):
+            stats.add(-1.0)
+        with pytest.raises(ValueError):
+            stats.add(math.nan)
+
+    def test_empty_stats_raise(self):
+        stats = TimingStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+        with pytest.raises(ValueError):
+            _ = stats.median
+        with pytest.raises(ValueError):
+            _ = stats.maximum
+
+    def test_summary_keys(self):
+        stats = TimingStats()
+        stats.add(0.001)
+        assert set(stats.summary()) == {
+            "count", "total_s", "mean_ms", "median_ms", "max_ms"
+        }

@@ -1,0 +1,79 @@
+"""Tests for the 12 dataset stand-ins (Table 2 substrate)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.statistics import connected_components
+from repro.workloads.datasets import (
+    DATASETS,
+    build_dataset,
+    dataset_names,
+)
+
+
+class TestRegistry:
+    def test_twelve_datasets_in_paper_order(self):
+        names = dataset_names()
+        assert len(names) == 12
+        assert names[0] == "skitter-s"
+        assert names[-1] == "clueweb09-s"
+
+    def test_every_paper_dataset_represented(self):
+        originals = {spec.stands_in_for for spec in DATASETS.values()}
+        assert originals == {
+            "Skitter", "Flickr", "Hollywood", "Orkut", "Enwiki",
+            "Livejournal", "Indochina", "IT", "Twitter", "Friendster",
+            "UK", "Clueweb09",
+        }
+
+    def test_network_classes(self):
+        classes = {spec.network_class for spec in DATASETS.values()}
+        assert classes == {"comp", "social", "web"}
+
+    def test_clueweb_has_larger_landmark_set(self):
+        # mirrors the paper's |R|=150 for Clueweb09 vs 20 elsewhere
+        assert DATASETS["clueweb09-s"].num_landmarks > 20
+        assert DATASETS["skitter-s"].num_landmarks == 20
+
+    def test_pll_feasible_mirrors_paper(self):
+        feasible = {n for n, s in DATASETS.items() if s.pll_feasible}
+        assert feasible == {
+            "skitter-s", "flickr-s", "hollywood-s", "enwiki-s", "indochina-s"
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(WorkloadError, match="unknown dataset"):
+            build_dataset("nope")
+
+    def test_unknown_profile(self):
+        with pytest.raises(WorkloadError, match="unknown profile"):
+            DATASETS["skitter-s"].build(profile="huge")
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_smoke_build_connected_and_deterministic(self, name):
+        spec, g1 = build_dataset(name, profile="smoke")
+        _, g2 = build_dataset(name, profile="smoke")
+        assert g1.num_vertices == g2.num_vertices
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        assert len(connected_components(g1)) == 1
+
+    def test_profiles_scale(self):
+        _, small = build_dataset("flickr-s", profile="smoke")
+        _, default = build_dataset("flickr-s", profile="default")
+        assert default.num_vertices > small.num_vertices
+
+    def test_seed_changes_graph(self):
+        _, a = build_dataset("flickr-s", profile="smoke", seed=1)
+        _, b = build_dataset("flickr-s", profile="smoke", seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_web_class_has_higher_avg_distance_than_social(self):
+        from repro.graph.statistics import average_distance
+
+        _, web = build_dataset("indochina-s", profile="smoke")
+        _, social = build_dataset("flickr-s", profile="smoke")
+        assert average_distance(web, num_sources=16, rng=0) > average_distance(
+            social, num_sources=16, rng=0
+        )

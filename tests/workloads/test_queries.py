@@ -1,0 +1,39 @@
+"""Tests for the query-pair sampler."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import grid_graph
+from repro.workloads.queries import sample_query_pairs
+
+
+class TestQueryPairs:
+    def test_count_and_membership(self):
+        g = grid_graph(4, 4)
+        pairs = sample_query_pairs(g, 25, rng=0)
+        assert len(pairs) == 25
+        for u, v in pairs:
+            assert g.has_vertex(u) and g.has_vertex(v)
+            assert u != v
+
+    def test_deterministic(self):
+        g = grid_graph(3, 3)
+        assert sample_query_pairs(g, 10, rng=1) == sample_query_pairs(g, 10, rng=1)
+
+    def test_self_pairs_allowed_when_requested(self):
+        g = DynamicGraph([0, 1])
+        pairs = sample_query_pairs(g, 200, rng=2, distinct_endpoints=False)
+        assert any(u == v for u, v in pairs)
+
+    def test_empty_graph(self):
+        with pytest.raises(WorkloadError):
+            sample_query_pairs(DynamicGraph(), 1, rng=0)
+
+    def test_single_vertex_distinct(self):
+        with pytest.raises(WorkloadError):
+            sample_query_pairs(DynamicGraph([0]), 1, rng=0)
+
+    def test_negative_count(self):
+        with pytest.raises(WorkloadError):
+            sample_query_pairs(grid_graph(2, 2), -1, rng=0)

@@ -1,0 +1,85 @@
+"""Tests for the update workload samplers (Section 6 protocol)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.generators import erdos_renyi, grid_graph
+from repro.workloads.updates import (
+    held_out_edges,
+    sample_edge_insertions,
+    sample_vertex_insertions,
+)
+
+
+class TestEdgeInsertions:
+    def test_ei_disjoint_from_e(self):
+        g = grid_graph(5, 5)
+        sampled = sample_edge_insertions(g, 20, rng=1)
+        assert len(sampled) == 20
+        for u, v in sampled:
+            assert not g.has_edge(u, v)
+            assert u != v
+
+    def test_pairwise_distinct(self):
+        g = grid_graph(5, 5)
+        sampled = sample_edge_insertions(g, 50, rng=2)
+        assert len(set(sampled)) == 50
+
+    def test_deterministic(self):
+        g = grid_graph(4, 4)
+        assert sample_edge_insertions(g, 10, rng=3) == sample_edge_insertions(
+            g, 10, rng=3
+        )
+
+    def test_capacity_exceeded(self):
+        g = erdos_renyi(4, 6, rng=0)  # complete K4
+        with pytest.raises(WorkloadError, match="only 0 exist"):
+            sample_edge_insertions(g, 1, rng=0)
+
+    def test_negative_count(self):
+        with pytest.raises(WorkloadError):
+            sample_edge_insertions(grid_graph(2, 2), -1, rng=0)
+
+    def test_zero_count(self):
+        assert sample_edge_insertions(grid_graph(2, 2), 0, rng=0) == []
+
+    def test_applying_sampled_stream_is_valid(self):
+        g = grid_graph(4, 4)
+        for u, v in sample_edge_insertions(g, 30, rng=4):
+            g.add_edge(u, v)  # raises on any invalid insertion
+        assert g.num_edges == 24 + 30
+
+
+class TestVertexInsertions:
+    def test_fresh_ids_and_degree(self):
+        g = grid_graph(3, 3)
+        insertions = sample_vertex_insertions(g, 4, degree=2, rng=5)
+        assert [v for v, _ in insertions] == [9, 10, 11, 12]
+        for _, neighbors in insertions:
+            assert len(neighbors) == 2
+            assert len(set(neighbors)) == 2
+            assert all(g.has_vertex(w) for w in neighbors)
+
+    def test_degree_validation(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(WorkloadError):
+            sample_vertex_insertions(g, 1, degree=0, rng=0)
+        with pytest.raises(WorkloadError):
+            sample_vertex_insertions(g, 1, degree=5, rng=0)
+
+
+class TestHeldOutEdges:
+    def test_removes_and_returns(self):
+        g = grid_graph(4, 4)
+        edges_before = g.num_edges
+        held = held_out_edges(g, 5, rng=6)
+        assert len(held) == 5
+        assert g.num_edges == edges_before - 5
+        for u, v in held:
+            assert not g.has_edge(u, v)
+            g.add_edge(u, v)  # replay restores them
+
+    def test_too_many(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(WorkloadError):
+            held_out_edges(g, 100, rng=0)
