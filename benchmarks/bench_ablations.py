@@ -1,4 +1,4 @@
-"""Ablations A1–A3 (DESIGN.md §5) as benchmarks.
+"""Ablations A1–A3 (docs/DESIGN.md §5) as benchmarks.
 
 * A1: landmark selection strategy — update-stream time per strategy;
 * A2: IncHL+ update vs from-scratch rebuild (speedup in extra_info);

@@ -1,4 +1,4 @@
-"""Ablations A4–A7 (extension features, DESIGN.md §5) as benchmarks.
+"""Ablations A4–A7 (extension features, docs/DESIGN.md §5) as benchmarks.
 
 * A4: batch insertion (one sweep per landmark) vs sequential IncHL+;
 * A5: fine-grained DecHL deletion vs per-landmark rebuild;

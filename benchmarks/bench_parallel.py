@@ -1,0 +1,114 @@
+"""Serial vs parallel per-landmark engine — the BENCH record of the speedup.
+
+Benchmarks the three bulk operations the :mod:`repro.parallel` engine
+accelerates, once per worker count, so the terminal summary shows the
+serial-vs-parallel comparison side by side (``workers=1`` is the serial
+reference; higher counts fan out across a fork process pool):
+
+* CSR construction sweeps (:func:`repro.core.construction_fast.build_hcl_fast`);
+* batch-insertion Phase B finds (:func:`repro.core.batch.apply_edge_insertions_batch`);
+* coarse decremental rebuilds (:func:`repro.core.decremental.apply_edge_deletion`).
+
+On a single-core host the parallel rows measure fork/pickle overhead — the
+crossover point is part of what this bench records.  Every parallel run is
+also checked against the serial labelling (the engine's equality contract)
+before timings are accepted.
+
+Run:  pytest benchmarks/bench_parallel.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.batch import apply_edge_insertions_batch
+from repro.core.construction_fast import build_hcl_fast
+from repro.core.decremental import apply_edge_deletion
+from repro.graph.csr import CSRGraph
+from repro.landmarks.selection import top_degree_landmarks
+from repro.parallel.engine import available_parallelism
+from repro.workloads.updates import sample_edge_insertions
+
+_DATASET = "flickr-s"  # representative social stand-in
+_WORKER_COUNTS = (1, 2, max(4, available_parallelism()))
+
+
+@pytest.fixture(scope="module")
+def setup(cache, profile):
+    spec, graph, _, _ = cache.dataset(_DATASET)
+    landmarks = top_degree_landmarks(graph, spec.num_landmarks)
+    csr = CSRGraph.from_graph(graph)
+    serial = build_hcl_fast(graph, landmarks, csr)
+    batch = sample_edge_insertions(graph, max(4, profile.num_updates), rng=11)
+    return graph, landmarks, csr, serial, batch
+
+
+def _extra(benchmark, operation, workers):
+    benchmark.extra_info.update({
+        "paper_row": True,
+        "experiment": "parallel-engine",
+        "dataset": _DATASET,
+        "operation": operation,
+        "workers": workers,
+        "host_cpus": available_parallelism(),
+    })
+
+
+@pytest.mark.parametrize("workers", _WORKER_COUNTS)
+def test_construction(benchmark, setup, workers):
+    graph, landmarks, csr, serial, _ = setup
+    built = build_hcl_fast(graph, landmarks, csr, workers=workers)
+    assert built == serial  # engine contract: identical labelling
+    _extra(benchmark, "construction-csr", workers)
+    benchmark.pedantic(
+        lambda: build_hcl_fast(graph, landmarks, csr, workers=workers),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("workers", _WORKER_COUNTS)
+def test_batch_insertion(benchmark, setup, workers):
+    graph, _, _, serial, batch = setup
+
+    def fresh():
+        g = graph.copy()
+        lab = serial.copy()
+        for u, v in batch:
+            g.add_edge(u, v)
+        return (g, lab), {}
+
+    (g, lab), _ = fresh()
+    apply_edge_insertions_batch(g, lab, batch, workers=workers)
+    (g_ref, lab_ref), _ = fresh()
+    apply_edge_insertions_batch(g_ref, lab_ref, batch)
+    assert lab == lab_ref  # engine contract: identical labelling
+
+    _extra(benchmark, "batch-insertion", workers)
+    benchmark.pedantic(
+        lambda g, lab: apply_edge_insertions_batch(g, lab, batch, workers=workers),
+        setup=fresh, rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("workers", _WORKER_COUNTS)
+def test_decremental_rebuild(benchmark, setup, workers):
+    graph, _, _, serial, batch = setup
+    # Delete a freshly inserted edge so graph and labelling stay in sync.
+    u, v = batch[0]
+    after_graph = graph.copy()
+    after_lab = serial.copy()
+    after_graph.add_edge(u, v)
+    apply_edge_insertions_batch(after_graph, after_lab, [(u, v)])
+
+    def fresh():
+        return (after_graph.copy(), after_lab.copy()), {}
+
+    (g, lab), _ = fresh()
+    apply_edge_deletion(g, lab, u, v, workers=workers)
+    (g_ref, lab_ref), _ = fresh()
+    apply_edge_deletion(g_ref, lab_ref, u, v)
+    assert lab == lab_ref  # engine contract: identical labelling
+
+    _extra(benchmark, "decremental-rebuild", workers)
+    benchmark.pedantic(
+        lambda g, lab: apply_edge_deletion(g, lab, u, v, workers=workers),
+        setup=fresh, rounds=3, iterations=1,
+    )

@@ -10,6 +10,8 @@ Incremental Updates in Large Dynamic Graphs"* (Farhan & Wang, EDBT 2021):
 * :mod:`repro.graph` — the dynamic graph substrate and synthetic network
   generators standing in for the paper's 12 datasets;
 * :mod:`repro.workloads` — update/query workloads and the dataset registry;
+* :mod:`repro.parallel` — the per-landmark process-pool engine behind the
+  ``workers=`` knob (parallel construction / batch finds / rebuilds);
 * :mod:`repro.bench` — the experiment harness regenerating every table and
   figure of the paper's evaluation.
 
@@ -36,11 +38,13 @@ from repro.graph.csr import CSRGraph
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.weighted import WeightedGraph
+from repro.parallel import LandmarkEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynamicHCL",
+    "LandmarkEngine",
     "DirectedHCL",
     "WeightedHCL",
     "build_hcl",

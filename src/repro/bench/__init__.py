@@ -4,7 +4,7 @@ Each experiment module produces structured rows *and* a paper-style text
 rendering; ``python -m repro.bench <experiment>`` runs one from the command
 line, and ``benchmarks/bench_*.py`` wraps the same code in pytest-benchmark.
 
-Experiments (see DESIGN.md §5 for the index):
+Experiments (see docs/DESIGN.md §5 for the index):
 
 ========= ==============================================================
 table1    update time / query time / labelling size, IncHL+ vs IncFD vs

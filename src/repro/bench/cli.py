@@ -4,12 +4,14 @@ Examples::
 
     python -m repro.bench table1
     python -m repro.bench figure3 --profile smoke --datasets flickr-s uk-s
+    python -m repro.bench parallel --workers 4
     python -m repro.bench all --out results.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.bench.experiments import ExperimentResult
@@ -20,6 +22,7 @@ from repro.bench.experiments import (
     figure2,
     figure3,
     figure4,
+    parallel,
     table1,
     table2,
 )
@@ -36,6 +39,7 @@ EXPERIMENTS = {
     "figure4": figure4.run,
     "ablations": ablations.run,
     "extensions": extensions.run,
+    "parallel": parallel.run,
 }
 
 
@@ -68,6 +72,11 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2021, help="workload seed")
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the parallel engine (0 = all CPUs; "
+             "honoured by experiments that take a workers argument)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the report to this file",
     )
@@ -80,9 +89,11 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports: list[str] = []
     for name in names:
-        result: ExperimentResult = EXPERIMENTS[name](
-            profile=args.profile, datasets=args.datasets, seed=args.seed
-        )
+        fn = EXPERIMENTS[name]
+        kwargs = dict(profile=args.profile, datasets=args.datasets, seed=args.seed)
+        if "workers" in inspect.signature(fn).parameters:
+            kwargs["workers"] = args.workers
+        result: ExperimentResult = fn(**kwargs)
         reports.append(result.text)
         print(result.text)
         print()

@@ -1,4 +1,4 @@
-"""Experiment modules — one per table/figure (DESIGN.md §5)."""
+"""Experiment modules — one per table/figure (docs/DESIGN.md §5)."""
 
 from __future__ import annotations
 

@@ -1,4 +1,4 @@
-"""Ablation experiments A1–A3 (reproduction extras, DESIGN.md §5).
+"""Ablation experiments A1–A3 (reproduction extras, docs/DESIGN.md §5).
 
 * **A1 — landmark selection**: the paper (following its predecessors) uses
   top-degree landmarks; this ablation quantifies what that choice buys over

@@ -1,6 +1,6 @@
 """Ablations A4–A7: the repository's extension features, measured.
 
-These experiments quantify the design choices DESIGN.md calls out beyond
+These experiments quantify the design choices docs/DESIGN.md calls out beyond
 the paper's own evaluation:
 
 * **A4 — batch vs sequential insertion**: the sweep-sharing win of

@@ -1,0 +1,154 @@
+"""P — parallel per-landmark engine: serial vs parallel speedup.
+
+A reproduction extra (no counterpart in the paper, whose C++ harness is
+single-threaded): measures what the :mod:`repro.parallel` engine buys on
+the three bulk operations it accelerates —
+
+* **construction** — per-landmark BFS sweeps over a shared CSR snapshot
+  (both the reference Python kernel and the numpy fast path);
+* **batch insertion** — per-landmark Phase B finds of
+  :func:`repro.core.batch.apply_edge_insertions_batch`;
+* **decremental rebuild** — per-relevant-landmark rebuild sweeps of
+  :func:`repro.core.decremental.apply_edge_deletion`.
+
+Every row also re-verifies the engine's contract (``identical`` column):
+the parallel labelling must equal the serial canonical minimal labelling.
+Speedups depend on CPU count and graph size; on a single-core box the
+parallel column mostly measures fork/pickle overhead, which is exactly the
+crossover a deployment needs to know.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.profile import bench_profile
+from repro.bench.report import format_table
+from repro.core.batch import apply_edge_insertions_batch
+from repro.core.construction import build_hcl
+from repro.core.construction_fast import build_hcl_fast
+from repro.core.decremental import apply_edge_deletion
+from repro.exceptions import BenchmarkError
+from repro.graph.csr import CSRGraph
+from repro.landmarks.selection import top_degree_landmarks
+from repro.parallel.engine import (
+    LandmarkEngine,
+    available_parallelism,
+    resolve_workers,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.workloads.datasets import DATASETS, build_dataset
+from repro.workloads.updates import sample_edge_insertions
+
+__all__ = ["run"]
+
+_DEFAULT_DATASETS = ["flickr-s"]
+
+
+def _timed(fn, *args, **kwargs):
+    with Stopwatch() as sw:
+        result = fn(*args, **kwargs)
+    return result, sw.elapsed * 1000.0
+
+
+def run(
+    profile: str | None = None,
+    datasets: list[str] | None = None,
+    seed: int = 2021,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Serial vs parallel timing (and equality check) per bulk operation."""
+    prof = bench_profile(profile)
+    names = datasets if datasets is not None else list(_DEFAULT_DATASETS)
+    unknown = [n for n in names if n not in DATASETS]
+    if unknown:
+        raise BenchmarkError(f"unknown datasets: {unknown}")
+    if workers is None:
+        # Auto mode on a one-CPU host: still exercise the process path
+        # with two workers so the report shows the true fork overhead
+        # rather than a degenerate no-op.  Explicit values keep their
+        # documented meaning (``1`` = serial baseline, ``0`` = all CPUs).
+        num_workers = max(2, available_parallelism())
+    else:
+        num_workers = resolve_workers(workers)
+    # The mode column reports the *engine configuration* (worker count x
+    # platform): "serial-fallback" means fork is unavailable and every
+    # "parallel" timing actually ran in-process.  Note that individual
+    # operations with a single work item (e.g. a one-relevant-landmark
+    # rebuild) run in-process even in "fork" mode.
+    mode = "fork" if LandmarkEngine(num_workers).is_parallel else "serial-fallback"
+
+    rows: list[dict] = []
+    for name in names:
+        spec, graph = build_dataset(name, profile=prof.name, seed=seed)
+        # crc32 (not hash()) so --seed reproduces the same batch across
+        # interpreter runs regardless of PYTHONHASHSEED.
+        rng = ensure_rng(zlib.crc32(f"{seed}:{name}:parallel".encode()))
+        landmarks = top_degree_landmarks(graph, spec.num_landmarks)
+        csr = CSRGraph.from_graph(graph)
+
+        serial_ref, t_serial = _timed(build_hcl, graph, landmarks)
+        parallel_lab, t_parallel = _timed(
+            build_hcl, graph, landmarks, workers=num_workers
+        )
+        rows.append(_row(name, "construction-python", num_workers, mode,
+                         t_serial, t_parallel, parallel_lab == serial_ref))
+
+        fast_ref, t_serial = _timed(build_hcl_fast, graph, landmarks, csr)
+        fast_par, t_parallel = _timed(
+            build_hcl_fast, graph, landmarks, csr, workers=num_workers
+        )
+        rows.append(_row(name, "construction-csr", num_workers, mode,
+                         t_serial, t_parallel,
+                         fast_par == fast_ref and fast_ref == serial_ref))
+
+        batch = sample_edge_insertions(graph, prof.ablation_updates, rng=rng)
+        g_serial, lab_serial = graph.copy(), serial_ref.copy()
+        for u, v in batch:
+            g_serial.add_edge(u, v)
+        _, t_serial = _timed(
+            apply_edge_insertions_batch, g_serial, lab_serial, batch
+        )
+        g_par, lab_par = graph.copy(), serial_ref.copy()
+        for u, v in batch:
+            g_par.add_edge(u, v)
+        _, t_parallel = _timed(
+            apply_edge_insertions_batch, g_par, lab_par, batch,
+            workers=num_workers,
+        )
+        rows.append(_row(name, "batch-insertion", num_workers, mode,
+                         t_serial, t_parallel, lab_par == lab_serial))
+
+        # Decremental rebuild: delete one freshly inserted edge.
+        u, v = batch[0]
+        _, t_serial = _timed(apply_edge_deletion, g_serial, lab_serial, u, v)
+        _, t_parallel = _timed(
+            apply_edge_deletion, g_par, lab_par, u, v, workers=num_workers
+        )
+        rows.append(_row(name, "decremental-rebuild", num_workers, mode,
+                         t_serial, t_parallel, lab_par == lab_serial))
+
+    text = format_table(
+        ["dataset", "operation", "workers", "mode", "serial_ms",
+         "parallel_ms", "speedup", "identical"],
+        rows,
+        title=(f"P — serial vs parallel per-landmark engine "
+               f"(host CPUs: {available_parallelism()})"),
+    )
+    return ExperimentResult(name="parallel", rows=rows, text=text)
+
+
+def _row(dataset, operation, num_workers, mode, t_serial, t_parallel, identical):
+    return {
+        "experiment": "P-parallel-engine",
+        "dataset": dataset,
+        "operation": operation,
+        "workers": num_workers,
+        "mode": mode,
+        "serial_ms": round(t_serial, 3),
+        "parallel_ms": round(t_parallel, 3),
+        "speedup": round(t_serial / t_parallel, 3) if t_parallel > 0 else None,
+        "identical": identical,
+    }

@@ -1,7 +1,7 @@
 """Table 2 — summary of datasets (|V|, |E|, avg degree, avg distance).
 
 Renders the stand-ins' measured statistics next to the paper's published
-values, making the scale substitution (DESIGN.md §3) explicit.
+values, making the scale substitution (docs/DESIGN.md §3) explicit.
 """
 
 from __future__ import annotations

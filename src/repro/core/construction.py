@@ -14,6 +14,12 @@ landmark-pair distance exact, so the highway needs no separate pass.  Total
 cost ``O(|R| (n + m))``; independent of landmark order (the flag of a vertex
 depends only on the DAG, not on processing order) — matching the labelling's
 order-independence property.
+
+The per-landmark BFS kernel itself lives in
+:func:`repro.parallel.sweeps.landmark_sweep`; landmark independence means
+the sweeps can fan out across processes, which ``workers=`` enables via
+the :class:`~repro.parallel.engine.LandmarkEngine` (serial and parallel
+executions produce byte-identical labellings).
 """
 
 from __future__ import annotations
@@ -24,18 +30,30 @@ from repro.core.highway import Highway
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.labels import LabelStore
 from repro.exceptions import GraphError, VertexNotFoundError
+from repro.parallel.engine import LandmarkEngine
+from repro.parallel.sweeps import construction_task, landmark_sweep, merge_sweep
 
 __all__ = ["build_hcl"]
 
 
-def build_hcl(graph, landmarks: Sequence[int] | Iterable[int]) -> HighwayCoverLabelling:
+def build_hcl(
+    graph,
+    landmarks: Sequence[int] | Iterable[int],
+    workers: int | None = None,
+) -> HighwayCoverLabelling:
     """Build the minimal highway cover labelling of ``graph`` for ``landmarks``.
+
+    ``workers`` fans the per-landmark BFS sweeps out across a process pool
+    (``None``/``1`` serial, ``0`` all CPUs, ``n`` exactly ``n``); the
+    result is identical regardless of worker count.
 
     >>> from repro.graph.generators import ring_of_cliques
     >>> g = ring_of_cliques(3, 4)
     >>> gamma = build_hcl(g, [0, 4])
     >>> gamma.highway.distance(0, 4)
     2
+    >>> build_hcl(g, [0, 4], workers=2) == gamma
+    True
     """
     landmark_list = list(landmarks)
     if not landmark_list:
@@ -49,8 +67,13 @@ def build_hcl(graph, landmarks: Sequence[int] | Iterable[int]) -> HighwayCoverLa
     landmark_set = highway.landmark_set
     adj = graph.adjacency()
 
-    for r in landmark_list:
-        _labelling_bfs(adj, r, landmark_set, highway, labels)
+    engine = LandmarkEngine(workers)
+    engine.map_unordered_merge(
+        construction_task,
+        (adj, landmark_set),
+        landmark_list,
+        lambda sweep: merge_sweep(highway, labels, sweep),
+    )
     return HighwayCoverLabelling(highway, labels)
 
 
@@ -61,37 +84,11 @@ def _labelling_bfs(
     highway: Highway,
     labels: LabelStore,
 ) -> None:
-    """Full BFS from landmark ``r`` with landmark-on-a-shortest-path flags.
+    """One in-place labelling BFS from landmark ``r`` (single-landmark form).
 
-    ``has_lm[v]`` = "some shortest path from ``r`` to ``v`` contains a
-    landmark in ``R \\ {r}`` (possibly ``v`` itself)".  The flag of a level-d
-    vertex is final once all level-(d-1) parents have been expanded, which a
-    level-synchronous sweep guarantees.
+    Thin wrapper over the pure kernel for callers that rebuild one
+    landmark at a time into live stores (decremental rebuilds, landmark
+    maintenance).  Precondition: ``r`` currently has no label entries —
+    a fresh landmark, or one whose row/entries were just cleared.
     """
-    dist: dict[int, int] = {r: 0}
-    has_lm: dict[int, bool] = {r: False}
-    frontier = [r]
-    depth = 0
-    while frontier:
-        depth += 1
-        next_frontier: list[int] = []
-        for v in frontier:
-            flag = has_lm[v]
-            for w in adj[v]:
-                seen = dist.get(w)
-                if seen is None:
-                    dist[w] = depth
-                    has_lm[w] = flag
-                    next_frontier.append(w)
-                elif seen == depth and flag and not has_lm[w]:
-                    # Another shortest-path parent contributes a landmark.
-                    has_lm[w] = True
-        # Levels are complete here: record highway rows, force flags of
-        # landmark vertices (paths *through* them are covered), emit labels.
-        for w in next_frontier:
-            if w in landmark_set:
-                highway.set_distance(r, w, depth)
-                has_lm[w] = True
-            elif not has_lm[w]:
-                labels.set_entry(w, r, depth)
-        frontier = next_frontier
+    merge_sweep(highway, labels, landmark_sweep(adj, r, landmark_set))

@@ -28,10 +28,11 @@ from-scratch rebuild after random deletion sequences.
 
 from __future__ import annotations
 
-from repro.core.construction import _labelling_bfs
 from repro.core.labelling import HighwayCoverLabelling
 from repro.core.query import landmark_distance
 from repro.exceptions import InvariantViolationError
+from repro.parallel.engine import LandmarkEngine
+from repro.parallel.sweeps import construction_task, merge_sweep
 
 __all__ = ["apply_edge_deletion", "relevant_landmarks_for_deletion"]
 
@@ -59,11 +60,22 @@ def relevant_landmarks_for_deletion(
 
 
 def apply_edge_deletion(
-    graph, labelling: HighwayCoverLabelling, a: int, b: int
+    graph,
+    labelling: HighwayCoverLabelling,
+    a: int,
+    b: int,
+    workers: int | None = None,
 ) -> list[int]:
     """Remove edge ``(a, b)`` from ``graph`` and repair the labelling.
 
     The edge must be present; returns the landmarks that were recomputed.
+    ``workers`` fans the per-landmark rebuild sweeps out across a process
+    pool (``None``/``1`` serial, ``0`` all CPUs).  Rebuild sweeps read
+    only the post-deletion adjacency, so they are independent; all
+    relevant rows are cleared up front, then the partial labellings merge
+    back in landmark order — any highway cell both rebuilds touch is
+    written with the same exact distance, so the merged result equals the
+    serial one.
     """
     if not graph.has_edge(a, b):
         raise InvariantViolationError(
@@ -75,8 +87,16 @@ def apply_edge_deletion(
         return relevant
     adj = graph.adjacency()
     landmark_set = labelling.landmark_set
+    highway = labelling.highway
+    labels = labelling.labels
     for r in relevant:
-        labelling.labels.clear_landmark(r)
-        labelling.highway.clear_row(r)
-        _labelling_bfs(adj, r, landmark_set, labelling.highway, labelling.labels)
+        labels.clear_landmark(r)
+        highway.clear_row(r)
+    engine = LandmarkEngine(workers)
+    engine.map_unordered_merge(
+        construction_task,
+        (adj, landmark_set),
+        relevant,
+        lambda sweep: merge_sweep(highway, labels, sweep),
+    )
     return relevant

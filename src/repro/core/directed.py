@@ -23,7 +23,7 @@ Concretely:
 
 Both passes reuse one generic implementation parameterised by the
 expansion direction; the undirected module's three-phase structure and
-covered-predicate reasoning (DESIGN.md §4.3) carry over verbatim.
+covered-predicate reasoning (docs/DESIGN.md §4.3) carry over verbatim.
 """
 
 from __future__ import annotations

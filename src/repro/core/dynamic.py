@@ -20,6 +20,11 @@ extensions:
   distance oracle (:mod:`repro.core.paths`).
 
 Queries are answered exactly at any point between updates.
+
+The ``workers`` knob routes every bulk operation — construction, batch
+insertion, coarse decremental rebuild — through the parallel per-landmark
+engine (:mod:`repro.parallel`); results are identical for any worker
+count.
 """
 
 from __future__ import annotations
@@ -48,11 +53,27 @@ class DynamicHCL:
     >>> _ = oracle.insert_edge(0, 8)
     >>> oracle.query(0, 8)
     1
+
+    ``workers=N`` (``0`` = all CPUs) parallelizes bulk operations without
+    changing any result:
+
+    >>> fast = DynamicHCL.build(grid_graph(3, 3), landmarks=[0, 8], workers=2)
+    >>> ref = DynamicHCL.build(grid_graph(3, 3), landmarks=[0, 8])
+    >>> fast.labelling == ref.labelling
+    True
     """
 
-    def __init__(self, graph: DynamicGraph, labelling: HighwayCoverLabelling) -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        labelling: HighwayCoverLabelling,
+        workers: int | None = None,
+    ) -> None:
         self._graph = graph
         self._labelling = labelling
+        #: Default worker count for bulk operations (``None``/``1`` serial,
+        #: ``0`` all CPUs); per-call ``workers=`` arguments override it.
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,6 +87,7 @@ class DynamicHCL:
         landmarks: Sequence[int] | None = None,
         rng: int | random.Random | None = None,
         construction: str = "python",
+        workers: int | None = None,
     ) -> "DynamicHCL":
         """Build the labelling for ``graph`` and wrap both in an oracle.
 
@@ -78,20 +100,25 @@ class DynamicHCL:
         ``"csr"`` (the numpy fast path of
         :func:`repro.core.construction_fast.build_hcl_fast`; same labelling,
         much faster on large graphs).
+
+        ``workers`` fans the per-landmark construction sweeps out across a
+        process pool and becomes the oracle's default for later bulk
+        operations (``None``/``1`` serial, ``0`` all CPUs); the labelling
+        is identical for any worker count.
         """
         if landmarks is None:
             landmarks = select_landmarks(graph, num_landmarks, strategy, rng=rng)
         if construction == "python":
-            labelling = build_hcl(graph, landmarks)
+            labelling = build_hcl(graph, landmarks, workers=workers)
         elif construction == "csr":
             from repro.core.construction_fast import build_hcl_fast
 
-            labelling = build_hcl_fast(graph, landmarks)
+            labelling = build_hcl_fast(graph, landmarks, workers=workers)
         else:
             raise ValueError(
                 f"unknown construction {construction!r}; use 'python' or 'csr'"
             )
-        return cls(graph, labelling)
+        return cls(graph, labelling, workers=workers)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -171,30 +198,44 @@ class DynamicHCL:
         """
         return [self.insert_edge(u, v) for u, v in edges]
 
-    def insert_edges_batch(self, edges: Iterable[tuple[int, int]]) -> UpdateStats:
+    def insert_edges_batch(
+        self,
+        edges: Iterable[tuple[int, int]],
+        workers: int | None = None,
+    ) -> UpdateStats:
         """Insert a burst of edges with one find/repair sweep per landmark.
 
         Semantically identical to :meth:`insert_edges` (both end on the
         canonical minimal labelling of the final graph) but the affected
         regions of the whole batch are discovered and repaired together —
         see :mod:`repro.core.batch` for the algorithm and the ablation
-        benchmark for the crossover.
+        benchmark for the crossover.  ``workers`` overrides the oracle's
+        default worker count for the per-landmark find phase.
         """
         from repro.core.batch import apply_edge_insertions_batch
 
         edge_list = list(edges)
         for u, v in edge_list:
             self._graph.add_edge(u, v)
-        return apply_edge_insertions_batch(self._graph, self._labelling, edge_list)
+        return apply_edge_insertions_batch(
+            self._graph,
+            self._labelling,
+            edge_list,
+            workers=self.workers if workers is None else workers,
+        )
 
-    def remove_edge(self, u: int, v: int, strategy: str = "partial"):
+    def remove_edge(
+        self, u: int, v: int, strategy: str = "partial", workers: int | None = None
+    ):
         """Decremental update (the paper's stated future work).
 
         ``strategy="partial"`` (default) runs the fine-grained DecHL of
         :mod:`repro.core.dechl`, confining work to the affected region;
         ``strategy="rebuild"`` runs the coarse per-relevant-landmark
-        rebuild of :mod:`repro.core.decremental`.  Both preserve exact
-        minimality; they differ only in cost profile.
+        rebuild of :mod:`repro.core.decremental`, whose rebuild sweeps
+        ``workers`` (default: the oracle's worker count) fans out across
+        a process pool.  Both preserve exact minimality; they differ only
+        in cost profile.
         """
         if strategy == "partial":
             from repro.core.dechl import apply_edge_deletion_partial
@@ -203,7 +244,13 @@ class DynamicHCL:
         if strategy == "rebuild":
             from repro.core.decremental import apply_edge_deletion
 
-            return apply_edge_deletion(self._graph, self._labelling, u, v)
+            return apply_edge_deletion(
+                self._graph,
+                self._labelling,
+                u,
+                v,
+                workers=self.workers if workers is None else workers,
+            )
         raise GraphError(
             f"unknown deletion strategy {strategy!r}; use 'partial' or 'rebuild'"
         )

@@ -5,7 +5,7 @@ This module implements the paper's Section 4 for an edge insertion
 and repair their labels (Algorithm 3), preserving both correctness
 (Theorem 5.1) and minimality (Theorem 5.2).
 
-Implementation notes (DESIGN.md §4.3)
+Implementation notes (docs/DESIGN.md §4.3)
 -------------------------------------
 The paper interleaves find/repair per landmark and phrases its checks as
 queries ``Q(r, w, Γ)`` against the *pre-insertion* distances.  To make the

@@ -1,7 +1,7 @@
 """Synthetic network generators (from scratch, seeded, no external deps).
 
 These provide the topology-matched stand-ins for the paper's 12 real-world
-networks (DESIGN.md §3): social networks → preferential attachment /
+networks (docs/DESIGN.md §3): social networks → preferential attachment /
 power-law configuration models; web graphs → community-ring graphs with
 high average distance; computer networks → small-world graphs.
 

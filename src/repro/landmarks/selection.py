@@ -3,7 +3,7 @@
 The paper (following Farhan et al. 2019 and Hayashi et al. 2016) selects the
 ``|R|`` *highest-degree* vertices as landmarks; that is the library default.
 Alternative strategies are provided for the ablation experiment A1
-(DESIGN.md §5): random selection, sampled approximate betweenness, and
+(docs/DESIGN.md §5): random selection, sampled approximate betweenness, and
 degree-with-spacing (high degree but pairwise non-adjacent, which spreads
 landmarks across the graph).
 """

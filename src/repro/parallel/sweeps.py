@@ -1,0 +1,219 @@
+"""Per-landmark sweep kernels and their process-pool task adapters.
+
+A *sweep* is the unit of work the :class:`~repro.parallel.engine.LandmarkEngine`
+fans out: everything one landmark contributes to a highway cover labelling,
+computed from read-only inputs and returned as a compact
+:class:`LandmarkSweep` value.  Keeping sweeps **pure** (no mutation of the
+shared :class:`~repro.core.highway.Highway` / label store) is what makes
+them safe to run on worker processes; the caller folds the partial results
+back in with :func:`merge_sweep`, in landmark order, so serial and parallel
+executions produce byte-identical labellings (``docs/DESIGN.md`` §6).
+
+Two interchangeable kernels produce identical sweeps:
+
+* :func:`landmark_sweep` — the reference pure-Python level-synchronous BFS
+  with cover flags (Theorem 5.2's minimality characterization);
+* :func:`csr_landmark_sweep` — the numpy formulation over a
+  :class:`~repro.graph.csr.CSRGraph` snapshot.
+
+>>> adj = {0: [1], 1: [0, 2], 2: [1]}          # path 0 - 1 - 2
+>>> sweep = landmark_sweep(adj, 0, frozenset({0, 2}))
+>>> sweep.highway_cells                        # other landmarks reached
+[(2, 2)]
+>>> sweep.levels                               # uncovered vertices by depth
+[(1, [1])]
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "LandmarkSweep",
+    "landmark_sweep",
+    "csr_landmark_sweep",
+    "merge_sweep",
+    "construction_task",
+    "csr_construction_task",
+    "batch_find_task",
+]
+
+
+class LandmarkSweep(NamedTuple):
+    """Everything landmark ``root`` contributes to the labelling.
+
+    ``highway_cells`` are ``(other_landmark, distance)`` pairs for the
+    highway row of ``root``; ``levels`` are ``(depth, vertices)`` groups of
+    the label entries ``(root, depth) ∈ L(v)``, in BFS level order.  Both
+    are plain ints/lists so a sweep pickles cheaply on its way back from a
+    worker process.
+    """
+
+    root: int
+    highway_cells: list[tuple[int, int]]
+    levels: list[tuple[int, list[int]]]
+
+    @property
+    def num_entries(self) -> int:
+        """Label entries this sweep emits (``Σ_level |vertices|``)."""
+        return sum(len(vertices) for _, vertices in self.levels)
+
+
+def landmark_sweep(
+    adj: dict[int, list[int]], root: int, landmark_set: frozenset[int]
+) -> LandmarkSweep:
+    """Full BFS from ``root`` with landmark-on-a-shortest-path flags.
+
+    ``has_lm[v]`` = "some shortest path from ``root`` to ``v`` contains a
+    landmark in ``R \\ {root}`` (possibly ``v`` itself)".  The flag of a
+    level-``d`` vertex is final once all level-``d-1`` parents have been
+    expanded, which the level-synchronous sweep guarantees; a vertex is
+    labelled iff its flag stays false (the minimality characterization of
+    Theorem 5.2).  Pure: reads ``adj`` only, returns the partial result.
+    """
+    dist: dict[int, int] = {root: 0}
+    has_lm: dict[int, bool] = {root: False}
+    cells: list[tuple[int, int]] = []
+    levels: list[tuple[int, list[int]]] = []
+    frontier = [root]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[int] = []
+        for v in frontier:
+            flag = has_lm[v]
+            for w in adj[v]:
+                seen = dist.get(w)
+                if seen is None:
+                    dist[w] = depth
+                    has_lm[w] = flag
+                    next_frontier.append(w)
+                elif seen == depth and flag and not has_lm[w]:
+                    # Another shortest-path parent contributes a landmark.
+                    has_lm[w] = True
+        # Levels are complete here: record highway cells, force flags of
+        # landmark vertices (paths *through* them are covered), collect
+        # label entries of flag-free non-landmarks.
+        labelled: list[int] = []
+        for w in next_frontier:
+            if w in landmark_set:
+                cells.append((w, depth))
+                has_lm[w] = True
+            elif not has_lm[w]:
+                labelled.append(w)
+        if labelled:
+            levels.append((depth, labelled))
+        frontier = next_frontier
+    return LandmarkSweep(root, cells, levels)
+
+
+def csr_landmark_sweep(
+    indptr, indices, ids, is_landmark, root_index: int, root_id: int
+) -> LandmarkSweep:
+    """The numpy formulation of :func:`landmark_sweep` over CSR arrays.
+
+    Identical output (cell for cell, level for level) to the reference
+    kernel; per BFS level the cover flag propagates as one scatter over the
+    frontier adjacency instead of a Python loop per edge.  Arguments are
+    the raw arrays of a :class:`~repro.graph.csr.CSRGraph` so the function
+    ships to worker processes without dragging the snapshot object along.
+    """
+    import numpy as np
+
+    from repro.graph.csr import _gather_neighbors
+
+    num_vertices = len(ids)
+    dist = np.full(num_vertices, -1, dtype=np.int32)
+    flag = np.zeros(num_vertices, dtype=np.uint8)
+    member = np.zeros(num_vertices, dtype=bool)
+    dist[root_index] = 0
+    frontier = np.array([root_index], dtype=np.int64)
+    cells: list[tuple[int, int]] = []
+    levels: list[tuple[int, list[int]]] = []
+    depth = 0
+    while frontier.size:
+        depth += 1
+        sources, neighbours = _gather_neighbors(indptr, indices, frontier)
+        if neighbours.size == 0:
+            break
+        unseen = dist[neighbours] < 0
+        sources = sources[unseen]
+        neighbours = neighbours[unseen]
+        if neighbours.size == 0:
+            break
+        # Mask-scatter dedup (cheaper than np.unique on heavy levels);
+        # nonzero returns the level sorted, matching the reference order.
+        member[neighbours] = True
+        new_level = np.nonzero(member)[0]
+        member[new_level] = False
+        dist[new_level] = depth
+        # OR of parent flags over every shortest-path (frontier -> new
+        # level) edge: scatter 1 to every neighbour reached from a flagged
+        # parent.
+        flag[neighbours[flag[sources] != 0]] = 1
+
+        level_landmarks = new_level[is_landmark[new_level]]
+        cells.extend((v, depth) for v in ids[level_landmarks].tolist())
+        flag[level_landmarks] = 1
+
+        uncovered = new_level[(flag[new_level] == 0) & ~is_landmark[new_level]]
+        if uncovered.size:
+            levels.append((depth, ids[uncovered].tolist()))
+        frontier = new_level
+    return LandmarkSweep(root_id, cells, levels)
+
+
+def merge_sweep(highway, labels, sweep: LandmarkSweep) -> None:
+    """Fold one sweep into the shared highway / label stores.
+
+    The bulk label write relies on the sweep invariant that a BFS emits
+    each vertex at most once and the caller's guarantee that ``sweep.root``
+    currently has no entries (fresh landmark, or row cleared before the
+    rebuild) — the same precondition as
+    :meth:`repro.core.labels.LabelStore.bulk_set_new`.
+    """
+    root = sweep.root
+    for other, distance in sweep.highway_cells:
+        highway.set_distance(root, other, distance)
+    for depth, vertices in sweep.levels:
+        labels.bulk_set_new(root, vertices, depth)
+
+
+# ---------------------------------------------------------------------------
+# Engine task adapters (module-level, hence picklable by reference)
+# ---------------------------------------------------------------------------
+def construction_task(state, root: int) -> LandmarkSweep:
+    """Engine task for construction / rebuild: one reference sweep.
+
+    ``state`` is ``(adj, landmark_set)``, shared with workers via fork
+    inheritance; the work item is the landmark id.
+    """
+    adj, landmark_set = state
+    return landmark_sweep(adj, root, landmark_set)
+
+
+def csr_construction_task(state, item: tuple[int, int]) -> LandmarkSweep:
+    """Engine task for the CSR fast path: one numpy sweep.
+
+    ``state`` is ``(indptr, indices, ids, is_landmark)``; the work item is
+    ``(root_index, root_id)`` in compact/original id space respectively.
+    """
+    indptr, indices, ids, is_landmark = state
+    root_index, root_id = item
+    return csr_landmark_sweep(indptr, indices, ids, is_landmark, root_index, root_id)
+
+
+def batch_find_task(state, item):
+    """Engine task for batch insertion Phase B: one multi-seed find.
+
+    ``state`` is ``(graph, labelling)`` — the post-insertion graph and the
+    pristine labelling; the work item is ``(r, seeds)`` as produced by the
+    batch Phase A.  Returns the :class:`~repro.core.inchl.AffectedSearch`
+    (small dicts, cheap to pickle back).
+    """
+    # Imported lazily to avoid a cycle (core.batch drives the engine).
+    from repro.core.batch import find_affected_batch
+
+    graph, labelling = state
+    r, seeds = item
+    return find_affected_batch(graph, labelling, r, seeds)

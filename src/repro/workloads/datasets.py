@@ -2,7 +2,7 @@
 
 The paper evaluates on 12 real networks from 1.7M to 1.7B vertices.  Those
 inputs (and the hardware to hold them) are unavailable here, so each is
-replaced by a *topology-class-matched* synthetic stand-in (DESIGN.md §3):
+replaced by a *topology-class-matched* synthetic stand-in (docs/DESIGN.md §3):
 
 * social networks  → preferential attachment (Barabási–Albert) or the
   Holme–Kim clustered variant: heavy-tailed degrees, small avg distance;

@@ -1,0 +1,47 @@
+"""Tests for the P (parallel engine) experiment and its CLI plumbing."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments import parallel
+from repro.exceptions import BenchmarkError
+
+_OPERATIONS = {
+    "construction-python",
+    "construction-csr",
+    "batch-insertion",
+    "decremental-rebuild",
+}
+
+
+class TestParallelExperiment:
+    def test_rows_cover_all_operations_and_verify_equality(self):
+        result = parallel.run(profile="smoke", workers=2)
+        assert result.name == "parallel"
+        assert {row["operation"] for row in result.rows} == _OPERATIONS
+        for row in result.rows:
+            assert row["identical"] is True
+            assert row["workers"] == 2
+            assert row["serial_ms"] > 0
+            assert row["parallel_ms"] > 0
+            assert row["speedup"] is not None
+
+    def test_text_report_mentions_speedup(self):
+        result = parallel.run(profile="smoke", workers=2)
+        assert "serial_ms" in result.text
+        assert "parallel_ms" in result.text
+        assert "speedup" in result.text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            parallel.run(profile="smoke", datasets=["nope"], workers=2)
+
+    def test_cli_routes_workers_flag(self, capsys):
+        code = main([
+            "parallel", "--profile", "smoke", "--datasets", "flickr-s",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-landmark engine" in out
+        assert "flickr-s" in out

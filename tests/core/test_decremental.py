@@ -61,7 +61,7 @@ class TestDeletion:
         # Vertex 2 reaches landmark 0 only through landmark 3 (0-3-2), so
         # it carries no 0-entry.  Deleting (3, 2) reroutes via the
         # landmark-free detour 0-5-6-2: the entry must APPEAR — the case
-        # that makes decremental updates genuinely hard (DESIGN.md §4.4).
+        # that makes decremental updates genuinely hard (docs/DESIGN.md §4.4).
         g = DynamicGraph.from_edges([(0, 3), (3, 2), (0, 5), (5, 6), (6, 2)])
         gamma = build_hcl(g, [0, 3])
         assert gamma.labels.entry(2, 0) is None

@@ -1,0 +1,1 @@
+"""Tests for the parallel per-landmark execution engine."""

@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.parallel.engine` — fan-out mechanics only.
+
+Labelling-level equivalence lives in ``test_equivalence.py``; these tests
+pin down the engine contract itself: worker resolution, result ordering,
+serial fallback, exception propagation, and that parallel mode really does
+leave the calling process.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.engine import (
+    LandmarkEngine,
+    _scale_task,
+    available_parallelism,
+    fork_available,
+    resolve_workers,
+)
+from repro.parallel.sweeps import LandmarkSweep, landmark_sweep, merge_sweep
+
+
+class TestResolveWorkers:
+    def test_none_means_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_workers(0) == available_parallelism()
+        assert resolve_workers(0) >= 1
+
+    def test_explicit_counts(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+def _pid_task(state, item):
+    return os.getpid()
+
+
+def _raise_task(state, item):
+    raise RuntimeError(f"boom on {item}")
+
+
+class TestMap:
+    def test_serial_accepts_any_callable(self):
+        engine = LandmarkEngine(workers=None)
+        assert not engine.is_parallel
+        assert engine.map(lambda s, i: s + i, 100, [1, 2, 3]) == [101, 102, 103]
+
+    def test_serial_preserves_order(self):
+        engine = LandmarkEngine(workers=1)
+        assert engine.map(_scale_task, 2, range(10)) == [2 * i for i in range(10)]
+
+    def test_parallel_preserves_order(self):
+        engine = LandmarkEngine(workers=2)
+        assert engine.map(_scale_task, 3, range(20)) == [3 * i for i in range(20)]
+
+    def test_empty_items(self):
+        assert LandmarkEngine(workers=4).map(_scale_task, 1, []) == []
+
+    def test_more_workers_than_items(self):
+        assert LandmarkEngine(workers=8).map(_scale_task, 5, [7]) == [35]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_runs_outside_calling_process(self):
+        engine = LandmarkEngine(workers=2)
+        assert engine.is_parallel
+        pids = engine.map(_pid_task, None, range(4))
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom on 1"):
+            LandmarkEngine(workers=1).map(_raise_task, None, [1])
+
+    def test_parallel_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            LandmarkEngine(workers=2).map(_raise_task, None, [1, 2, 3])
+
+    def test_merge_runs_in_item_order(self):
+        merged = []
+        count = LandmarkEngine(workers=2).map_unordered_merge(
+            _scale_task, 10, [3, 1, 2], merged.append
+        )
+        assert count == 3
+        assert merged == [30, 10, 20]
+
+
+class TestSweepKernel:
+    def test_path_graph_sweep(self):
+        adj = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        sweep = landmark_sweep(adj, 0, frozenset({0, 3}))
+        assert sweep.root == 0
+        assert sweep.highway_cells == [(3, 3)]
+        assert sweep.levels == [(1, [1]), (2, [2])]
+        assert sweep.num_entries == 2
+
+    def test_covered_vertex_emits_no_entry(self):
+        # 0 - 1 - 2 with landmarks {0, 1}: every shortest 0-path to 2 runs
+        # through landmark 1, so 2 gets no 0-entry.
+        adj = {0: [1], 1: [0, 2], 2: [1]}
+        sweep = landmark_sweep(adj, 0, frozenset({0, 1}))
+        assert sweep.highway_cells == [(1, 1)]
+        assert sweep.levels == []
+
+    def test_sweep_is_picklable(self):
+        import pickle
+
+        sweep = LandmarkSweep(5, [(1, 2)], [(1, [4, 6])])
+        assert pickle.loads(pickle.dumps(sweep)) == sweep
+
+    def test_merge_sweep_applies_cells_and_entries(self):
+        from repro.core.highway import Highway
+        from repro.core.labels import LabelStore
+
+        highway = Highway([0, 3])
+        labels = LabelStore()
+        merge_sweep(highway, labels, LandmarkSweep(0, [(3, 3)], [(1, [1]), (2, [2])]))
+        assert highway.distance(0, 3) == 3
+        assert labels.label(1) == {0: 1}
+        assert labels.label(2) == {0: 2}
+        assert labels.total_entries == 2

@@ -24,6 +24,9 @@ import repro.graph.dynamic_graph
 import repro.graph.digraph
 import repro.graph.generators
 import repro.graph.weighted
+import repro.parallel
+import repro.parallel.engine
+import repro.parallel.sweeps
 import repro.utils.timing
 import repro.workloads.datasets
 import repro.workloads.queries
@@ -41,6 +44,9 @@ _MODULES = [
     repro.core.dynamic,
     repro.core.directed,
     repro.core.weighted_hcl,
+    repro.parallel,
+    repro.parallel.engine,
+    repro.parallel.sweeps,
     repro.baselines.bfs,
     repro.baselines.pll,
     repro.baselines.incpll,

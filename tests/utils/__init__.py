@@ -1,0 +1,1 @@
+"""Test package (unique basenames resolve via package-qualified module names)."""
