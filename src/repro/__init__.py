@@ -12,6 +12,9 @@ Incremental Updates in Large Dynamic Graphs"* (Farhan & Wang, EDBT 2021):
 * :mod:`repro.workloads` — update/query workloads and the dataset registry;
 * :mod:`repro.parallel` — the per-landmark process-pool engine behind the
   ``workers=`` knob (parallel construction / batch finds / rebuilds);
+* :mod:`repro.serving` — the snapshot-isolated concurrent query service
+  (single-writer update loop, epoch-versioned read snapshots, TCP
+  front-end via ``python -m repro serve``);
 * :mod:`repro.bench` — the experiment harness regenerating every table and
   figure of the paper's evaluation.
 
@@ -39,12 +42,15 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.digraph import DynamicDiGraph
 from repro.graph.weighted import WeightedGraph
 from repro.parallel import LandmarkEngine
+from repro.serving import OracleService, OracleSnapshot
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DynamicHCL",
     "LandmarkEngine",
+    "OracleService",
+    "OracleSnapshot",
     "DirectedHCL",
     "WeightedHCL",
     "build_hcl",

@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     figure3,
     figure4,
     parallel,
+    serving,
     table1,
     table2,
 )
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "extensions": extensions.run,
     "parallel": parallel.run,
+    "serving": serving.run,
 }
 
 
@@ -80,6 +82,11 @@ def _parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_out",
+        help="also write the structured rows as JSON "
+             "({experiment: [row, ...]}; CI uploads this as an artifact)",
+    )
     return parser
 
 
@@ -88,6 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports: list[str] = []
+    rows_by_experiment: dict[str, list[dict]] = {}
     for name in names:
         fn = EXPERIMENTS[name]
         kwargs = dict(profile=args.profile, datasets=args.datasets, seed=args.seed)
@@ -95,11 +103,18 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["workers"] = args.workers
         result: ExperimentResult = fn(**kwargs)
         reports.append(result.text)
+        rows_by_experiment[result.name] = result.rows
         print(result.text)
         print()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write("\n\n".join(reports) + "\n")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(rows_by_experiment, handle, indent=2, default=str)
+            handle.write("\n")
     return 0
 
 

@@ -37,6 +37,13 @@ class BenchProfile:
     pll_budget_s: float  # construction gate for IncPLL
     ablation_updates: int
     ablation_queries: int
+    # Serving experiment (reproduction extra): closed-loop duration per
+    # reader count, the reader counts swept, the update-stream length fed
+    # to the writer, and how often readers BFS-verify an answer.
+    serving_duration_s: float
+    serving_reader_counts: tuple[int, ...]
+    serving_updates: int
+    serving_verify_every: int
 
 
 _PROFILES = {
@@ -53,6 +60,10 @@ _PROFILES = {
         pll_budget_s=30.0,
         ablation_updates=8,
         ablation_queries=40,
+        serving_duration_s=1.0,
+        serving_reader_counts=(1, 2),
+        serving_updates=24,
+        serving_verify_every=8,
     ),
     "default": BenchProfile(
         name="default",
@@ -70,6 +81,10 @@ _PROFILES = {
         pll_budget_s=90.0,
         ablation_updates=60,
         ablation_queries=400,
+        serving_duration_s=3.0,
+        serving_reader_counts=(1, 2, 4),
+        serving_updates=120,
+        serving_verify_every=16,
     ),
     "full": BenchProfile(
         name="full",
@@ -84,6 +99,10 @@ _PROFILES = {
         pll_budget_s=600.0,
         ablation_updates=200,
         ablation_queries=2000,
+        serving_duration_s=8.0,
+        serving_reader_counts=(1, 2, 4, 8),
+        serving_updates=600,
+        serving_verify_every=32,
     ),
 }
 

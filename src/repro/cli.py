@@ -8,7 +8,9 @@ tool rather than an API (the benchmark harness has its own entry point,
 * ``query``   — answer ``u v`` distance queries from a saved oracle;
 * ``path``    — print one exact shortest path;
 * ``insert``  / ``delete`` — apply updates (IncHL+ / DecHL) and re-save;
-* ``stats``   — labelling and highway statistics.
+* ``stats``   — labelling and highway statistics;
+* ``serve``   — warm-start the TCP query service from a saved oracle
+  (:mod:`repro.serving`; newline-delimited JSON protocol).
 
 All file formats are the library's own: SNAP-style edge lists (``.gz``
 transparently) in, ``save_oracle`` JSON (``.gz`` transparently) out.
@@ -20,6 +22,7 @@ Examples::
     python -m repro path oracle.json.gz 17 4242
     python -m repro insert oracle.json.gz 17 4242
     python -m repro stats oracle.json.gz
+    python -m repro serve oracle.json.gz --port 8355 --workers 0
 """
 
 from __future__ import annotations
@@ -83,6 +86,20 @@ def _parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="labelling / highway statistics")
     stats.add_argument("oracle", help="saved oracle path")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over TCP while absorbing updates (repro.serving)",
+    )
+    serve.add_argument("oracle", help="saved oracle path (warm start)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8355,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="parallel-engine workers for batched inserts "
+                            "(0 = all CPUs)")
+    serve.add_argument("--max-batch", type=int, default=128, metavar="K",
+                       help="max update events coalesced per writer sweep")
     return parser
 
 
@@ -175,6 +192,44 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving.server import OracleServer
+
+    server = OracleServer.from_file(
+        args.oracle,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+    )
+    oracle = server.service.oracle
+    print(f"loaded |V|={oracle.graph.num_vertices:,} "
+          f"|E|={oracle.graph.num_edges:,} |R|={len(oracle.landmarks)} "
+          f"size(L)={oracle.label_entries:,} from {args.oracle}")
+
+    async def _run() -> int:
+        await server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} "
+              f"(newline-delimited JSON; ops: query, query_many, path, "
+              f"update, updates, stats, snapshot, ping)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted; shutting down")
+        return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
@@ -182,6 +237,7 @@ _COMMANDS = {
     "insert": _cmd_insert,
     "delete": _cmd_delete,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

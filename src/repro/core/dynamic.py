@@ -35,7 +35,12 @@ from collections.abc import Iterable, Sequence
 from repro.core.construction import build_hcl
 from repro.core.inchl import UpdateStats, apply_edge_insertion
 from repro.core.labelling import HighwayCoverLabelling
-from repro.core.query import landmark_distance, query_distance, upper_bound
+from repro.core.query import (
+    landmark_distance,
+    query_distance,
+    query_distances_many,
+    upper_bound,
+)
 from repro.exceptions import GraphError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.landmarks.selection import select_landmarks
@@ -74,6 +79,8 @@ class DynamicHCL:
         #: Default worker count for bulk operations (``None``/``1`` serial,
         #: ``0`` all CPUs); per-call ``workers=`` arguments override it.
         self.workers = workers
+        self._version = 0
+        self._snapshot_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,12 +154,50 @@ class DynamicHCL:
         """Logical labelling footprint in bytes (Table 1 accounting)."""
         return self._labelling.size_bytes()
 
+    @property
+    def version(self) -> int:
+        """Monotonic update epoch: bumped once per mutating operation.
+
+        A snapshot taken at epoch ``e`` answers queries against the graph
+        exactly as it stood at ``e``; ``oracle.version > snap.epoch`` means
+        the snapshot is stale (but still perfectly consistent).
+        """
+        return self._version
+
+    def snapshot(self):
+        """An immutable point-in-time read view of this oracle.
+
+        Returns an :class:`repro.serving.snapshot.OracleSnapshot` pinned to
+        the current :attr:`version`.  Snapshots are cheap (pointer-level
+        copy-on-write, see :meth:`HighwayCoverLabelling.freeze`) and never
+        block or observe later updates — the serving layer's readers query
+        snapshots while the single writer mutates the oracle.  Repeated
+        calls between updates return the same cached snapshot object.
+        """
+        from repro.serving.snapshot import OracleSnapshot
+
+        cached = self._snapshot_cache
+        if cached is not None and cached.epoch == self._version:
+            return cached
+        snap = OracleSnapshot.capture(self)
+        self._snapshot_cache = snap
+        return snap
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> float:
         """Exact distance ``d_G(u, v)``; ``inf`` when disconnected."""
         return query_distance(self._graph, self._labelling, u, v)
+
+    def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
+        """Exact distances for a batch of ``(u, v)`` pairs.
+
+        Same answers as calling :meth:`query` per pair but with the
+        per-call attribute lookups hoisted once — the serving hot path
+        (:mod:`repro.serving`) answers its bulk requests through this.
+        """
+        return query_distances_many(self._graph, self._labelling, pairs)
 
     def distance_bound(self, u: int, v: int) -> float:
         """The label-only upper bound ``d⊤`` (Eq. 2) — useful on its own as
@@ -175,6 +220,7 @@ class DynamicHCL:
         Returns the update statistics (affected counts per landmark).
         """
         self._graph.add_edge(u, v)
+        self._version += 1
         return apply_edge_insertion(self._graph, self._labelling, u, v)
 
     def insert_vertex(self, v: int, neighbors: Iterable[int]) -> list[UpdateStats]:
@@ -182,9 +228,11 @@ class DynamicHCL:
         existing vertices, processed as a sequence of edge insertions."""
         neighbor_list = list(neighbors)
         self._graph.insert_vertex(v, [])
+        self._version += 1
         stats = []
         for w in neighbor_list:
             self._graph.add_edge(v, w)
+            self._version += 1
             stats.append(apply_edge_insertion(self._graph, self._labelling, v, w))
         return stats
 
@@ -217,6 +265,7 @@ class DynamicHCL:
         edge_list = list(edges)
         for u, v in edge_list:
             self._graph.add_edge(u, v)
+        self._version += len(edge_list)
         return apply_edge_insertions_batch(
             self._graph,
             self._labelling,
@@ -240,10 +289,12 @@ class DynamicHCL:
         if strategy == "partial":
             from repro.core.dechl import apply_edge_deletion_partial
 
+            self._version += 1
             return apply_edge_deletion_partial(self._graph, self._labelling, u, v)
         if strategy == "rebuild":
             from repro.core.decremental import apply_edge_deletion
 
+            self._version += 1
             return apply_edge_deletion(
                 self._graph,
                 self._labelling,
@@ -262,6 +313,7 @@ class DynamicHCL:
         """
         from repro.core.dechl import apply_vertex_deletion
 
+        self._version += 1
         apply_vertex_deletion(self._graph, self._labelling, v)
 
     # ------------------------------------------------------------------
@@ -275,6 +327,7 @@ class DynamicHCL:
         """
         from repro.landmarks.maintenance import add_landmark
 
+        self._version += 1
         return add_landmark(self._graph, self._labelling, v)
 
     def remove_landmark(self, v: int) -> list[int]:
@@ -284,6 +337,7 @@ class DynamicHCL:
         """
         from repro.landmarks.maintenance import remove_landmark
 
+        self._version += 1
         return remove_landmark(self._graph, self._labelling, v)
 
     # ------------------------------------------------------------------

@@ -51,6 +51,20 @@ class HighwayCoverLabelling:
         """Independent deep copy (used by tests and what-if analyses)."""
         return HighwayCoverLabelling(self.highway.copy(), self.labels.copy())
 
+    def freeze(self):
+        """Freeze hook for :mod:`repro.serving.snapshot`.
+
+        Marks every highway row and label row copy-on-write and returns
+        ``(landmarks, landmark_set, highway_rows, label_rows, entries)`` —
+        shallow-copied state that later in-place updates can never tear.
+        Readers wrap it in the immutable views of
+        :mod:`repro.serving.snapshot`; the cost is a pointer-level copy of
+        the two outer dicts, not a deep copy of the labelling.
+        """
+        landmarks, landmark_set, highway_rows = self.highway.snapshot_state()
+        label_rows, entries = self.labels.snapshot_rows()
+        return landmarks, landmark_set, highway_rows, label_rows, entries
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HighwayCoverLabelling):
             return NotImplemented

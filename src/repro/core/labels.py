@@ -31,11 +31,35 @@ class LabelStore:
     1
     """
 
-    __slots__ = ("_labels", "_total")
+    __slots__ = ("_labels", "_total", "_shared")
 
     def __init__(self) -> None:
         self._labels: dict[int, dict[int, int]] = {}
         self._total = 0
+        # Vertices whose label dicts are shared with live snapshots (see
+        # :meth:`snapshot_rows`); ``None`` until the first snapshot, so the
+        # non-serving hot paths pay a single attribute test.
+        self._shared: set[int] | None = None
+
+    def _cow(self, v: int) -> None:
+        """Detach ``L(v)`` from any live snapshot before mutating it."""
+        shared = self._shared
+        if shared is not None and v in shared:
+            self._labels[v] = dict(self._labels[v])
+            shared.discard(v)
+
+    def snapshot_rows(self) -> tuple[dict[int, dict[int, int]], int]:
+        """Freeze hook for :mod:`repro.serving.snapshot`.
+
+        Returns ``(rows, total_entries)`` where ``rows`` is a *shallow* copy
+        of the vertex map: the per-vertex label dicts are shared with this
+        store, and every subsequent in-place mutation copies the affected
+        row first (copy-on-write at label-row granularity).  The returned
+        mapping is therefore a stable point-in-time view that later writes
+        can never tear, at pointer-copy cost instead of a deep copy.
+        """
+        self._shared = set(self._labels)
+        return dict(self._labels), self._total
 
     def label(self, v: int) -> dict[int, int]:
         """The label of ``v`` as ``{landmark: distance}``.
@@ -57,6 +81,7 @@ class LabelStore:
         """Add or modify the entry of landmark ``r`` in ``L(v)``."""
         if distance < 0:
             raise ValueError(f"distances must be non-negative, got {distance!r}")
+        self._cow(v)
         label = self._labels.get(v)
         if label is None:
             self._labels[v] = {r: distance}
@@ -79,10 +104,16 @@ class LabelStore:
         if distance < 0:
             raise ValueError(f"distances must be non-negative, got {distance!r}")
         labels = self._labels
+        shared = self._shared
         for v in vertices:
             label = labels.get(v)
             if label is None:
                 labels[v] = {r: distance}
+            elif shared is not None and v in shared:
+                label = dict(label)
+                label[r] = distance
+                labels[v] = label
+                shared.discard(v)
             else:
                 label[r] = distance
         self._total += len(vertices)
@@ -97,6 +128,8 @@ class LabelStore:
         label = self._labels.get(v)
         if label is None or r not in label:
             return False
+        self._cow(v)
+        label = self._labels[v]
         del label[r]
         self._total -= 1
         if not label:
@@ -111,8 +144,13 @@ class LabelStore:
         """
         removed = 0
         empty: list[int] = []
+        shared = self._shared
         for v, label in self._labels.items():
             if r in label:
+                if shared is not None and v in shared:
+                    label = dict(label)
+                    self._labels[v] = label
+                    shared.discard(v)
                 del label[r]
                 removed += 1
                 if not label:

@@ -25,6 +25,7 @@ __all__ = [
     "landmark_distance",
     "upper_bound",
     "query_distance",
+    "query_distances_many",
     "QueryProbe",
     "query_distance_probed",
 ]
@@ -100,6 +101,52 @@ def query_distance(graph, labelling: HighwayCoverLabelling, u: int, v: int) -> f
     bound = upper_bound(labelling, u, v)
     sparsified = bidirectional_bfs(graph, u, v, bound=bound, skip=landmark_set)
     return sparsified if sparsified <= bound else bound
+
+
+def query_distances_many(
+    graph, labelling: HighwayCoverLabelling, pairs
+) -> list[float]:
+    """``Q(u, v, Γ)`` for a whole batch of pairs, answers in input order.
+
+    Identical results to mapping :func:`query_distance` over ``pairs``, but
+    the per-call lookups (landmark set, label store, adjacency check) are
+    hoisted out of the loop — this is the amortized entry point behind
+    :meth:`repro.core.dynamic.DynamicHCL.query_many` and the serving hot
+    path.
+
+    >>> from repro.graph.generators import grid_graph
+    >>> from repro.core.construction import build_hcl
+    >>> g = grid_graph(3, 3)
+    >>> gamma = build_hcl(g, [4])
+    >>> query_distances_many(g, gamma, [(0, 8), (0, 0), (3, 5)])
+    [4, 0, 2]
+    """
+    landmark_set = labelling.landmark_set
+    labels = labelling.labels
+    has_vertex = graph.has_vertex
+    out: list[float] = []
+    append = out.append
+    for u, v in pairs:
+        if not has_vertex(u):
+            raise VertexNotFoundError(u)
+        if not has_vertex(v):
+            raise VertexNotFoundError(v)
+        if u == v:
+            append(0)
+            continue
+        if u in landmark_set:
+            append(landmark_distance(labelling, u, v))
+            continue
+        if v in landmark_set:
+            append(landmark_distance(labelling, v, u))
+            continue
+        if not labels.label(u) or not labels.label(v):
+            bound = INF
+        else:
+            bound = upper_bound(labelling, u, v)
+        sparsified = bidirectional_bfs(graph, u, v, bound=bound, skip=landmark_set)
+        append(sparsified if sparsified <= bound else bound)
+    return out
 
 
 @dataclass(frozen=True)

@@ -98,3 +98,7 @@ class WorkloadError(ReproError):
 
 class BenchmarkError(ReproError):
     """Invalid benchmark configuration or a failed experiment run."""
+
+
+class ServingError(ReproError):
+    """Invalid serving-layer state or request (:mod:`repro.serving`)."""

@@ -39,13 +39,34 @@ class DynamicGraph:
     [1, 2]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_shared")
 
     def __init__(self, vertices: Iterable[int] = ()) -> None:
         self._adj: dict[int, list[int]] = {}
         self._num_edges = 0
+        # Vertices whose neighbour lists are shared with live snapshots
+        # (see :meth:`snapshot_adjacency`); ``None`` until first snapshot.
+        self._shared: set[int] | None = None
         for v in vertices:
             self.add_vertex(v)
+
+    def _cow(self, v: int) -> None:
+        """Detach ``v``'s neighbour list from any live snapshot."""
+        shared = self._shared
+        if shared is not None and v in shared:
+            self._adj[v] = list(self._adj[v])
+            shared.discard(v)
+
+    def snapshot_adjacency(self) -> dict[int, list[int]]:
+        """Freeze hook for :mod:`repro.serving.snapshot`.
+
+        Returns a *shallow* copy of the adjacency mapping whose neighbour
+        lists are shared copy-on-write: later updates through this graph
+        copy an affected list before mutating it, so the returned mapping
+        is a stable point-in-time view at pointer-copy cost.
+        """
+        self._shared = set(self._adj)
+        return dict(self._adj)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -171,6 +192,8 @@ class DynamicGraph:
             raise VertexNotFoundError(v)
         if v in self._adj[u]:
             raise EdgeExistsError(u, v)
+        self._cow(u)
+        self._cow(v)
         self._adj[u].append(v)
         self._adj[v].append(u)
         self._num_edges += 1
@@ -207,10 +230,11 @@ class DynamicGraph:
             raise VertexNotFoundError(u)
         if v not in self._adj:
             raise VertexNotFoundError(v)
-        try:
-            self._adj[u].remove(v)
-        except ValueError:
-            raise EdgeNotFoundError(u, v) from None
+        if v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._cow(u)
+        self._cow(v)
+        self._adj[u].remove(v)
         self._adj[v].remove(u)
         self._num_edges -= 1
 
@@ -224,9 +248,12 @@ class DynamicGraph:
             raise VertexNotFoundError(v)
         removed = [(v, w) for w in self._adj[v]]
         for w in self._adj[v]:
+            self._cow(w)
             self._adj[w].remove(v)
         self._num_edges -= len(removed)
         del self._adj[v]
+        if self._shared is not None:
+            self._shared.discard(v)
         return removed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""A tiny blocking client for the newline-delimited JSON protocol.
+
+Used by the closed-loop load generator of the ``serving`` bench
+experiment's TCP mode, the CI smoke check (``tools/serving_smoke.py``)
+and the test-suite; applications may of course speak the protocol from
+any language — it is one JSON object per line in each direction
+(:mod:`repro.serving.server`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.exceptions import ServingError
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One blocking TCP connection to an :class:`OracleServer`.
+
+    Usable as a context manager; not thread-safe (use one client per
+    thread — connections are cheap and the server is happy to hold many).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the decoded response object."""
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        return json.loads(line)
+
+    def _checked(self, payload: dict) -> dict:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServingError(response.get("error", "request failed"))
+        return response
+
+    # -- convenience wrappers, mirroring the protocol ops ---------------
+    def query(self, u: int, v: int) -> float:
+        """Exact distance; ``inf`` when unreachable."""
+        distance = self._checked({"op": "query", "u": u, "v": v})["distance"]
+        return float("inf") if distance is None else distance
+
+    def query_many(self, pairs) -> list[float]:
+        response = self._checked({"op": "query_many", "pairs": list(pairs)})
+        return [
+            float("inf") if d is None else d for d in response["distances"]
+        ]
+
+    def path(self, u: int, v: int) -> list[int] | None:
+        return self._checked({"op": "path", "u": u, "v": v})["path"]
+
+    def update(self, kind: str, u: int, v: int) -> dict:
+        return self._checked({"op": "update", "kind": kind, "u": u, "v": v})
+
+    def updates(self, events) -> dict:
+        """Submit ``[(kind, u, v), ...]`` in one round-trip."""
+        return self._checked(
+            {"op": "updates", "events": [[k, u, v] for k, u, v in events]}
+        )
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})["stats"]
+
+    def snapshot(self) -> dict:
+        """Force-publish a snapshot; returns epoch and size info."""
+        return self._checked({"op": "snapshot"})
+
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""Serving metrics: throughput counters and tail-latency tracking.
+
+The serving layer is judged on two numbers the paper never had to report
+— sustained queries per second and tail latency under a concurrent
+writer — so the service keeps them continuously and surfaces them through
+the ``stats`` protocol op and the ``serving`` bench experiment.
+
+Latencies are kept in a bounded ring buffer (recent-window percentiles,
+O(1) memory); counters are plain ints.  All methods are safe to call from
+many reader threads: mutation happens under a lock, and the lock is held
+only for appends and for copying the window out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+
+__all__ = ["percentile", "LatencyRecorder", "ServiceMetrics"]
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    ``sorted_samples`` must be non-empty and ascending.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([5.0], 99)
+    5.0
+    """
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = (len(sorted_samples) - 1) * q / 100.0
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0:
+        return sorted_samples[lo]
+    return sorted_samples[lo] * (1 - frac) + sorted_samples[lo + 1] * frac
+
+
+class LatencyRecorder:
+    """Latency samples + throughput for one operation class.
+
+    ``record(seconds)`` is the hot-path call; ``summary()`` returns a
+    plain dict with count, qps (count over the first..last record span),
+    and p50/p95/p99 in milliseconds over the retained window.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total_seconds = 0.0
+        self._first: float | None = None
+        self._last: float | None = None
+
+    def record(self, seconds: float) -> None:
+        """Record one operation that took ``seconds``."""
+        now = perf_counter()
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total_seconds += seconds
+            if self._first is None:
+                self._first = now
+            self._last = now
+
+    def time(self, fn, *args, **kwargs):
+        """Call ``fn(*args, **kwargs)``, recording its wall-clock latency."""
+        start = perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.record(perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def summary(self) -> dict:
+        """Point-in-time stats dict (all latencies in milliseconds)."""
+        with self._lock:
+            window = sorted(self._samples)
+            count = self._count
+            total = self._total_seconds
+            first, last = self._first, self._last
+        if not window:
+            return {"count": 0, "qps": 0.0, "mean_ms": None,
+                    "p50_ms": None, "p95_ms": None, "p99_ms": None}
+        span = (last - first) if (first is not None and last > first) else 0.0
+        # Throughput needs a denominator even for a single sample; fall
+        # back to summed operation time when the span is degenerate.
+        qps = count / span if span > 0 else (count / total if total > 0 else 0.0)
+        return {
+            "count": count,
+            "qps": round(qps, 3),
+            "mean_ms": round(sum(window) / len(window) * 1000.0, 6),
+            "p50_ms": round(percentile(window, 50) * 1000.0, 6),
+            "p95_ms": round(percentile(window, 95) * 1000.0, 6),
+            "p99_ms": round(percentile(window, 99) * 1000.0, 6),
+        }
+
+
+class ServiceMetrics:
+    """All metrics of one :class:`~repro.serving.service.OracleService`.
+
+    Two latency recorders (reads and applied update events) plus event
+    counters; :meth:`stats` flattens everything into the dict the STATS
+    protocol op returns.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        self.queries = LatencyRecorder(window)
+        self.updates = LatencyRecorder(window)
+        self._lock = threading.Lock()
+        self.events_applied = 0
+        self.events_rejected = 0
+        self.insert_batches = 0
+        self.snapshots_published = 0
+
+    def count_applied(self, n: int = 1) -> None:
+        with self._lock:
+            self.events_applied += n
+
+    def count_rejected(self, n: int = 1) -> None:
+        with self._lock:
+            self.events_rejected += n
+
+    def count_insert_batch(self) -> None:
+        with self._lock:
+            self.insert_batches += 1
+
+    def count_snapshot(self) -> None:
+        with self._lock:
+            self.snapshots_published += 1
+
+    def stats(self) -> dict:
+        """Flat stats dict: ``queries.*`` and ``updates.*`` sub-dicts plus
+        the event counters."""
+        return {
+            "queries": self.queries.summary(),
+            "updates": self.updates.summary(),
+            "events_applied": self.events_applied,
+            "events_rejected": self.events_rejected,
+            "insert_batches": self.insert_batches,
+            "snapshots_published": self.snapshots_published,
+        }

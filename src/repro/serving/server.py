@@ -1,0 +1,318 @@
+"""Asyncio TCP front-end speaking newline-delimited JSON.
+
+One request per line, one JSON object per response line.  Ops::
+
+    {"op": "query",      "u": 17, "v": 4242}
+    {"op": "query_many", "pairs": [[0, 5], [3, 9]]}
+    {"op": "path",       "u": 17, "v": 4242}
+    {"op": "update",     "kind": "insert", "u": 17, "v": 4242}
+    {"op": "updates",    "events": [["insert", 1, 2], ["delete", 3, 4]]}
+    {"op": "stats"}
+    {"op": "snapshot"}
+    {"op": "ping"}
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
+Unreachable distances serialise as ``null`` (JSON has no infinity).
+``update`` acknowledges *enqueueing* — the single writer applies
+asynchronously and publishes a fresh snapshot per drained chunk; ``stats``
+reports the backlog and the served epoch.  ``snapshot`` force-publishes
+and reports the new epoch (mainly for tests and operational probes).
+
+Reads run directly on the event loop: they are pure in-memory lookups on
+an immutable snapshot, so there is nothing to offload.  The server can
+warm-start from a :func:`repro.utils.serialization.save_oracle` file via
+:meth:`OracleServer.from_file` (the ``python -m repro serve`` path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.exceptions import ReproError, ServingError
+from repro.graph.traversal import INF
+from repro.serving.service import OracleService
+from repro.workloads.streams import UpdateEvent
+
+__all__ = ["OracleServer"]
+
+_MAX_LINE = 1 << 20  # 1 MiB per request line is plenty for query_many bursts
+_PUBLISH_TIMEOUT = 60.0  # seconds a `snapshot` op waits for the writer
+
+
+def _finite(distance: float) -> float | int | None:
+    """JSON-encodable distance: ``None`` stands for unreachable."""
+    return None if distance == INF else distance
+
+
+class OracleServer:
+    """TCP server wrapping an :class:`OracleService`.
+
+    >>> # doctest-free: see tests/serving/test_server.py for live round-trips
+    """
+
+    def __init__(
+        self,
+        service: OracleService,
+        host: str = "127.0.0.1",
+        port: int = 8355,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def from_file(
+        cls,
+        path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8355,
+        workers: int | None = None,
+        max_batch: int = 128,
+    ) -> "OracleServer":
+        """Warm-start: load a ``save_oracle`` file and wrap it in a service."""
+        from repro.utils.serialization import load_oracle
+
+        oracle = load_oracle(path)
+        oracle.workers = workers
+        service = OracleService(oracle, workers=workers, max_batch=max_batch)
+        return cls(service, host=host, port=port)
+
+    @property
+    def service(self) -> OracleService:
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0`` requests)."""
+        if self._server is None:
+            raise ServingError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Async lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "OracleServer":
+        """Bind the listening socket and start the writer thread."""
+        self._service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=_MAX_LINE
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._service.stop()
+
+    # ------------------------------------------------------------------
+    # Threaded lifecycle (tests, smoke checks, load generators)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> tuple[str, int]:
+        """Run the server on a dedicated event-loop thread.
+
+        Returns the bound ``(host, port)``; :meth:`stop_thread` shuts the
+        loop and the writer down.
+        """
+        if self._thread is not None:
+            raise ServingError("server thread already running")
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # surface bind errors to the caller
+                failure.append(exc)
+                ready.set()
+                loop.close()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop())
+                leftovers = asyncio.all_tasks(loop)
+                for task in leftovers:
+                    task.cancel()
+                if leftovers:
+                    loop.run_until_complete(
+                        asyncio.gather(*leftovers, return_exceptions=True)
+                    )
+                loop.close()
+                self._loop = None
+
+        self._thread = threading.Thread(target=_run, name="oracle-server", daemon=True)
+        self._thread.start()
+        ready.wait()
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self.address
+
+    def stop_thread(self) -> None:
+        """Stop a server started with :meth:`start_in_thread`."""
+        thread, loop = self._thread, self._loop
+        if thread is None:
+            return
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"ok": False, "error": "request too large"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(_encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:  # server shutdown with connection open
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):  # pragma: no cover - teardown race
+                pass
+
+    @staticmethod
+    def _decode(line: bytes) -> tuple[dict | None, dict | None]:
+        """``(request, None)`` on success, ``(None, error_response)`` else."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return None, {"ok": False, "error": f"invalid JSON: {exc.msg}"}
+        if not isinstance(request, dict):
+            return None, {"ok": False, "error": "request must be a JSON object"}
+        return request, None
+
+    def _dispatch_checked(self, request: dict) -> dict:
+        try:
+            return self._dispatch(request)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _respond(self, line: bytes) -> dict:
+        """Async dispatch: the ``snapshot`` op waits for the writer's
+        publish barrier off the event loop, so one client draining a deep
+        backlog never stalls the other connections' reads."""
+        request, error = self._decode(line)
+        if error is not None:
+            return error
+        if request.get("op") == "snapshot":
+            barrier = self._service.request_publish()
+            loop = asyncio.get_running_loop()
+            done = await loop.run_in_executor(None, barrier.wait, _PUBLISH_TIMEOUT)
+            if not done:
+                return {"ok": False, "error": "snapshot publish timed out"}
+            return self._snapshot_response()
+        return self._dispatch_checked(request)
+
+    def handle_request_line(self, line: bytes) -> dict:
+        """Decode one request line and dispatch it (blocking; for direct
+        callers and tests — connections go through :meth:`_respond`)."""
+        request, error = self._decode(line)
+        if error is not None:
+            return error
+        return self._dispatch_checked(request)
+
+    def _snapshot_response(self) -> dict:
+        snap = self._service.snapshot
+        return {
+            "ok": True,
+            "epoch": snap.epoch,
+            "num_vertices": snap.num_vertices,
+            "num_edges": snap.num_edges,
+            "label_entries": snap.label_entries,
+        }
+
+    def _dispatch(self, request: dict) -> dict:
+        service = self._service
+        op = request.get("op")
+        if op == "query":
+            u, v = int(request["u"]), int(request["v"])
+            snap = service.snapshot  # pin: answer and epoch must agree
+            return {
+                "ok": True,
+                "distance": _finite(service.query(u, v, snapshot=snap)),
+                "epoch": snap.epoch,
+            }
+        if op == "query_many":
+            pairs = [(int(u), int(v)) for u, v in request["pairs"]]
+            snap = service.snapshot  # pin: answers and epoch must agree
+            return {
+                "ok": True,
+                "distances": [
+                    _finite(d)
+                    for d in service.query_many(pairs, snapshot=snap)
+                ],
+                "epoch": snap.epoch,
+            }
+        if op == "path":
+            u, v = int(request["u"]), int(request["v"])
+            return {"ok": True, "path": service.shortest_path(u, v)}
+        if op == "update":
+            kind = request["kind"]
+            u, v = int(request["u"]), int(request["v"])
+            service.submit(UpdateEvent(kind, (u, v)))
+            return {"ok": True, "queued": 1, "pending": service.pending}
+        if op == "updates":
+            events = [
+                UpdateEvent(kind, (int(u), int(v)))
+                for kind, u, v in request["events"]
+            ]
+            queued = service.submit_many(events)
+            return {"ok": True, "queued": queued, "pending": service.pending}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "snapshot":
+            # Blocking form (direct callers); connections take the async
+            # barrier path in _respond instead.
+            if not service.request_publish().wait(_PUBLISH_TIMEOUT):
+                raise ServingError("snapshot publish timed out")
+            return self._snapshot_response()
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def _encode(response: dict) -> bytes:
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")

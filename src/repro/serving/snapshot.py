@@ -1,0 +1,297 @@
+"""Immutable, epoch-versioned read snapshots of a dynamic oracle.
+
+Snapshot isolation is what lets readers answer queries *while* the writer
+repairs the labelling: a reader pins an :class:`OracleSnapshot` and every
+query against it sees the graph and labelling exactly as they stood at the
+snapshot's epoch — never a half-applied batch.
+
+The mechanism is copy-on-write at row granularity (docs/DESIGN.md §7).
+Capturing a snapshot shallow-copies the three outer maps (adjacency,
+label rows, highway rows) — a pointer-level copy, not a deep copy — and
+marks every inner row as shared via the freeze hooks
+(:meth:`~repro.graph.dynamic_graph.DynamicGraph.snapshot_adjacency`,
+:meth:`~repro.core.labelling.HighwayCoverLabelling.freeze`).  The writer
+then copies any shared row before mutating it in place, so the rows a
+snapshot references are physically immutable for its whole lifetime.
+Under CPython's GIL each published reference is observed atomically, so
+readers on other threads never block and never tear.
+
+The ``Frozen*`` views duck-type exactly the read surface the query layer
+uses (:mod:`repro.core.query`, :mod:`repro.core.paths`), so snapshots
+answer ``query`` / ``query_many`` / ``shortest_path`` through the same
+code paths as the live oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.paths import shortest_path as _shortest_path
+from repro.core.query import query_distance, query_distances_many
+from repro.exceptions import NotALandmarkError, VertexNotFoundError
+from repro.graph.traversal import INF
+
+__all__ = [
+    "FrozenGraph",
+    "FrozenHighway",
+    "FrozenLabels",
+    "FrozenLabelling",
+    "OracleSnapshot",
+]
+
+
+class FrozenGraph:
+    """Read-only point-in-time view of a :class:`DynamicGraph`.
+
+    Duck-types the read surface of the graph (``adjacency``, ``neighbors``,
+    ``has_vertex``, …); offers no mutators.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, adjacency: dict[int, list[int]], num_edges: int) -> None:
+        self._adj = adjacency
+        self._num_edges = num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_vertex(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, v: int) -> list[int]:
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def degree(self, v: int) -> int:
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Raw adjacency mapping (read-only) for the traversal hot loops."""
+        return self._adj
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenGraph(|V|={len(self._adj)}, |E|={self._num_edges})"
+
+
+class FrozenLabels:
+    """Read-only point-in-time view of a :class:`LabelStore`."""
+
+    __slots__ = ("_labels", "_total")
+
+    _EMPTY: dict[int, int] = {}
+
+    def __init__(self, rows: dict[int, dict[int, int]], total: int) -> None:
+        self._labels = rows
+        self._total = total
+
+    def label(self, v: int) -> dict[int, int]:
+        return self._labels.get(v, self._EMPTY)
+
+    def entry(self, v: int, r: int) -> int | None:
+        return self._labels.get(v, self._EMPTY).get(r)
+
+    def has_entry(self, v: int, r: int) -> bool:
+        return r in self._labels.get(v, self._EMPTY)
+
+    def label_size(self, v: int) -> int:
+        return len(self._labels.get(v, self._EMPTY))
+
+    @property
+    def total_entries(self) -> int:
+        return self._total
+
+    def size_bytes(self, bytes_per_entry: int = 8) -> int:
+        return self._total * bytes_per_entry
+
+    def vertices_with_labels(self) -> Iterator[int]:
+        return iter(self._labels)
+
+    def items(self) -> Iterator[tuple[int, dict[int, int]]]:
+        return iter(self._labels.items())
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenLabels(vertices={len(self._labels)}, entries={self._total})"
+
+
+class FrozenHighway:
+    """Read-only point-in-time view of a :class:`Highway`."""
+
+    __slots__ = ("_landmarks", "_landmark_set", "_dist")
+
+    def __init__(
+        self,
+        landmarks: list[int],
+        landmark_set: frozenset[int],
+        rows: dict[int, dict[int, float]],
+    ) -> None:
+        self._landmarks = landmarks
+        self._landmark_set = landmark_set
+        self._dist = rows
+
+    @property
+    def landmarks(self) -> list[int]:
+        return self._landmarks
+
+    @property
+    def landmark_set(self) -> frozenset[int]:
+        return self._landmark_set
+
+    def __contains__(self, r: int) -> bool:
+        return r in self._landmark_set
+
+    def __len__(self) -> int:
+        return len(self._landmarks)
+
+    def distance(self, r1: int, r2: int) -> float:
+        try:
+            row = self._dist[r1]
+        except KeyError:
+            raise NotALandmarkError(r1) from None
+        if r2 not in self._landmark_set:
+            raise NotALandmarkError(r2)
+        return row.get(r2, INF)
+
+    def row(self, r: int) -> dict[int, float]:
+        try:
+            return self._dist[r]
+        except KeyError:
+            raise NotALandmarkError(r) from None
+
+    def size_bytes(self, bytes_per_distance: int = 4) -> int:
+        n = len(self._landmarks)
+        return n * (n - 1) // 2 * bytes_per_distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenHighway(|R|={len(self._landmarks)})"
+
+
+class FrozenLabelling:
+    """Read-only ``Γ = (H, L)`` duck-typing :class:`HighwayCoverLabelling`."""
+
+    __slots__ = ("highway", "labels")
+
+    def __init__(self, highway: FrozenHighway, labels: FrozenLabels) -> None:
+        self.highway = highway
+        self.labels = labels
+
+    @property
+    def landmarks(self) -> list[int]:
+        return self.highway.landmarks
+
+    @property
+    def landmark_set(self) -> frozenset[int]:
+        return self.highway.landmark_set
+
+    @property
+    def label_entries(self) -> int:
+        return self.labels.total_entries
+
+    def size_bytes(self) -> int:
+        return self.labels.size_bytes() + self.highway.size_bytes()
+
+
+class OracleSnapshot:
+    """One immutable epoch of a :class:`~repro.core.dynamic.DynamicHCL`.
+
+    Answers the full read API — exact distances, batch distances, path
+    extraction — against the graph as it stood at :attr:`epoch`, no matter
+    what the writer does afterwards.
+
+    >>> from repro.core.dynamic import DynamicHCL
+    >>> from repro.graph.generators import grid_graph
+    >>> oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    >>> snap = oracle.snapshot()
+    >>> _ = oracle.insert_edge(0, 8)
+    >>> snap.query(0, 8), oracle.query(0, 8)  # snapshot is pinned
+    (4, 1)
+    """
+
+    __slots__ = ("epoch", "graph", "labelling")
+
+    def __init__(self, epoch: int, graph: FrozenGraph, labelling: FrozenLabelling):
+        self.epoch = epoch
+        self.graph = graph
+        self.labelling = labelling
+
+    @classmethod
+    def capture(cls, oracle) -> "OracleSnapshot":
+        """Freeze ``oracle`` at its current version (single-writer only:
+        must be called from the thread that applies updates)."""
+        adjacency = oracle.graph.snapshot_adjacency()
+        num_edges = oracle.graph.num_edges
+        landmarks, landmark_set, highway_rows, label_rows, entries = (
+            oracle.labelling.freeze()
+        )
+        return cls(
+            oracle.version,
+            FrozenGraph(adjacency, num_edges),
+            FrozenLabelling(
+                FrozenHighway(landmarks, landmark_set, highway_rows),
+                FrozenLabels(label_rows, entries),
+            ),
+        )
+
+    # -- read API ------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def label_entries(self) -> int:
+        return self.labelling.label_entries
+
+    def query(self, u: int, v: int) -> float:
+        """Exact ``d(u, v)`` at this snapshot's epoch (``inf`` when
+        disconnected)."""
+        return query_distance(self.graph, self.labelling, u, v)
+
+    def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
+        """Exact distances for a batch of pairs at this epoch."""
+        return query_distances_many(self.graph, self.labelling, pairs)
+
+    def shortest_path(self, u: int, v: int) -> list[int] | None:
+        """One exact shortest path at this epoch (``None`` if disconnected)."""
+        return _shortest_path(self.graph, self.labelling, u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OracleSnapshot(epoch={self.epoch}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, size(L)={self.label_entries})"
+        )

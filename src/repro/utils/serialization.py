@@ -31,28 +31,64 @@ def _open(path: str | os.PathLike, mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def save_labelling(labelling: HighwayCoverLabelling, path: str | os.PathLike) -> None:
-    """Write ``labelling`` to ``path`` (gzip if the name ends in ``.gz``)."""
-    highway_cells = []
+def _highway_cells(labelling: HighwayCoverLabelling) -> list[list]:
+    cells = []
     seen = set()
     for r, row in labelling.highway.as_dict().items():
         for r2, d in row.items():
             if r == r2 or (r2, r) in seen:
                 continue
             seen.add((r, r2))
-            highway_cells.append([r, r2, d])
-    payload = {
+            cells.append([r, r2, d])
+    return cells
+
+
+def _write_streamed(handle, head: dict, label_rows, chunk: int = 4096) -> None:
+    """Write ``{**head, "labels": [...]}`` streaming the label rows.
+
+    ``size(L)`` dominates every other field by orders of magnitude on real
+    oracles, so the label array is emitted incrementally in fixed-size
+    chunks instead of being materialised as one giant list first — peak
+    memory stays O(chunk) regardless of labelling size.  The output is
+    byte-identical to ``json.dump`` of the equivalent payload.
+    """
+    prefix = json.dumps(head)
+    handle.write(prefix[:-1])  # drop the closing "}" to keep the object open
+    handle.write(', "labels": [')
+    buffer: list[str] = []
+    first = True
+    for v, r, d in label_rows:
+        buffer.append(json.dumps([v, r, d]))
+        if len(buffer) >= chunk:
+            handle.write(("" if first else ", ") + ", ".join(buffer))
+            first = False
+            buffer.clear()
+    if buffer:
+        handle.write(("" if first else ", ") + ", ".join(buffer))
+    handle.write("]}")
+
+
+def _iter_label_rows(labelling: HighwayCoverLabelling):
+    for v, label in labelling.labels.items():
+        for r, d in label.items():
+            yield v, r, d
+
+
+def save_labelling(labelling: HighwayCoverLabelling, path: str | os.PathLike) -> None:
+    """Write ``labelling`` to ``path`` (gzip if the name ends in ``.gz``).
+
+    Label rows are streamed to the file handle rather than materialised as
+    one list — saving a large oracle no longer spikes memory by the size
+    of the labelling (the warm-start path of ``python -m repro serve``
+    ships these files around).
+    """
+    head = {
         "format": _FORMAT,
         "landmarks": labelling.landmarks,
-        "highway": highway_cells,
-        "labels": [
-            [v, r, d]
-            for v, label in labelling.labels.items()
-            for r, d in label.items()
-        ],
+        "highway": _highway_cells(labelling),
     }
     with _open(path, "w") as handle:
-        json.dump(payload, handle)
+        _write_streamed(handle, head, _iter_label_rows(labelling))
 
 
 def load_labelling(path: str | os.PathLike) -> HighwayCoverLabelling:
@@ -86,28 +122,15 @@ def save_oracle(oracle, path: str | os.PathLike) -> None:
     """
     graph = oracle.graph
     labelling = oracle.labelling
-    highway_cells = []
-    seen = set()
-    for r, row in labelling.highway.as_dict().items():
-        for r2, d in row.items():
-            if r == r2 or (r2, r) in seen:
-                continue
-            seen.add((r, r2))
-            highway_cells.append([r, r2, d])
-    payload = {
+    head = {
         "format": _ORACLE_FORMAT,
         "vertices": sorted(graph.vertices()),
         "edges": sorted(graph.edges()),
         "landmarks": labelling.landmarks,
-        "highway": highway_cells,
-        "labels": [
-            [v, r, d]
-            for v, label in labelling.labels.items()
-            for r, d in label.items()
-        ],
+        "highway": _highway_cells(labelling),
     }
     with _open(path, "w") as handle:
-        json.dump(payload, handle)
+        _write_streamed(handle, head, _iter_label_rows(labelling))
 
 
 def load_oracle(path: str | os.PathLike):

@@ -1,0 +1,52 @@
+"""Tests for the S (serving) experiment and the bench CLI's JSON output."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments import serving
+from repro.exceptions import BenchmarkError
+
+
+class TestServingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return serving.run(profile="smoke")
+
+    def test_rows_cover_every_reader_count(self, result):
+        assert result.name == "serving"
+        assert [row["readers"] for row in result.rows] == [1, 2]
+
+    def test_acceptance_criteria_per_row(self, result):
+        for row in result.rows:
+            assert row["incorrect"] == 0, row  # snapshot isolation held
+            assert row["queries"] > 0
+            assert row["qps"] > 0
+            assert row["updates_applied"] > 0
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert row["epochs_served"] >= 1
+
+    def test_text_report_shape(self, result):
+        assert "incorrect" in result.text
+        assert "qps" in result.text
+        assert "p99_ms" in result.text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            serving.run(profile="smoke", datasets=["nope"])
+
+
+def test_cli_writes_json_report(tmp_path, capsys):
+    out_json = tmp_path / "serving.json"
+    code = main([
+        "serving", "--profile", "smoke", "--datasets", "flickr-s",
+        "--json", str(out_json),
+    ])
+    assert code == 0
+    assert "snapshot-isolated serving" in capsys.readouterr().out
+    payload = json.loads(out_json.read_text())
+    assert set(payload) == {"serving"}
+    rows = payload["serving"]
+    assert rows and all(row["incorrect"] == 0 for row in rows)
+    assert {row["readers"] for row in rows} == {1, 2}

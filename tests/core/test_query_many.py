@@ -1,0 +1,58 @@
+"""`query_many` / `query_distances_many`: batch answers == per-pair answers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import build_hcl
+from repro.core.dynamic import DynamicHCL
+from repro.core.query import query_distance, query_distances_many
+from repro.exceptions import VertexNotFoundError
+from repro.graph.generators import grid_graph
+from repro.utils.rng import ensure_rng
+from tests.conftest import random_connected_graph
+
+INF = float("inf")
+
+
+@pytest.mark.parametrize("seed", [1, 5, 23])
+def test_batch_equals_single_queries(seed):
+    graph = random_connected_graph(seed)
+    oracle = DynamicHCL.build(graph, num_landmarks=min(3, graph.num_vertices))
+    vertices = sorted(graph.vertices())
+    rng = ensure_rng(seed)
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(50)
+    ]
+    assert oracle.query_many(pairs) == [oracle.query(u, v) for u, v in pairs]
+
+
+def test_covers_landmark_identical_and_disconnected_cases():
+    graph = grid_graph(3, 3)
+    graph.add_vertex(99)  # isolated: unreachable from the grid
+    gamma = build_hcl(graph, [4])
+    pairs = [(4, 7), (7, 4), (2, 2), (0, 99), (99, 4), (0, 8)]
+    batch = query_distances_many(graph, gamma, pairs)
+    assert batch == [query_distance(graph, gamma, u, v) for u, v in pairs]
+    assert batch[3] == INF and batch[4] == INF
+
+
+def test_empty_batch_and_order_preservation():
+    graph = grid_graph(3, 3)
+    gamma = build_hcl(graph, [4])
+    assert query_distances_many(graph, gamma, []) == []
+    assert query_distances_many(graph, gamma, [(0, 8), (0, 1)]) == [4, 1]
+
+
+def test_unknown_vertex_raises():
+    graph = grid_graph(2, 2)
+    gamma = build_hcl(graph, [0])
+    with pytest.raises(VertexNotFoundError):
+        query_distances_many(graph, gamma, [(0, 1), (0, 777)])
+
+
+def test_batch_reflects_updates():
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    assert oracle.query_many([(0, 8)]) == [4]
+    oracle.insert_edge(0, 8)
+    assert oracle.query_many([(0, 8)]) == [1]

@@ -115,3 +115,34 @@ class TestStats:
         assert "size(L)" in output
         assert "|R|=3" in output
         assert "busiest landmark" in output
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["serve", "oracle.json"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8355)
+        assert args.workers is None and args.max_batch == 128
+
+    def test_serve_stack_from_oracle_file(self, oracle_file):
+        # The blocking serve loop is exercised end-to-end via the threaded
+        # server it wraps (same OracleServer.from_file warm-start path).
+        from repro.serving.client import ServingClient
+        from repro.serving.server import OracleServer
+
+        out, graph = oracle_file
+        server = OracleServer.from_file(out, port=0, max_batch=16)
+        host, port = server.start_in_thread()
+        try:
+            with ServingClient(host, port) as client:
+                u, v = sorted(graph.edges())[0]
+                assert client.query(u, v) == 1
+                assert client.stats()["num_edges"] == graph.num_edges
+        finally:
+            server.stop_thread()
+
+    def test_serve_missing_file_reports_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "missing.json")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -27,6 +27,9 @@ import repro.graph.weighted
 import repro.parallel
 import repro.parallel.engine
 import repro.parallel.sweeps
+import repro.serving.metrics
+import repro.serving.service
+import repro.serving.snapshot
 import repro.utils.timing
 import repro.workloads.datasets
 import repro.workloads.queries
@@ -51,6 +54,9 @@ _MODULES = [
     repro.baselines.pll,
     repro.baselines.incpll,
     repro.baselines.fd,
+    repro.serving.metrics,
+    repro.serving.service,
+    repro.serving.snapshot,
     repro.utils.timing,
     repro.workloads.datasets,
     repro.workloads.queries,

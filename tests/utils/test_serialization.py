@@ -63,3 +63,74 @@ class TestRoundTrip:
         save_labelling(oracle.labelling, path)
         loaded = load_labelling(path)
         assert loaded.labels == oracle.labelling.labels
+
+
+class TestStreamedWriter:
+    """The streaming writer must emit exactly what ``json.dump`` of the
+    materialised payload used to — same bytes, tiny peak memory."""
+
+    def test_output_is_byte_identical_to_json_dump(self, tmp_path):
+        import json
+
+        g = ring_of_cliques(4, 4)
+        gamma = build_hcl(g, [0, 4, 8])
+        path = tmp_path / "labelling.json"
+        save_labelling(gamma, path)
+        text = path.read_text()
+        payload = json.loads(text)
+        assert text == json.dumps(payload)
+        assert payload["labels"] == [
+            [v, r, d]
+            for v, label in gamma.labels.items()
+            for r, d in label.items()
+        ]
+
+    def test_small_chunk_streaming_matches_one_shot(self, tmp_path):
+        # Force many flush chunks: output must not change with chunk size.
+        from repro.utils import serialization
+
+        g = grid_graph(5, 5)
+        gamma = build_hcl(g, [0, 24, 12])
+        head = {
+            "format": "repro-hcl-v1",
+            "landmarks": gamma.landmarks,
+            "highway": serialization._highway_cells(gamma),
+        }
+        one_shot = tmp_path / "one.json"
+        chunked = tmp_path / "chunked.json"
+        with open(one_shot, "w") as handle:
+            serialization._write_streamed(
+                handle, head, serialization._iter_label_rows(gamma)
+            )
+        with open(chunked, "w") as handle:
+            serialization._write_streamed(
+                handle, head, serialization._iter_label_rows(gamma), chunk=3
+            )
+        assert one_shot.read_text() == chunked.read_text()
+        assert load_labelling(chunked).labels == gamma.labels
+
+    def test_empty_labelling_streams_valid_json(self, tmp_path):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph([0])
+        gamma = build_hcl(g, [0])  # the lone landmark labels nothing
+        path = tmp_path / "empty.json"
+        save_labelling(gamma, path)
+        loaded = load_labelling(path)
+        assert loaded.labels.total_entries == gamma.labels.total_entries
+
+    def test_oracle_save_streams_identically(self, tmp_path):
+        import json
+
+        from repro.core.dynamic import DynamicHCL
+        from repro.utils.serialization import load_oracle, save_oracle
+
+        oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+        oracle.insert_edge(0, 15)
+        path = tmp_path / "oracle.json"
+        save_oracle(oracle, path)
+        text = path.read_text()
+        assert text == json.dumps(json.loads(text))
+        restored = load_oracle(path)
+        assert restored.labelling == oracle.labelling
+        assert sorted(restored.graph.edges()) == sorted(oracle.graph.edges())

@@ -1,0 +1,83 @@
+"""End-to-end stream replay through DynamicHCL, BFS-checked every K events.
+
+Satellite of the serving PR: the service's writer loop is only as good as
+the oracle's behaviour under long mixed and sliding-window streams, so
+these tests drive :func:`repro.workloads.streams.replay` over full
+generated streams and cross-check sampled distances (and labelling
+minimality at the end) against references after every K events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicHCL
+from repro.core.validation import check_minimality
+from repro.utils.rng import ensure_rng
+from repro.workloads.streams import (
+    mixed_stream,
+    replay,
+    sliding_window_stream,
+)
+from tests.conftest import all_pairs_distances, random_connected_graph
+
+INF = float("inf")
+K = 5  # BFS cross-check cadence (events between checks)
+
+
+def _check_against_bfs(oracle, rng, sample=40) -> None:
+    table = all_pairs_distances(oracle.graph)
+    vertices = sorted(oracle.graph.vertices())
+    for _ in range(sample):
+        u, v = rng.choice(vertices), rng.choice(vertices)
+        assert oracle.query(u, v) == table[u].get(v, INF), (u, v)
+
+
+@pytest.mark.parametrize("seed", [2, 9])
+def test_mixed_stream_replay_bfs_checked(seed):
+    graph = random_connected_graph(seed, n_min=14, n_max=22, density=2.2)
+    events = mixed_stream(graph, 30, insert_ratio=0.7, rng=seed)
+    oracle = DynamicHCL.build(graph, num_landmarks=3)
+    rng = ensure_rng(seed * 13)
+
+    records = []
+    for start in range(0, len(events), K):
+        records.extend(replay(oracle, events[start : start + K]))
+        _check_against_bfs(oracle, rng)
+    assert len(records) == len(events)
+    assert all(r.seconds >= 0 for r in records)
+    check_minimality(oracle.graph, oracle.labelling)
+
+
+@pytest.mark.parametrize("seed", [4, 17])
+def test_sliding_window_stream_replay_bfs_checked(seed):
+    graph = random_connected_graph(seed, n_min=14, n_max=22, density=2.2)
+    events = sliding_window_stream(graph, 24, window=8, rng=seed)
+    oracle = DynamicHCL.build(graph, num_landmarks=3)
+    rng = ensure_rng(seed * 29)
+
+    for start in range(0, len(events), K):
+        replay(oracle, events[start : start + K])
+        _check_against_bfs(oracle, rng)
+    check_minimality(oracle.graph, oracle.labelling)
+
+
+def test_replay_through_service_matches_direct_replay():
+    """The serving writer applies the same streams replay() does — final
+    labellings must coincide (both are the canonical minimal one)."""
+    from repro.serving.service import OracleService
+
+    graph = random_connected_graph(31, n_min=14, n_max=20)
+    events = mixed_stream(graph, 20, rng=11)
+
+    direct = DynamicHCL.build(graph.copy(), num_landmarks=3)
+    replay(direct, events)
+
+    service = OracleService(
+        DynamicHCL.build(graph.copy(), landmarks=list(direct.landmarks)),
+        max_batch=4,
+    )
+    with service:
+        service.submit_many(events)
+        service.flush()
+        assert service.oracle.labelling == direct.labelling

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke check (CI gate).
+
+Boots the full stack — oracle build, ``save_oracle`` warm-start file, TCP
+server, wire protocol — then:
+
+1. drives a concurrent phase: N client threads run closed query loops
+   over TCP while updates stream in through the protocol (measures qps);
+2. drains the writer (``snapshot`` op), then re-checks every query pair
+   against a local BFS mirror that replayed the same updates — any
+   disagreement is an incorrect answer.
+
+Exit code 0 requires **nonzero qps and zero incorrect answers**.
+
+Usage:  PYTHONPATH=src python tools/serving_smoke.py [--seconds 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+from collections import deque
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.dynamic import DynamicHCL
+from repro.graph.generators import barabasi_albert
+from repro.serving.client import ServingClient
+from repro.serving.server import OracleServer
+from repro.utils.rng import ensure_rng
+from repro.utils.serialization import save_oracle
+from repro.workloads.streams import mixed_stream
+
+INF = float("inf")
+
+
+def bfs_distance(adj: dict[int, set[int]], u: int, v: int) -> float:
+    if u == v:
+        return 0
+    dist = {u: 0}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for w in adj[x]:
+            if w not in dist:
+                if w == v:
+                    return dist[x] + 1
+                dist[w] = dist[x] + 1
+                queue.append(w)
+    return INF
+
+
+class QueryLoop(threading.Thread):
+    def __init__(self, host, port, vertices, seed, deadline):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.vertices = vertices
+        self.rng = ensure_rng(seed)
+        self.deadline = deadline
+        self.count = 0
+
+    def run(self) -> None:
+        with ServingClient(self.host, self.port) as client:
+            choice = self.rng.choice
+            while perf_counter() < self.deadline:
+                client.query(choice(self.vertices), choice(self.vertices))
+                self.count += 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seconds", type=float, default=3.0)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--vertices", type=int, default=400)
+    parser.add_argument("--updates", type=int, default=60)
+    parser.add_argument("--checks", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args(argv)
+
+    graph = barabasi_albert(args.vertices, attach=3, rng=args.seed)
+    events = mixed_stream(graph, args.updates, rng=args.seed)
+    oracle = DynamicHCL.build(graph, num_landmarks=10)
+    vertices = sorted(graph.vertices())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        oracle_file = Path(tmp) / "oracle.json.gz"
+        save_oracle(oracle, oracle_file)
+        server = OracleServer.from_file(oracle_file, port=0)
+        host, port = server.start_in_thread()
+        print(f"serving warm-started oracle on {host}:{port} "
+              f"(|V|={len(vertices)}, |E|={graph.num_edges})")
+        try:
+            deadline = perf_counter() + args.seconds
+            loops = [
+                QueryLoop(host, port, vertices, args.seed + i, deadline)
+                for i in range(args.clients)
+            ]
+            start = perf_counter()
+            for loop in loops:
+                loop.start()
+
+            # Stream the updates through the protocol while readers run,
+            # mirroring them locally for the later correctness pass.
+            mirror = {v: set(ns) for v, ns in graph.adjacency().items()}
+            with ServingClient(host, port) as feeder:
+                for event in events:
+                    u, v = event.edge
+                    feeder.update(event.kind, u, v)
+                    if event.is_insert:
+                        mirror[u].add(v)
+                        mirror[v].add(u)
+                    else:
+                        mirror[u].discard(v)
+                        mirror[v].discard(u)
+                for loop in loops:
+                    loop.join()
+                elapsed = perf_counter() - start
+                queries = sum(loop.count for loop in loops)
+                qps = queries / elapsed
+
+                # Drain + verify against the BFS mirror on the final graph.
+                final = feeder.snapshot()
+                stats = feeder.stats()
+                rng = ensure_rng(args.seed * 7)
+                incorrect = 0
+                for _ in range(args.checks):
+                    u, v = rng.choice(vertices), rng.choice(vertices)
+                    if feeder.query(u, v) != bfs_distance(mirror, u, v):
+                        incorrect += 1
+        finally:
+            server.stop_thread()
+
+    print(f"concurrent phase: {queries} queries in {elapsed:.2f}s -> "
+          f"{qps:.0f} qps across {args.clients} clients")
+    print(f"writer: {stats['events_applied']} applied, "
+          f"{stats['events_rejected']} rejected, epoch {final['epoch']}")
+    print(f"verification: {args.checks} BFS cross-checks, "
+          f"{incorrect} incorrect")
+
+    if queries == 0 or qps <= 0:
+        print("FAIL: zero query throughput", file=sys.stderr)
+        return 1
+    if incorrect:
+        print(f"FAIL: {incorrect} incorrect answers", file=sys.stderr)
+        return 1
+    if stats["events_applied"] == 0:
+        print("FAIL: writer applied no updates", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
