@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     figure2,
     figure3,
     figure4,
+    incremental_fast,
     parallel,
     serving,
     table1,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "figure4": figure4.run,
     "ablations": ablations.run,
     "extensions": extensions.run,
+    "incremental_fast": incremental_fast.run,
     "parallel": parallel.run,
     "serving": serving.run,
 }

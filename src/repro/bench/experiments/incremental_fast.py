@@ -1,0 +1,170 @@
+"""IF — incremental fast path: vectorized vs pure-Python update latency.
+
+Replays the Figure 4 insertion schedule (``figure4_total`` edges per
+dataset, one at a time — the paper's strictly-online model) through two
+oracles over identical graph copies:
+
+* **python** — the reference dict kernels of :mod:`repro.core.inchl`;
+* **fast** — the vectorized CSR engine of :mod:`repro.core.inchl_fast`
+  (DynCSR overlay + dense old-distance rows + numpy level kernels);
+
+plus a third **fast-batch** replay applying the same stream in Figure-4
+batch chunks through one kernel sweep per landmark.  Every replay's final
+labelling is checked for equality against the python reference before
+timings are accepted (the fast path's byte-identity contract), and the
+per-update latency distribution (mean / p50 / p95) is recorded so tail
+behaviour is visible next to the speedup.
+
+The engine-attach cost (one CSR BFS per landmark, paid once per oracle
+lifetime or after a non-insert mutation) is reported as its own column
+rather than buried in the stream timing — on the paper's 10,000-update
+replay it amortizes to noise, but a deployment that deletes often should
+know it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.profile import bench_profile
+from repro.bench.report import format_table
+from repro.core.dynamic import DynamicHCL
+from repro.exceptions import BenchmarkError
+from repro.landmarks.selection import top_degree_landmarks
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.workloads.datasets import DATASETS, build_dataset
+from repro.workloads.updates import sample_edge_insertions
+
+__all__ = ["run"]
+
+import zlib
+
+#: Representative default sweep: one social, one road-like/web pair —
+#: small and large affected regions both appear in the aggregate.
+_DEFAULT_DATASETS = ["flickr-s", "twitter-s", "uk-s"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _replay_single(oracle: DynamicHCL, insertions, fast: bool):
+    """One-at-a-time replay; returns (total_s, latencies_s)."""
+    latencies = []
+    for u, v in insertions:
+        with Stopwatch() as sw:
+            oracle.insert_edge(u, v, fast=fast)
+        latencies.append(sw.elapsed)
+    return sum(latencies), latencies
+
+
+def _replay_batched(oracle: DynamicHCL, insertions, batch_size: int, workers):
+    """Figure-4-style chunked replay on the fast path."""
+    oracle._resolve_fast_engine()  # attach cost reported separately
+    total = 0.0
+    chunks = 0
+    for start in range(0, len(insertions), batch_size):
+        chunk = insertions[start : start + batch_size]
+        with Stopwatch() as sw:
+            oracle.insert_edges_batch(chunk, workers=workers, fast=True)
+        total += sw.elapsed
+        chunks += 1
+    return total, chunks
+
+
+def _row(dataset, mode, updates, total_s, latencies, attach_ms, speedup, identical):
+    ordered = sorted(latencies) if latencies else []
+    per_update = total_s / updates if updates else 0.0
+    return {
+        "experiment": "IF-incremental-fast",
+        "dataset": dataset,
+        "mode": mode,
+        "updates": updates,
+        "total_ms": round(total_s * 1000.0, 3),
+        "per_update_us": round(per_update * 1e6, 3),
+        "p50_us": round(_percentile(ordered, 0.50) * 1e6, 3) if ordered else None,
+        "p95_us": round(_percentile(ordered, 0.95) * 1e6, 3) if ordered else None,
+        "attach_ms": round(attach_ms, 3) if attach_ms is not None else None,
+        "speedup": round(speedup, 3) if speedup is not None else None,
+        "identical": identical,
+    }
+
+
+def run(
+    profile: str | None = None,
+    datasets: list[str] | None = None,
+    seed: int = 2021,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Per-update latency and speedup of the vectorized update engine."""
+    prof = bench_profile(profile)
+    names = datasets if datasets is not None else list(_DEFAULT_DATASETS)
+    unknown = [n for n in names if n not in DATASETS]
+    if unknown:
+        raise BenchmarkError(f"unknown datasets: {unknown}")
+
+    rows: list[dict] = []
+    aggregate_python = 0.0
+    aggregate_fast = 0.0
+    for name in names:
+        spec, graph = build_dataset(name, profile=prof.name, seed=seed)
+        rng = ensure_rng(zlib.crc32(f"{seed}:{name}:incremental_fast".encode()))
+        insertions = sample_edge_insertions(graph, prof.figure4_total, rng=rng)
+        landmarks = top_degree_landmarks(graph, spec.num_landmarks)
+
+        python_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr"
+        )
+        t_python, lat_python = _replay_single(python_oracle, insertions, fast=False)
+
+        fast_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr",
+            fast_updates=True, workers=workers,
+        )
+        with Stopwatch() as attach:
+            fast_oracle._resolve_fast_engine()
+        t_fast, lat_fast = _replay_single(fast_oracle, insertions, fast=True)
+        identical_fast = fast_oracle.labelling == python_oracle.labelling
+
+        batch_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr",
+            fast_updates=True, workers=workers,
+        )
+        t_batch, chunks = _replay_batched(
+            batch_oracle, insertions, prof.figure4_batch, workers
+        )
+        identical_batch = batch_oracle.labelling == python_oracle.labelling
+
+        aggregate_python += t_python
+        aggregate_fast += t_fast
+        count = len(insertions)
+        rows.append(_row(name, "python", count, t_python, lat_python,
+                         None, None, True))
+        rows.append(_row(name, "fast", count, t_fast, lat_fast,
+                         attach.elapsed * 1000.0,
+                         t_python / t_fast if t_fast > 0 else None,
+                         identical_fast))
+        rows.append(_row(
+            name, f"fast-batch/{prof.figure4_batch}", count, t_batch, [],
+            None, t_python / t_batch if t_batch > 0 else None, identical_batch,
+        ))
+
+    if aggregate_fast > 0 and len(names) > 1:
+        rows.append(_row(
+            "ALL", "fast-aggregate",
+            sum(r["updates"] for r in rows if r["mode"] == "python"),
+            aggregate_fast, [], None,
+            aggregate_python / aggregate_fast, all(r["identical"] for r in rows),
+        ))
+
+    text = format_table(
+        ["dataset", "mode", "updates", "total_ms", "per_update_us",
+         "p50_us", "p95_us", "attach_ms", "speedup", "identical"],
+        rows,
+        title=(f"IF — vectorized CSR update engine vs pure-Python IncHL+ "
+               f"(Figure 4 replay, {prof.figure4_total} insertions/dataset)"),
+    )
+    return ExperimentResult(name="incremental_fast", rows=rows, text=text)

@@ -15,6 +15,7 @@ from repro.core.labelling import HighwayCoverLabelling
 from repro.core.construction import build_hcl
 from repro.core.query import query_distance, landmark_distance, upper_bound
 from repro.core.inchl import apply_edge_insertion, find_affected, repair_affected
+from repro.core.inchl_fast import FastUpdateEngine
 from repro.core.dynamic import DynamicHCL
 from repro.core.decremental import apply_edge_deletion
 from repro.core.directed import DirectedHCL
@@ -31,6 +32,7 @@ __all__ = [
     "apply_edge_insertion",
     "find_affected",
     "repair_affected",
+    "FastUpdateEngine",
     "apply_edge_deletion",
     "DynamicHCL",
     "DirectedHCL",

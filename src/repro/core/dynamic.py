@@ -25,6 +25,13 @@ The ``workers`` knob routes every bulk operation — construction, batch
 insertion, coarse decremental rebuild — through the parallel per-landmark
 engine (:mod:`repro.parallel`); results are identical for any worker
 count.
+
+The ``fast`` knob (per call, or ``fast_updates=`` as the oracle default —
+mirroring the ``construction`` knob) routes :meth:`insert_edge` /
+:meth:`insert_edges_batch` through the vectorized CSR update engine of
+:mod:`repro.core.inchl_fast`; the labelling it produces is byte-identical
+to the sequential implementation's.  The engine is cached across fast
+insertions and transparently rebuilt after any other mutation.
 """
 
 from __future__ import annotations
@@ -73,14 +80,20 @@ class DynamicHCL:
         graph: DynamicGraph,
         labelling: HighwayCoverLabelling,
         workers: int | None = None,
+        fast_updates: bool = False,
     ) -> None:
         self._graph = graph
         self._labelling = labelling
         #: Default worker count for bulk operations (``None``/``1`` serial,
         #: ``0`` all CPUs); per-call ``workers=`` arguments override it.
         self.workers = workers
+        #: Default route for :meth:`insert_edge`/:meth:`insert_edges_batch`
+        #: (the vectorized CSR engine vs the reference dict kernels);
+        #: per-call ``fast=`` arguments override it.
+        self.fast_updates = fast_updates
         self._version = 0
         self._snapshot_cache = None
+        self._fast_engine = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -95,6 +108,7 @@ class DynamicHCL:
         rng: int | random.Random | None = None,
         construction: str = "python",
         workers: int | None = None,
+        fast_updates: bool = False,
     ) -> "DynamicHCL":
         """Build the labelling for ``graph`` and wrap both in an oracle.
 
@@ -112,6 +126,11 @@ class DynamicHCL:
         process pool and becomes the oracle's default for later bulk
         operations (``None``/``1`` serial, ``0`` all CPUs); the labelling
         is identical for any worker count.
+
+        ``fast_updates`` becomes the oracle's default update route: when
+        true, :meth:`insert_edge` / :meth:`insert_edges_batch` run on the
+        vectorized CSR engine (:mod:`repro.core.inchl_fast`) — identical
+        labelling, much faster on large update streams.
         """
         if landmarks is None:
             landmarks = select_landmarks(graph, num_landmarks, strategy, rng=rng)
@@ -125,7 +144,7 @@ class DynamicHCL:
             raise ValueError(
                 f"unknown construction {construction!r}; use 'python' or 'csr'"
             )
-        return cls(graph, labelling, workers=workers)
+        return cls(graph, labelling, workers=workers, fast_updates=fast_updates)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -214,11 +233,44 @@ class DynamicHCL:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert_edge(self, u: int, v: int) -> UpdateStats:
+    def _resolve_fast_engine(self):
+        """The cached vectorized update engine, (re)built when stale.
+
+        Must be called *before* the graph mutation: the engine snapshots
+        the pre-insertion graph to seed its dense old-distance rows.
+        """
+        from repro.core.inchl_fast import FastUpdateEngine
+
+        engine = self._fast_engine
+        if engine is None or not engine.matches(self._graph, self._labelling):
+            engine = FastUpdateEngine(
+                self._graph, self._labelling, workers=self.workers
+            )
+            self._fast_engine = engine
+        return engine
+
+    def _invalidate_fast(self) -> None:
+        """Drop the cached fast engine (its overlay/rows are now stale)."""
+        self._fast_engine = None
+
+    def insert_edge(self, u: int, v: int, fast: bool | None = None) -> UpdateStats:
         """Insert edge ``(u, v)`` and repair the labelling (IncHL+).
 
-        Returns the update statistics (affected counts per landmark).
+        ``fast`` selects the update route (default: the oracle's
+        ``fast_updates``): the reference dict kernels of
+        :mod:`repro.core.inchl`, or the vectorized CSR engine of
+        :mod:`repro.core.inchl_fast` — byte-identical labellings either
+        way.  Returns the update statistics (affected counts per
+        landmark).
         """
+        if fast is None:
+            fast = self.fast_updates
+        if fast:
+            engine = self._resolve_fast_engine()
+            self._graph.add_edge(u, v)
+            self._version += 1
+            return engine.insert_edge(u, v)
+        self._invalidate_fast()
         self._graph.add_edge(u, v)
         self._version += 1
         return apply_edge_insertion(self._graph, self._labelling, u, v)
@@ -227,6 +279,7 @@ class DynamicHCL:
         """The paper's vertex insertion: new vertex ``v`` plus edges to
         existing vertices, processed as a sequence of edge insertions."""
         neighbor_list = list(neighbors)
+        self._invalidate_fast()
         self._graph.insert_vertex(v, [])
         self._version += 1
         stats = []
@@ -236,7 +289,9 @@ class DynamicHCL:
             stats.append(apply_edge_insertion(self._graph, self._labelling, v, w))
         return stats
 
-    def insert_edges(self, edges: Iterable[tuple[int, int]]) -> list[UpdateStats]:
+    def insert_edges(
+        self, edges: Iterable[tuple[int, int]], fast: bool | None = None
+    ) -> list[UpdateStats]:
         """Batch convenience: apply a stream of edge insertions in order.
 
         The paper's model is strictly online (one repair per change), so
@@ -244,12 +299,13 @@ class DynamicHCL:
         replayed in one call.  For one *combined* sweep per landmark use
         :meth:`insert_edges_batch` instead.
         """
-        return [self.insert_edge(u, v) for u, v in edges]
+        return [self.insert_edge(u, v, fast=fast) for u, v in edges]
 
     def insert_edges_batch(
         self,
         edges: Iterable[tuple[int, int]],
         workers: int | None = None,
+        fast: bool | None = None,
     ) -> UpdateStats:
         """Insert a burst of edges with one find/repair sweep per landmark.
 
@@ -258,11 +314,24 @@ class DynamicHCL:
         regions of the whole batch are discovered and repaired together —
         see :mod:`repro.core.batch` for the algorithm and the ablation
         benchmark for the crossover.  ``workers`` overrides the oracle's
-        default worker count for the per-landmark find phase.
+        default worker count for the per-landmark find phase; ``fast``
+        selects the dict kernels or the vectorized CSR engine (default:
+        the oracle's ``fast_updates``).
         """
+        if fast is None:
+            fast = self.fast_updates
+        edge_list = list(edges)
+        if fast:
+            engine = self._resolve_fast_engine()
+            for u, v in edge_list:
+                self._graph.add_edge(u, v)
+            self._version += len(edge_list)
+            return engine.insert_edges_batch(
+                edge_list, workers=self.workers if workers is None else workers
+            )
         from repro.core.batch import apply_edge_insertions_batch
 
-        edge_list = list(edges)
+        self._invalidate_fast()
         for u, v in edge_list:
             self._graph.add_edge(u, v)
         self._version += len(edge_list)
@@ -289,10 +358,14 @@ class DynamicHCL:
         if strategy == "partial":
             from repro.core.dechl import apply_edge_deletion_partial
 
+            self._invalidate_fast()
+
             self._version += 1
             return apply_edge_deletion_partial(self._graph, self._labelling, u, v)
         if strategy == "rebuild":
             from repro.core.decremental import apply_edge_deletion
+
+            self._invalidate_fast()
 
             self._version += 1
             return apply_edge_deletion(
@@ -313,6 +386,7 @@ class DynamicHCL:
         """
         from repro.core.dechl import apply_vertex_deletion
 
+        self._invalidate_fast()
         self._version += 1
         apply_vertex_deletion(self._graph, self._labelling, v)
 
@@ -327,6 +401,7 @@ class DynamicHCL:
         """
         from repro.landmarks.maintenance import add_landmark
 
+        self._invalidate_fast()
         self._version += 1
         return add_landmark(self._graph, self._labelling, v)
 
@@ -337,6 +412,7 @@ class DynamicHCL:
         """
         from repro.landmarks.maintenance import remove_landmark
 
+        self._invalidate_fast()
         self._version += 1
         return remove_landmark(self._graph, self._labelling, v)
 

@@ -1,0 +1,344 @@
+"""IncHL+ fast path: vectorized find/repair over a dynamic CSR overlay.
+
+The pure-Python implementation of Section 4 (:mod:`repro.core.inchl`,
+:mod:`repro.core.batch`) recomputes every "old distance" it needs through
+label queries — ``O(l)`` dict work per scanned vertex — and walks
+adjacency one Python iteration per edge.  This module is the update-path
+counterpart of :mod:`repro.core.construction_fast`: the same three-phase
+algorithm, but
+
+* the graph is read through a :class:`~repro.graph.dyncsr.DynCSR` overlay
+  that stays valid across insertions (no per-update re-snapshot);
+* old distances come from **dense per-landmark distance rows** maintained
+  incrementally — by Eq. (1) a landmark query against a valid minimal
+  labelling *is* the exact distance ``d_G(r, v)``, so seeding the rows
+  with one CSR BFS per landmark and overwriting exactly the affected
+  entries after each repair keeps them equal to what the dict kernels
+  would derive from labels, at ``O(1)`` per lookup;
+* find and repair run as the numpy level kernels
+  :func:`~repro.parallel.sweeps.csr_find_affected` /
+  :func:`~repro.parallel.sweeps.csr_repair_affected`, with per-landmark
+  batch finds fanned out through the
+  :class:`~repro.parallel.engine.LandmarkEngine`.
+
+The produced labelling is byte-identical to the sequential Phase A/B/C
+implementation — same affected sets, same new distances, same covered
+verdicts, same entry/highway mutations (``docs/DESIGN.md`` §8; asserted
+exhaustively by ``tests/proptest``).  Deletions, landmark maintenance and
+any other mutation invalidate the engine; the owning
+:class:`~repro.core.dynamic.DynamicHCL` simply drops it and rebuilds on
+the next fast insertion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.batch import BatchUpdateStats
+from repro.core.inchl import UpdateStats
+from repro.exceptions import InvariantViolationError
+from repro.graph.dyncsr import UNREACH, DynCSR
+from repro.parallel.engine import LandmarkEngine
+from repro.parallel.sweeps import (
+    csr_batch_sweep,
+    csr_find_affected,
+    csr_repair_affected,
+)
+
+__all__ = ["FastUpdateEngine"]
+
+
+class FastUpdateEngine:
+    """Per-oracle state of the vectorized update path.
+
+    Owns the :class:`DynCSR` overlay, the dense ``|R| x n`` old-distance
+    matrix and the reusable scratch buffers.  Create it from a graph and
+    labelling that are *in sync* (the labelling is valid and minimal for
+    the graph); apply every subsequent insertion through
+    :meth:`insert_edge` / :meth:`insert_edges_batch` — the caller mutates
+    the owning :class:`~repro.graph.dynamic_graph.DynamicGraph` first,
+    the engine mirrors the edge into its overlay and repairs the
+    labelling.  Any other mutation desynchronizes the engine: drop it and
+    build a fresh one (see :meth:`matches`).
+
+    >>> from repro.core.construction import build_hcl
+    >>> from repro.core.inchl import apply_edge_insertion
+    >>> from repro.graph.generators import grid_graph
+    >>> g_fast, g_ref = grid_graph(3, 3), grid_graph(3, 3)
+    >>> hcl_fast = build_hcl(g_fast, [0, 8])
+    >>> hcl_ref = build_hcl(g_ref, [0, 8])
+    >>> engine = FastUpdateEngine(g_fast, hcl_fast)
+    >>> g_fast.add_edge(0, 8); g_ref.add_edge(0, 8)
+    >>> _ = engine.insert_edge(0, 8)
+    >>> _ = apply_edge_insertion(g_ref, hcl_ref, 0, 8)
+    >>> hcl_fast == hcl_ref
+    True
+    """
+
+    __slots__ = (
+        "_labelling",
+        "_landmarks",
+        "_dyn",
+        "_dist",
+        "_is_landmark",
+        "_has_entry",
+        "_new_dist",
+        "_covered",
+        "_row_views",
+        "_scratch_views",
+        "workers",
+    )
+
+    def __init__(self, graph, labelling, workers: int | None = None) -> None:
+        self._labelling = labelling
+        self._landmarks = list(labelling.landmarks)
+        self._dyn = DynCSR.from_graph(graph)
+        #: Default worker count for batch Phase B fan-out.
+        self.workers = workers
+        dyn = self._dyn
+        capacity = dyn.capacity
+        self._dist = np.full(
+            (len(self._landmarks), capacity), UNREACH, dtype=np.int32
+        )
+        for k, r in enumerate(self._landmarks):
+            self._dist[k, : dyn.num_vertices] = dyn.bfs_compact(dyn.index(r))
+        self._is_landmark = np.zeros(capacity, dtype=bool)
+        for r in self._landmarks:
+            self._is_landmark[dyn.index(r)] = True
+        # Dense label-membership rows (has_entry[k][i] == 1 iff the k-th
+        # landmark has an entry on vertex ids[i]); seeded from the label
+        # store once, then kept true by the repair kernel.
+        self._has_entry = np.zeros((len(self._landmarks), capacity), dtype=np.uint8)
+        position = {r: k for k, r in enumerate(self._landmarks)}
+        columns: list[list[int]] = [[] for _ in self._landmarks]
+        index_of = dyn.index
+        for v, label in labelling.labels.items():
+            vi = index_of(v)
+            for r in label:
+                columns[position[r]].append(vi)
+        for k, column in enumerate(columns):
+            if column:
+                self._has_entry[k, column] = 1
+        self._new_dist = np.full(capacity, -1, dtype=np.int32)
+        self._covered = np.zeros(capacity, dtype=np.uint8)
+        self._rebuild_views()
+
+    def _rebuild_views(self) -> None:
+        """Cache the memoryviews the scalar kernel paths read.
+
+        ``_row_views[k]`` is ``(dist_row_mv, has_entry_row_mv)``;
+        ``_scratch_views`` is ``(new_dist_mv, covered_mv, landmark_mv)``.
+        Rebuilt whenever the backing arrays are re-allocated
+        (:meth:`_ensure_capacity`).
+        """
+        self._row_views = [
+            (memoryview(self._dist[k]), memoryview(self._has_entry[k]))
+            for k in range(len(self._landmarks))
+        ]
+        self._scratch_views = (
+            memoryview(self._new_dist),
+            memoryview(self._covered),
+            memoryview(self._is_landmark),
+        )
+
+    # ------------------------------------------------------------------
+    # Sync
+    # ------------------------------------------------------------------
+    def matches(self, graph, labelling) -> bool:
+        """Whether this engine still mirrors ``graph``/``labelling``.
+
+        Cheap counters-only check: every mutation routed around the fast
+        path (deletions, landmark maintenance, direct graph edits) changes
+        the edge count, shrinks the vertex count, or changes the landmark
+        list, so the owning oracle consults this before reusing a cached
+        engine.  The graph may have *more* vertices than the overlay:
+        vertices registered directly (the serving writer pre-registers
+        endpoints with ``add_vertex``) are necessarily isolated — every
+        edge mutation flows through the oracle — and the overlay picks
+        them up on their first incident insertion.
+        """
+        return (
+            labelling is self._labelling
+            and self._dyn.num_edges == graph.num_edges
+            and self._dyn.num_vertices <= graph.num_vertices
+            and self._landmarks == labelling.landmarks
+        )
+
+    @property
+    def dyn(self) -> DynCSR:
+        """The CSR overlay (read-only use)."""
+        return self._dyn
+
+    def old_distance(self, r: int, v: int) -> float:
+        """``d_G(r, v)`` from the dense rows (``inf`` when unreachable).
+
+        Exposed for tests/validation; the kernels read the rows directly.
+        """
+        d = self._dist[self._landmarks.index(r), self._dyn.index(v)]
+        return float("inf") if d == UNREACH else int(d)
+
+    def _ensure_capacity(self) -> None:
+        """Grow the distance matrix and scratch to the overlay's capacity."""
+        capacity = self._dyn.capacity
+        if self._dist.shape[1] >= capacity:
+            return
+        dist = np.full((len(self._landmarks), capacity), UNREACH, dtype=np.int32)
+        dist[:, : self._dist.shape[1]] = self._dist
+        self._dist = dist
+        has_entry = np.zeros((len(self._landmarks), capacity), dtype=np.uint8)
+        has_entry[:, : self._has_entry.shape[1]] = self._has_entry
+        self._has_entry = has_entry
+        is_landmark = np.zeros(capacity, dtype=bool)
+        is_landmark[: len(self._is_landmark)] = self._is_landmark
+        self._is_landmark = is_landmark
+        new_dist = np.full(capacity, -1, dtype=np.int32)
+        new_dist[: len(self._new_dist)] = self._new_dist
+        self._new_dist = new_dist
+        covered = np.zeros(capacity, dtype=np.uint8)
+        covered[: len(self._covered)] = self._covered
+        self._covered = covered
+        self._rebuild_views()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def _repair_and_fold(self, k: int, r: int, levels, stats, union) -> int:
+        """Phase C for one landmark: repair, refresh the dense row, reset
+        scratch.  Returns ``|Λ_r|``."""
+        row = self._dist[k]
+        new_dist = self._new_dist
+        covered = self._covered
+        row_mv, has_mv = self._row_views[k]
+        new_mv, covered_mv, landmark_mv = self._scratch_views
+        csr_repair_affected(
+            self._dyn,
+            self._labelling,
+            r,
+            levels,
+            row,
+            new_dist,
+            self._is_landmark,
+            covered,
+            self._has_entry[k],
+            stats,
+            views=(row_mv, new_mv, landmark_mv, covered_mv, has_mv),
+        )
+        affected = 0
+        for depth, verts in levels:
+            if isinstance(verts, list):
+                affected += len(verts)
+                union.update(verts)
+                for v in verts:
+                    row_mv[v] = depth
+                    new_mv[v] = -1
+                    covered_mv[v] = 0
+            else:
+                affected += verts.size
+                union.update(verts.tolist())
+                row[verts] = depth
+                new_dist[verts] = -1
+                covered[verts] = 0
+        return affected
+
+    def insert_edge(self, u: int, v: int) -> UpdateStats:
+        """IncHL+ for one insertion ``(u, v)`` — the kernel Phase A/B/C.
+
+        The owning graph must already contain the edge; the engine's
+        overlay must not (the caller inserts through the oracle, which
+        keeps the two in lockstep).
+        """
+        dyn = self._dyn
+        self._dyn.insert_edge(u, v)
+        self._ensure_capacity()
+        ui, vi = dyn.index(u), dyn.index(v)
+
+        stats = UpdateStats(edge=(u, v), affected_per_landmark={})
+        union: set[int] = set()
+        # Phase A on the dense rows (identical values to the pristine
+        # labelling queries), then find+repair per landmark in landmark
+        # order.  Interleaving is safe here — unlike the dict kernels, the
+        # find reads no labels, and repairs touch only r-entries — and the
+        # repair order equals the sequential Phase C order.
+        row_views = self._row_views
+        new_mv = self._scratch_views[0]
+        for k, r in enumerate(self._landmarks):
+            row_mv = row_views[k][0]
+            da = row_mv[ui]
+            db = row_mv[vi]
+            if da == db:
+                stats.affected_per_landmark[r] = 0
+                continue
+            seeds = [(vi, da + 1)] if da < db else [(ui, db + 1)]
+            levels = csr_find_affected(
+                dyn,
+                self._dist[k],
+                seeds,
+                self._new_dist,
+                views=(row_mv, new_mv),
+            )
+            stats.affected_per_landmark[r] = self._repair_and_fold(
+                k, r, levels, stats, union
+            )
+        stats.affected_union = len(union)
+        return stats
+
+    def insert_edges_batch(
+        self, edges: Iterable[tuple[int, int]], workers: int | None = None
+    ) -> BatchUpdateStats:
+        """Batch IncHL+ — one kernel sweep per landmark for the burst.
+
+        Mirrors :func:`repro.core.batch.apply_edge_insertions_batch`:
+        Phase A keeps the seed orientations that can carry a new shortest
+        path, Phase B runs the multi-seed finds (fanned out across the
+        :class:`LandmarkEngine` when ``workers`` asks for it), Phase C
+        repairs in landmark order.  The owning graph must already contain
+        every edge of the batch.
+        """
+        edge_list = [(int(a), int(b)) for a, b in edges]
+        if not edge_list:
+            raise InvariantViolationError("batch insertion needs at least one edge")
+        dyn = self._dyn
+        dyn.insert_edges_batch(edge_list)
+        self._ensure_capacity()
+        endpoints = [(dyn.index(a), dyn.index(b)) for a, b in edge_list]
+
+        stats = BatchUpdateStats(edge_list)
+        unreachable = int(UNREACH)
+        plans: list[tuple[int, list[tuple[int, int]]]] = []
+        for k, r in enumerate(self._landmarks):
+            row_mv = self._row_views[k][0]
+            seeds: list[tuple[int, int]] = []
+            for ai, bi in endpoints:
+                da = row_mv[ai]
+                db = row_mv[bi]
+                if da != unreachable and da + 1 <= db:
+                    seeds.append((bi, da + 1))
+                if db != unreachable and db + 1 <= da:
+                    seeds.append((ai, db + 1))
+            stats.affected_per_landmark[r] = 0
+            if seeds:
+                plans.append((k, seeds))
+
+        engine = LandmarkEngine(self.workers if workers is None else workers)
+        results = engine.map(csr_batch_sweep, (dyn, self._dist), plans)
+
+        union: set[int] = set()
+        new_dist = self._new_dist
+        new_mv = self._scratch_views[0]
+        for k, levels in results:
+            r = self._landmarks[k]
+            # Parallel finds come back as bare levels; scatter them into
+            # the shared scratch the repair kernel reads.
+            for depth, verts in levels:
+                if isinstance(verts, list):
+                    for v in verts:
+                        new_mv[v] = depth
+                else:
+                    new_dist[verts] = depth
+            stats.affected_per_landmark[r] = self._repair_and_fold(
+                k, r, levels, stats, union
+            )
+        stats.affected_union = len(union)
+        return stats

@@ -118,6 +118,61 @@ class LabelStore:
                 label[r] = distance
         self._total += len(vertices)
 
+    def bulk_set(self, r: int, vertices: list[int], distance: int) -> tuple[int, int]:
+        """Add or modify the entry ``(r, distance)`` on every vertex.
+
+        The update-path counterpart of :meth:`bulk_set_new`: vertices may
+        or may not already carry an ``r``-entry (RepairAffected both adds
+        and modifies), so the loop counts ``(added, modified)`` — one dict
+        probe per vertex instead of the ``has_entry`` + ``set_entry``
+        double lookup.  Copy-on-write safe.
+        """
+        if distance < 0:
+            raise ValueError(f"distances must be non-negative, got {distance!r}")
+        labels = self._labels
+        shared = self._shared
+        added = 0
+        for v in vertices:
+            label = labels.get(v)
+            if label is None:
+                labels[v] = {r: distance}
+                added += 1
+                continue
+            if shared is not None and v in shared:
+                label = dict(label)
+                labels[v] = label
+                shared.discard(v)
+            if r not in label:
+                added += 1
+            label[r] = distance
+        self._total += added
+        return added, len(vertices) - added
+
+    def bulk_remove(self, r: int, vertices: list[int]) -> int:
+        """Remove the ``r``-entry from every listed vertex that has one.
+
+        Returns the number of entries actually removed (RepairAffected
+        feeds it every *covered* vertex; some never carried an entry).
+        Copy-on-write safe.
+        """
+        labels = self._labels
+        shared = self._shared
+        removed = 0
+        for v in vertices:
+            label = labels.get(v)
+            if label is None or r not in label:
+                continue
+            if shared is not None and v in shared:
+                label = dict(label)
+                labels[v] = label
+                shared.discard(v)
+            del label[r]
+            removed += 1
+            if not label:
+                del labels[v]
+        self._total -= removed
+        return removed
+
     def remove_entry(self, v: int, r: int) -> bool:
         """Remove the entry of landmark ``r`` from ``L(v)`` if present.
 

@@ -8,6 +8,7 @@ plain adjacency structures, and so does this reproduction.
 
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.digraph import DynamicDiGraph
+from repro.graph.dyncsr import DynCSR
 from repro.graph.weighted import WeightedGraph
 from repro.graph.traversal import (
     bfs_distances,
@@ -20,6 +21,7 @@ from repro.graph.traversal import (
 __all__ = [
     "DynamicGraph",
     "DynamicDiGraph",
+    "DynCSR",
     "WeightedGraph",
     "bfs_distances",
     "bfs_distances_bounded",

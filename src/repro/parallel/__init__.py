@@ -42,7 +42,9 @@ from repro.parallel.engine import (
 )
 from repro.parallel.sweeps import (
     LandmarkSweep,
+    csr_find_affected,
     csr_landmark_sweep,
+    csr_repair_affected,
     landmark_sweep,
     merge_sweep,
 )
@@ -51,7 +53,9 @@ __all__ = [
     "LandmarkEngine",
     "LandmarkSweep",
     "available_parallelism",
+    "csr_find_affected",
     "csr_landmark_sweep",
+    "csr_repair_affected",
     "fork_available",
     "landmark_sweep",
     "merge_sweep",

@@ -36,7 +36,15 @@ __all__ = [
     "construction_task",
     "csr_construction_task",
     "batch_find_task",
+    "csr_find_affected",
+    "csr_repair_affected",
+    "csr_batch_sweep",
 ]
+
+#: Frontier size below which the update kernels drop to scalar loops: a
+#: handful of numpy calls costs more than a few dict-free Python
+#: iterations, and single-edge insertions mostly touch tiny regions.
+_SCALAR_CUTOFF = 32
 
 
 class LandmarkSweep(NamedTuple):
@@ -180,6 +188,313 @@ def merge_sweep(highway, labels, sweep: LandmarkSweep) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Incremental-update kernels (IncHL+ find/repair over DynCSR arrays)
+# ---------------------------------------------------------------------------
+def csr_find_affected(dyn, old_dist, seeds, new_dist=None, views=None):
+    """Multi-seed jumped BFS (Lemma 4.4, batch form) over a DynCSR.
+
+    The array formulation of :func:`repro.core.batch.find_affected_batch`
+    for one landmark: ``old_dist`` is the landmark's dense pre-insertion
+    distance row (int32, :data:`~repro.graph.dyncsr.UNREACH` for
+    unreachable — exactly the values the dict implementation derives from
+    label queries, by Eq. (1)); ``seeds`` are ``(root_index,
+    candidate_depth)`` pairs, one per surviving orientation of an inserted
+    edge.  A bucket queue keyed on candidate depth settles vertices in
+    monotonically increasing depth, so a seed whose anchor distance
+    dropped because of *another* edge in the batch is discovered before
+    the stale seed pops (same monotone argument as the dict kernel).
+
+    ``new_dist`` is an optional int32 scratch array (every entry ``-1``)
+    reused across calls; on return it holds the new depth at every
+    affected index — the caller repairs from it and then resets exactly
+    those entries.  Returns ``levels``: ``(depth, vertices)`` pairs in
+    increasing depth — ``Λ_r`` with exact post-insertion distances —
+    where ``vertices`` is a sorted Python list for small levels and a
+    sorted int64 array for large ones.
+
+    The two representations are the hybrid execution strategy: buckets at
+    or below :data:`_SCALAR_CUTOFF` candidates run as plain loops over
+    memoryviews of the same buffers (single-edge insertions mostly touch
+    a handful of vertices, where one numpy call costs more than the whole
+    level), larger buckets run as numpy level sweeps.  Both paths apply
+    the same settle test to the same shared scratch, so the affected set
+    does not depend on which one ran.
+
+    ``views`` is an optional pre-built ``(old_mv, new_mv)`` memoryview
+    pair over the same two arrays — the owning engine caches these across
+    calls; without it the views are built here.
+    """
+    import numpy as np
+
+    if new_dist is None:
+        new_dist = np.full(dyn.num_vertices, -1, dtype=np.int32)
+    if views is None:
+        old_mv = memoryview(old_dist)
+        new_mv = memoryview(new_dist)
+    else:
+        old_mv, new_mv = views
+    indptr, indices, delta, delta_count = dyn.scalar_views()
+    # Bucket value = (scalar candidates, array candidates): the scalar
+    # path extends the first, the vectorized path appends whole frontier
+    # arrays to the second, and a pop never has to type-inspect elements.
+    buckets: dict[int, tuple[list[int], list]] = {}
+    for root, depth in seeds:
+        buckets.setdefault(int(depth), ([], []))[0].append(int(root))
+    levels: list[tuple[int, object]] = []
+    while buckets:
+        depth = min(buckets)
+        ints, arrays = buckets.pop(depth)
+        size = len(ints)
+        for a in arrays:
+            size += len(a)
+        if size <= _SCALAR_CUTOFF:
+            # Scalar pop: settle (writing the shared scratch immediately,
+            # which also dedups within the bucket), then expand through
+            # the raw CSR views.
+            for a in arrays:
+                ints.extend(a.tolist())
+            settled: list[int] = []
+            for v in ints:
+                if new_mv[v] < 0 and old_mv[v] >= depth:
+                    new_mv[v] = depth
+                    settled.append(v)
+            if not settled:
+                continue
+            settled.sort()
+            levels.append((depth, settled))
+            next_depth = depth + 1
+            pushed: list[int] = []
+            for v in settled:
+                # Test the old distance first: most scanned neighbours are
+                # unaffected border vertices, which fail it on one read.
+                for w in indices[indptr[v] : indptr[v + 1]]:
+                    if old_mv[w] >= next_depth and new_mv[w] < 0:
+                        pushed.append(w)
+                if delta_count[v]:
+                    for w in delta[v]:
+                        if old_mv[w] >= next_depth and new_mv[w] < 0:
+                            pushed.append(w)
+            if pushed:
+                bucket = buckets.get(next_depth)
+                if bucket is None:
+                    buckets[next_depth] = (pushed, [])
+                else:
+                    bucket[0].extend(pushed)
+            continue
+        if ints:
+            arrays.append(np.array(ints, dtype=np.int64))
+        cand = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        cand = cand[(new_dist[cand] < 0) & (old_dist[cand] >= depth)]
+        if cand.size == 0:
+            continue
+        level = np.unique(cand)
+        new_dist[level] = depth
+        levels.append((depth, level))
+        neighbours = dyn.gather_neighbours(level)
+        if neighbours.size:
+            neighbours = neighbours[
+                (new_dist[neighbours] < 0) & (old_dist[neighbours] >= depth + 1)
+            ]
+            if neighbours.size:
+                bucket = buckets.get(depth + 1)
+                if bucket is None:
+                    buckets[depth + 1] = ([], [neighbours])
+                else:
+                    bucket[1].append(neighbours)
+    return levels
+
+
+def csr_repair_affected(
+    dyn,
+    labelling,
+    r,
+    levels,
+    old_dist,
+    new_dist,
+    is_landmark,
+    covered,
+    has_entry,
+    stats=None,
+    views=None,
+):
+    """Level-order repair (Lemma 4.6) from kernel find results.
+
+    The array formulation of :func:`repro.core.inchl.repair_affected`:
+    sweeps ``levels`` in increasing depth and evaluates the *covered*
+    predicate of each affected vertex over its shortest-path parents —
+    affected parents at ``depth - 1`` read their just-computed cover flag,
+    unaffected parents at old distance ``depth - 1`` cover iff they are a
+    landmark (other than ``r``) or lack an ``r``-entry.  The dict kernel
+    consults ``border_old``, which records exactly the unaffected
+    neighbours of the affected region with their unchanged distances;
+    ``old_dist`` holds those same values for every vertex, so the parent
+    sets coincide and the two kernels issue the same entry
+    additions/modifications/removals and highway updates.
+
+    ``new_dist`` must hold the find results (affected index -> new depth,
+    ``-1`` elsewhere); ``covered`` is a zeroed uint8 scratch.  Both are
+    left populated at affected indices for the caller to reset.
+    ``has_entry`` is the landmark's dense label-membership row (uint8:
+    ``has_entry[i] == 1`` iff ``(r, ·) ∈ L(ids[i])``) — the vectorized
+    stand-in for ``LabelStore.has_entry`` in the covered predicate; the
+    kernel keeps it true as it mutates labels, so the owning engine can
+    reuse it across updates.  Mutates ``labelling`` in place and updates
+    ``stats`` like the dict kernel.
+
+    Levels arrive in the hybrid representation of
+    :func:`csr_find_affected` (lists for small levels, arrays for large
+    ones) and are repaired scalar or vectorized accordingly; the two
+    paths evaluate the same predicate over the same shared buffers.
+
+    ``views`` is an optional pre-built ``(old_mv, new_mv, landmark_mv,
+    covered_mv, has_mv)`` memoryview bundle over the same five arrays,
+    cached by the owning engine; without it the views are built here.
+    """
+    import numpy as np
+
+    from repro.exceptions import InvariantViolationError
+
+    labels = labelling.labels
+    highway = labelling.highway
+    ids = dyn.ids
+    r_index = dyn.index(r)
+    if views is None:
+        old_mv = memoryview(old_dist)
+        new_mv = memoryview(new_dist)
+        landmark_mv = memoryview(is_landmark)
+        covered_mv = memoryview(covered)
+        has_mv = memoryview(has_entry)
+    else:
+        old_mv, new_mv, landmark_mv, covered_mv, has_mv = views
+    indptr, indices, delta, delta_count = dyn.scalar_views()
+
+    # "A border parent at the right depth covers its child" depends only
+    # on landmark membership and r-entry presence — and repair never
+    # touches a border vertex's r-entry — so for the vectorized levels
+    # the whole predicate collapses into one per-vertex vector, computed
+    # lazily (small updates never pay the O(n) ops).  ``r`` itself never
+    # covers: a shortest path whose only landmark is r is exactly what an
+    # r-entry witnesses.
+    border_covers = None
+
+    for depth, verts in levels:
+        parent_depth = depth - 1
+        if isinstance(verts, list):
+            for v in verts:
+                if landmark_mv[v]:
+                    covered_mv[v] = 1
+                    vid = int(ids[v])
+                    if highway.distance(r, vid) != depth:
+                        highway.set_distance(r, vid, depth)
+                        if stats is not None:
+                            stats.highway_updates += 1
+                    continue
+                is_covered = False
+                has_parent = False
+                neighbours = indices[indptr[v] : indptr[v + 1]]
+                if delta_count[v]:
+                    neighbours = list(neighbours) + delta[v]
+                for u in neighbours:
+                    du = new_mv[u]
+                    if du >= 0:
+                        if du != parent_depth:
+                            continue
+                        has_parent = True
+                        if covered_mv[u]:
+                            is_covered = True
+                            break
+                        continue
+                    if u == r_index:
+                        if parent_depth == 0:
+                            has_parent = True
+                        continue
+                    if old_mv[u] != parent_depth:
+                        continue
+                    has_parent = True
+                    if landmark_mv[u] or not has_mv[u]:
+                        is_covered = True
+                        break
+                if not has_parent:
+                    raise InvariantViolationError(
+                        f"affected vertex {int(ids[v])} at new depth {depth} "
+                        f"(landmark {r}) has no shortest-path parent — "
+                        f"labelling out of sync with graph"
+                    )
+                vid = int(ids[v])
+                if is_covered:
+                    covered_mv[v] = 1
+                    if has_mv[v]:
+                        labels.remove_entry(vid, r)
+                        has_mv[v] = 0
+                        if stats is not None:
+                            stats.entries_removed += 1
+                else:
+                    if stats is not None:
+                        if has_mv[v]:
+                            stats.entries_modified += 1
+                        else:
+                            stats.entries_added += 1
+                    labels.set_entry(vid, r, depth)
+                    has_mv[v] = 1
+            continue
+
+        lm_mask = is_landmark[verts]
+        level_landmarks = verts[lm_mask]
+        if level_landmarks.size:
+            covered[level_landmarks] = 1
+            for v in level_landmarks.tolist():
+                vid = int(ids[v])
+                if highway.distance(r, vid) != depth:
+                    highway.set_distance(r, vid, depth)
+                    if stats is not None:
+                        stats.highway_updates += 1
+        others = verts[~lm_mask]
+        if others.size == 0:
+            continue
+        if border_covers is None:
+            border_covers = is_landmark | (has_entry == 0)
+            border_covers[r_index] = False
+        position, nbrs = dyn.gather_with_positions(others)
+        nd = new_dist[nbrs]
+        affected_parent = nd == parent_depth
+        # r itself classifies uniformly: it is unaffected with old
+        # distance 0, so it parents exactly the depth-1 vertices — the
+        # dict kernel's explicit r-branch — and never covers (above).
+        unaffected_parent = (nd < 0) & (old_dist[nbrs] == parent_depth)
+        parent = affected_parent | unaffected_parent
+        contrib = (affected_parent & (covered[nbrs] != 0)) | (
+            unaffected_parent & border_covers[nbrs]
+        )
+        has_parent_v = np.zeros(len(others), dtype=bool)
+        has_parent_v[position[parent]] = True
+        if not has_parent_v.all():
+            v = int(others[~has_parent_v][0])
+            raise InvariantViolationError(
+                f"affected vertex {int(ids[v])} at new depth {depth} "
+                f"(landmark {r}) has no shortest-path parent — labelling "
+                f"out of sync with graph"
+            )
+        covered_v = np.zeros(len(others), dtype=bool)
+        covered_v[position[contrib]] = True
+        covered_verts = others[covered_v]
+        if covered_verts.size:
+            covered[covered_verts] = 1
+            removed = labels.bulk_remove(r, ids[covered_verts].tolist())
+            has_entry[covered_verts] = 0
+            if stats is not None:
+                stats.entries_removed += removed
+        uncovered_verts = others[~covered_v]
+        if uncovered_verts.size:
+            added, modified = labels.bulk_set(
+                r, ids[uncovered_verts].tolist(), depth
+            )
+            has_entry[uncovered_verts] = 1
+            if stats is not None:
+                stats.entries_added += added
+                stats.entries_modified += modified
+
+
+# ---------------------------------------------------------------------------
 # Engine task adapters (module-level, hence picklable by reference)
 # ---------------------------------------------------------------------------
 def construction_task(state, root: int) -> LandmarkSweep:
@@ -217,3 +532,19 @@ def batch_find_task(state, item):
     graph, labelling = state
     r, seeds = item
     return find_affected_batch(graph, labelling, r, seeds)
+
+
+def csr_batch_sweep(state, item):
+    """Engine task for the fast batch-insertion Phase B: one kernel find.
+
+    ``state`` is ``(dyn, dist)`` — the post-insertion :class:`DynCSR` and
+    the dense per-landmark distance matrix, shared with workers via fork
+    inheritance; the work item is ``(k, seeds)`` with ``k`` the landmark's
+    row index and ``seeds`` as taken by :func:`csr_find_affected`.
+    Returns ``(k, levels)``; the levels arrays pickle compactly, and the
+    caller repairs and folds them in landmark order so serial and parallel
+    runs stay byte-identical.
+    """
+    dyn, dist = state
+    k, seeds = item
+    return k, csr_find_affected(dyn, dist[k], seeds)

@@ -8,7 +8,11 @@ Concurrency model (docs/DESIGN.md §7):
   :meth:`~repro.core.dynamic.DynamicHCL.insert_edges_batch` call (one
   find/repair sweep per landmark for the whole run, honouring the
   ``workers=`` knob), applies deletions via DecHL, and then publishes a
-  fresh :class:`~repro.serving.snapshot.OracleSnapshot`.
+  fresh :class:`~repro.serving.snapshot.OracleSnapshot`.  Insertions run
+  on the vectorized CSR update engine by default (``fast=True``; see
+  :mod:`repro.core.inchl_fast`) so a coalesced batch applies as numpy
+  level sweeps instead of dict BFS — byte-identical labelling, far less
+  time spent holding the write role.
 * **Many readers.**  ``query`` / ``query_many`` / ``shortest_path`` run on
   the caller's thread against the *latest published snapshot* — a single
   attribute read — so readers never take a lock, never block on the
@@ -76,6 +80,7 @@ class OracleService:
         max_batch: int = 128,
         workers: int | None = None,
         delete_strategy: str = "partial",
+        fast: bool = True,
         metrics: ServiceMetrics | None = None,
     ) -> None:
         if max_batch < 1:
@@ -84,6 +89,9 @@ class OracleService:
         self._max_batch = max_batch
         self._workers = workers if workers is not None else oracle.workers
         self._delete_strategy = delete_strategy
+        #: Whether insert runs go through the vectorized CSR update engine
+        #: (identical labelling; see :mod:`repro.core.inchl_fast`).
+        self._fast = fast
         self.metrics = metrics or ServiceMetrics()
         self._queue: queue.Queue = queue.Queue()
         self._snapshot: OracleSnapshot = oracle.snapshot()
@@ -412,9 +420,11 @@ class OracleService:
         start = perf_counter()
         try:
             if len(run) == 1:
-                self._oracle.insert_edge(*run[0])
+                self._oracle.insert_edge(*run[0], fast=self._fast)
             else:
-                self._oracle.insert_edges_batch(run, workers=self._workers)
+                self._oracle.insert_edges_batch(
+                    run, workers=self._workers, fast=self._fast
+                )
                 self.metrics.count_insert_batch()
         except Exception as exc:
             self._degraded = f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,54 @@
+"""Tests for the IF (incremental fast path) experiment and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments import incremental_fast
+from repro.exceptions import BenchmarkError
+
+
+class TestIncrementalFastExperiment:
+    def test_rows_cover_all_modes_and_verify_identity(self):
+        result = incremental_fast.run(profile="smoke", datasets=["flickr-s"])
+        assert result.name == "incremental_fast"
+        modes = {row["mode"] for row in result.rows}
+        assert "python" in modes
+        assert "fast" in modes
+        assert any(m.startswith("fast-batch/") for m in modes)
+        for row in result.rows:
+            assert row["identical"] is True  # byte-identity contract
+            assert row["total_ms"] > 0
+            assert row["updates"] > 0
+        fast = next(r for r in result.rows if r["mode"] == "fast")
+        assert fast["speedup"] is not None
+        assert fast["attach_ms"] is not None
+        python = next(r for r in result.rows if r["mode"] == "python")
+        assert python["p50_us"] is not None and python["p95_us"] is not None
+
+    def test_aggregate_row_present_for_multiple_datasets(self):
+        result = incremental_fast.run(
+            profile="smoke", datasets=["flickr-s", "skitter-s"]
+        )
+        aggregate = [r for r in result.rows if r["dataset"] == "ALL"]
+        assert len(aggregate) == 1
+        assert aggregate[0]["mode"] == "fast-aggregate"
+        assert aggregate[0]["speedup"] is not None
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            incremental_fast.run(profile="smoke", datasets=["nope"])
+
+    def test_cli_json_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "incremental_fast", "--profile", "smoke",
+            "--datasets", "flickr-s", "--json", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "vectorized CSR update engine" in text
+        payload = json.loads(out.read_text())
+        assert "incremental_fast" in payload
+        assert any(row["mode"] == "fast" for row in payload["incremental_fast"])

@@ -1,0 +1,220 @@
+"""Tests for the vectorized IncHL+ update engine (fast path).
+
+The contract under test is byte-identity: every fast-path operation must
+leave the labelling exactly equal to what the sequential Phase A/B/C
+implementation produces, including the update statistics.
+"""
+
+import random
+
+import pytest
+
+from repro.core.construction import build_hcl
+from repro.core.dynamic import DynamicHCL
+from repro.core.inchl import apply_edge_insertion
+from repro.core.inchl_fast import FastUpdateEngine
+from repro.core.validation import check_matches_rebuild, check_query_exactness
+from repro.exceptions import InvariantViolationError
+from repro.graph.generators import grid_graph, ring_of_cliques
+from repro.landmarks.selection import top_degree_landmarks
+
+from tests.conftest import non_edges, random_connected_graph
+
+
+def stats_tuple(stats):
+    return (
+        stats.affected_per_landmark,
+        stats.affected_union,
+        stats.entries_added,
+        stats.entries_modified,
+        stats.entries_removed,
+        stats.highway_updates,
+    )
+
+
+class TestEngineDirect:
+    def test_single_insertion_matches_sequential(self):
+        for seed in (0, 1, 2):
+            g_fast = random_connected_graph(seed, n_min=15, n_max=22)
+            g_ref = g_fast.copy()
+            landmarks = top_degree_landmarks(g_fast, 4)
+            hcl_fast = build_hcl(g_fast, landmarks)
+            hcl_ref = build_hcl(g_ref, landmarks)
+            engine = FastUpdateEngine(g_fast, hcl_fast)
+            for edge in non_edges(g_fast)[:8]:
+                g_fast.add_edge(*edge)
+                g_ref.add_edge(*edge)
+                fast_stats = engine.insert_edge(*edge)
+                ref_stats = apply_edge_insertion(g_ref, hcl_ref, *edge)
+                assert hcl_fast == hcl_ref
+                assert stats_tuple(fast_stats) == stats_tuple(ref_stats)
+
+    def test_batch_insertion_matches_batch_reference(self):
+        g_fast = random_connected_graph(5, n_min=14, n_max=20)
+        g_ref = g_fast.copy()
+        landmarks = top_degree_landmarks(g_fast, 4)
+        hcl_fast = build_hcl(g_fast, landmarks)
+        ref = DynamicHCL(g_ref, build_hcl(g_ref, landmarks))
+        engine = FastUpdateEngine(g_fast, hcl_fast)
+        batch = non_edges(g_fast)[:7]
+        for edge in batch:
+            g_fast.add_edge(*edge)
+        fast_stats = engine.insert_edges_batch(batch)
+        ref_stats = ref.insert_edges_batch(batch)
+        assert hcl_fast == ref.labelling
+        assert stats_tuple(fast_stats) == stats_tuple(ref_stats)
+        assert fast_stats.batch_size == len(batch)
+
+    def test_batch_workers_identical_to_serial(self):
+        g_par = random_connected_graph(9, n_min=12, n_max=18)
+        g_ser = g_par.copy()
+        landmarks = top_degree_landmarks(g_par, 3)
+        hcl_par = build_hcl(g_par, landmarks)
+        hcl_ser = build_hcl(g_ser, landmarks)
+        batch = non_edges(g_par)[:6]
+        engine_par = FastUpdateEngine(g_par, hcl_par, workers=2)
+        engine_ser = FastUpdateEngine(g_ser, hcl_ser)
+        for g in (g_par, g_ser):
+            for edge in batch:
+                g.add_edge(*edge)
+        engine_par.insert_edges_batch(batch)
+        engine_ser.insert_edges_batch(batch)
+        assert hcl_par == hcl_ser
+
+    def test_empty_batch_rejected(self):
+        graph = grid_graph(3, 3)
+        hcl = build_hcl(graph, [0, 8])
+        engine = FastUpdateEngine(graph, hcl)
+        with pytest.raises(InvariantViolationError):
+            engine.insert_edges_batch([])
+
+    def test_old_distance_exposes_dense_rows(self):
+        graph = grid_graph(3, 3)
+        hcl = build_hcl(graph, [0])
+        engine = FastUpdateEngine(graph, hcl)
+        assert engine.old_distance(0, 8) == 4
+        assert engine.old_distance(0, 0) == 0
+
+    def test_disconnected_components_merge(self):
+        graph = ring_of_cliques(2, 4)
+        graph.add_vertex(50)
+        graph.add_vertex(51)
+        graph.add_edge(50, 51)
+        g_ref = graph.copy()
+        landmarks = top_degree_landmarks(graph, 2)
+        hcl_fast = build_hcl(graph, landmarks)
+        hcl_ref = build_hcl(g_ref, landmarks)
+        engine = FastUpdateEngine(graph, hcl_fast)
+        assert engine.old_distance(landmarks[0], 50) == float("inf")
+        graph.add_edge(0, 50)
+        g_ref.add_edge(0, 50)
+        engine.insert_edge(0, 50)
+        apply_edge_insertion(g_ref, hcl_ref, 0, 50)
+        assert hcl_fast == hcl_ref
+        check_query_exactness(graph, hcl_fast)
+
+    def test_matches_detects_staleness(self):
+        graph = random_connected_graph(10, n_min=8, n_max=12)
+        hcl = build_hcl(graph, [0, 1])
+        engine = FastUpdateEngine(graph, hcl)
+        assert engine.matches(graph, hcl)
+        u, v = non_edges(graph)[0]
+        graph.add_edge(u, v)  # mutated around the engine
+        assert not engine.matches(graph, hcl)
+        # extra isolated vertices are tolerated (serving pre-registration)
+        graph.remove_edge(u, v)
+        graph.add_vertex(999)
+        assert engine.matches(graph, hcl)
+
+
+class TestOracleKnob:
+    def test_fast_flag_per_call_and_default(self):
+        g_fast = random_connected_graph(3, n_min=12, n_max=16)
+        g_ref = g_fast.copy()
+        landmarks = top_degree_landmarks(g_fast, 3)
+        fast = DynamicHCL.build(g_fast, landmarks=landmarks, fast_updates=True)
+        ref = DynamicHCL.build(g_ref, landmarks=landmarks)
+        edges = non_edges(g_fast)[:6]
+        fast.insert_edge(*edges[0])
+        ref.insert_edge(*edges[0])
+        assert fast.labelling == ref.labelling
+        # per-call override in both directions
+        fast.insert_edge(*edges[1], fast=False)
+        ref.insert_edge(*edges[1], fast=True)
+        assert fast.labelling == ref.labelling
+        fast.insert_edges_batch(edges[2:4])
+        ref.insert_edges_batch(edges[2:4], fast=True)
+        assert fast.labelling == ref.labelling
+        check_matches_rebuild(g_fast, fast.labelling)
+
+    def test_engine_cached_and_rebuilt_after_invalidation(self):
+        graph = random_connected_graph(7, n_min=10, n_max=14)
+        oracle = DynamicHCL.build(graph, num_landmarks=3, fast_updates=True)
+        edges = non_edges(graph)[:4]
+        oracle.insert_edge(*edges[0])
+        first = oracle._fast_engine
+        assert first is not None
+        oracle.insert_edge(*edges[1])
+        assert oracle._fast_engine is first  # reused
+        u, v = edges[0]
+        oracle.remove_edge(u, v)
+        assert oracle._fast_engine is None  # invalidated
+        oracle.insert_edge(*edges[2])
+        assert oracle._fast_engine is not None
+        check_matches_rebuild(graph, oracle.labelling)
+
+    def test_fast_after_landmark_maintenance(self):
+        graph = random_connected_graph(4, n_min=12, n_max=16)
+        g_ref = graph.copy()
+        landmarks = top_degree_landmarks(graph, 3)
+        fast = DynamicHCL.build(graph, landmarks=landmarks, fast_updates=True)
+        ref = DynamicHCL.build(g_ref, landmarks=landmarks)
+        edges = non_edges(graph)[:4]
+        fast.insert_edge(*edges[0])
+        ref.insert_edge(*edges[0])
+        promoted = sorted(set(graph.vertices()) - set(fast.landmarks))[0]
+        fast.add_landmark(promoted)
+        ref.add_landmark(promoted)
+        fast.insert_edge(*edges[1])
+        ref.insert_edge(*edges[1])
+        assert fast.labelling == ref.labelling
+        check_query_exactness(graph, fast.labelling)
+
+    def test_insert_vertex_then_fast_insert(self):
+        graph = random_connected_graph(8, n_min=9, n_max=12)
+        g_ref = graph.copy()
+        landmarks = top_degree_landmarks(graph, 3)
+        fast = DynamicHCL.build(graph, landmarks=landmarks, fast_updates=True)
+        ref = DynamicHCL.build(g_ref, landmarks=landmarks)
+        edges = non_edges(graph)[:2]
+        fast.insert_edge(*edges[0])
+        ref.insert_edge(*edges[0])
+        new_vertex = max(graph.vertices()) + 1
+        fast.insert_vertex(new_vertex, [0, 1])
+        ref.insert_vertex(new_vertex, [0, 1])
+        fast.insert_edge(*edges[1])
+        ref.insert_edge(*edges[1])
+        assert fast.labelling == ref.labelling
+
+    def test_long_random_stream_byte_identical(self):
+        rng = random.Random(123)
+        g_fast = random_connected_graph(21, n_min=18, n_max=26)
+        g_ref = g_fast.copy()
+        landmarks = top_degree_landmarks(g_fast, 5)
+        fast = DynamicHCL.build(g_fast, landmarks=landmarks, fast_updates=True)
+        ref = DynamicHCL.build(g_ref, landmarks=landmarks)
+        for _ in range(40):
+            candidates = non_edges(g_fast)
+            if not candidates:
+                break
+            if rng.random() < 0.3:
+                batch = rng.sample(candidates, min(4, len(candidates)))
+                fast.insert_edges_batch(batch)
+                ref.insert_edges_batch(batch)
+            else:
+                edge = rng.choice(candidates)
+                fast.insert_edge(*edge)
+                ref.insert_edge(*edge)
+            assert fast.labelling == ref.labelling
+        check_matches_rebuild(g_fast, fast.labelling)
+        check_query_exactness(g_fast, fast.labelling)

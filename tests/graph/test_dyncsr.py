@@ -1,0 +1,168 @@
+"""Tests for the DynCSR incremental CSR overlay."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.dyncsr import UNREACH, DynCSR
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, grid_graph
+
+from tests.conftest import reference_bfs, non_edges, random_connected_graph
+
+
+def assert_bfs_matches(graph: DynamicGraph, dyn: DynCSR, sources=None):
+    """Every BFS over the overlay must equal the dict reference."""
+    vertices = sorted(graph.vertices())
+    for s in sources if sources is not None else vertices[:5]:
+        ref = reference_bfs(graph, s)
+        got = dyn.bfs_compact(dyn.index(s))
+        for i in range(dyn.num_vertices):
+            vid = dyn.vertex(i)
+            expected = ref.get(vid)
+            if expected is None:
+                assert got[i] == UNREACH
+            else:
+                assert got[i] == expected
+
+
+class TestSnapshot:
+    def test_layout_matches_csrgraph(self):
+        graph = random_connected_graph(7)
+        dyn = DynCSR.from_graph(graph)
+        csr = CSRGraph.from_graph(graph)
+        assert np.array_equal(dyn.ids, csr.ids)
+        for v in graph.vertices():
+            assert dyn.index(v) == csr.index(v)
+            assert sorted(dyn.neighbors_compact(dyn.index(v)).tolist()) == sorted(
+                csr.neighbors(csr.index(v)).tolist()
+            )
+        assert dyn.num_edges == graph.num_edges
+        assert dyn.num_delta_edges == 0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            DynCSR.from_graph(DynamicGraph())
+
+    def test_membership_and_mapping(self):
+        graph = grid_graph(3, 3)
+        dyn = DynCSR.from_graph(graph)
+        assert 4 in dyn
+        assert 99 not in dyn
+        assert len(dyn) == 9
+        assert dyn.vertex(dyn.index(7)) == 7
+        with pytest.raises(VertexNotFoundError):
+            dyn.index(1234)
+
+
+class TestInsertions:
+    def test_bfs_stays_exact_across_insertions_and_compactions(self):
+        rng = random.Random(11)
+        graph = erdos_renyi(50, 100, rng=rng)
+        dyn = DynCSR.from_graph(graph)
+        vertices = sorted(graph.vertices())
+        added = 0
+        while added < 300:
+            u, v = rng.sample(vertices, 2)
+            if graph.has_edge(u, v):
+                continue
+            graph.add_edge(u, v)
+            dyn.insert_edge(u, v)
+            added += 1
+            if added % 60 == 0:
+                assert_bfs_matches(graph, dyn, sources=vertices[:3])
+        # the 300 insertions must have crossed the compaction threshold
+        assert dyn.num_edges == graph.num_edges
+        assert_bfs_matches(graph, dyn)
+
+    def test_batch_insert_equals_one_at_a_time(self):
+        graph_a = random_connected_graph(9)
+        graph_b = graph_a.copy()
+        dyn_a = DynCSR.from_graph(graph_a)
+        dyn_b = DynCSR.from_graph(graph_b)
+        batch = non_edges(graph_a)[:6]
+        dyn_a.insert_edges_batch(batch)
+        for u, v in batch:
+            dyn_b.insert_edge(u, v)
+        for graph in (graph_a, graph_b):
+            for u, v in batch:
+                graph.add_edge(u, v)
+        assert_bfs_matches(graph_a, dyn_a)
+        assert_bfs_matches(graph_b, dyn_b)
+
+    def test_new_vertices_register_lazily(self):
+        graph = grid_graph(2, 3)
+        dyn = DynCSR.from_graph(graph)
+        graph.add_vertex(100)
+        graph.add_vertex(101)
+        graph.add_edge(100, 101)
+        dyn.insert_edge(100, 101)
+        graph.add_edge(0, 100)
+        dyn.insert_edge(0, 100)
+        assert 101 in dyn
+        assert dyn.num_vertices == graph.num_vertices
+        assert_bfs_matches(graph, dyn)
+        dyn.compact()
+        assert dyn.num_delta_edges == 0
+        assert_bfs_matches(graph, dyn)
+
+    def test_ensure_vertex_rejects_bad_ids(self):
+        dyn = DynCSR.from_graph(grid_graph(2, 2))
+        with pytest.raises(GraphError):
+            dyn.ensure_vertex(-1)
+        with pytest.raises(GraphError):
+            dyn.ensure_vertex(True)
+
+    def test_explicit_compaction_is_idempotent(self):
+        graph = random_connected_graph(8)
+        dyn = DynCSR.from_graph(graph)
+        extra = non_edges(graph)[:3]
+        for u, v in extra:
+            graph.add_edge(u, v)
+            dyn.insert_edge(u, v)
+        dyn.compact()
+        before = dyn.neighbors_compact(0).tolist()
+        dyn.compact()
+        assert dyn.neighbors_compact(0).tolist() == before
+        assert dyn.num_delta_edges == 0
+
+
+class TestGather:
+    def test_gather_variants_agree(self):
+        rng = random.Random(5)
+        graph = erdos_renyi(30, 70, rng=rng)
+        dyn = DynCSR.from_graph(graph)
+        for u, v in non_edges(graph)[:5]:
+            graph.add_edge(u, v)
+            dyn.insert_edge(u, v)
+        frontier = np.array(
+            sorted(rng.sample(range(dyn.num_vertices), 10)), dtype=np.int64
+        )
+        sources, nbrs = dyn.gather(frontier)
+        positions, nbrs_p = dyn.gather_with_positions(frontier)
+        only = dyn.gather_neighbours(frontier)
+        assert sorted(nbrs.tolist()) == sorted(nbrs_p.tolist()) == sorted(only.tolist())
+        assert np.array_equal(frontier[positions], sources)
+        # pair multiset equals the true adjacency of the frontier
+        expected = sorted(
+            (int(s), w)
+            for s in frontier.tolist()
+            for w in dyn.neighbors_compact(s).tolist()
+        )
+        assert sorted(zip(sources.tolist(), nbrs.tolist())) == expected
+
+    def test_scalar_views_cache_invalidation(self):
+        graph = random_connected_graph(6)
+        dyn = DynCSR.from_graph(graph)
+        views1 = dyn.scalar_views()
+        assert dyn.scalar_views() is views1
+        u, v = non_edges(graph)[0]
+        graph.add_edge(u, v)
+        dyn.insert_edge(u, v)
+        views2 = dyn.scalar_views()
+        assert views2 is not views1
+        # views reflect the delta through delta_count
+        assert views2[3][dyn.index(u)] >= 1

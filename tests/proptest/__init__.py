@@ -1,0 +1,15 @@
+"""Property-based equivalence suite for the incremental-update engines.
+
+Randomized (but fully seeded) graphs × insertion streams, asserting the
+three invariants the fast path is allowed to assume nothing about:
+
+(a) the fast-path labelling is byte-identical to the sequential
+    Phase A/B/C labelling after every update;
+(b) every oracle query matches BFS ground truth;
+(c) batch application equals one-at-a-time application.
+
+Shared helpers live in :mod:`tests.proptest.strategies`; deterministic
+seed-matrix tests in ``test_equivalence.py``; hypothesis-driven stateful
+streams in ``test_streams.py``.  Heavier stress variants are marked
+``slow`` and run in the nightly CI job.
+"""

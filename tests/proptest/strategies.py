@@ -1,0 +1,121 @@
+"""Seeded generators shared by the property suite and the fuzz harness.
+
+Everything is deterministic under an integer seed: graph family, graph
+size, landmark count, and the insertion stream are all drawn from one
+``random.Random``.  The families come from :mod:`repro.graph.generators`
+so the suite sweeps every topology class the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    ensure_connected,
+    erdos_renyi,
+    grid_graph,
+    powerlaw_cluster,
+    random_tree,
+    ring_of_cliques,
+    watts_strogatz,
+)
+
+__all__ = ["GRAPH_FAMILIES", "random_graph", "insertion_stream", "random_batches"]
+
+
+def _er(rng: random.Random, n: int) -> DynamicGraph:
+    return erdos_renyi(n, int(n * rng.uniform(1.2, 2.5)), rng=rng)
+
+
+def _ba(rng: random.Random, n: int) -> DynamicGraph:
+    return barabasi_albert(n, rng.randint(1, 3), rng=rng)
+
+
+def _ws(rng: random.Random, n: int) -> DynamicGraph:
+    return watts_strogatz(max(n, 6), 4, rng.uniform(0.05, 0.4), rng=rng)
+
+
+def _plc(rng: random.Random, n: int) -> DynamicGraph:
+    return powerlaw_cluster(n, 2, rng.uniform(0.1, 0.6), rng=rng)
+
+
+def _tree(rng: random.Random, n: int) -> DynamicGraph:
+    return random_tree(n, rng=rng)
+
+
+def _grid(rng: random.Random, n: int) -> DynamicGraph:
+    side = max(2, int(n**0.5))
+    return grid_graph(side, side)
+
+
+def _cliques(rng: random.Random, n: int) -> DynamicGraph:
+    return ring_of_cliques(max(2, n // 5), rng.randint(3, 5))
+
+
+#: name -> builder(rng, approx_size).  Disconnected families are allowed:
+#: component merges are exactly where affected regions are largest.
+GRAPH_FAMILIES = {
+    "erdos-renyi": _er,
+    "barabasi-albert": _ba,
+    "watts-strogatz": _ws,
+    "powerlaw-cluster": _plc,
+    "random-tree": _tree,
+    "grid": _grid,
+    "ring-of-cliques": _cliques,
+}
+
+
+def random_graph(
+    seed: int,
+    family: str | None = None,
+    n_min: int = 8,
+    n_max: int = 40,
+    connected: bool = False,
+) -> tuple[DynamicGraph, random.Random]:
+    """A seeded random graph plus the stream RNG that continues the seed."""
+    rng = random.Random(seed)
+    if family is None:
+        family = rng.choice(sorted(GRAPH_FAMILIES))
+    graph = GRAPH_FAMILIES[family](rng, rng.randint(n_min, n_max))
+    if connected:
+        graph = ensure_connected(graph, rng=rng)
+    return graph, rng
+
+
+def insertion_stream(
+    graph: DynamicGraph, count: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """``count`` distinct insertable edges w.r.t. the *evolving* graph.
+
+    Edges are sampled against a simulation that applies earlier picks, so
+    replaying the stream in order never raises; fewer than ``count`` are
+    returned only when the graph saturates.
+    """
+    vertices = sorted(graph.vertices())
+    live = {tuple(sorted(e)) for e in graph.edges()}
+    stream: list[tuple[int, int]] = []
+    attempts = 0
+    while len(stream) < count and attempts < 50 * count:
+        attempts += 1
+        u, v = rng.sample(vertices, 2)
+        key = (u, v) if u < v else (v, u)
+        if key in live:
+            continue
+        live.add(key)
+        stream.append((u, v))
+    return stream
+
+
+def random_batches(
+    stream: list[tuple[int, int]], rng: random.Random, max_batch: int = 6
+) -> list[list[tuple[int, int]]]:
+    """Partition a stream into random consecutive batches (>= 1 edge)."""
+    batches: list[list[tuple[int, int]]] = []
+    i = 0
+    while i < len(stream):
+        size = rng.randint(1, max_batch)
+        batches.append(stream[i : i + size])
+        i += size
+    return batches

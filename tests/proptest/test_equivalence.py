@@ -1,0 +1,145 @@
+"""Property (a)+(b)+(c): fast == slow == ground truth, per graph family.
+
+A deterministic seed matrix (family × seed) drives random insertion
+streams through four independently maintained oracles:
+
+* ``seq``   — sequential dict kernels, one edge at a time (the reference);
+* ``fast``  — vectorized CSR engine, one edge at a time;
+* ``batch`` — sequential batch kernel, random batch splits;
+* ``fastb`` — vectorized CSR engine, the same batch splits.
+
+After every step all labellings must be *equal* (same highway cells, same
+label entries — byte-identity in the stores' canonical dict form), and at
+checkpoints every pairwise query must match BFS ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicHCL
+from repro.graph.traversal import bfs_distances
+from repro.landmarks.selection import top_degree_landmarks
+
+from tests.proptest.strategies import (
+    GRAPH_FAMILIES,
+    insertion_stream,
+    random_batches,
+    random_graph,
+)
+
+FAMILIES = sorted(GRAPH_FAMILIES)
+SEEDS = [101, 202]
+STRESS_SEEDS = [303, 404, 505]
+
+
+def build_oracles(graph, rng):
+    """Four oracles over independent copies of ``graph``, same landmarks."""
+    num_landmarks = rng.randint(1, 6)
+    landmarks = top_degree_landmarks(graph, num_landmarks)
+    seq = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    fast = DynamicHCL.build(graph.copy(), landmarks=landmarks, fast_updates=True)
+    batch = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    fastb = DynamicHCL.build(graph.copy(), landmarks=landmarks, fast_updates=True)
+    return seq, fast, batch, fastb
+
+
+def assert_queries_match_bfs(oracle, rng, samples=25):
+    vertices = sorted(oracle.graph.vertices())
+    for _ in range(samples):
+        u, v = rng.sample(vertices, 2) if len(vertices) > 1 else (vertices[0],) * 2
+        expected = bfs_distances(oracle.graph, u).get(v, float("inf"))
+        assert oracle.query(u, v) == expected, (u, v)
+
+
+def run_stream(family: str, seed: int, stream_length: int):
+    graph, rng = random_graph(seed, family=family)
+    seq, fast, batch, fastb = build_oracles(graph, rng)
+    stream = insertion_stream(graph, stream_length, rng)
+    if not stream:
+        pytest.skip("graph saturated; no insertable edges")
+    batches = random_batches(stream, rng)
+
+    # (a) fast vs slow, per single update.
+    for i, (u, v) in enumerate(stream):
+        seq.insert_edge(u, v)
+        fast.insert_edge(u, v)
+        assert fast.labelling == seq.labelling, (family, seed, i)
+
+    # (c) batch-apply equals one-at-a-time apply, in both engines.
+    for j, chunk in enumerate(batches):
+        batch.insert_edges_batch(chunk)
+        fastb.insert_edges_batch(chunk)
+        assert batch.labelling == fastb.labelling, (family, seed, "batch", j)
+    assert batch.labelling == seq.labelling, (family, seed, "batch-vs-seq")
+    assert fastb.labelling == seq.labelling, (family, seed, "fastb-vs-seq")
+
+    # (b) queries match BFS ground truth on the final graph.
+    assert_queries_match_bfs(fast, rng)
+    assert_queries_match_bfs(fastb, rng)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_slow_batch_equivalence(family, seed):
+    run_stream(family, seed, stream_length=14)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", STRESS_SEEDS)
+def test_fast_slow_batch_equivalence_stress(family, seed):
+    """Nightly-scale streams: bigger graphs, longer streams."""
+    import zlib
+
+    graph, rng = random_graph(
+        seed * 7 + zlib.crc32(family.encode()) % 1000, family=family,
+        n_min=40, n_max=120,
+    )
+    seq, fast, batch, fastb = build_oracles(graph, rng)
+    stream = insertion_stream(graph, 60, rng)
+    if not stream:
+        pytest.skip("graph saturated; no insertable edges")
+    for i, (u, v) in enumerate(stream):
+        seq.insert_edge(u, v)
+        fast.insert_edge(u, v)
+    assert fast.labelling == seq.labelling
+    for chunk in random_batches(stream, rng, max_batch=12):
+        batch.insert_edges_batch(chunk)
+        fastb.insert_edges_batch(chunk)
+    assert batch.labelling == seq.labelling
+    assert fastb.labelling == seq.labelling
+    assert_queries_match_bfs(fast, rng, samples=60)
+
+
+def test_mixed_ops_keep_engines_equal():
+    """Interleaved deletions/landmark changes between fast insertions."""
+    rng = random.Random(9090)
+    graph, _ = random_graph(77, family="erdos-renyi", n_min=20, n_max=30,
+                            connected=True)
+    landmarks = top_degree_landmarks(graph, 3)
+    fast = DynamicHCL.build(graph.copy(), landmarks=landmarks, fast_updates=True)
+    ref = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    for step in range(30):
+        action = rng.random()
+        if action < 0.55:
+            stream = insertion_stream(fast.graph, 1, rng)
+            if not stream:
+                continue
+            fast.insert_edge(*stream[0])
+            ref.insert_edge(*stream[0])
+        elif action < 0.75:
+            stream = insertion_stream(fast.graph, rng.randint(2, 5), rng)
+            if not stream:
+                continue
+            fast.insert_edges_batch(stream)
+            ref.insert_edges_batch(stream)
+        else:
+            edges = list(fast.graph.edges())
+            if fast.graph.num_edges <= fast.graph.num_vertices:
+                continue
+            u, v = edges[rng.randrange(len(edges))]
+            fast.remove_edge(u, v)
+            ref.remove_edge(u, v)
+        assert fast.labelling == ref.labelling, step
+    assert_queries_match_bfs(fast, rng)

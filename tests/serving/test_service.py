@@ -292,12 +292,12 @@ def test_mid_apply_failure_degrades_instead_of_publishing_desync():
     real_insert = oracle.insert_edge
     calls = []
 
-    def exploding_insert(u, v):
+    def exploding_insert(u, v, fast=None):
         calls.append((u, v))
         if (u, v) == (2, 6):
             oracle.graph.add_edge(u, v)  # mutate like the real thing...
             raise RuntimeError("repair blew up")  # ...then fail mid-repair
-        return real_insert(u, v)
+        return real_insert(u, v, fast=fast)
 
     oracle.insert_edge = exploding_insert
     service = OracleService(oracle, max_batch=1)

@@ -19,7 +19,9 @@ import repro.core.dynamic
 import repro.core.highway
 import repro.core.labels
 import repro.core.query
+import repro.core.inchl_fast
 import repro.core.weighted_hcl
+import repro.graph.dyncsr
 import repro.graph.dynamic_graph
 import repro.graph.digraph
 import repro.graph.generators
@@ -37,6 +39,7 @@ import repro.workloads.updates
 
 _MODULES = [
     repro.graph.dynamic_graph,
+    repro.graph.dyncsr,
     repro.graph.digraph,
     repro.graph.weighted,
     repro.graph.generators,
@@ -45,6 +48,7 @@ _MODULES = [
     repro.core.construction,
     repro.core.query,
     repro.core.dynamic,
+    repro.core.inchl_fast,
     repro.core.directed,
     repro.core.weighted_hcl,
     repro.parallel,
