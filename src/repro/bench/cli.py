@@ -17,6 +17,7 @@ import sys
 from repro.bench.experiments import ExperimentResult
 from repro.bench.experiments import (
     ablations,
+    cluster,
     extensions,
     figure1,
     figure2,
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "figure3": figure3.run,
     "figure4": figure4.run,
     "ablations": ablations.run,
+    "cluster": cluster.run,
     "extensions": extensions.run,
     "incremental_fast": incremental_fast.run,
     "parallel": parallel.run,

@@ -44,6 +44,17 @@ class BenchProfile:
     serving_reader_counts: tuple[int, ...]
     serving_updates: int
     serving_verify_every: int
+    # Cluster experiment (reproduction extra): closed-loop read duration
+    # per replica count, the replica counts swept, concurrent client
+    # threads, pairs per query_many frame, how many frames get BFS-checked,
+    # and the update-propagation probe (batches x events per batch).
+    cluster_duration_s: float
+    cluster_replica_counts: tuple[int, ...]
+    cluster_clients: int
+    cluster_query_batch: int
+    cluster_verify_frames: int
+    cluster_lag_batches: int
+    cluster_lag_batch_size: int
 
 
 _PROFILES = {
@@ -64,6 +75,13 @@ _PROFILES = {
         serving_reader_counts=(1, 2),
         serving_updates=24,
         serving_verify_every=8,
+        cluster_duration_s=1.0,
+        cluster_replica_counts=(1, 2),
+        cluster_clients=2,
+        cluster_query_batch=24,
+        cluster_verify_frames=3,
+        cluster_lag_batches=3,
+        cluster_lag_batch_size=8,
     ),
     "default": BenchProfile(
         name="default",
@@ -85,6 +103,13 @@ _PROFILES = {
         serving_reader_counts=(1, 2, 4),
         serving_updates=120,
         serving_verify_every=16,
+        cluster_duration_s=3.0,
+        cluster_replica_counts=(1, 2, 4),
+        cluster_clients=6,
+        cluster_query_batch=48,
+        cluster_verify_frames=6,
+        cluster_lag_batches=6,
+        cluster_lag_batch_size=16,
     ),
     "full": BenchProfile(
         name="full",
@@ -103,6 +128,13 @@ _PROFILES = {
         serving_reader_counts=(1, 2, 4, 8),
         serving_updates=600,
         serving_verify_every=32,
+        cluster_duration_s=6.0,
+        cluster_replica_counts=(1, 2, 4),
+        cluster_clients=8,
+        cluster_query_batch=64,
+        cluster_verify_frames=10,
+        cluster_lag_batches=10,
+        cluster_lag_batch_size=25,
     ),
 }
 

@@ -10,7 +10,13 @@ tool rather than an API (the benchmark harness has its own entry point,
 * ``insert``  / ``delete`` — apply updates (IncHL+ / DecHL) and re-save;
 * ``stats``   — labelling and highway statistics;
 * ``serve``   — warm-start the TCP query service from a saved oracle
-  (:mod:`repro.serving`; newline-delimited JSON protocol).
+  (:mod:`repro.serving`; newline-delimited JSON protocol);
+* ``serve-cluster`` — the replicated deployment: N replica processes
+  behind a WAL-backed router speaking the same protocol
+  (:mod:`repro.cluster`).
+
+Both serving commands shut down gracefully on SIGTERM/SIGINT: in-flight
+requests drain, the WAL closes cleanly, replicas exit 0.
 
 All file formats are the library's own: SNAP-style edge lists (``.gz``
 transparently) in, ``save_oracle`` JSON (``.gz`` transparently) out.
@@ -23,6 +29,7 @@ Examples::
     python -m repro insert oracle.json.gz 17 4242
     python -m repro stats oracle.json.gz
     python -m repro serve oracle.json.gz --port 8355 --workers 0
+    python -m repro serve-cluster oracle.json.gz --replicas 2 --port 8360
 """
 
 from __future__ import annotations
@@ -100,6 +107,35 @@ def _parser() -> argparse.ArgumentParser:
                             "(0 = all CPUs)")
     serve.add_argument("--max-batch", type=int, default=128, metavar="K",
                        help="max update events coalesced per writer sweep")
+
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="replicated serving: N replica processes behind a WAL-backed "
+             "router (repro.cluster)",
+    )
+    cluster.add_argument("oracle", help="saved oracle path (replica warm start)")
+    cluster.add_argument("--replicas", type=int, default=2, metavar="N",
+                         help="replica worker processes (default 2)")
+    cluster.add_argument("--host", default="127.0.0.1", help="router bind address")
+    cluster.add_argument("--port", type=int, default=8360,
+                         help="router bind port (0 = ephemeral)")
+    cluster.add_argument("--cluster-dir", default=None, metavar="DIR",
+                         help="checkpoint + WAL directory "
+                              "(default: <oracle>.cluster)")
+    cluster.add_argument("--fsync", default="batch",
+                         choices=("always", "batch", "never"),
+                         help="WAL durability policy (default: batch)")
+    cluster.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="parallel-engine workers inside each replica "
+                              "(0 = all CPUs)")
+    cluster.add_argument("--max-batch", type=int, default=128, metavar="K",
+                         help="max update events coalesced per replica sweep")
+    cluster.add_argument("--compact-every", type=int, default=50_000,
+                         metavar="N",
+                         help="checkpoint + compact the WAL every N logged "
+                              "events (0 disables)")
+    cluster.add_argument("--no-restart", action="store_true",
+                         help="do not respawn crashed replicas")
     return parser
 
 
@@ -209,25 +245,57 @@ def _cmd_serve(args) -> int:
           f"|E|={oracle.graph.num_edges:,} |R|={len(oracle.landmarks)} "
           f"size(L)={oracle.label_entries:,} from {args.oracle}")
 
-    async def _run() -> int:
-        await server.start()
-        host, port = server.address
+    def _started(srv) -> None:
+        host, port = srv.address
         print(f"serving on {host}:{port} "
               f"(newline-delimited JSON; ops: query, query_many, path, "
-              f"update, updates, stats, snapshot, ping)")
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - shutdown path
-            pass
-        finally:
-            await server.stop()
-        return 0
+              f"update, updates, stats, snapshot, ping; "
+              f"SIGTERM/SIGINT drain and stop)")
 
     try:
-        return asyncio.run(_run())
+        # run() serves until SIGTERM/SIGINT, then drains in-flight
+        # requests and stops the writer before returning.
+        asyncio.run(server.run(on_started=_started))
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted; shutting down")
-        return 0
+    return 0
+
+
+def _cmd_serve_cluster(args) -> int:
+    import asyncio
+
+    from repro.cluster.supervisor import ClusterSupervisor
+
+    cluster_dir = args.cluster_dir or f"{args.oracle}.cluster"
+    supervisor = ClusterSupervisor(
+        args.oracle,
+        cluster_dir=cluster_dir,
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        fsync=args.fsync,
+        restart=not args.no_restart,
+        compact_every=args.compact_every or None,
+    )
+
+    def _started(sup) -> None:
+        host, port = sup.address
+        print(f"cluster router on {host}:{port} with {args.replicas} "
+              f"replica(s); WAL in {cluster_dir} (fsync={args.fsync})")
+        for name, worker in sorted(sup.workers_by_name.items()):
+            print(f"  replica {name}: pid={worker.process.pid} "
+                  f"addr={worker.address}")
+        print("same protocol as `serve`; updates return an `epoch` usable "
+              "as `min_epoch` for read-your-writes; SIGTERM/SIGINT drain "
+              "and stop")
+
+    try:
+        asyncio.run(supervisor.run(on_started=_started))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted; shutting down")
+    return 0
 
 
 _COMMANDS = {
@@ -238,6 +306,7 @@ _COMMANDS = {
     "delete": _cmd_delete,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "serve-cluster": _cmd_serve_cluster,
 }
 
 

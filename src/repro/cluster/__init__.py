@@ -1,0 +1,55 @@
+"""Replicated multi-process serving: one writer log, N oracle replicas.
+
+A single Python process caps aggregate read throughput far below the
+"heavy traffic" target no matter how cheap each query is — the GIL
+serialises the label merges.  This package scales *reads* horizontally
+while keeping the paper's update semantics exact (docs/DESIGN.md §9):
+
+* :mod:`repro.cluster.wal` — :class:`UpdateLog`, the append-only,
+  epoch-indexed event log (optional on-disk NDJSON WAL with a
+  configurable fsync policy), replayable from any offset and compactable
+  into a ``save_oracle`` checkpoint;
+* :mod:`repro.cluster.replica` — :class:`ReplicaServer` /
+  :func:`run_replica`, a spawned process that warm-starts from
+  checkpoint + WAL replay, applies batched updates through the
+  vectorized fast path, and serves the standard NDJSON query protocol
+  with per-request ``min_epoch`` gating;
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`, the asyncio
+  front door speaking the same client protocol: writes append to the log
+  and fan out to every replica, reads route round-robin over caught-up
+  replicas, stats aggregate across the fleet;
+* :mod:`repro.cluster.supervisor` — :class:`ClusterSupervisor`, process
+  lifecycle (spawn, health-check, restart, catch-up, WAL compaction) and
+  the ``python -m repro serve-cluster`` entry point.
+
+Every replica applies the same log through the same deterministic
+validation, and IncHL+/DecHL maintain the *canonical minimal* labelling
+— so all replicas (and any sequential :class:`~repro.core.dynamic.DynamicHCL`
+replaying the log) hold byte-identical state.
+"""
+
+from repro.cluster.replica import ReplicaServer, ReplicaSpec, build_replica, run_replica
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ClusterSupervisor, ReplicaWorker
+from repro.cluster.wal import (
+    LogRecord,
+    UpdateLog,
+    restore_checkpoint,
+    scan_wal,
+    write_checkpoint,
+)
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "LogRecord",
+    "ReplicaServer",
+    "ReplicaSpec",
+    "ReplicaWorker",
+    "UpdateLog",
+    "build_replica",
+    "restore_checkpoint",
+    "run_replica",
+    "scan_wal",
+    "write_checkpoint",
+]

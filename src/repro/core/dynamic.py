@@ -203,6 +203,32 @@ class DynamicHCL:
         return snap
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, path, meta: dict | None = None) -> None:
+        """Persist graph + labelling to ``path`` (a ``save_oracle`` file).
+
+        ``meta`` rides along in the file — the cluster layer stamps the
+        update-log position the checkpoint covers (``{"log_seq": N}``) so
+        a replica can warm-start from the checkpoint and replay only the
+        log suffix (:mod:`repro.cluster`).
+        """
+        from repro.utils.serialization import save_oracle
+
+        save_oracle(self, path, meta=meta)
+
+    @classmethod
+    def restore(cls, path) -> tuple["DynamicHCL", dict]:
+        """Load a :meth:`checkpoint` file; returns ``(oracle, meta)``.
+
+        ``meta`` is ``{}`` for files saved without one (plain
+        ``save_oracle`` output warm-starts the same way).
+        """
+        from repro.utils.serialization import load_oracle_with_meta
+
+        return load_oracle_with_meta(path)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> float:

@@ -102,3 +102,8 @@ class BenchmarkError(ReproError):
 
 class ServingError(ReproError):
     """Invalid serving-layer state or request (:mod:`repro.serving`)."""
+
+
+class ClusterError(ServingError):
+    """Invalid cluster state: WAL corruption, log gaps, replica spawn or
+    catch-up failures (:mod:`repro.cluster`)."""

@@ -1,10 +1,17 @@
 """A tiny blocking client for the newline-delimited JSON protocol.
 
 Used by the closed-loop load generator of the ``serving`` bench
-experiment's TCP mode, the CI smoke check (``tools/serving_smoke.py``)
-and the test-suite; applications may of course speak the protocol from
-any language — it is one JSON object per line in each direction
-(:mod:`repro.serving.server`).
+experiment's TCP mode, the CI smoke checks (``tools/serving_smoke.py``,
+``tools/cluster_smoke.py``) and the test-suite; applications may of
+course speak the protocol from any language — it is one JSON object per
+line in each direction (:mod:`repro.serving.server`).
+
+The same client speaks to a single :class:`~repro.serving.server.OracleServer`
+and to a :class:`~repro.cluster.router.ClusterRouter` front door — the
+wire protocol is identical.  Against a cluster, ``min_epoch`` gates a
+read to a replica that has applied at least that log position
+(read-your-writes: pass the ``epoch`` an update acknowledgement
+returned).
 """
 
 from __future__ import annotations
@@ -18,7 +25,8 @@ __all__ = ["ServingClient"]
 
 
 class ServingClient:
-    """One blocking TCP connection to an :class:`OracleServer`.
+    """One blocking TCP connection to an :class:`OracleServer` (or a
+    :class:`~repro.cluster.router.ClusterRouter`).
 
     Usable as a context manager; not thread-safe (use one client per
     thread — connections are cheap and the server is happy to hold many).
@@ -37,28 +45,71 @@ class ServingClient:
             raise ServingError("server closed the connection")
         return json.loads(line)
 
+    def pipeline(self, payloads, chunk: int = 256) -> list[dict]:
+        """Send a burst of request objects back-to-back, then read all the
+        responses: one flush and one wire round-trip per ``chunk`` of
+        requests instead of one per request (responses come back in
+        order).  Writes and reads interleave every ``chunk`` requests so
+        an arbitrarily large burst can never deadlock on full socket
+        buffers (the server answers as it reads; were the client to write
+        everything first, both sides could block once the unread
+        responses exceed the buffers)."""
+        payloads = list(payloads)
+        write = self._file.write
+        responses: list[dict] = []
+        for base in range(0, len(payloads), max(1, chunk)):
+            batch = payloads[base : base + max(1, chunk)]
+            for payload in batch:
+                write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            for _ in batch:
+                line = self._file.readline()
+                if not line:
+                    raise ServingError(
+                        "server closed the connection mid-pipeline"
+                    )
+                responses.append(json.loads(line))
+        return responses
+
     def _checked(self, payload: dict) -> dict:
         response = self.request(payload)
         if not response.get("ok"):
             raise ServingError(response.get("error", "request failed"))
         return response
 
+    @staticmethod
+    def _with_epoch(payload: dict, min_epoch: int | None) -> dict:
+        if min_epoch is not None:
+            payload["min_epoch"] = min_epoch
+        return payload
+
     # -- convenience wrappers, mirroring the protocol ops ---------------
-    def query(self, u: int, v: int) -> float:
-        """Exact distance; ``inf`` when unreachable."""
-        distance = self._checked({"op": "query", "u": u, "v": v})["distance"]
+    def query(self, u: int, v: int, min_epoch: int | None = None) -> float:
+        """Exact distance; ``inf`` when unreachable.  ``min_epoch`` (cluster
+        only) demands a replica that has applied at least that log seq."""
+        payload = self._with_epoch({"op": "query", "u": u, "v": v}, min_epoch)
+        distance = self._checked(payload)["distance"]
         return float("inf") if distance is None else distance
 
-    def query_many(self, pairs) -> list[float]:
-        response = self._checked({"op": "query_many", "pairs": list(pairs)})
+    def query_many(self, pairs, min_epoch: int | None = None) -> list[float]:
+        """Batch distances in **one** NDJSON ``query_many`` frame — a
+        single round-trip for the whole list, answered on one consistent
+        snapshot (never N sequential ``query`` round-trips)."""
+        payload = self._with_epoch(
+            {"op": "query_many", "pairs": [list(p) for p in pairs]}, min_epoch
+        )
+        response = self._checked(payload)
         return [
             float("inf") if d is None else d for d in response["distances"]
         ]
 
-    def path(self, u: int, v: int) -> list[int] | None:
-        return self._checked({"op": "path", "u": u, "v": v})["path"]
+    def path(self, u: int, v: int, min_epoch: int | None = None) -> list[int] | None:
+        payload = self._with_epoch({"op": "path", "u": u, "v": v}, min_epoch)
+        return self._checked(payload)["path"]
 
     def update(self, kind: str, u: int, v: int) -> dict:
+        """Submit one update; against a cluster the response's ``epoch`` is
+        the log position to pass as ``min_epoch`` for read-your-writes."""
         return self._checked({"op": "update", "kind": kind, "u": u, "v": v})
 
     def updates(self, events) -> dict:
@@ -71,7 +122,8 @@ class ServingClient:
         return self._checked({"op": "stats"})["stats"]
 
     def snapshot(self) -> dict:
-        """Force-publish a snapshot; returns epoch and size info."""
+        """Force-publish a snapshot (single node) / drain every replica to
+        the log head (cluster); returns epoch info."""
         return self._checked({"op": "snapshot"})
 
     def ping(self) -> bool:

@@ -17,7 +17,12 @@ import threading
 from collections import deque
 from time import perf_counter
 
-__all__ = ["percentile", "LatencyRecorder", "ServiceMetrics"]
+__all__ = [
+    "percentile",
+    "aggregate_summaries",
+    "LatencyRecorder",
+    "ServiceMetrics",
+]
 
 
 def percentile(sorted_samples: list[float], q: float) -> float:
@@ -42,6 +47,33 @@ def percentile(sorted_samples: list[float], q: float) -> float:
     if frac == 0:
         return sorted_samples[lo]
     return sorted_samples[lo] * (1 - frac) + sorted_samples[lo + 1] * frac
+
+
+def aggregate_summaries(summaries) -> dict:
+    """Combine :meth:`LatencyRecorder.summary` dicts from many services.
+
+    The cluster router reports one aggregate over its replicas: counts and
+    throughput **add** (replicas serve disjoint slices of the read load);
+    latency columns take the **max** (the conservative cluster-wide tail —
+    percentiles from separate windows cannot be merged exactly without the
+    raw samples).
+
+    >>> aggregate_summaries([
+    ...     {"count": 2, "qps": 10.0, "p99_ms": 1.0},
+    ...     {"count": 3, "qps": 5.0, "p99_ms": 4.0},
+    ... ])["qps"]
+    15.0
+    """
+    out = {"count": 0, "qps": 0.0, "mean_ms": None,
+           "p50_ms": None, "p95_ms": None, "p99_ms": None}
+    for summary in summaries:
+        out["count"] += summary.get("count", 0)
+        out["qps"] = round(out["qps"] + (summary.get("qps") or 0.0), 3)
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            value = summary.get(key)
+            if value is not None:
+                out[key] = value if out[key] is None else max(out[key], value)
+    return out
 
 
 class LatencyRecorder:

@@ -1,4 +1,4 @@
-"""Asyncio TCP front-end speaking newline-delimited JSON.
+"""Asyncio TCP front-ends speaking newline-delimited JSON.
 
 One request per line, one JSON object per response line.  Ops::
 
@@ -18,16 +18,26 @@ asynchronously and publishes a fresh snapshot per drained chunk; ``stats``
 reports the backlog and the served epoch.  ``snapshot`` force-publishes
 and reports the new epoch (mainly for tests and operational probes).
 
-Reads run directly on the event loop: they are pure in-memory lookups on
-an immutable snapshot, so there is nothing to offload.  The server can
-warm-start from a :func:`repro.utils.serialization.save_oracle` file via
-:meth:`OracleServer.from_file` (the ``python -m repro serve`` path).
+Two layers live here:
+
+* :class:`LineServer` — the protocol-agnostic base: connection loop,
+  threaded lifecycle for tests/tools, **graceful shutdown** (SIGTERM /
+  SIGINT handlers, in-flight requests drain before sockets close), and
+  an overridable async ``_respond`` hook.  The cluster router
+  (:mod:`repro.cluster.router`) builds on the same base.
+* :class:`OracleServer` — the single-node query service wrapping an
+  :class:`OracleService`; reads run directly on the event loop (pure
+  in-memory lookups on an immutable snapshot, nothing to offload).  It
+  can warm-start from a :func:`repro.utils.serialization.save_oracle`
+  file via :meth:`OracleServer.from_file` (the ``python -m repro serve``
+  path).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 
 from repro.exceptions import ReproError, ServingError
@@ -35,10 +45,11 @@ from repro.graph.traversal import INF
 from repro.serving.service import OracleService
 from repro.workloads.streams import UpdateEvent
 
-__all__ = ["OracleServer"]
+__all__ = ["LineServer", "OracleServer", "ThreadedLoopRunner"]
 
 _MAX_LINE = 1 << 20  # 1 MiB per request line is plenty for query_many bursts
 _PUBLISH_TIMEOUT = 60.0  # seconds a `snapshot` op waits for the writer
+_DRAIN_TIMEOUT = 10.0  # seconds a graceful stop waits for in-flight requests
 
 
 def _finite(distance: float) -> float | int | None:
@@ -46,7 +57,339 @@ def _finite(distance: float) -> float | int | None:
     return None if distance == INF else distance
 
 
-class OracleServer:
+def _encode(response: dict) -> bytes:
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> tuple[dict | None, dict | None]:
+    """``(request, None)`` on success, ``(None, error_response)`` else."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, {"ok": False, "error": f"invalid JSON: {exc.msg}"}
+    if not isinstance(request, dict):
+        return None, {"ok": False, "error": "request must be a JSON object"}
+    return request, None
+
+
+class ThreadedLoopRunner:
+    """Run an async start/stop pair on a dedicated event-loop thread.
+
+    The threaded lifecycle every server-ish object needs for tests, smoke
+    checks and load generators: ``launch`` spins a fresh event loop on a
+    daemon thread, runs the start coroutine on it (propagating failures to
+    the caller), then keeps the loop alive; ``shutdown`` stops the loop
+    and runs the stop coroutine on it before joining.
+    """
+
+    def __init__(self, name: str = "asyncio-runner") -> None:
+        self._name = name
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop | None:
+        return self._loop
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def launch(self, start, stop):
+        """Run ``await start()`` on a new loop thread; returns its result.
+
+        ``stop`` is stashed and runs on the same loop during
+        :meth:`shutdown`.
+        """
+        if self._thread is not None:
+            raise ServingError(f"{self._name} thread already running")
+        ready = threading.Event()
+        outcome: list = []  # [("ok", result)] or [("err", exc)]
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                result = loop.run_until_complete(start())
+            except BaseException as exc:  # surface bind errors to the caller
+                outcome.append(("err", exc))
+                ready.set()
+                loop.close()
+                self._loop = None
+                return
+            outcome.append(("ok", result))
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                try:
+                    loop.run_until_complete(stop())
+                finally:
+                    leftovers = asyncio.all_tasks(loop)
+                    for task in leftovers:
+                        task.cancel()
+                    if leftovers:
+                        loop.run_until_complete(
+                            asyncio.gather(*leftovers, return_exceptions=True)
+                        )
+                    loop.close()
+                    self._loop = None
+
+        self._thread = threading.Thread(target=_run, name=self._name, daemon=True)
+        self._thread.start()
+        ready.wait()
+        kind, value = outcome[0]
+        if kind == "err":
+            self._thread.join()
+            self._thread = None
+            raise value
+        return value
+
+    def shutdown(self) -> None:
+        """Stop the loop (running the stop coroutine) and join the thread."""
+        thread, loop = self._thread, self._loop
+        if thread is None:
+            return
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        self._thread = None
+
+
+class _Connection:
+    """One client connection's drain bookkeeping: ``busy`` is True exactly
+    while a request is being answered (not while parked in ``readline``),
+    so a graceful stop knows which tasks to wait for and which to cancel."""
+
+    __slots__ = ("task", "busy")
+
+    def __init__(self, task: asyncio.Task) -> None:
+        self.task = task
+        self.busy = False
+
+
+class LineServer:
+    """Base asyncio TCP server: one JSON object per line, each direction.
+
+    Subclasses implement ``async _respond(line) -> dict | bytes`` (bytes
+    pass through verbatim — the cluster router forwards replica response
+    lines without re-encoding) and may hook ``_on_start`` / ``_on_stop``.
+
+    Graceful shutdown contract: :meth:`stop` closes the listener, cancels
+    *idle* connections (parked between requests), waits up to
+    ``drain_timeout`` for *in-flight* requests to finish writing their
+    responses, then runs ``_on_stop``.  :meth:`run` serves until SIGTERM /
+    SIGINT (or :meth:`request_shutdown`) and then stops gracefully — the
+    ``python -m repro serve`` / ``serve-cluster`` code path.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8355,
+        *,
+        drain_timeout: float = _DRAIN_TIMEOUT,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._drain_timeout = drain_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._runner = ThreadedLoopRunner(name=type(self).__name__.lower())
+        self._connections: set[_Connection] = set()
+        self._drained: asyncio.Event | None = None
+        self._stopping = False
+        self._shutdown_event: asyncio.Event | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0`` requests)."""
+        if self._server is None:
+            raise ServingError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    async def _on_start(self) -> None:
+        """Subclass hook run before the listening socket binds."""
+
+    async def _on_stop(self) -> None:
+        """Subclass hook run after connections drain (close services,
+        write-ahead logs, replica links...)."""
+
+    async def _respond(self, line: bytes) -> dict | bytes:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Async lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "LineServer":
+        """Run the start hook and bind the listening socket."""
+        self._stopping = False
+        self._loop = asyncio.get_running_loop()
+        # Fresh Event per start: a restarted server runs on a new loop,
+        # and an Event awaited on the old loop would raise at stop time.
+        self._drained = asyncio.Event()
+        self._drained.set()
+        await self._on_start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=_MAX_LINE
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def request_shutdown(self) -> None:
+        """Ask a :meth:`run` loop to exit and stop gracefully.
+
+        Safe to call from signal handlers and from other threads.
+        """
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    def install_signal_handlers(
+        self, signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+    ) -> bool:
+        """Route SIGTERM/SIGINT to :meth:`request_shutdown` (graceful).
+
+        Returns whether handlers were installed — they cannot be outside
+        the main thread (or on loops without signal support), in which
+        case callers fall back to :meth:`request_shutdown`.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            for sig in signals:
+                loop.add_signal_handler(sig, self.request_shutdown)
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False
+        return True
+
+    async def run(self, *, install_signals: bool = True, on_started=None) -> None:
+        """Start, serve until a shutdown is requested, stop gracefully.
+
+        ``on_started(self)`` fires once the socket is bound — the replica
+        worker reports its ephemeral port through it, the CLI prints the
+        address.
+        """
+        await self.start()
+        self._shutdown_event = asyncio.Event()
+        if install_signals:
+            self.install_signal_handlers()
+        if on_started is not None:
+            on_started(self)
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._shutdown_event = None
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful stop: close the listener, drain in-flight requests
+        (up to ``drain_timeout``), then run the stop hook."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._drain_connections()
+        await self._on_stop()
+
+    async def _drain_connections(self) -> None:
+        if not self._connections:
+            return
+        # Idle connections are parked in readline — nothing in flight to
+        # preserve, cancel them now.  Busy ones get drain_timeout to finish
+        # writing the response they owe.
+        for conn in list(self._connections):
+            if not conn.busy:
+                conn.task.cancel()
+        try:
+            await asyncio.wait_for(self._drained.wait(), self._drain_timeout)
+        except (TimeoutError, asyncio.TimeoutError):
+            for conn in list(self._connections):
+                conn.task.cancel()
+            try:
+                await asyncio.wait_for(self._drained.wait(), 1.0)
+            except (TimeoutError, asyncio.TimeoutError):  # pragma: no cover
+                # A handler is stuck in an uncancellable executor call;
+                # give up on it — _on_stop must still run (close the
+                # service/WAL) or the shutdown would leak worse.
+                pass
+
+    # ------------------------------------------------------------------
+    # Threaded lifecycle (tests, smoke checks, load generators)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> tuple[str, int]:
+        """Run the server on a dedicated event-loop thread.
+
+        Returns the bound ``(host, port)``; :meth:`stop_thread` shuts the
+        loop and the server down (gracefully — in-flight requests drain).
+        """
+        self._runner.launch(self.start, self.stop)
+        return self.address
+
+    def stop_thread(self) -> None:
+        """Stop a server started with :meth:`start_in_thread`."""
+        self._runner.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(asyncio.current_task())
+        self._connections.add(conn)
+        self._drained.clear()
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"ok": False, "error": "request too large"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                conn.busy = True
+                try:
+                    response = await self._respond(line)
+                    if not isinstance(response, (bytes, bytearray)):
+                        response = _encode(response)
+                    writer.write(response)
+                    await writer.drain()
+                finally:
+                    conn.busy = False
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:  # graceful stop of an idle connection
+            pass
+        finally:
+            self._connections.discard(conn)
+            if not self._connections:
+                self._drained.set()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):  # pragma: no cover - teardown race
+                pass
+
+
+class OracleServer(LineServer):
     """TCP server wrapping an :class:`OracleService`.
 
     >>> # doctest-free: see tests/serving/test_server.py for live round-trips
@@ -58,12 +401,11 @@ class OracleServer:
         host: str = "127.0.0.1",
         port: int = 8355,
     ) -> None:
+        super().__init__(host, port)
         self._service = service
-        self._host = host
-        self._port = port
-        self._server: asyncio.AbstractServer | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._thread: threading.Thread | None = None
+        #: Ops answered by an async handler (they wait off the event loop);
+        #: everything else goes through the synchronous ``_dispatch``.
+        self._async_ops = {"snapshot": self._op_snapshot}
 
     @classmethod
     def from_file(
@@ -87,143 +429,15 @@ class OracleServer:
     def service(self) -> OracleService:
         return self._service
 
-    @property
-    def address(self) -> tuple[str, int]:
-        """``(host, port)`` actually bound (resolves ``port=0`` requests)."""
-        if self._server is None:
-            raise ServingError("server is not started")
-        sock = self._server.sockets[0]
-        host, port = sock.getsockname()[:2]
-        return host, port
-
-    # ------------------------------------------------------------------
-    # Async lifecycle
-    # ------------------------------------------------------------------
-    async def start(self) -> "OracleServer":
-        """Bind the listening socket and start the writer thread."""
+    async def _on_start(self) -> None:
         self._service.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port, limit=_MAX_LINE
-        )
-        return self
 
-    async def serve_forever(self) -> None:
-        if self._server is None:
-            await self.start()
-        async with self._server:
-            await self._server.serve_forever()
-
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def _on_stop(self) -> None:
         self._service.stop()
-
-    # ------------------------------------------------------------------
-    # Threaded lifecycle (tests, smoke checks, load generators)
-    # ------------------------------------------------------------------
-    def start_in_thread(self) -> tuple[str, int]:
-        """Run the server on a dedicated event-loop thread.
-
-        Returns the bound ``(host, port)``; :meth:`stop_thread` shuts the
-        loop and the writer down.
-        """
-        if self._thread is not None:
-            raise ServingError("server thread already running")
-        ready = threading.Event()
-        failure: list[BaseException] = []
-
-        def _run() -> None:
-            loop = asyncio.new_event_loop()
-            asyncio.set_event_loop(loop)
-            self._loop = loop
-            try:
-                loop.run_until_complete(self.start())
-            except BaseException as exc:  # surface bind errors to the caller
-                failure.append(exc)
-                ready.set()
-                loop.close()
-                return
-            ready.set()
-            try:
-                loop.run_forever()
-            finally:
-                loop.run_until_complete(self.stop())
-                leftovers = asyncio.all_tasks(loop)
-                for task in leftovers:
-                    task.cancel()
-                if leftovers:
-                    loop.run_until_complete(
-                        asyncio.gather(*leftovers, return_exceptions=True)
-                    )
-                loop.close()
-                self._loop = None
-
-        self._thread = threading.Thread(target=_run, name="oracle-server", daemon=True)
-        self._thread.start()
-        ready.wait()
-        if failure:
-            self._thread.join()
-            self._thread = None
-            raise failure[0]
-        return self.address
-
-    def stop_thread(self) -> None:
-        """Stop a server started with :meth:`start_in_thread`."""
-        thread, loop = self._thread, self._loop
-        if thread is None:
-            return
-        if loop is not None:
-            loop.call_soon_threadsafe(loop.stop)
-        thread.join()
-        self._thread = None
 
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(_encode({"ok": False, "error": "request too large"}))
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                response = await self._respond(line)
-                writer.write(_encode(response))
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
-        except asyncio.CancelledError:  # server shutdown with connection open
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (
-                asyncio.CancelledError,
-                ConnectionResetError,
-                BrokenPipeError,
-            ):  # pragma: no cover - teardown race
-                pass
-
-    @staticmethod
-    def _decode(line: bytes) -> tuple[dict | None, dict | None]:
-        """``(request, None)`` on success, ``(None, error_response)`` else."""
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            return None, {"ok": False, "error": f"invalid JSON: {exc.msg}"}
-        if not isinstance(request, dict):
-            return None, {"ok": False, "error": "request must be a JSON object"}
-        return request, None
-
     def _dispatch_checked(self, request: dict) -> dict:
         try:
             return self._dispatch(request)
@@ -231,25 +445,33 @@ class OracleServer:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
 
     async def _respond(self, line: bytes) -> dict:
-        """Async dispatch: the ``snapshot`` op waits for the writer's
-        publish barrier off the event loop, so one client draining a deep
-        backlog never stalls the other connections' reads."""
-        request, error = self._decode(line)
+        """Async dispatch: ops with an async handler (``snapshot`` here;
+        ``apply``/``checkpoint`` on cluster replicas) wait off the event
+        loop, so one client draining a deep backlog never stalls the other
+        connections' reads."""
+        request, error = decode_line(line)
         if error is not None:
             return error
-        if request.get("op") == "snapshot":
-            barrier = self._service.request_publish()
-            loop = asyncio.get_running_loop()
-            done = await loop.run_in_executor(None, barrier.wait, _PUBLISH_TIMEOUT)
-            if not done:
-                return {"ok": False, "error": "snapshot publish timed out"}
-            return self._snapshot_response()
+        handler = self._async_ops.get(request.get("op"))
+        if handler is not None:
+            try:
+                return await handler(request)
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         return self._dispatch_checked(request)
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        barrier = self._service.request_publish()
+        loop = asyncio.get_running_loop()
+        done = await loop.run_in_executor(None, barrier.wait, _PUBLISH_TIMEOUT)
+        if not done:
+            return {"ok": False, "error": "snapshot publish timed out"}
+        return self._snapshot_response()
 
     def handle_request_line(self, line: bytes) -> dict:
         """Decode one request line and dispatch it (blocking; for direct
         callers and tests — connections go through :meth:`_respond`)."""
-        request, error = self._decode(line)
+        request, error = decode_line(line)
         if error is not None:
             return error
         return self._dispatch_checked(request)
@@ -305,14 +527,10 @@ class OracleServer:
             return {"ok": True, "stats": service.stats()}
         if op == "snapshot":
             # Blocking form (direct callers); connections take the async
-            # barrier path in _respond instead.
+            # handler path in _respond instead.
             if not service.request_publish().wait(_PUBLISH_TIMEOUT):
                 raise ServingError("snapshot publish timed out")
             return self._snapshot_response()
         if op == "ping":
             return {"ok": True, "pong": True}
         return {"ok": False, "error": f"unknown op {op!r}"}
-
-
-def _encode(response: dict) -> bytes:
-    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")

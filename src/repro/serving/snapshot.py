@@ -190,6 +190,12 @@ class FrozenHighway:
         except KeyError:
             raise NotALandmarkError(r) from None
 
+    def as_dict(self) -> dict[int, dict[int, float]]:
+        """Raw per-landmark distance rows (read-only) — lets
+        ``save_oracle`` serialize a pinned snapshot the same way it
+        serializes a live :class:`~repro.core.highway.Highway`."""
+        return self._dist
+
     def size_bytes(self, bytes_per_distance: int = 4) -> int:
         n = len(self._landmarks)
         return n * (n - 1) // 2 * bytes_per_distance

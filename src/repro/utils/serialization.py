@@ -19,7 +19,14 @@ from repro.core.labels import LabelStore
 from repro.exceptions import ReproError
 from repro.graph.traversal import INF
 
-__all__ = ["save_labelling", "load_labelling", "save_oracle", "load_oracle"]
+__all__ = [
+    "save_labelling",
+    "load_labelling",
+    "save_oracle",
+    "load_oracle",
+    "load_oracle_with_meta",
+    "read_oracle_meta",
+]
 
 _FORMAT = "repro-hcl-v1"
 _ORACLE_FORMAT = "repro-oracle-v1"
@@ -113,12 +120,20 @@ def _labelling_from_payload(payload: dict) -> HighwayCoverLabelling:
     return HighwayCoverLabelling(highway, labels)
 
 
-def save_oracle(oracle, path: str | os.PathLike) -> None:
+def save_oracle(oracle, path: str | os.PathLike, meta: dict | None = None) -> None:
     """Write a :class:`~repro.core.dynamic.DynamicHCL` — graph *and*
     labelling — to ``path`` (gzip if the name ends in ``.gz``).
 
     The deployment story behind it: precompute offline, ship one file,
     restore with :func:`load_oracle` and continue updating online.
+
+    ``meta`` attaches an optional JSON-encodable dict to the file — the
+    cluster layer records the update-log position a checkpoint covers as
+    ``{"log_seq": N}`` (:mod:`repro.cluster.wal`).  Omitting it keeps the
+    output byte-identical to the pre-meta format.  ``oracle`` may also be
+    an :class:`~repro.serving.snapshot.OracleSnapshot`: the frozen views
+    expose the same read surface, so a replica can checkpoint a pinned
+    epoch while its writer keeps applying updates.
     """
     graph = oracle.graph
     labelling = oracle.labelling
@@ -129,8 +144,31 @@ def save_oracle(oracle, path: str | os.PathLike) -> None:
         "landmarks": labelling.landmarks,
         "highway": _highway_cells(labelling),
     }
+    if meta is not None:
+        head["meta"] = meta
     with _open(path, "w") as handle:
         _write_streamed(handle, head, _iter_label_rows(labelling))
+
+
+def _read_oracle_payload(path: str | os.PathLike) -> dict:
+    with _open(path, "r") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _ORACLE_FORMAT:
+        raise ReproError(
+            f"{path}: not a {_ORACLE_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    return payload
+
+
+def _oracle_from_payload(payload: dict):
+    from repro.core.dynamic import DynamicHCL
+    from repro.graph.dynamic_graph import DynamicGraph
+
+    graph = DynamicGraph(payload["vertices"])
+    for u, v in payload["edges"]:
+        graph.add_edge(u, v)
+    return DynamicHCL(graph, _labelling_from_payload(payload))
 
 
 def load_oracle(path: str | os.PathLike):
@@ -139,17 +177,19 @@ def load_oracle(path: str | os.PathLike):
     Round-trips graph, landmark order, highway, and every label entry
     exactly; the restored oracle accepts updates immediately.
     """
-    from repro.core.dynamic import DynamicHCL
-    from repro.graph.dynamic_graph import DynamicGraph
+    return _oracle_from_payload(_read_oracle_payload(path))
 
-    with _open(path, "r") as handle:
-        payload = json.load(handle)
-    if payload.get("format") != _ORACLE_FORMAT:
-        raise ReproError(
-            f"{path}: not a {_ORACLE_FORMAT} file "
-            f"(format={payload.get('format')!r})"
-        )
-    graph = DynamicGraph(payload["vertices"])
-    for u, v in payload["edges"]:
-        graph.add_edge(u, v)
-    return DynamicHCL(graph, _labelling_from_payload(payload))
+
+def load_oracle_with_meta(path: str | os.PathLike):
+    """Like :func:`load_oracle` but also returns the file's ``meta`` dict
+    (``{}`` for files saved without one)."""
+    payload = _read_oracle_payload(path)
+    return _oracle_from_payload(payload), dict(payload.get("meta") or {})
+
+
+def read_oracle_meta(path: str | os.PathLike) -> dict:
+    """Only the ``meta`` dict of a :func:`save_oracle` file (``{}`` when
+    absent).  Parses the file without rebuilding graph or labelling — the
+    cluster supervisor uses this at startup to find the checkpoint's log
+    position."""
+    return dict(_read_oracle_payload(path).get("meta") or {})

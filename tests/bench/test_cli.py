@@ -9,8 +9,8 @@ class TestCli:
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "figure1", "figure2", "figure3", "figure4",
-            "ablations", "extensions", "incremental_fast", "parallel",
-            "serving",
+            "ablations", "cluster", "extensions", "incremental_fast",
+            "parallel", "serving",
         }
 
     def test_run_single_experiment(self, capsys):

@@ -1,0 +1,59 @@
+"""Tests for the C (cluster) experiment and its bench CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments import cluster
+from repro.exceptions import BenchmarkError
+
+
+class TestClusterExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cluster.run(profile="smoke")
+
+    def test_rows_cover_single_plus_every_replica_count(self, result):
+        assert result.name == "cluster"
+        assert [(row["mode"], row["replicas"]) for row in result.rows] == [
+            ("single", 1), ("cluster", 1), ("cluster", 2),
+        ]
+
+    def test_acceptance_criteria_per_row(self, result):
+        for row in result.rows:
+            assert row["queries"] > 0
+            assert row["qps"] > 0
+            assert row["checked"] > 0  # some answers were BFS-verified...
+            assert row["incorrect"] == 0, row  # ...and every one was right
+            assert row["host_cpus"] >= 1
+        single = result.rows[0]
+        assert single["speedup_vs_single"] == 1.0
+        for row in result.rows[1:]:
+            assert row["propagation_ms"] is not None
+            assert row["propagation_ms"] > 0
+            assert row["speedup_vs_single"] > 0
+
+    def test_text_report_shape(self, result):
+        assert "speedup_vs_single" in result.text
+        assert "incorrect" in result.text
+        assert "propagation_ms" in result.text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            cluster.run(profile="smoke", datasets=["nope"])
+
+
+def test_cli_writes_json_report(tmp_path, capsys):
+    out_json = tmp_path / "cluster.json"
+    code = main([
+        "cluster", "--profile", "smoke", "--datasets", "flickr-s",
+        "--json", str(out_json),
+    ])
+    assert code == 0
+    assert "replicated cluster" in capsys.readouterr().out
+    payload = json.loads(out_json.read_text())
+    assert set(payload) == {"cluster"}
+    rows = payload["cluster"]
+    assert rows and all(row["incorrect"] == 0 for row in rows)
+    assert {row["mode"] for row in rows} == {"single", "cluster"}

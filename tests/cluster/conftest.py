@@ -1,0 +1,51 @@
+"""Shared cluster-test helpers: in-process replica fleets.
+
+Most cluster tests run the real :class:`ReplicaServer` /
+:class:`ClusterRouter` stack over real sockets but keep every component
+in-process (threaded event loops) — exercising the exact protocol and
+fan-out code without paying a ``multiprocessing`` spawn per test.  Only
+``test_supervisor.py`` spawns real replica processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterRouter, ReplicaServer, UpdateLog
+from repro.core.dynamic import DynamicHCL
+from repro.serving.service import OracleService
+
+
+def make_replica(oracle: DynamicHCL, name: str, applied_seq: int = 0) -> ReplicaServer:
+    """An in-process replica serving a *copy* of ``oracle`` (replicas must
+    never share state)."""
+    copy = DynamicHCL(oracle.graph.copy(), oracle.labelling.copy())
+    server = ReplicaServer(
+        OracleService(copy), name=name, port=0, applied_seq=applied_seq
+    )
+    server.start_in_thread()
+    return server
+
+
+class InProcessCluster:
+    """A router plus N in-process replicas, all on real sockets."""
+
+    def __init__(self, oracle: DynamicHCL, replicas: int = 2, log: UpdateLog | None = None):
+        self.replicas = [make_replica(oracle, f"r{i}") for i in range(replicas)]
+        self.log = log if log is not None else UpdateLog()
+        self.router = ClusterRouter(self.log, port=0, read_timeout=2.0)
+        self.address = self.router.start_in_thread()
+        for server in self.replicas:
+            self.router.add_replica_from_thread(server.name, *server.address)
+
+    def close(self) -> None:
+        self.router.stop_thread()
+        for server in self.replicas:
+            server.stop_thread()
+
+
+@pytest.fixture
+def small_oracle():
+    from repro.graph.generators import grid_graph
+
+    return DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])

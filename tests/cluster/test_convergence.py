@@ -1,0 +1,216 @@
+"""The identical-replica contract, under crashes and checkpoints.
+
+Acceptance-criterion tests: any replica — including one that crashed
+mid-batch and restarted from checkpoint + WAL replay — must end
+**byte-identical** to a single sequential :class:`DynamicHCL` that
+applied the same event stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterRouter,
+    ReplicaSpec,
+    UpdateLog,
+    build_replica,
+    write_checkpoint,
+)
+from repro.core.dynamic import DynamicHCL
+from repro.graph.generators import barabasi_albert, grid_graph
+from repro.serving.client import ServingClient
+from repro.serving.service import OracleService
+from repro.utils.rng import ensure_rng
+from repro.utils.serialization import save_labelling
+from repro.workloads.streams import mixed_stream
+
+from tests.cluster.conftest import make_replica
+
+
+def labelling_bytes(labelling, tmp_path, name: str) -> bytes:
+    """Canonical serialized form — byte-level equality, not just __eq__."""
+    path = tmp_path / f"{name}.labels.json"
+    save_labelling(labelling, path)
+    return path.read_bytes()
+
+
+def sequential_replay(graph, landmarks, events) -> DynamicHCL:
+    """The ground truth: one oracle, one event at a time, in log order."""
+    oracle = DynamicHCL.build(graph.copy(), landmarks=list(landmarks))
+    for event in events:
+        u, v = event.edge
+        if event.is_insert:
+            oracle.insert_edge(u, v)
+        else:
+            oracle.remove_edge(u, v)
+    return oracle
+
+
+@pytest.fixture
+def workload():
+    graph = barabasi_albert(120, attach=2, rng=7)
+    landmarks = [0, 1, 2]
+    events = mixed_stream(graph, 40, insert_ratio=0.7, rng=ensure_rng(11))
+    return graph, landmarks, events
+
+
+def test_replicas_end_byte_identical_to_sequential_replay(workload, tmp_path):
+    graph, landmarks, events = workload
+    oracle = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+
+    replicas = [make_replica(oracle, f"r{i}") for i in range(2)]
+    router = ClusterRouter(UpdateLog(), port=0)
+    host, port = router.start_in_thread()
+    try:
+        for server in replicas:
+            router.add_replica_from_thread(server.name, *server.address)
+        with ServingClient(host, port) as client:
+            # Mixed-size bursts so the service coalesces some insert runs
+            # into batch sweeps and applies others one at a time.
+            for base in range(0, len(events), 7):
+                chunk = events[base : base + 7]
+                client.updates([(e.kind, *e.edge) for e in chunk])
+            assert client.snapshot()["ok"]
+    finally:
+        router.stop_thread()
+        for server in replicas:
+            server.stop_thread()
+
+    reference = sequential_replay(graph, landmarks, events)
+    expected = labelling_bytes(reference.labelling, tmp_path, "sequential")
+    for server in replicas:
+        got = labelling_bytes(
+            server.service.oracle.labelling, tmp_path, server.name
+        )
+        assert got == expected
+
+
+def test_restart_from_mid_stream_checkpoint_is_byte_identical(workload, tmp_path):
+    """WAL replay from a mid-stream checkpoint == full replay == sequential."""
+    graph, landmarks, events = workload
+    oracle = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    seed_checkpoint = tmp_path / "seed.json.gz"
+    write_checkpoint(oracle, seed_checkpoint, log_seq=0)
+
+    wal_dir = tmp_path / "wal"
+    log = UpdateLog(wal_dir, segment_records=8)
+    log.append_events([(e.kind, *e.edge) for e in events])
+    log.close()
+
+    # Mid-stream checkpoint: apply the first half through the service
+    # (the exact replica apply path), checkpoint, then boot from it.
+    half = len(events) // 2
+    mid = DynamicHCL(oracle.graph.copy(), oracle.labelling.copy())
+    with OracleService(mid) as service:
+        service.submit_many(events[:half])
+        service.flush()
+    mid_checkpoint = tmp_path / "mid.json.gz"
+    write_checkpoint(mid, mid_checkpoint, log_seq=half)
+
+    from_mid = build_replica(
+        ReplicaSpec(name="mid", checkpoint_path=str(mid_checkpoint),
+                    wal_dir=str(wal_dir))
+    )
+    from_scratch = build_replica(
+        ReplicaSpec(name="full", checkpoint_path=str(seed_checkpoint),
+                    wal_dir=str(wal_dir))
+    )
+    from_mid.service.stop()
+    from_scratch.service.stop()
+    assert from_mid.applied_seq == len(events)
+    assert from_scratch.applied_seq == len(events)
+
+    reference = sequential_replay(graph, landmarks, events)
+    expected = labelling_bytes(reference.labelling, tmp_path, "sequential")
+    assert labelling_bytes(
+        from_mid.service.oracle.labelling, tmp_path, "mid-replay"
+    ) == expected
+    assert labelling_bytes(
+        from_scratch.service.oracle.labelling, tmp_path, "full-replay"
+    ) == expected
+
+
+def test_crash_mid_batch_then_restart_converges(workload, tmp_path):
+    """A replica that dies mid-stream and restarts from checkpoint + WAL
+    catches back up to labels byte-identical to the sequential replay."""
+    graph, landmarks, events = workload
+    oracle = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    checkpoint = tmp_path / "checkpoint.json.gz"
+    write_checkpoint(oracle, checkpoint, log_seq=0)
+
+    wal_dir = tmp_path / "wal"
+    log = UpdateLog(wal_dir)
+    survivor = make_replica(oracle, "steady")
+    victim = make_replica(oracle, "crashy")
+    router = ClusterRouter(log, port=0)
+    host, port = router.start_in_thread()
+    restarted = None
+    try:
+        router.add_replica_from_thread("steady", *survivor.address)
+        router.add_replica_from_thread("crashy", *victim.address)
+        half = len(events) // 2
+        with ServingClient(host, port) as client:
+            for base in range(0, half, 5):
+                chunk = events[base : base + 5]
+                client.updates([(e.kind, *e.edge) for e in chunk])
+            assert client.snapshot()["ok"]
+            # "Crash": the victim vanishes mid-stream; its in-memory state
+            # is lost (we discard the server object entirely).
+            victim.stop_thread()
+            for base in range(half, len(events), 5):
+                chunk = events[base : base + 5]
+                client.updates([(e.kind, *e.edge) for e in chunk])
+            # Supervisor-style restart: boot from checkpoint + WAL suffix,
+            # re-register under the same name, let the pump close the gap.
+            restarted = build_replica(
+                ReplicaSpec(name="crashy", checkpoint_path=str(checkpoint),
+                            wal_dir=str(wal_dir))
+            )
+            restarted.start_in_thread()
+            router.set_replica_address_from_thread("crashy", *restarted.address)
+            drained = client.snapshot()
+            assert drained["ok"]
+            assert drained["replicas"]["crashy"] == len(events)
+            # Read-your-writes against the restarted replica specifically:
+            # route with min_epoch == head until it answers.
+            stats = client.stats()
+            assert stats["replicas"]["crashy"]["lag"] == 0
+    finally:
+        router.stop_thread()
+        survivor.stop_thread()
+        if restarted is not None:
+            restarted.stop_thread()
+
+    reference = sequential_replay(graph, landmarks, events)
+    expected = labelling_bytes(reference.labelling, tmp_path, "sequential")
+    assert labelling_bytes(
+        restarted.service.oracle.labelling, tmp_path, "restarted"
+    ) == expected
+    assert labelling_bytes(
+        survivor.service.oracle.labelling, tmp_path, "survivor"
+    ) == expected
+
+
+def test_grid_smoke_convergence(tmp_path):
+    """Tiny deterministic variant: insert-only burst, one replica, compare
+    against the batch and sequential paths."""
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    server = make_replica(oracle, "r0")
+    router = ClusterRouter(UpdateLog(), port=0)
+    host, port = router.start_in_thread()
+    try:
+        router.add_replica_from_thread("r0", *server.address)
+        with ServingClient(host, port) as client:
+            client.updates([("insert", 0, 15), ("insert", 1, 14), ("insert", 2, 13)])
+            assert client.snapshot()["ok"]
+    finally:
+        router.stop_thread()
+        server.stop_thread()
+    reference = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    reference.insert_edge(0, 15)
+    reference.insert_edge(1, 14)
+    reference.insert_edge(2, 13)
+    assert labelling_bytes(
+        server.service.oracle.labelling, tmp_path, "replica"
+    ) == labelling_bytes(reference.labelling, tmp_path, "reference")

@@ -1,0 +1,151 @@
+"""ReplicaServer: apply semantics, epoch gating, checkpoint op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ReplicaSpec, build_replica
+from repro.cluster.wal import UpdateLog, write_checkpoint
+from repro.core.dynamic import DynamicHCL
+from repro.graph.generators import grid_graph
+from repro.serving.client import ServingClient
+
+from tests.cluster.conftest import make_replica
+
+
+@pytest.fixture
+def replica(small_oracle):
+    server = make_replica(small_oracle, "r0")
+    client = ServingClient(*server.address)
+    yield server, client
+    client.close()
+    server.stop_thread()
+
+
+def _apply(client, events):
+    return client.request({"op": "apply", "events": events})
+
+
+def test_apply_advances_epoch_and_serves(replica):
+    server, client = replica
+    assert client.query(0, 15) == 6
+    response = _apply(client, [[1, "insert", 0, 15], [2, "insert", 1, 14]])
+    assert response == {"ok": True, "applied_seq": 2, "epoch": 2}
+    assert server.applied_seq == 2
+    # The ack means applied AND published: the very next read sees it.
+    assert client.query(0, 15) == 1
+    raw = client.request({"op": "query", "u": 0, "v": 15})
+    assert raw["epoch"] == 2  # cluster epoch (log seq), not oracle version
+
+
+def test_apply_is_idempotent_on_redelivery(replica):
+    server, client = replica
+    _apply(client, [[1, "insert", 0, 15]])
+    response = _apply(client, [[1, "insert", 0, 15], [2, "insert", 1, 14]])
+    assert response["ok"] and response["applied_seq"] == 2
+    stats = client.stats()
+    # Seq 1 was skipped before validation: applied exactly once.
+    assert stats["events_applied"] == 2
+    assert stats["events_rejected"] == 0
+    assert stats["replica"] == {"name": "r0", "applied_seq": 2}
+
+
+def test_apply_refuses_log_gap(replica):
+    server, client = replica
+    response = _apply(client, [[5, "insert", 0, 15]])
+    assert not response["ok"]
+    assert "gap" in response["error"]
+    assert server.applied_seq == 0
+    # Nothing was applied.
+    assert client.query(0, 15) == 6
+
+
+def test_min_epoch_gating(replica):
+    server, client = replica
+    _apply(client, [[1, "insert", 0, 15]])
+    assert client.query(0, 15, min_epoch=1) == 1
+    behind = client.request({"op": "query", "u": 0, "v": 15, "min_epoch": 2})
+    assert not behind["ok"]
+    assert behind["retryable"] and behind["epoch"] == 1
+    assert "min_epoch" in behind["error"]
+    many = client.request(
+        {"op": "query_many", "pairs": [[0, 15]], "min_epoch": 2}
+    )
+    assert not many["ok"]
+
+
+def test_checkpoint_op_persists_applied_state(replica, tmp_path):
+    server, client = replica
+    _apply(client, [[1, "insert", 0, 15]])
+    path = tmp_path / "ck.json.gz"
+    response = client.request({"op": "checkpoint", "path": str(path)})
+    assert response["ok"] and response["log_seq"] == 1
+    spec = ReplicaSpec(name="fresh", checkpoint_path=str(path))
+    fresh = build_replica(spec)
+    assert fresh.applied_seq == 1
+    assert fresh.service.oracle.query(0, 15) == 1
+    assert fresh.service.oracle.labelling == server.service.oracle.labelling
+
+
+def test_direct_writes_are_refused(replica):
+    """An out-of-log write would silently fork the replica from the
+    cluster — `update`/`updates` must be refused on replica ports."""
+    server, client = replica
+    for payload in (
+        {"op": "update", "kind": "insert", "u": 0, "v": 15},
+        {"op": "updates", "events": [["insert", 0, 15]]},
+    ):
+        response = client.request(payload)
+        assert not response["ok"]
+        assert "apply" in response["error"]
+    assert server.applied_seq == 0
+    assert client.query(0, 15) == 6  # nothing was applied
+    assert client.stats()["events_applied"] == 0
+
+
+def test_checkpoint_without_path_is_an_error(replica):
+    _, client = replica
+    response = client.request({"op": "checkpoint"})
+    assert not response["ok"]
+
+
+def test_build_replica_replays_wal_suffix(tmp_path):
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    checkpoint = tmp_path / "ck.json.gz"
+    write_checkpoint(oracle, checkpoint, log_seq=0)
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal)
+    log.append_events([("insert", 0, 15), ("insert", 1, 14), ("delete", 0, 15)])
+    log.close()
+    server = build_replica(
+        ReplicaSpec(name="r0", checkpoint_path=str(checkpoint), wal_dir=str(wal))
+    )
+    try:
+        assert server.applied_seq == 3
+        # (0,15) was inserted then deleted; the (1,14) shortcut remains.
+        assert server.service.oracle.query(1, 14) == 1
+        assert server.service.oracle.query(0, 15) == 3
+        reference = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+        reference.insert_edge(0, 15)
+        reference.insert_edge(1, 14)
+        reference.remove_edge(0, 15)
+        assert server.service.oracle.labelling == reference.labelling
+    finally:
+        server.service.stop()
+
+
+def test_build_replica_refuses_stale_checkpoint(tmp_path):
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    checkpoint = tmp_path / "ck.json.gz"
+    write_checkpoint(oracle, checkpoint, log_seq=0)
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=1)
+    log.append_events([("insert", 0, 15), ("insert", 1, 14), ("insert", 2, 13)])
+    log.compact(2)  # records 1..2 gone: checkpoint at 0 can no longer boot
+    log.close()
+    from repro.exceptions import ClusterError
+
+    with pytest.raises(ClusterError):
+        build_replica(
+            ReplicaSpec(name="r0", checkpoint_path=str(checkpoint), wal_dir=str(wal))
+        )

@@ -1,0 +1,172 @@
+"""ClusterRouter: write fan-out, read routing, epoch gating, aggregation."""
+
+from __future__ import annotations
+
+from time import sleep
+
+import pytest
+
+from repro.cluster import ClusterRouter, UpdateLog
+from repro.serving.client import ServingClient
+
+from tests.cluster.conftest import InProcessCluster
+
+
+@pytest.fixture
+def cluster(small_oracle):
+    fleet = InProcessCluster(small_oracle, replicas=2)
+    client = ServingClient(*fleet.address)
+    yield fleet, client
+    client.close()
+    fleet.close()
+
+
+def _drain(client):
+    response = client.snapshot()
+    assert response["ok"]
+    return response
+
+
+def test_same_protocol_as_single_node(cluster):
+    _, client = cluster
+    assert client.ping()
+    assert client.query(0, 15) == 6
+    assert client.query_many([(0, 15), (0, 1)]) == [6, 1]
+    path = client.path(0, 15)
+    assert path[0] == 0 and path[-1] == 15 and len(path) - 1 == 6
+
+
+def test_write_fans_out_to_every_replica(cluster):
+    fleet, client = cluster
+    response = client.updates([("insert", 0, 15), ("insert", 1, 14)])
+    assert response["ok"] and response["epoch"] == 2
+    drained = _drain(client)
+    assert drained["replicas"] == {"r0": 2, "r1": 2}
+    assert client.query(0, 15) == 1
+    # Both replica oracles actually applied both events.
+    for server in fleet.replicas:
+        assert server.applied_seq == 2
+        assert server.service.oracle.query(0, 15) == 1
+
+
+def test_read_your_writes_via_min_epoch(cluster):
+    _, client = cluster
+    response = client.update("insert", 0, 15)
+    epoch = response["epoch"]
+    # Gated read: must reflect the write no matter which replica answers.
+    for _ in range(8):
+        assert client.query(0, 15, min_epoch=epoch) == 1
+
+
+def test_read_response_carries_replica_epoch(cluster):
+    _, client = cluster
+    client.update("insert", 0, 15)
+    _drain(client)
+    raw = client.request({"op": "query", "u": 0, "v": 15})
+    assert raw["ok"] and raw["epoch"] == 1
+
+
+def test_min_epoch_beyond_head_rejected(cluster):
+    _, client = cluster
+    raw = client.request({"op": "query", "u": 0, "v": 15, "min_epoch": 99})
+    assert not raw["ok"]
+    assert "beyond the log head" in raw["error"]
+
+
+def test_reads_below_requested_epoch_never_served_without_replicas(small_oracle):
+    """A router whose replicas cannot reach the epoch refuses the read
+    (after the bounded wait) instead of serving stale data."""
+    log = UpdateLog()
+    log.append("insert", 0, 15)  # head=1, but nobody to apply it
+    router = ClusterRouter(log, port=0, read_timeout=0.3)
+    host, port = router.start_in_thread()
+    try:
+        with ServingClient(host, port) as client:
+            raw = client.request(
+                {"op": "query", "u": 0, "v": 15, "min_epoch": 1}
+            )
+            assert not raw["ok"]
+            assert "no replica caught up to epoch 1" in raw["error"]
+            assert raw.get("retryable")
+            plain = client.request({"op": "query", "u": 0, "v": 15})
+            assert not plain["ok"]
+            assert "no healthy replica" in plain["error"]
+    finally:
+        router.stop_thread()
+
+
+def test_invalid_writes_never_reach_the_log(cluster):
+    fleet, client = cluster
+    for bad in (
+        {"op": "update", "kind": "upsert", "u": 0, "v": 1},
+        {"op": "update", "kind": "insert", "u": 0, "v": 0},
+        {"op": "update", "kind": "insert", "u": -1, "v": 1},
+        {"op": "update", "kind": "insert", "u": "x", "v": 1},
+        {"op": "updates", "events": [["insert", 1, 2], ["delete", 3, 3]]},
+    ):
+        response = client.request(bad)
+        assert not response["ok"]
+    assert fleet.log.head == 0  # the partially-bad batch appended nothing
+
+
+def test_duplicate_insert_rejected_identically_on_all_replicas(cluster):
+    fleet, client = cluster
+    client.update("insert", 0, 15)
+    client.update("insert", 0, 15)  # duplicate: logged, rejected at apply
+    _drain(client)
+    stats = client.stats()
+    for entry in stats["replicas"].values():
+        assert entry["service"]["events_applied"] == 1
+        assert entry["service"]["events_rejected"] == 1
+    assert stats["aggregate"]["events_applied"] == 2  # 1 per replica
+
+
+def test_stats_aggregation_and_lag(cluster):
+    _, client = cluster
+    client.updates([("insert", 0, 15), ("insert", 1, 14)])
+    _drain(client)
+    client.query(0, 15)
+    stats = client.stats()
+    assert stats["role"] == "router"
+    assert stats["log_head"] == 2 and stats["log_base"] == 0
+    assert stats["writes_appended"] == 2
+    assert stats["reads_routed"] >= 1
+    assert set(stats["replicas"]) == {"r0", "r1"}
+    for entry in stats["replicas"].values():
+        assert entry["healthy"] and entry["acked_seq"] == 2 and entry["lag"] == 0
+    agg = stats["aggregate"]
+    assert agg["events_applied"] == 4  # every replica applied both
+    assert agg["queries"]["count"] >= 1
+
+
+def test_replica_failure_fails_over_and_recovers(cluster):
+    fleet, client = cluster
+    client.update("insert", 0, 15)
+    _drain(client)
+    # Kill one replica server; reads keep working through the other.
+    victim = fleet.replicas[0]
+    victim.stop_thread()
+    for _ in range(6):
+        assert client.query(0, 15) == 1
+    deadline = 50
+    while deadline:
+        states = {
+            name: entry["healthy"]
+            for name, entry in client.stats()["replicas"].items()
+        }
+        if not states[victim.name]:
+            break
+        sleep(0.1)
+        deadline -= 1
+    assert not states[victim.name]
+    # Writes still ack (log + surviving replica) and reads still answer.
+    response = client.update("insert", 1, 14)
+    assert response["ok"]
+    assert client.query(1, 14, min_epoch=response["epoch"]) == 1
+
+
+def test_remove_replica(cluster):
+    fleet, client = cluster
+    fleet.router.remove_replica_from_thread("r0")
+    assert client.stats()["replicas"].keys() == {"r1"}
+    assert client.query(0, 15) == 6

@@ -1,0 +1,215 @@
+"""UpdateLog: append/read, durability, segments, torn tails, compaction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.wal import (
+    LogRecord,
+    UpdateLog,
+    restore_checkpoint,
+    scan_wal,
+    write_checkpoint,
+)
+from repro.core.dynamic import DynamicHCL
+from repro.exceptions import ClusterError
+from repro.graph.generators import grid_graph
+
+
+def test_in_memory_append_and_read():
+    log = UpdateLog()
+    assert log.head == 0 and len(log) == 0
+    assert log.append("insert", 0, 1) == 1
+    assert log.append_events([("insert", 1, 2), ("delete", 0, 1)]) == 3
+    assert log.head == 3
+    records = log.read(1)
+    assert [r.seq for r in records] == [1, 2, 3]
+    assert records[0] == LogRecord(1, "insert", 0, 1)
+    assert [r.seq for r in log.read(2, limit=1)] == [2]
+    assert [e.kind for e in log.events_since(1)] == ["insert", "delete"]
+
+
+def test_append_rejects_unknown_kind():
+    log = UpdateLog()
+    with pytest.raises(ClusterError):
+        log.append("upsert", 0, 1)
+    assert log.head == 0
+
+
+def test_empty_append_is_a_noop():
+    log = UpdateLog()
+    log.append("insert", 0, 1)
+    assert log.append_events([]) == 1
+
+
+@pytest.mark.parametrize("fsync", ["always", "batch", "never"])
+def test_durable_roundtrip(tmp_path, fsync):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, fsync=fsync)
+    log.append_events([("insert", 0, 1), ("insert", 1, 2), ("delete", 0, 1)])
+    log.close()
+
+    reopened = UpdateLog(wal, fsync=fsync)
+    assert reopened.head == 3
+    assert [tuple(r) for r in reopened.read(1)] == [
+        (1, "insert", 0, 1), (2, "insert", 1, 2), (3, "delete", 0, 1),
+    ]
+    # Appending continues the sequence after reopen.
+    assert reopened.append("insert", 2, 3) == 4
+    reopened.close()
+    assert [r.seq for r in scan_wal(wal)] == [1, 2, 3, 4]
+
+
+def test_unknown_fsync_policy_rejected(tmp_path):
+    with pytest.raises(ClusterError):
+        UpdateLog(tmp_path / "wal", fsync="sometimes")
+
+
+def test_segments_rotate(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=4)
+    for i in range(10):
+        log.append("insert", i, i + 1)
+    log.close()
+    segments = sorted(p.name for p in wal.iterdir())
+    assert segments == [
+        "wal-000000000001.ndjson",
+        "wal-000000000005.ndjson",
+        "wal-000000000009.ndjson",
+    ]
+    assert [r.seq for r in scan_wal(wal)] == list(range(1, 11))
+    assert [r.seq for r in scan_wal(wal, start_seq=7)] == [7, 8, 9, 10]
+
+
+def test_scan_tolerates_torn_tail(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal)
+    log.append_events([("insert", 0, 1), ("insert", 1, 2)])
+    log.close()
+    segment = next(iter(wal.iterdir()))
+    with open(segment, "ab") as handle:
+        handle.write(b'[3,"ins')  # crash mid-append: no trailing newline
+    assert [r.seq for r in scan_wal(wal)] == [1, 2]
+    # The owner repairs the tail on open and keeps appending cleanly.
+    reopened = UpdateLog(wal)
+    assert reopened.head == 2
+    assert reopened.append("insert", 2, 3) == 3
+    reopened.close()
+    assert [r.seq for r in scan_wal(wal)] == [1, 2, 3]
+
+
+def test_scan_rejects_mid_log_corruption(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=2)
+    for i in range(5):
+        log.append("insert", i, i + 1)
+    log.close()
+    first = sorted(wal.iterdir())[0]
+    first.write_text('[1,"insert",0,1]\nnot json\n')
+    with pytest.raises(ClusterError, match="corrupt"):
+        scan_wal(wal)
+
+
+def test_scan_rejects_sequence_gap(tmp_path):
+    wal = tmp_path / "wal"
+    wal.mkdir()
+    (wal / "wal-000000000001.ndjson").write_text(
+        '[1,"insert",0,1]\n[3,"insert",1,2]\n'
+    )
+    with pytest.raises(ClusterError, match="gap"):
+        scan_wal(wal)
+
+
+def test_compaction_drops_covered_segments(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=3)
+    for i in range(9):
+        log.append("insert", i, i + 1)
+    assert len(list(wal.iterdir())) == 3
+    dropped = log.compact(6)
+    assert dropped == 6
+    assert log.base == 6 and log.head == 9
+    assert len(list(wal.iterdir())) == 1  # first two segments fully covered
+    assert [r.seq for r in log.read(7)] == [7, 8, 9]
+    with pytest.raises(ClusterError, match="compacted"):
+        log.read(5)
+    with pytest.raises(ClusterError):
+        log.compact(99)  # beyond head
+    assert log.compact(4) == 0  # already below base: no-op
+    log.close()
+
+
+def test_reopen_after_compaction_with_base_seq(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=2)
+    for i in range(6):
+        log.append("insert", i, i + 1)
+    log.compact(4)
+    log.close()
+    # The checkpoint knows seq 4; reopening at that base resumes cleanly.
+    reopened = UpdateLog(wal, base_seq=4)
+    assert reopened.base == 4 and reopened.head == 6
+    assert [r.seq for r in reopened.read(5)] == [5, 6]
+    reopened.close()
+
+
+def test_reopen_past_wal_start_is_refused(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal, segment_records=2)
+    for i in range(6):
+        log.append("insert", i, i + 1)
+    log.compact(4)
+    log.close()
+    # Claiming a checkpoint at seq 2 when records 3..4 are gone must fail
+    # loudly instead of silently skipping events.
+    with pytest.raises(ClusterError, match="checkpoint"):
+        UpdateLog(wal, base_seq=2)
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    oracle.insert_edge(0, 8)
+    path = tmp_path / "checkpoint.json.gz"
+    write_checkpoint(oracle, path, log_seq=17)
+    restored, seq = restore_checkpoint(path)
+    assert seq == 17
+    assert restored.labelling == oracle.labelling
+    assert restored.query(0, 8) == 1
+    # No stray temp file left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["checkpoint.json.gz"]
+
+
+def test_checkpoint_from_snapshot_matches_oracle(tmp_path):
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    snap = oracle.snapshot()
+    direct = tmp_path / "direct.json"
+    pinned = tmp_path / "pinned.json"
+    write_checkpoint(oracle, direct, log_seq=3)
+    write_checkpoint(snap, pinned, log_seq=3)
+    assert direct.read_bytes() == pinned.read_bytes()
+    # The pinned file reflects the snapshot even after later mutations.
+    oracle.insert_edge(0, 8)
+    restored, _ = restore_checkpoint(pinned)
+    assert restored.query(0, 8) == 4
+
+
+def test_plain_save_oracle_restores_at_seq_zero(tmp_path):
+    from repro.utils.serialization import save_oracle
+
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    path = tmp_path / "plain.json.gz"
+    save_oracle(oracle, path)
+    _, seq = restore_checkpoint(path)
+    assert seq == 0
+
+
+def test_wal_segment_format_is_plain_ndjson(tmp_path):
+    wal = tmp_path / "wal"
+    log = UpdateLog(wal)
+    log.append("insert", 7, 9)
+    log.close()
+    segment = next(iter(wal.iterdir()))
+    lines = segment.read_text().splitlines()
+    assert [json.loads(line) for line in lines] == [[1, "insert", 7, 9]]

@@ -99,6 +99,34 @@ def test_protocol_errors(served):
     assert client.ping()
 
 
+def test_client_pipeline_batches_requests(served):
+    _, client = served
+    payloads = [{"op": "query", "u": 0, "v": i} for i in range(10)]
+    payloads.append({"op": "ping"})
+    # chunk smaller than the burst: writes and reads interleave.
+    responses = client.pipeline(payloads, chunk=4)
+    assert len(responses) == 11
+    assert all(r["ok"] for r in responses)
+    assert responses[-1]["pong"] is True
+    assert responses[1]["distance"] == 1
+    # The connection is still usable request-by-request afterwards.
+    assert client.query(0, 15) == 6
+
+
+def test_server_restarts_cleanly_after_stop():
+    """start -> stop -> start on a fresh loop must work, including a
+    graceful stop with a connection open on the second life."""
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    server = OracleServer(OracleService(oracle), port=0)
+    for _ in range(2):
+        host, port = server.start_in_thread()
+        with ServingClient(host, port) as client:
+            assert client.ping()
+            assert client.query(0, 15) == 6
+            server.stop_thread()  # connection still open: drain path runs
+    assert not server.service.running
+
+
 def test_warm_start_from_saved_oracle(tmp_path):
     oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
     oracle.insert_edge(0, 8)

@@ -1,0 +1,147 @@
+"""Graceful shutdown: in-flight requests drain, idle connections close.
+
+Regression tests for the abrupt-close behaviour: stopping a server used
+to cancel connection tasks outright, so a client awaiting a response
+could see the socket die mid-request.  The contract now: a request that
+reached the server before the stop gets its response; idle connections
+get a clean EOF; stop completes promptly either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from time import perf_counter
+
+from repro.core.dynamic import DynamicHCL
+from repro.graph.generators import grid_graph
+from repro.serving.client import ServingClient
+from repro.serving.server import LineServer, OracleServer
+from repro.serving.service import OracleService
+
+
+class SlowEchoServer(LineServer):
+    """Deterministically slow responder to pin a request in flight."""
+
+    def __init__(self, delay: float = 0.4) -> None:
+        super().__init__(port=0)
+        self.delay = delay
+
+    async def _respond(self, line: bytes) -> dict:
+        await asyncio.sleep(self.delay)
+        return {"ok": True, "echo": json.loads(line)}
+
+
+def test_in_flight_request_drains_before_stop():
+    server = SlowEchoServer(delay=0.4)
+    host, port = server.start_in_thread()
+    sock = socket.create_connection((host, port), timeout=5.0)
+    handle = sock.makefile("rwb")
+    try:
+        handle.write(b'{"op": "ping"}\n')
+        handle.flush()
+        # Give the request time to reach the handler, then stop while the
+        # response is still pending.
+        stopper = threading.Timer(0.1, server.stop_thread)
+        stopper.start()
+        response = json.loads(handle.readline())
+        assert response == {"ok": True, "echo": {"op": "ping"}}
+        assert handle.readline() == b""  # then a clean EOF
+        stopper.join()
+    finally:
+        handle.close()
+        sock.close()
+    assert not server._runner.running
+
+
+def test_idle_connections_close_promptly_on_stop():
+    server = SlowEchoServer(delay=0.05)
+    host, port = server.start_in_thread()
+    socks = [socket.create_connection((host, port), timeout=5.0) for _ in range(3)]
+    try:
+        start = perf_counter()
+        server.stop_thread()
+        elapsed = perf_counter() - start
+        # Idle connections must not hold the stop for drain_timeout.
+        assert elapsed < 5.0
+        for sock in socks:
+            assert sock.makefile("rb").readline() == b""  # clean EOF
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def test_oracle_server_graceful_stop_serves_last_response():
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    server = OracleServer(OracleService(oracle), port=0)
+    host, port = server.start_in_thread()
+    client = ServingClient(host, port)
+    try:
+        client.update("insert", 0, 15)
+        assert client.snapshot()["ok"]
+        assert client.query(0, 15) == 1
+    finally:
+        server.stop_thread()
+        # After the graceful stop the writer thread is down too.
+        assert not server.service.running
+        client.close()
+
+
+def test_request_shutdown_ends_run_loop():
+    """`run()` (the SIGTERM/SIGINT serving path) exits on request_shutdown
+    and stops the service — exercised cross-thread, exactly how a signal
+    handler fires it."""
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    server = OracleServer(OracleService(oracle), port=0)
+    started = threading.Event()
+    addresses: list[tuple[str, int]] = []
+
+    def _serve() -> None:
+        async def main() -> None:
+            def on_started(srv: OracleServer) -> None:
+                addresses.append(srv.address)
+                started.set()
+
+            # install_signals=False: signal handlers need the main thread;
+            # request_shutdown is the same code path one level down.
+            await server.run(install_signals=False, on_started=on_started)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    assert started.wait(10.0)
+    with ServingClient(*addresses[0]) as client:
+        assert client.ping()
+    server.request_shutdown()
+    thread.join(10.0)
+    assert not thread.is_alive()
+    assert not server.service.running
+
+
+def test_install_signal_handlers_off_main_thread_is_a_noop():
+    server = SlowEchoServer()
+
+    results: list[bool] = []
+
+    def _run() -> None:
+        async def main() -> None:
+            await server.start()
+            results.append(server.install_signal_handlers())
+            await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=_run)
+    thread.start()
+    thread.join(10.0)
+    assert results == [False]  # refused quietly; request_shutdown still works
+
+
+def test_stop_is_idempotent():
+    server = SlowEchoServer()
+    server.start_in_thread()
+    server.stop_thread()
+    server.stop_thread()  # second stop: no-op, no error

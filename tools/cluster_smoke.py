@@ -1,18 +1,23 @@
 #!/usr/bin/env python
-"""End-to-end serving smoke check (CI gate).
+"""End-to-end cluster smoke check (CI gate for `repro.cluster`).
 
-Boots the full stack — oracle build, ``save_oracle`` warm-start file, TCP
-server, wire protocol — then:
+Boots the full replicated stack — oracle build, `save_oracle` warm-start
+file, :class:`ClusterSupervisor` spawning a WAL-backed router plus N
+replica processes — then:
 
-1. drives a concurrent phase: N client threads run closed query loops
-   over TCP while updates stream in through the protocol (measures qps);
-2. drains the writer (``snapshot`` op), then re-checks every query pair
-   against a local BFS mirror that replayed the same updates — any
-   disagreement is an incorrect answer.
+1. drives a concurrent phase: client threads run closed `query_many`
+   loops against the router while updates stream in through the protocol
+   (measures aggregate qps across the replica fleet);
+2. drains every replica to the log head (`snapshot` op), then re-checks
+   query pairs — routed with `min_epoch` = head, so every replica must be
+   caught up — against a local BFS mirror that replayed the same updates;
+3. stops the supervisor and asserts a **clean shutdown**: every replica
+   process exited 0 after its SIGTERM drain.
 
-Exit code 0 requires **nonzero qps and zero incorrect answers**.
+Exit code 0 requires **nonzero qps, zero incorrect answers, and a clean
+shutdown**.
 
-Usage:  PYTHONPATH=src python tools/serving_smoke.py [--seconds 3]
+Usage:  PYTHONPATH=src python tools/cluster_smoke.py [--seconds 3]
 """
 
 from __future__ import annotations
@@ -25,10 +30,10 @@ from time import perf_counter
 
 from smoke_common import QueryLoop, bfs_distance
 
+from repro.cluster import ClusterSupervisor
 from repro.core.dynamic import DynamicHCL
 from repro.graph.generators import barabasi_albert
 from repro.serving.client import ServingClient
-from repro.serving.server import OracleServer
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import save_oracle
 from repro.workloads.streams import mixed_stream
@@ -38,6 +43,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seconds", type=float, default=3.0)
     parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=2)
     parser.add_argument("--vertices", type=int, default=400)
     parser.add_argument("--updates", type=int, default=60)
     parser.add_argument("--checks", type=int, default=150)
@@ -52,9 +58,15 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         oracle_file = Path(tmp) / "oracle.json.gz"
         save_oracle(oracle, oracle_file)
-        server = OracleServer.from_file(oracle_file, port=0)
-        host, port = server.start_in_thread()
-        print(f"serving warm-started oracle on {host}:{port} "
+        supervisor = ClusterSupervisor(
+            oracle_file,
+            cluster_dir=Path(tmp) / "cluster",
+            replicas=args.replicas,
+            port=0,
+            fsync="batch",
+        )
+        host, port = supervisor.start_in_thread()
+        print(f"cluster router on {host}:{port} with {args.replicas} replicas "
               f"(|V|={len(vertices)}, |E|={graph.num_edges})")
         try:
             deadline = perf_counter() + args.seconds
@@ -66,13 +78,15 @@ def main(argv=None) -> int:
             for loop in loops:
                 loop.start()
 
-            # Stream the updates through the protocol while readers run,
+            # Stream the updates through the router while readers run,
             # mirroring them locally for the later correctness pass.
             mirror = {v: set(ns) for v, ns in graph.adjacency().items()}
             with ServingClient(host, port) as feeder:
+                head = 0
                 for event in events:
                     u, v = event.edge
-                    feeder.update(event.kind, u, v)
+                    response = feeder.update(event.kind, u, v)
+                    head = response["epoch"]
                     if event.is_insert:
                         mirror[u].add(v)
                         mirror[v].add(u)
@@ -85,9 +99,8 @@ def main(argv=None) -> int:
                 queries = sum(loop.count for loop in loops)
                 qps = queries / elapsed
 
-                # Drain + verify against the BFS mirror on the final graph:
-                # all checks go out as one query_many frame, then each
-                # answer is BFS-checked locally.
+                # Drain every replica to the head, then verify reads gated
+                # at that epoch against the BFS mirror.
                 final = feeder.snapshot()
                 stats = feeder.stats()
                 rng = ensure_rng(args.seed * 7)
@@ -95,21 +108,31 @@ def main(argv=None) -> int:
                     (rng.choice(vertices), rng.choice(vertices))
                     for _ in range(args.checks)
                 ]
-                answers = feeder.query_many(pairs)
-                incorrect = sum(
-                    1
-                    for (u, v), got in zip(pairs, answers)
-                    if got != bfs_distance(mirror, u, v)
-                )
+                incorrect = 0
+                for chunk_base in range(0, len(pairs), 25):
+                    chunk = pairs[chunk_base : chunk_base + 25]
+                    answers = feeder.query_many(chunk, min_epoch=head)
+                    incorrect += sum(
+                        1
+                        for (u, v), got in zip(chunk, answers)
+                        if got != bfs_distance(mirror, u, v)
+                    )
         finally:
-            server.stop_thread()
+            supervisor.stop_thread()
+        exit_codes = {
+            name: worker.exitcode
+            for name, worker in supervisor.workers_by_name.items()
+        }
 
+    lags = {name: entry["lag"] for name, entry in stats["replicas"].items()}
     print(f"concurrent phase: {queries} queries in {elapsed:.2f}s -> "
-          f"{qps:.0f} qps across {args.clients} clients")
-    print(f"writer: {stats['events_applied']} applied, "
-          f"{stats['events_rejected']} rejected, epoch {final['epoch']}")
-    print(f"verification: {args.checks} BFS cross-checks, "
-          f"{incorrect} incorrect")
+          f"{qps:.0f} qps across {args.clients} clients / "
+          f"{args.replicas} replicas")
+    print(f"writer: log head {final['epoch']}, replica lags {lags}, "
+          f"aggregate applied {stats['aggregate']['events_applied']}")
+    print(f"verification: {args.checks} BFS cross-checks at min_epoch="
+          f"{head}, {incorrect} incorrect")
+    print(f"shutdown: replica exit codes {exit_codes}")
 
     if queries == 0 or qps <= 0:
         print("FAIL: zero query throughput", file=sys.stderr)
@@ -117,8 +140,12 @@ def main(argv=None) -> int:
     if incorrect:
         print(f"FAIL: {incorrect} incorrect answers", file=sys.stderr)
         return 1
-    if stats["events_applied"] == 0:
-        print("FAIL: writer applied no updates", file=sys.stderr)
+    if final["epoch"] != args.updates:
+        print(f"FAIL: log head {final['epoch']} != {args.updates} updates",
+              file=sys.stderr)
+        return 1
+    if any(code != 0 for code in exit_codes.values()):
+        print(f"FAIL: unclean replica shutdown: {exit_codes}", file=sys.stderr)
         return 1
     print("OK")
     return 0

@@ -1,0 +1,60 @@
+"""Shared pieces of the serving/cluster smoke checks.
+
+Both ``tools/serving_smoke.py`` and ``tools/cluster_smoke.py`` drive the
+same wire protocol with the same closed-loop readers and verify answers
+against the same reference BFS — one copy lives here (the tools run as
+scripts, so their own directory is importable).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+
+from repro.serving.client import ServingClient
+from repro.utils.rng import ensure_rng
+
+INF = float("inf")
+
+
+def bfs_distance(adj: dict[int, set[int]], u: int, v: int) -> float:
+    """Reference distance on a plain adjacency-set mirror."""
+    if u == v:
+        return 0
+    dist = {u: 0}
+    queue = deque([u])
+    while queue:
+        x = queue.popleft()
+        for w in adj[x]:
+            if w not in dist:
+                if w == v:
+                    return dist[x] + 1
+                dist[w] = dist[x] + 1
+                queue.append(w)
+    return INF
+
+
+class QueryLoop(threading.Thread):
+    """Closed-loop reader batching pairs through one `query_many` frame
+    per round-trip (the serving hot path) instead of N `query` calls."""
+
+    def __init__(self, host, port, vertices, seed, deadline, batch=16):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.vertices = vertices
+        self.rng = ensure_rng(seed)
+        self.deadline = deadline
+        self.batch = batch
+        self.count = 0
+
+    def run(self) -> None:
+        with ServingClient(self.host, self.port) as client:
+            choice = self.rng.choice
+            while perf_counter() < self.deadline:
+                pairs = [
+                    (choice(self.vertices), choice(self.vertices))
+                    for _ in range(self.batch)
+                ]
+                client.query_many(pairs)
+                self.count += len(pairs)
