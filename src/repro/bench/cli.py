@@ -24,6 +24,7 @@ from repro.bench.experiments import (
     figure3,
     figure4,
     incremental_fast,
+    mixed,
     parallel,
     serving,
     table1,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "cluster": cluster.run,
     "extensions": extensions.run,
     "incremental_fast": incremental_fast.run,
+    "mixed": mixed.run,
     "parallel": parallel.run,
     "serving": serving.run,
 }

@@ -1,0 +1,190 @@
+"""MX — fully-dynamic mixed insert/delete batches vs the fallback paths.
+
+The paper's model is insert-only; the fully-dynamic extension must prove
+its keep against what a deployment would otherwise do with deletions.
+Each dataset replays one interleaved insert/delete stream (deletions may
+disconnect the graph — intended) through three maintenance routes over
+identical graph copies:
+
+* **sequential** — the reference kernels, one event at a time (IncHL+
+  insertions, DecHL deletions);
+* **fallback** — the *pre-mixed-engine* fast path: insert runs use the
+  vectorized batch engine but every deletion drops to DecHL and
+  invalidates the engine, so the next insert run pays a full re-attach
+  (one CSR BFS per landmark).  This is what serving deployments did
+  before the engine kept its dense rows valid across deletions;
+* **mixed-fast** — the BatchHL-style mixed batch engine: each chunk is
+  collapsed to its net edge sets and applied as one find/repair sweep
+  per landmark through ``apply_events_batch(fast=True)``.
+
+Every route's final labelling must equal the sequential reference
+(byte-identity contract), and the mixed-fast oracle's answers are
+spot-checked against BFS ground truth — the ``bfs_incorrect`` column
+must read zero for the run to be trusted (CI asserts it).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.profile import bench_profile
+from repro.bench.report import format_table
+from repro.core.dynamic import DynamicHCL
+from repro.exceptions import BenchmarkError
+from repro.graph.traversal import bfs_distances
+from repro.landmarks.selection import top_degree_landmarks
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.workloads.datasets import DATASETS, build_dataset
+from repro.workloads.streams import mixed_stream
+
+__all__ = ["run"]
+
+#: Same representative spread as the incremental-fast sweep.
+_DEFAULT_DATASETS = ["flickr-s", "twitter-s", "uk-s"]
+
+#: Deletion-heavy enough that the decremental path dominates the fallback.
+_INSERT_RATIO = 0.6
+
+
+def _chunks(events, size):
+    for start in range(0, len(events), size):
+        yield events[start : start + size]
+
+
+def _replay_sequential(oracle: DynamicHCL, events) -> float:
+    total = 0.0
+    for event in events:
+        u, v = event.edge
+        with Stopwatch() as sw:
+            if event.is_insert:
+                oracle.insert_edge(u, v, fast=False)
+            else:
+                oracle.remove_edge(u, v, fast=False)
+        total += sw.elapsed
+    return total
+
+
+def _replay_fallback(oracle: DynamicHCL, events, batch: int, workers) -> float:
+    """Insert runs on the vectorized engine, deletions through DecHL with
+    engine invalidation — the pre-mixed-engine serving behaviour."""
+    oracle._resolve_fast_engine()
+    total = 0.0
+    for chunk in _chunks(events, batch):
+        with Stopwatch() as sw:
+            run: list[tuple[int, int]] = []
+            for event in chunk:
+                if event.is_insert:
+                    run.append(event.edge)
+                    continue
+                if run:
+                    oracle.insert_edges_batch(run, workers=workers, fast=True)
+                    run = []
+                oracle.remove_edge(*event.edge, fast=False)
+            if run:
+                oracle.insert_edges_batch(run, workers=workers, fast=True)
+        total += sw.elapsed
+    return total
+
+
+def _replay_mixed(oracle: DynamicHCL, events, batch: int, workers) -> float:
+    oracle._resolve_fast_engine()  # attach once, like a serving deployment
+    total = 0.0
+    for chunk in _chunks(events, batch):
+        with Stopwatch() as sw:
+            oracle.apply_events_batch(chunk, workers=workers, fast=True)
+        total += sw.elapsed
+    return total
+
+
+def _bfs_spot_check(oracle: DynamicHCL, rng, samples: int) -> tuple[int, int]:
+    vertices = sorted(oracle.graph.vertices())
+    incorrect = 0
+    for _ in range(samples):
+        u = rng.choice(vertices)
+        v = rng.choice(vertices)
+        expected = bfs_distances(oracle.graph, u).get(v, float("inf"))
+        if oracle.query(u, v) != expected:
+            incorrect += 1
+    return samples, incorrect
+
+
+def _row(dataset, mode, events, deletes, total_s, speedup, identical,
+         checked=None, incorrect=None):
+    return {
+        "experiment": "MX-mixed-batch",
+        "dataset": dataset,
+        "mode": mode,
+        "events": events,
+        "deletes": deletes,
+        "total_ms": round(total_s * 1000.0, 3),
+        "per_event_us": round(total_s / events * 1e6, 3) if events else 0.0,
+        "speedup_vs_fallback": round(speedup, 3) if speedup is not None else None,
+        "identical": identical,
+        "bfs_checked": checked,
+        "bfs_incorrect": incorrect,
+    }
+
+
+def run(
+    profile: str | None = None,
+    datasets: list[str] | None = None,
+    seed: int = 2021,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Mixed insert/delete batch engine vs the decremental fallback."""
+    prof = bench_profile(profile)
+    names = datasets if datasets is not None else list(_DEFAULT_DATASETS)
+    unknown = [n for n in names if n not in DATASETS]
+    if unknown:
+        raise BenchmarkError(f"unknown datasets: {unknown}")
+
+    rows: list[dict] = []
+    for name in names:
+        spec, graph = build_dataset(name, profile=prof.name, seed=seed)
+        rng = ensure_rng(zlib.crc32(f"{seed}:{name}:mixed".encode()))
+        events = mixed_stream(
+            graph, prof.figure4_total, insert_ratio=_INSERT_RATIO, rng=rng
+        )
+        deletes = sum(1 for e in events if not e.is_insert)
+        landmarks = top_degree_landmarks(graph, spec.num_landmarks)
+
+        seq_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr"
+        )
+        t_seq = _replay_sequential(seq_oracle, events)
+
+        fb_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr",
+            fast_updates=True, workers=workers,
+        )
+        t_fb = _replay_fallback(fb_oracle, events, prof.figure4_batch, workers)
+        identical_fb = fb_oracle.labelling == seq_oracle.labelling
+
+        mx_oracle = DynamicHCL.build(
+            graph.copy(), landmarks=landmarks, construction="csr",
+            fast_updates=True, workers=workers,
+        )
+        t_mx = _replay_mixed(mx_oracle, events, prof.figure4_batch, workers)
+        identical_mx = mx_oracle.labelling == seq_oracle.labelling
+        checked, incorrect = _bfs_spot_check(mx_oracle, rng, samples=30)
+
+        count = len(events)
+        rows.append(_row(name, "sequential", count, deletes, t_seq,
+                         t_fb / t_seq if t_seq > 0 else None, True))
+        rows.append(_row(name, "fallback", count, deletes, t_fb,
+                         1.0, identical_fb))
+        rows.append(_row(name, "mixed-fast", count, deletes, t_mx,
+                         t_fb / t_mx if t_mx > 0 else None, identical_mx,
+                         checked, incorrect))
+
+    text = format_table(
+        ["dataset", "mode", "events", "deletes", "total_ms", "per_event_us",
+         "speedup_vs_fallback", "identical", "bfs_checked", "bfs_incorrect"],
+        rows,
+        title=(f"MX — fully-dynamic mixed batches vs decremental fallback "
+               f"({prof.figure4_total} events/dataset, "
+               f"insert ratio {_INSERT_RATIO})"),
+    )
+    return ExperimentResult(name="mixed", rows=rows, text=text)

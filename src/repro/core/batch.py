@@ -38,7 +38,12 @@ from repro.graph.traversal import INF
 from repro.parallel.engine import LandmarkEngine
 from repro.parallel.sweeps import batch_find_task
 
-__all__ = ["BatchUpdateStats", "find_affected_batch", "apply_edge_insertions_batch"]
+__all__ = [
+    "BatchUpdateStats",
+    "MixedUpdateStats",
+    "find_affected_batch",
+    "apply_edge_insertions_batch",
+]
 
 
 class BatchUpdateStats(UpdateStats):
@@ -53,6 +58,34 @@ class BatchUpdateStats(UpdateStats):
     def batch_size(self) -> int:
         """Number of edges in this batch."""
         return len(self.edges)
+
+
+class MixedUpdateStats(UpdateStats):
+    """Statistics of one mixed insert/delete batch.
+
+    ``inserts``/``deletes`` hold the batch's net edge sets;
+    ``disconnected`` counts (landmark, vertex) pairs the batch cut off.
+    The inherited counters aggregate the per-landmark repairs exactly as
+    for pure insertion batches.
+    """
+
+    def __init__(
+        self,
+        inserts: Sequence[tuple[int, int]],
+        deletes: Sequence[tuple[int, int]],
+    ) -> None:
+        self.inserts = [tuple(e) for e in inserts]
+        self.deletes = [tuple(e) for e in deletes]
+        edges = self.inserts or self.deletes
+        super().__init__(
+            edge=edges[0] if edges else (-1, -1), affected_per_landmark={}
+        )
+        self.disconnected = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Number of net events in this batch."""
+        return len(self.inserts) + len(self.deletes)
 
 
 def find_affected_batch(

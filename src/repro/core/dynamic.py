@@ -14,6 +14,9 @@ extensions:
   decremental extension (paper's future work), either fine-grained DecHL
   (:mod:`repro.core.dechl`) or the coarse per-landmark rebuild
   (:mod:`repro.core.decremental`);
+* :meth:`DynamicHCL.remove_edges_batch` / :meth:`DynamicHCL.apply_events_batch`
+  — fully-dynamic mixed insert/delete batches, one BatchHL-style combined
+  sweep per landmark on the fast route (``docs/DESIGN.md`` §10);
 * :meth:`DynamicHCL.add_landmark` / :meth:`DynamicHCL.remove_landmark` —
   online landmark-set resizing (:mod:`repro.landmarks.maintenance`);
 * :meth:`DynamicHCL.shortest_path` — path extraction on top of the
@@ -28,10 +31,14 @@ count.
 
 The ``fast`` knob (per call, or ``fast_updates=`` as the oracle default —
 mirroring the ``construction`` knob) routes :meth:`insert_edge` /
-:meth:`insert_edges_batch` through the vectorized CSR update engine of
-:mod:`repro.core.inchl_fast`; the labelling it produces is byte-identical
-to the sequential implementation's.  The engine is cached across fast
-insertions and transparently rebuilt after any other mutation.
+:meth:`insert_edges_batch` / :meth:`remove_edge` /
+:meth:`remove_edges_batch` / :meth:`apply_events_batch` through the
+vectorized CSR update engine of :mod:`repro.core.inchl_fast`; the
+labelling it produces is byte-identical to the sequential
+implementation's for every event kind.  The engine is cached across fast
+updates — including deletions — and transparently rebuilt after any
+other mutation (landmark maintenance, vertex removal, rebuild-strategy
+deletions).
 """
 
 from __future__ import annotations
@@ -369,19 +376,36 @@ class DynamicHCL:
         )
 
     def remove_edge(
-        self, u: int, v: int, strategy: str = "partial", workers: int | None = None
+        self,
+        u: int,
+        v: int,
+        strategy: str = "partial",
+        workers: int | None = None,
+        fast: bool | None = None,
     ):
         """Decremental update (the paper's stated future work).
 
-        ``strategy="partial"`` (default) runs the fine-grained DecHL of
-        :mod:`repro.core.dechl`, confining work to the affected region;
-        ``strategy="rebuild"`` runs the coarse per-relevant-landmark
-        rebuild of :mod:`repro.core.decremental`, whose rebuild sweeps
-        ``workers`` (default: the oracle's worker count) fans out across
-        a process pool.  Both preserve exact minimality; they differ only
-        in cost profile.
+        ``fast`` selects the update route (default: the oracle's
+        ``fast_updates``): when true (and ``strategy`` is the default
+        ``"partial"``) the deletion runs on the vectorized mixed-batch
+        engine (:meth:`repro.core.inchl_fast.FastUpdateEngine.remove_edge`)
+        — byte-identical labelling, dense rows kept valid, no engine
+        invalidation.  Otherwise ``strategy="partial"`` runs the
+        fine-grained DecHL of :mod:`repro.core.dechl`, confining work to
+        the affected region, and ``strategy="rebuild"`` runs the coarse
+        per-relevant-landmark rebuild of :mod:`repro.core.decremental`,
+        whose rebuild sweeps ``workers`` (default: the oracle's worker
+        count) fan out across a process pool.  All routes preserve exact
+        minimality; they differ only in cost profile.
         """
+        if fast is None:
+            fast = self.fast_updates
         if strategy == "partial":
+            if fast:
+                engine = self._resolve_fast_engine()
+                self._graph.remove_edge(u, v)
+                self._version += 1
+                return engine.remove_edge(u, v)
             from repro.core.dechl import apply_edge_deletion_partial
 
             self._invalidate_fast()
@@ -404,6 +428,130 @@ class DynamicHCL:
         raise GraphError(
             f"unknown deletion strategy {strategy!r}; use 'partial' or 'rebuild'"
         )
+
+    def remove_edges_batch(
+        self,
+        edges: Iterable[tuple[int, int]],
+        workers: int | None = None,
+        fast: bool | None = None,
+    ):
+        """Delete a burst of edges with one combined sweep per landmark.
+
+        The decremental counterpart of :meth:`insert_edges_batch`: on the
+        fast route the whole burst is absorbed by one BatchHL-style
+        find/repair pass per landmark
+        (:meth:`~repro.core.inchl_fast.FastUpdateEngine.remove_edges_batch`);
+        on the reference route the edges are deleted one at a time through
+        DecHL.  Both end on the canonical minimal labelling of the final
+        graph.  Returns a :class:`~repro.core.batch.MixedUpdateStats`.
+        """
+        return self.apply_events_batch(
+            [("delete", (u, v)) for u, v in edges], workers=workers, fast=fast
+        )
+
+    def apply_events_batch(
+        self,
+        events,
+        workers: int | None = None,
+        fast: bool | None = None,
+    ):
+        """Apply a mixed insert/delete event batch in one combined repair.
+
+        ``events`` is a sequence of
+        :class:`~repro.workloads.streams.UpdateEvent` (or plain
+        ``(kind, (u, v))`` pairs) applied *as if sequentially*: every
+        event is validated against the graph state its predecessors
+        produce, and :attr:`version` advances by ``len(events)`` — the
+        same epochs a one-at-a-time replay would stamp.  Invalid
+        transitions (inserting a present edge, deleting an absent one,
+        self-loops, unknown endpoints) raise :class:`GraphError` before
+        anything is mutated.
+
+        On the fast route the batch is first collapsed to its *net* edge
+        sets — an insert-then-delete (or delete-then-reinsert) pair
+        cancels outright — and handed to the mixed-batch engine as one
+        BatchHL-style sweep per landmark.  The reference route replays
+        the events one at a time (IncHL+ / DecHL).  Both end on the
+        canonical minimal labelling of the final graph, byte for byte.
+        Returns a :class:`~repro.core.batch.MixedUpdateStats`.
+        """
+        from repro.core.batch import MixedUpdateStats
+
+        if fast is None:
+            fast = self.fast_updates
+        graph = self._graph
+        normalized: list[tuple[str, int, int]] = []
+        state: dict[tuple[int, int], bool] = {}
+        for event in events:
+            kind, edge = (
+                (event.kind, event.edge) if hasattr(event, "kind") else event
+            )
+            u, v = int(edge[0]), int(edge[1])
+            key = (u, v) if u <= v else (v, u)
+            present = state.get(key)
+            if present is None:
+                present = graph.has_edge(u, v) if u in graph and v in graph else False
+            if kind == "insert":
+                if u == v:
+                    raise GraphError(f"self-loop insert ({u}, {v}) in event batch")
+                if u not in graph or v not in graph:
+                    raise GraphError(
+                        f"insert ({u}, {v}) references an unknown vertex"
+                    )
+                if present:
+                    raise GraphError(f"insert of already-present edge ({u}, {v})")
+                state[key] = True
+            elif kind == "delete":
+                if not present:
+                    raise GraphError(f"delete of absent edge ({u}, {v})")
+                state[key] = False
+            else:
+                raise GraphError(f"unknown event kind {kind!r}")
+            normalized.append((kind, u, v))
+        if fast:
+            net_inserts: list[tuple[int, int]] = []
+            net_deletes: list[tuple[int, int]] = []
+            for key, final in state.items():
+                if final != graph.has_edge(*key):
+                    (net_inserts if final else net_deletes).append(key)
+            self._version += len(normalized)
+            if not net_inserts and not net_deletes:
+                return MixedUpdateStats([], [])
+            engine = self._resolve_fast_engine()
+            for u, v in net_inserts:
+                graph.add_edge(u, v)
+            for u, v in net_deletes:
+                graph.remove_edge(u, v)
+            return engine.apply_mixed(
+                net_inserts,
+                net_deletes,
+                workers=self.workers if workers is None else workers,
+            )
+        from repro.core.dechl import apply_edge_deletion_partial
+
+        self._invalidate_fast()
+        inserts = [(u, v) for kind, u, v in normalized if kind == "insert"]
+        deletes = [(u, v) for kind, u, v in normalized if kind == "delete"]
+        stats = MixedUpdateStats(inserts, deletes)
+        union_total = 0
+        for kind, u, v in normalized:
+            if kind == "insert":
+                graph.add_edge(u, v)
+                step = apply_edge_insertion(graph, self._labelling, u, v)
+            else:
+                step = apply_edge_deletion_partial(graph, self._labelling, u, v)
+            for r, count in step.affected_per_landmark.items():
+                stats.affected_per_landmark[r] = (
+                    stats.affected_per_landmark.get(r, 0) + count
+                )
+            union_total += step.affected_union
+            stats.entries_added += step.entries_added
+            stats.entries_modified += step.entries_modified
+            stats.entries_removed += step.entries_removed
+            stats.highway_updates += step.highway_updates
+        stats.affected_union = union_total
+        self._version += len(normalized)
+        return stats
 
     def remove_vertex(self, v: int) -> None:
         """Remove a vertex and all incident edges (decremental extension).

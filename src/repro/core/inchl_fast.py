@@ -24,10 +24,19 @@ algorithm, but
 The produced labelling is byte-identical to the sequential Phase A/B/C
 implementation — same affected sets, same new distances, same covered
 verdicts, same entry/highway mutations (``docs/DESIGN.md`` §8; asserted
-exhaustively by ``tests/proptest``).  Deletions, landmark maintenance and
-any other mutation invalidate the engine; the owning
-:class:`~repro.core.dynamic.DynamicHCL` simply drops it and rebuilds on
-the next fast insertion.
+exhaustively by ``tests/proptest``).
+
+The engine is *fully dynamic*: :meth:`FastUpdateEngine.remove_edge` /
+:meth:`FastUpdateEngine.apply_mixed` absorb deletions and mixed
+insert/delete batches through the BatchHL-style unified kernel
+(:func:`~repro.parallel.sweeps.csr_find_affected_mixed`,
+``docs/DESIGN.md`` §10), keeping the dense rows exact across every event
+kind; since the minimal labelling is a canonical function of the graph
+and landmark set, the result equals the sequential
+insert-then-:mod:`~repro.core.dechl` reference byte for byte.  Only
+landmark maintenance and vertex removal still invalidate the engine; the
+owning :class:`~repro.core.dynamic.DynamicHCL` drops it and rebuilds on
+the next fast update.
 """
 
 from __future__ import annotations
@@ -36,14 +45,16 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.batch import BatchUpdateStats
+from repro.core.batch import BatchUpdateStats, MixedUpdateStats
 from repro.core.inchl import UpdateStats
 from repro.exceptions import InvariantViolationError
 from repro.graph.dyncsr import UNREACH, DynCSR
 from repro.parallel.engine import LandmarkEngine
 from repro.parallel.sweeps import (
+    csr_batch_repair_mixed,
     csr_batch_sweep,
     csr_find_affected,
+    csr_mixed_sweep,
     csr_repair_affected,
 )
 
@@ -283,6 +294,160 @@ class FastUpdateEngine:
             )
         stats.affected_union = len(union)
         return stats
+
+    # ------------------------------------------------------------------
+    # Mixed updates (deletions, insert/delete batches)
+    # ------------------------------------------------------------------
+    def remove_edge(self, u: int, v: int) -> MixedUpdateStats:
+        """Fast-path deletion of ``(u, v)`` — a mixed batch of one event.
+
+        The owning graph must already have the edge removed; the engine's
+        overlay must still contain it.
+        """
+        return self.apply_mixed([], [(u, v)])
+
+    def remove_edges_batch(
+        self, edges: Iterable[tuple[int, int]], workers: int | None = None
+    ) -> MixedUpdateStats:
+        """Fast-path deletion of a burst of edges in one combined sweep."""
+        return self.apply_mixed([], edges, workers=workers)
+
+    def apply_mixed(
+        self,
+        inserts: Iterable[tuple[int, int]],
+        deletes: Iterable[tuple[int, int]],
+        workers: int | None = None,
+    ) -> MixedUpdateStats:
+        """BatchHL-style repair for a combined insert/delete batch.
+
+        The owning graph must already reflect the whole batch (inserts
+        present, deletes gone); the two edge sets must be disjoint and
+        *net* — the caller (:meth:`repro.core.dynamic.DynamicHCL.
+        apply_events_batch`) collapses insert-then-delete churn before
+        calling in.  Phase A resolves the deletion orientations per
+        landmark from the dense rows (``|old(a) - old(b)| == 1`` is the
+        only shape the old shortest-path DAG admits; insertion
+        orientations are deletion-region-dependent and resolve inside the
+        kernel); Phase B fans the unified finds out across the
+        :class:`LandmarkEngine`; Phase C repairs in landmark order and
+        folds the new distances — including :data:`UNREACH` for
+        disconnected vertices — back into the dense rows.
+        """
+        ins_list = [(int(a), int(b)) for a, b in inserts]
+        del_list = [(int(a), int(b)) for a, b in deletes]
+        if not ins_list and not del_list:
+            raise InvariantViolationError("mixed batch needs at least one event")
+        if not del_list:
+            # Pure insertion burst: the specialized batch path is the same
+            # algorithm with the deletion stages compiled out.
+            batch = self.insert_edges_batch(ins_list, workers=workers)
+            stats = MixedUpdateStats(ins_list, [])
+            stats.affected_per_landmark = batch.affected_per_landmark
+            stats.affected_union = batch.affected_union
+            stats.entries_added = batch.entries_added
+            stats.entries_modified = batch.entries_modified
+            stats.entries_removed = batch.entries_removed
+            stats.highway_updates = batch.highway_updates
+            return stats
+        dyn = self._dyn
+        if ins_list:
+            dyn.insert_edges_batch(ins_list)
+        dyn.remove_edges_batch(del_list)
+        self._ensure_capacity()
+        ins_idx = [(dyn.index(a), dyn.index(b)) for a, b in ins_list]
+        del_idx = [(dyn.index(a), dyn.index(b)) for a, b in del_list]
+
+        stats = MixedUpdateStats(ins_list, del_list)
+        unreachable = int(UNREACH)
+        plans: list[tuple[int, list, list]] = []
+        for k, r in enumerate(self._landmarks):
+            row_mv = self._row_views[k][0]
+            del_seeds: list[tuple[int, int]] = []
+            for ai, bi in del_idx:
+                da = row_mv[ai]
+                db = row_mv[bi]
+                # |old(a) - old(b)| == 1 is the only orientation the old
+                # SP DAG admits; both-unreachable fails it because UNREACH
+                # + 1 != UNREACH (unlike inf + 1 == inf, see dechl).
+                if da + 1 == db:
+                    del_seeds.append((bi, db))
+                elif db + 1 == da:
+                    del_seeds.append((ai, da))
+            stats.affected_per_landmark[r] = 0
+            if del_seeds:
+                plans.append((k, ins_idx, del_seeds))
+                continue
+            for ai, bi in ins_idx:
+                da = row_mv[ai]
+                db = row_mv[bi]
+                if (da != unreachable and da + 1 <= db) or (
+                    db != unreachable and db + 1 <= da
+                ):
+                    plans.append((k, ins_idx, []))
+                    break
+
+        engine = LandmarkEngine(self.workers if workers is None else workers)
+        results = engine.map(csr_mixed_sweep, (dyn, self._dist), plans)
+
+        union: set[int] = set()
+        new_dist = self._new_dist
+        new_mv = self._scratch_views[0]
+        for k, levels, removed in results:
+            r = self._landmarks[k]
+            for depth, verts in levels:
+                if isinstance(verts, list):
+                    for v in verts:
+                        new_mv[v] = depth
+                else:
+                    new_dist[verts] = depth
+            stats.disconnected += len(removed)
+            stats.affected_per_landmark[r] = self._repair_and_fold_mixed(
+                k, r, levels, removed, stats, union
+            )
+        stats.affected_union = len(union)
+        return stats
+
+    def _repair_and_fold_mixed(
+        self, k: int, r: int, levels, removed, stats, union
+    ) -> int:
+        """Phase C for one landmark of a mixed batch.  Returns ``|Λ_r|``
+        (settled + disconnected)."""
+        row = self._dist[k]
+        new_dist = self._new_dist
+        covered = self._covered
+        row_mv, has_mv = self._row_views[k]
+        new_mv, covered_mv, landmark_mv = self._scratch_views
+        csr_batch_repair_mixed(
+            self._dyn,
+            self._labelling,
+            r,
+            levels,
+            removed,
+            row,
+            new_dist,
+            self._is_landmark,
+            covered,
+            self._has_entry[k],
+            stats,
+            views=(row_mv, new_mv, landmark_mv, covered_mv, has_mv),
+        )
+        affected = len(removed)
+        union.update(removed)
+        for depth, verts in levels:
+            if isinstance(verts, list):
+                affected += len(verts)
+                union.update(verts)
+                for v in verts:
+                    row_mv[v] = depth
+                    new_mv[v] = -1
+                    covered_mv[v] = 0
+            else:
+                affected += verts.size
+                union.update(verts.tolist())
+                row[verts] = depth
+                new_dist[verts] = -1
+                covered[verts] = 0
+        return affected
 
     def insert_edges_batch(
         self, edges: Iterable[tuple[int, int]], workers: int | None = None

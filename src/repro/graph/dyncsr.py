@@ -7,13 +7,22 @@ full re-snapshot per insertion — ``CSRGraph.from_graph`` is ``O(m)`` while
 an update touches ``O(|Λ|)`` vertices — so this module keeps the CSR shape
 *valid across insertions*:
 
-* a **base** CSR (``indptr``/``indices``) holding the bulk of the edges;
+* a **base** CSR (``indptr``/``indices``) holding the bulk of the edges,
+  with a per-vertex live length (``base_len``) so deletions shrink a row
+  in place instead of forcing a re-snapshot;
 * a per-vertex **delta** adjacency (small Python lists, plus a numpy
   ``delta_count`` array so the no-delta common case costs one vectorized
   mask) absorbing insertions;
 * periodic **compaction** folding the delta back into a fresh base once it
   grows past a fraction of the base, so gather stays ``O(frontier degree)``
   amortized and the delta never dominates.
+
+Edge deletion (:meth:`remove_edge`) is *swap-removal*: the victim entry in
+a vertex's live base slice is overwritten by the slice's last live entry
+and the live length drops by one (delta entries are removed from their
+list directly).  Neighbour order within a row is therefore not stable
+across deletions — no kernel depends on it: affected sets and levels are
+sorted before use, and the repair predicate is order-independent.
 
 Vertex ids map to compact indices exactly as in :class:`CSRGraph`, except
 the mapping is *append-only*: new vertices (ids unseen at snapshot time)
@@ -37,7 +46,6 @@ from collections.abc import Iterable
 import numpy as np
 
 from repro.exceptions import GraphError, VertexNotFoundError
-from repro.graph.csr import _gather_neighbors
 
 __all__ = ["DynCSR", "UNREACH"]
 
@@ -62,6 +70,7 @@ class DynCSR:
         "_index_of",
         "_indptr",
         "_base_indices",
+        "_base_len",
         "_base_n",
         "_delta",
         "_delta_count",
@@ -77,8 +86,12 @@ class DynCSR:
         # Base CSR.  ``_indptr`` is padded to capacity + 1: indices past
         # ``_base_n`` repeat the total, so vertices added after the last
         # compaction read an empty base slice through the same arrays.
+        # ``_base_len[i]`` is the *live* length of row ``i`` — the slice
+        # ``indices[indptr[i] : indptr[i] + base_len[i]]`` — which drops
+        # below the allocated row width after swap-removals.
         self._indptr = np.zeros(1, dtype=np.int64)
         self._base_indices = np.empty(0, dtype=np.int64)
+        self._base_len = np.zeros(0, dtype=np.int64)
         self._base_n = 0  # vertices covered by the base CSR
         # Delta adjacency: compact index -> list of compact neighbour
         # indices, mirrored by a per-vertex count array for cheap masks.
@@ -123,6 +136,7 @@ class DynCSR:
         dyn._index_of = {int(v): i for i, v in enumerate(ids)}
         dyn._indptr = indptr
         dyn._base_indices = np.searchsorted(ids, flat)
+        dyn._base_len = degrees.copy()
         dyn._base_n = n
         dyn._delta_count = np.zeros(n, dtype=np.int64)
         dyn._num_edges = total // 2
@@ -199,6 +213,9 @@ class DynCSR:
         counts = np.zeros(new_cap, dtype=np.int64)
         counts[: len(self._delta_count)] = self._delta_count
         self._delta_count = counts
+        base_len = np.zeros(new_cap, dtype=np.int64)
+        base_len[: len(self._base_len)] = self._base_len
+        self._base_len = base_len
 
     def ensure_vertex(self, v: int) -> int:
         """Register id ``v`` if unseen; returns its compact index.
@@ -256,6 +273,59 @@ class DynCSR:
         if self._delta_total > max(256, len(self._base_indices) >> 2):
             self.compact()
 
+    def _remove_directed(self, ui: int, vi: int) -> None:
+        """Drop the directed entry ``ui -> vi`` from delta or base.
+
+        Delta first (a deleted edge that was recently inserted still lives
+        there), then the live base slice by swap-removal: the victim slot
+        takes the slice's last live entry and ``base_len`` shrinks by one.
+        """
+        extra = self._delta.get(ui)
+        if extra is not None and vi in extra:
+            extra.remove(vi)
+            if not extra:
+                del self._delta[ui]
+            self._delta_count[ui] -= 1
+            self._delta_total -= 1
+            return
+        start = int(self._indptr[ui])
+        length = int(self._base_len[ui])
+        base = self._base_indices
+        for pos in range(start, start + length):
+            if base[pos] == vi:
+                base[pos] = base[start + length - 1]
+                self._base_len[ui] = length - 1
+                return
+        raise GraphError(
+            f"edge ({self.vertex(ui)}, {self.vertex(vi)}) not present"
+        )
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``(u, v)`` (by original id).
+
+        Both endpoints must be registered and the edge present — the
+        owning :class:`~repro.graph.dynamic_graph.DynamicGraph` validates
+        first, but the overlay re-raises :class:`GraphError` on a missing
+        entry so a desynchronized caller fails loudly.  Vertices are never
+        unregistered: an isolated index simply reads empty slices.
+        """
+        self._views = None
+        ui = self.index(u)
+        vi = self.index(v)
+        self._remove_directed(ui, vi)
+        self._remove_directed(vi, ui)
+        self._num_edges -= 1
+
+    def remove_edges_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Remove a burst of edges (no compaction: deletions only shrink)."""
+        self._views = None
+        for u, v in edges:
+            ui = self.index(u)
+            vi = self.index(v)
+            self._remove_directed(ui, vi)
+            self._remove_directed(vi, ui)
+            self._num_edges -= 1
+
     def compact(self) -> None:
         """Fold the delta adjacency into a fresh base CSR.
 
@@ -266,30 +336,38 @@ class DynCSR:
         """
         self._views = None
         n = self._n
-        base_counts = np.diff(self._indptr[: n + 1])
+        base_counts = self._base_len[:n].copy()
         counts = base_counts + self._delta_count[:n]
         new_indptr = np.zeros(len(self._ids) + 1, dtype=np.int64)
         np.cumsum(counts, out=new_indptr[1 : n + 1])
         new_indptr[n + 1 :] = new_indptr[n]
         total = int(new_indptr[n])
         new_indices = np.empty(total, dtype=np.int64)
-        base_total = int(self._indptr[n])
+        base_total = int(base_counts.sum())
         if base_total:
-            # Target slot of each base entry, row-major: row start in the
-            # new layout plus the entry's offset within its old row.
-            starts = new_indptr[:n][base_counts > 0]
-            live_counts = base_counts[base_counts > 0]
+            # Source/target slot of each *live* base entry, row-major: row
+            # start in the old/new layout plus the entry's offset within
+            # its live slice (dead tail slots left by deletions stay
+            # behind).
+            live = base_counts > 0
+            old_starts = self._indptr[:n][live]
+            new_starts = new_indptr[:n][live]
+            live_counts = base_counts[live]
             cumulative = np.cumsum(live_counts)
             offsets = np.arange(base_total, dtype=np.int64) - np.repeat(
                 cumulative - live_counts, live_counts
             )
-            positions = np.repeat(starts, live_counts) + offsets
-            new_indices[positions] = self._base_indices[:base_total]
+            sources = np.repeat(old_starts, live_counts) + offsets
+            positions = np.repeat(new_starts, live_counts) + offsets
+            new_indices[positions] = self._base_indices[sources]
         for vi, extra in self._delta.items():
             start = int(new_indptr[vi]) + int(base_counts[vi])
             new_indices[start : start + len(extra)] = extra
         self._indptr = new_indptr
         self._base_indices = new_indices
+        base_len = np.zeros(len(self._ids), dtype=np.int64)
+        base_len[:n] = counts
+        self._base_len = base_len
         self._base_n = n
         self._delta = {}
         self._delta_count[:] = 0
@@ -300,7 +378,8 @@ class DynCSR:
     # ------------------------------------------------------------------
     def neighbors_compact(self, i: int) -> np.ndarray:
         """Neighbour indices of compact index ``i`` (base + delta)."""
-        base = self._base_indices[self._indptr[i] : self._indptr[i + 1]]
+        start = self._indptr[i]
+        base = self._base_indices[start : start + self._base_len[i]]
         extra = self._delta.get(i)
         if extra is None:
             return base
@@ -308,7 +387,8 @@ class DynCSR:
 
     def neighbors_list(self, i: int) -> list[int]:
         """Neighbour indices of ``i`` as a plain list (scalar hot path)."""
-        base = self._base_indices[self._indptr[i] : self._indptr[i + 1]].tolist()
+        start = self._indptr[i]
+        base = self._base_indices[start : start + self._base_len[i]].tolist()
         extra = self._delta.get(i)
         if extra is not None:
             base.extend(extra)
@@ -317,17 +397,21 @@ class DynCSR:
     def scalar_views(self):
         """Zero-copy buffers for the scalar kernel paths.
 
-        Returns ``(indptr, indices, delta, delta_count)`` where the array
-        members are memoryviews — scalar reads yield plain Python ints at
-        a fraction of a numpy getitem — and ``delta`` is the live
-        per-vertex overflow dict.  The views alias the current arrays:
-        refetch after any insertion (compaction swaps the buffers) —
-        or rely on the built-in cache, which every mutation drops.
+        Returns ``(indptr, base_len, indices, delta, delta_count)`` where
+        the array members are memoryviews — scalar reads yield plain
+        Python ints at a fraction of a numpy getitem — and ``delta`` is
+        the live per-vertex overflow dict.  A vertex's live base slice is
+        ``indices[indptr[v] : indptr[v] + base_len[v]]`` (deletions leave
+        dead tail slots behind, so ``indptr[v + 1]`` is only an upper
+        bound).  The views alias the current arrays: refetch after any
+        mutation (compaction swaps the buffers) — or rely on the built-in
+        cache, which every mutation drops.
         """
         views = self._views
         if views is None:
             views = self._views = (
                 memoryview(self._indptr),
+                memoryview(self._base_len),
                 memoryview(self._base_indices),
                 self._delta,
                 memoryview(self._delta_count),
@@ -342,9 +426,8 @@ class DynCSR:
         (detected with one mask over ``delta_count``, so an empty delta —
         the common state right after compaction — costs nothing).
         """
-        sources, neighbours = _gather_neighbors(
-            self._indptr, self._base_indices, frontier
-        )
+        _, positions, neighbours = self._base_positions(frontier)
+        sources = frontier[positions]
         if self._delta_total:
             mask = self._delta_count[frontier] > 0
             if mask.any():
@@ -367,9 +450,8 @@ class DynCSR:
         self, frontier: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Base-CSR flattening: ``(counts, flat_positions, neighbours)``."""
-        indptr = self._indptr
-        starts = indptr[frontier]
-        counts = indptr[frontier + 1] - starts
+        starts = self._indptr[frontier]
+        counts = self._base_len[frontier]
         total = int(counts.sum())
         if total == 0:
             empty = np.empty(0, dtype=np.int64)

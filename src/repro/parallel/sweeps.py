@@ -37,8 +37,11 @@ __all__ = [
     "csr_construction_task",
     "batch_find_task",
     "csr_find_affected",
+    "csr_find_affected_mixed",
     "csr_repair_affected",
+    "csr_batch_repair_mixed",
     "csr_batch_sweep",
+    "csr_mixed_sweep",
 ]
 
 #: Frontier size below which the update kernels drop to scalar loops: a
@@ -233,7 +236,7 @@ def csr_find_affected(dyn, old_dist, seeds, new_dist=None, views=None):
         new_mv = memoryview(new_dist)
     else:
         old_mv, new_mv = views
-    indptr, indices, delta, delta_count = dyn.scalar_views()
+    indptr, base_len, indices, delta, delta_count = dyn.scalar_views()
     # Bucket value = (scalar candidates, array candidates): the scalar
     # path extends the first, the vectorized path appends whole frontier
     # arrays to the second, and a pop never has to type-inspect elements.
@@ -267,7 +270,8 @@ def csr_find_affected(dyn, old_dist, seeds, new_dist=None, views=None):
             for v in settled:
                 # Test the old distance first: most scanned neighbours are
                 # unaffected border vertices, which fail it on one read.
-                for w in indices[indptr[v] : indptr[v + 1]]:
+                start = indptr[v]
+                for w in indices[start : start + base_len[v]]:
                     if old_mv[w] >= next_depth and new_mv[w] < 0:
                         pushed.append(w)
                 if delta_count[v]:
@@ -302,6 +306,204 @@ def csr_find_affected(dyn, old_dist, seeds, new_dist=None, views=None):
                 else:
                     bucket[1].append(neighbours)
     return levels
+
+
+def csr_find_affected_mixed(
+    dyn, old_dist, ins_edges, del_seeds, new_dist=None, del_mask=None, views=None
+):
+    """Unified affected-region search for a *mixed* insert/delete batch.
+
+    The BatchHL-style generalization of :func:`csr_find_affected` for one
+    landmark (``docs/DESIGN.md`` §10).  ``dyn`` must already reflect the
+    whole batch (inserted edges present, deleted edges gone) while
+    ``old_dist`` is still the landmark's pre-batch dense distance row —
+    exact by Eq. (1).  ``ins_edges`` are inserted edges as ``(ai, bi)``
+    compact-index pairs (orientation is resolved here, because it depends
+    on deletion-affected membership); ``del_seeds`` are ``(root_index,
+    old_depth)`` pairs, one per surviving orientation of a deleted edge
+    (``old(anchor) + 1 == old(root)``), as produced by the engine's
+    Phase A over the dense rows.
+
+    Three stages, all sharing the hybrid scalar/vector machinery:
+
+    1. **Closure** — descendants of the deletion roots in the old
+       shortest-path DAG (``old(w) == old(v) + 1`` level sweep over the
+       post-batch adjacency; hops across deleted edges are covered
+       because every deleted-edge orientation seeds its own root).  These
+       are the vertices whose distance may *increase or become infinite*;
+       they are marked in ``del_mask`` and settle unconditionally.
+       Over-inclusion through inserted edges is harmless: repair
+       re-derives an unchanged vertex identically.
+    2. **Seeding** — insertion anchors (an anchor inside the deletion
+       region contributes through expansion instead: its own settled
+       depth is the only sound candidate) plus, per closure vertex, the
+       cheapest re-entry candidate ``old(u) + 1`` over its unaffected
+       neighbours ``u`` (their distances can only have *decreased*, so
+       the candidate never underestimates and monotonicity repairs any
+       overestimate).
+    3. **Unified bucket-queue BFS** — settles a vertex at the first
+       popped depth if it is closure-marked (exact new distance, however
+       it compares to the old one) or at ``old >= depth`` (the jumped
+       test of the insertion kernel).
+
+    Returns ``(levels, removed)``: the affected levels in increasing new
+    depth (hybrid list/array representation, as in
+    :func:`csr_find_affected`) and the sorted closure vertices that never
+    settled — exactly the vertices the batch disconnected from the
+    landmark.  ``del_mask`` (uint8 scratch, zeroed) is reset before
+    returning; ``new_dist`` is left populated at affected indices like
+    the insertion kernel.  With no ``del_seeds`` the closure and border
+    stages vanish and the search degenerates to byte-identical
+    :func:`csr_find_affected` behaviour.
+    """
+    import numpy as np
+
+    from repro.graph.dyncsr import UNREACH
+
+    unreachable = int(UNREACH)
+    if new_dist is None:
+        new_dist = np.full(dyn.num_vertices, -1, dtype=np.int32)
+    if del_mask is None:
+        del_mask = np.zeros(dyn.num_vertices, dtype=np.uint8)
+    if views is None:
+        old_mv = memoryview(old_dist)
+        new_mv = memoryview(new_dist)
+        del_mv = memoryview(del_mask)
+    else:
+        old_mv, new_mv, del_mv = views
+    indptr, base_len, indices, delta, delta_count = dyn.scalar_views()
+
+    # Stage 1: closure of the deletion roots over the old SP DAG.
+    affected: list[int] = []
+    if del_seeds:
+        closure: dict[int, list[int]] = {}
+        for root, depth in del_seeds:
+            closure.setdefault(int(depth), []).append(int(root))
+        while closure:
+            depth = min(closure)
+            group = closure.pop(depth)
+            child_depth = depth + 1
+            pushed: list[int] = []
+            for v in group:
+                if del_mv[v]:
+                    continue
+                del_mv[v] = 1
+                affected.append(v)
+                start = indptr[v]
+                for w in indices[start : start + base_len[v]]:
+                    if old_mv[w] == child_depth and not del_mv[w]:
+                        pushed.append(w)
+                if delta_count[v]:
+                    for w in delta[v]:
+                        if old_mv[w] == child_depth and not del_mv[w]:
+                            pushed.append(w)
+            if pushed:
+                closure.setdefault(child_depth, []).extend(pushed)
+
+    # Stage 2: seeds.  Bucket value = (scalar candidates, array
+    # candidates), exactly as in csr_find_affected.
+    buckets: dict[int, tuple[list[int], list]] = {}
+    for ai, bi in ins_edges:
+        da = old_mv[ai]
+        db = old_mv[bi]
+        if not del_mv[ai] and da != unreachable:
+            cand = da + 1
+            if del_mv[bi] or cand <= db:
+                buckets.setdefault(cand, ([], []))[0].append(bi)
+        if not del_mv[bi] and db != unreachable:
+            cand = db + 1
+            if del_mv[ai] or cand <= da:
+                buckets.setdefault(cand, ([], []))[0].append(ai)
+    for v in affected:
+        best = -1
+        start = indptr[v]
+        for w in indices[start : start + base_len[v]]:
+            if not del_mv[w]:
+                dw = old_mv[w]
+                if dw != unreachable and (best < 0 or dw + 1 < best):
+                    best = dw + 1
+        if delta_count[v]:
+            for w in delta[v]:
+                if not del_mv[w]:
+                    dw = old_mv[w]
+                    if dw != unreachable and (best < 0 or dw + 1 < best):
+                        best = dw + 1
+        if best >= 0:
+            buckets.setdefault(best, ([], []))[0].append(v)
+
+    # Stage 3: unified monotone bucket-queue BFS.
+    levels: list[tuple[int, object]] = []
+    while buckets:
+        depth = min(buckets)
+        ints, arrays = buckets.pop(depth)
+        size = len(ints)
+        for a in arrays:
+            size += len(a)
+        if size <= _SCALAR_CUTOFF:
+            for a in arrays:
+                ints.extend(a.tolist())
+            settled: list[int] = []
+            for v in ints:
+                if new_mv[v] < 0 and (del_mv[v] or old_mv[v] >= depth):
+                    new_mv[v] = depth
+                    settled.append(v)
+            if not settled:
+                continue
+            settled.sort()
+            levels.append((depth, settled))
+            next_depth = depth + 1
+            pushed = []
+            for v in settled:
+                start = indptr[v]
+                for w in indices[start : start + base_len[v]]:
+                    if new_mv[w] < 0 and (del_mv[w] or old_mv[w] >= next_depth):
+                        pushed.append(w)
+                if delta_count[v]:
+                    for w in delta[v]:
+                        if new_mv[w] < 0 and (
+                            del_mv[w] or old_mv[w] >= next_depth
+                        ):
+                            pushed.append(w)
+            if pushed:
+                bucket = buckets.get(next_depth)
+                if bucket is None:
+                    buckets[next_depth] = (pushed, [])
+                else:
+                    bucket[0].extend(pushed)
+            continue
+        if ints:
+            arrays.append(np.array(ints, dtype=np.int64))
+        cand = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        cand = cand[
+            (new_dist[cand] < 0)
+            & ((del_mask[cand] != 0) | (old_dist[cand] >= depth))
+        ]
+        if cand.size == 0:
+            continue
+        level = np.unique(cand)
+        new_dist[level] = depth
+        levels.append((depth, level))
+        neighbours = dyn.gather_neighbours(level)
+        if neighbours.size:
+            neighbours = neighbours[
+                (new_dist[neighbours] < 0)
+                & (
+                    (del_mask[neighbours] != 0)
+                    | (old_dist[neighbours] >= depth + 1)
+                )
+            ]
+            if neighbours.size:
+                bucket = buckets.get(depth + 1)
+                if bucket is None:
+                    buckets[depth + 1] = ([], [neighbours])
+                else:
+                    bucket[1].append(neighbours)
+
+    removed = [v for v in affected if new_mv[v] < 0]
+    removed.sort()
+    for v in affected:
+        del_mv[v] = 0
+    return levels, removed
 
 
 def csr_repair_affected(
@@ -366,7 +568,7 @@ def csr_repair_affected(
         has_mv = memoryview(has_entry)
     else:
         old_mv, new_mv, landmark_mv, covered_mv, has_mv = views
-    indptr, indices, delta, delta_count = dyn.scalar_views()
+    indptr, base_len, indices, delta, delta_count = dyn.scalar_views()
 
     # "A border parent at the right depth covers its child" depends only
     # on landmark membership and r-entry presence — and repair never
@@ -391,7 +593,8 @@ def csr_repair_affected(
                     continue
                 is_covered = False
                 has_parent = False
-                neighbours = indices[indptr[v] : indptr[v + 1]]
+                start = indptr[v]
+                neighbours = indices[start : start + base_len[v]]
                 if delta_count[v]:
                     neighbours = list(neighbours) + delta[v]
                 for u in neighbours:
@@ -494,6 +697,74 @@ def csr_repair_affected(
                 stats.entries_modified += modified
 
 
+def csr_batch_repair_mixed(
+    dyn,
+    labelling,
+    r,
+    levels,
+    removed,
+    old_dist,
+    new_dist,
+    is_landmark,
+    covered,
+    has_entry,
+    stats=None,
+    views=None,
+):
+    """Phase C for one landmark of a mixed batch: disconnect, then repair.
+
+    ``levels``/``removed`` come from :func:`csr_find_affected_mixed`.
+    Vertices the batch disconnected from ``r`` lose their entry (or, for
+    landmarks, their highway pair) outright — mirroring
+    :func:`repro.core.dechl.repair_affected_deletion` — and their dense
+    old-distance slot is set to :data:`~repro.graph.dyncsr.UNREACH`
+    *before* the level sweep, so the parent predicate can never read a
+    stale finite distance for them.  (They also can never neighbour a
+    settled vertex — a neighbour of a reachable vertex is reachable — so
+    this is belt and braces.)  The level sweep itself is exactly
+    :func:`csr_repair_affected`: deletions flip cover verdicts in either
+    direction, but the parent predicate re-derives them from scratch
+    anyway.
+    """
+    from repro.graph.dyncsr import UNREACH
+
+    if removed:
+        labels = labelling.labels
+        highway = labelling.highway
+        ids = dyn.ids
+        unreachable = int(UNREACH)
+        if views is None:
+            old_mv = memoryview(old_dist)
+            landmark_mv = memoryview(is_landmark)
+            has_mv = memoryview(has_entry)
+        else:
+            old_mv, _, landmark_mv, _, has_mv = views
+        for v in removed:
+            vid = int(ids[v])
+            old_mv[v] = unreachable
+            if landmark_mv[v]:
+                if highway.remove_distance(r, vid) and stats is not None:
+                    stats.highway_updates += 1
+            elif has_mv[v]:
+                labels.remove_entry(vid, r)
+                has_mv[v] = 0
+                if stats is not None:
+                    stats.entries_removed += 1
+    csr_repair_affected(
+        dyn,
+        labelling,
+        r,
+        levels,
+        old_dist,
+        new_dist,
+        is_landmark,
+        covered,
+        has_entry,
+        stats,
+        views=views,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Engine task adapters (module-level, hence picklable by reference)
 # ---------------------------------------------------------------------------
@@ -548,3 +819,18 @@ def csr_batch_sweep(state, item):
     dyn, dist = state
     k, seeds = item
     return k, csr_find_affected(dyn, dist[k], seeds)
+
+
+def csr_mixed_sweep(state, item):
+    """Engine task for the mixed-batch Phase B: one unified find.
+
+    ``state`` is ``(dyn, dist)`` as in :func:`csr_batch_sweep`; the work
+    item is ``(k, ins_edges, del_seeds)`` as taken by
+    :func:`csr_find_affected_mixed`.  Returns ``(k, levels, removed)``;
+    the caller repairs in landmark order (:func:`csr_batch_repair_mixed`)
+    so serial and parallel runs stay byte-identical.
+    """
+    dyn, dist = state
+    k, ins_edges, del_seeds = item
+    levels, removed = csr_find_affected_mixed(dyn, dist[k], ins_edges, del_seeds)
+    return k, levels, removed

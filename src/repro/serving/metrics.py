@@ -156,6 +156,7 @@ class ServiceMetrics:
         self.events_applied = 0
         self.events_rejected = 0
         self.insert_batches = 0
+        self.mixed_batches = 0
         self.snapshots_published = 0
 
     def count_applied(self, n: int = 1) -> None:
@@ -170,6 +171,10 @@ class ServiceMetrics:
         with self._lock:
             self.insert_batches += 1
 
+    def count_mixed_batch(self) -> None:
+        with self._lock:
+            self.mixed_batches += 1
+
     def count_snapshot(self) -> None:
         with self._lock:
             self.snapshots_published += 1
@@ -183,5 +188,6 @@ class ServiceMetrics:
             "events_applied": self.events_applied,
             "events_rejected": self.events_rejected,
             "insert_batches": self.insert_batches,
+            "mixed_batches": self.mixed_batches,
             "snapshots_published": self.snapshots_published,
         }

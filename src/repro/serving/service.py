@@ -4,15 +4,21 @@ Concurrency model (docs/DESIGN.md §7):
 
 * **One writer.**  A dedicated thread owns every mutation of the oracle.
   It drains :class:`~repro.workloads.streams.UpdateEvent` objects from an
-  internal queue, coalesces *consecutive insertions* into one
-  :meth:`~repro.core.dynamic.DynamicHCL.insert_edges_batch` call (one
-  find/repair sweep per landmark for the whole run, honouring the
-  ``workers=`` knob), applies deletions via DecHL, and then publishes a
-  fresh :class:`~repro.serving.snapshot.OracleSnapshot`.  Insertions run
-  on the vectorized CSR update engine by default (``fast=True``; see
-  :mod:`repro.core.inchl_fast`) so a coalesced batch applies as numpy
-  level sweeps instead of dict BFS — byte-identical labelling, far less
-  time spent holding the write role.
+  internal queue and coalesces whole chunks into batch applies (one
+  find/repair sweep per landmark for the run, honouring the ``workers=``
+  knob) before publishing a fresh
+  :class:`~repro.serving.snapshot.OracleSnapshot`.  A pure-insert chunk
+  goes through :meth:`~repro.core.dynamic.DynamicHCL.insert_edges_batch`;
+  a chunk containing deletions is — on the default fast route — applied
+  as **one mixed run** through
+  :meth:`~repro.core.dynamic.DynamicHCL.apply_events_batch`, so a delete
+  mid-stream no longer breaks coalescing into per-event slow applies.
+  Updates run on the vectorized CSR update engine by default
+  (``fast=True``; see :mod:`repro.core.inchl_fast`) so a coalesced batch
+  applies as numpy level sweeps instead of dict BFS — byte-identical
+  labelling, far less time spent holding the write role.  With
+  ``fast=False`` (or a non-default ``delete_strategy``) deletions fall
+  back to one-at-a-time DecHL, the pre-mixed-engine behaviour.
 * **Many readers.**  ``query`` / ``query_many`` / ``shortest_path`` run on
   the caller's thread against the *latest published snapshot* — a single
   attribute read — so readers never take a lock, never block on the
@@ -344,8 +350,14 @@ class OracleService:
                 return
 
     def _apply_chunk(self, events: list[UpdateEvent]) -> bool:
-        """Apply one drained chunk: runs of consecutive inserts go through
-        the batch algorithm, everything else applies one at a time.
+        """Apply one drained chunk.
+
+        On the fast route a chunk containing deletions coalesces into one
+        mixed :meth:`~repro.core.dynamic.DynamicHCL.apply_events_batch`
+        run (:meth:`_apply_chunk_mixed`).  Otherwise runs of consecutive
+        inserts go through the batch algorithm and everything else
+        applies one at a time — the writer never slow-paths a whole chunk
+        just because one delete interrupted an insert run.
 
         Inapplicable or malformed events (duplicate insert, self-loop,
         absent-edge delete, invalid vertex ids) are counted as rejected
@@ -356,6 +368,12 @@ class OracleService:
         updates, last good snapshot keeps serving) and this returns
         ``False`` so the loop never publishes the desynchronised state.
         """
+        if (
+            self._fast
+            and self._delete_strategy == "partial"
+            and any(not event.is_insert for event in events)
+        ):
+            return self._apply_chunk_mixed(events)
         oracle = self._oracle
         graph = oracle.graph
         i = 0
@@ -412,6 +430,65 @@ class OracleService:
                     self.metrics.updates.record(perf_counter() - start)
                     self.metrics.count_applied()
                 i += 1
+        return True
+
+    def _apply_chunk_mixed(self, events: list[UpdateEvent]) -> bool:
+        """Coalesce one mixed insert/delete chunk into a single
+        :meth:`~repro.core.dynamic.DynamicHCL.apply_events_batch` run.
+
+        Validation mirrors ``apply_events_batch``'s sequential semantics
+        but *rejects* instead of raising: each event is checked against
+        the edge state its accepted predecessors in the chunk produce, so
+        a delete of an edge inserted earlier in the same chunk is
+        accepted (and an insert-delete churn pair cancels inside the
+        engine), while a duplicate insert or absent-edge delete is
+        counted as rejected with no side effects.  Endpoints of accepted
+        inserts are registered up front — exactly like the insert-run
+        path — because the batch call validates against the live graph.
+        """
+        oracle = self._oracle
+        graph = oracle.graph
+        accepted: list[tuple[str, tuple[int, int]]] = []
+        state: dict[tuple[int, int], bool] = {}
+        for event in events:
+            u, v = event.edge
+            if not _valid_vertex_id(u) or not _valid_vertex_id(v) or u == v:
+                self.metrics.count_rejected()
+                continue
+            key = (u, v) if u < v else (v, u)
+            present = state.get(key)
+            if present is None:
+                present = graph.has_edge(u, v)
+            if event.is_insert:
+                if present:
+                    self.metrics.count_rejected()
+                    continue
+                graph.add_vertex(u)
+                graph.add_vertex(v)
+                state[key] = True
+                accepted.append(("insert", (u, v)))
+            else:
+                if not present:
+                    self.metrics.count_rejected()
+                    continue
+                state[key] = False
+                accepted.append(("delete", (u, v)))
+        if not accepted:
+            return True
+        start = perf_counter()
+        try:
+            oracle.apply_events_batch(
+                accepted, workers=self._workers, fast=True
+            )
+        except Exception as exc:
+            self._degraded = f"{type(exc).__name__}: {exc}"
+            self.metrics.count_rejected(len(accepted))
+            return False
+        elapsed = perf_counter() - start
+        for _ in accepted:
+            self.metrics.updates.record(elapsed / len(accepted))
+        self.metrics.count_applied(len(accepted))
+        self.metrics.count_mixed_batch()
         return True
 
     def _apply_insert_run(self, run: list[tuple[int, int]]) -> bool:

@@ -76,8 +76,17 @@ def _write_streamed(handle, head: dict, label_rows, chunk: int = 4096) -> None:
 
 
 def _iter_label_rows(labelling: HighwayCoverLabelling):
-    for v, label in labelling.labels.items():
-        for r, d in label.items():
+    """Label rows in canonical ``(v, r)`` order.
+
+    Dict insertion order observes maintenance history (a DecHL
+    remove-then-readd reorders entries that the mixed batch engine
+    writes in landmark order), and the §1 canonicality invariant says
+    history must be unobservable — so the serialized form sorts, making
+    byte-level file comparison a valid equality check across every
+    maintenance route.
+    """
+    for v, label in sorted(labelling.labels.items()):
+        for r, d in sorted(label.items()):
             yield v, r, d
 
 

@@ -1,0 +1,48 @@
+"""Tests for the MX (mixed insert/delete batch) experiment and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.experiments import mixed
+from repro.exceptions import BenchmarkError
+
+
+class TestMixedExperiment:
+    def test_rows_cover_all_modes_and_verify_identity(self):
+        result = mixed.run(profile="smoke", datasets=["flickr-s"])
+        assert result.name == "mixed"
+        modes = {row["mode"] for row in result.rows}
+        assert modes == {"sequential", "fallback", "mixed-fast"}
+        for row in result.rows:
+            assert row["identical"] is True  # byte-identity contract
+            assert row["total_ms"] > 0
+            assert row["events"] > 0
+            assert row["deletes"] > 0  # the stream really mixes kinds
+        fast = next(r for r in result.rows if r["mode"] == "mixed-fast")
+        assert fast["speedup_vs_fallback"] is not None
+        assert fast["bfs_checked"] > 0
+        assert fast["bfs_incorrect"] == 0  # CI gate
+
+    def test_speedup_is_relative_to_fallback(self):
+        result = mixed.run(profile="smoke", datasets=["twitter-s"])
+        fallback = next(r for r in result.rows if r["mode"] == "fallback")
+        assert fallback["speedup_vs_fallback"] == 1.0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(BenchmarkError):
+            mixed.run(profile="smoke", datasets=["nope"])
+
+    def test_cli_json_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "mixed", "--profile", "smoke",
+            "--datasets", "flickr-s", "--json", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "fully-dynamic mixed batches" in text
+        payload = json.loads(out.read_text())
+        assert "mixed" in payload
+        assert any(row["mode"] == "mixed-fast" for row in payload["mixed"])

@@ -158,6 +158,8 @@ class TestOracleKnob:
         assert oracle._fast_engine is first  # reused
         u, v = edges[0]
         oracle.remove_edge(u, v)
+        assert oracle._fast_engine is first  # deletions stay on the engine
+        oracle.insert_edge(u, v, fast=False)  # slow-path mutation it can't see
         assert oracle._fast_engine is None  # invalidated
         oracle.insert_edge(*edges[2])
         assert oracle._fast_engine is not None

@@ -1,0 +1,219 @@
+"""Tests for the fully-dynamic mixed insert/delete batch engine.
+
+The contract is the same byte-identity the insert-only fast path ships
+with, extended to deletions: every mixed batch applied through
+``FastUpdateEngine.apply_mixed`` (and the ``DynamicHCL`` wrappers over
+it) must leave the labelling exactly equal to a sequential replay —
+inserts through IncHL+, deletes through DecHL — and must keep the
+engine's dense per-landmark distance rows exact against BFS, including
+after disconnections (rows go to unreachable, entries/highway rows are
+dropped) and re-connections.
+"""
+
+import random
+
+import pytest
+
+from repro.core.construction import build_hcl
+from repro.core.dechl import apply_edge_deletion_partial
+from repro.core.dynamic import DynamicHCL
+from repro.core.inchl import apply_edge_insertion
+from repro.core.inchl_fast import FastUpdateEngine
+from repro.core.validation import check_matches_rebuild, check_query_exactness
+from repro.exceptions import GraphError, InvariantViolationError
+from repro.graph.generators import grid_graph, ring_of_cliques
+from repro.graph.traversal import bfs_distances
+from repro.landmarks.selection import top_degree_landmarks
+
+from tests.conftest import non_edges, random_connected_graph
+
+UNREACH_SENTINEL = 2**30
+
+
+def assert_rows_exact(engine, graph, landmarks):
+    """The engine's dense distance rows must equal BFS on the live graph."""
+    for k, r in enumerate(landmarks):
+        table = bfs_distances(graph, r)
+        row = engine._dist[k]
+        for v in graph.vertices():
+            i = engine._dyn.index(v)
+            expected = table.get(v)
+            if expected is None:
+                assert row[i] >= UNREACH_SENTINEL, (r, v)
+            else:
+                assert row[i] == expected, (r, v)
+
+
+def sequential_reference(graph, landmarks, inserts, deletes):
+    """Inserts (IncHL+) then deletes (DecHL), one at a time."""
+    hcl = build_hcl(graph, landmarks)
+    for u, v in inserts:
+        graph.add_edge(u, v)
+        apply_edge_insertion(graph, hcl, u, v)
+    for u, v in deletes:
+        apply_edge_deletion_partial(graph, hcl, u, v)
+    return hcl
+
+
+class TestEngineMixed:
+    def test_single_deletion_matches_dechl(self):
+        for seed in (0, 3, 9):
+            g_fast = random_connected_graph(seed, n_min=14, n_max=22, density=2.2)
+            g_ref = g_fast.copy()
+            landmarks = top_degree_landmarks(g_fast, 4)
+            hcl_fast = build_hcl(g_fast, landmarks)
+            hcl_ref = build_hcl(g_ref, landmarks)
+            engine = FastUpdateEngine(g_fast, hcl_fast)
+            rng = random.Random(seed)
+            for _ in range(6):
+                u, v = rng.choice(sorted(g_fast.edges()))
+                g_fast.remove_edge(u, v)
+                engine.remove_edge(u, v)
+                apply_edge_deletion_partial(g_ref, hcl_ref, u, v)
+                assert hcl_fast == hcl_ref
+                assert_rows_exact(engine, g_fast, landmarks)
+
+    def test_mixed_batch_matches_sequential_reference(self):
+        for seed in (2, 5, 8):
+            g_fast = random_connected_graph(seed, n_min=16, n_max=24, density=2.0)
+            g_ref = g_fast.copy()
+            landmarks = top_degree_landmarks(g_fast, 4)
+            hcl_fast = build_hcl(g_fast, landmarks)
+            engine = FastUpdateEngine(g_fast, hcl_fast)
+            rng = random.Random(seed)
+            inserts = non_edges(g_fast)[:5]
+            deletes = rng.sample(sorted(g_fast.edges()), 4)
+            for u, v in inserts:
+                g_fast.add_edge(u, v)
+            for u, v in deletes:
+                g_fast.remove_edge(u, v)
+            stats = engine.apply_mixed(inserts, deletes)
+            hcl_ref = sequential_reference(g_ref, landmarks, inserts, deletes)
+            assert hcl_fast == hcl_ref
+            assert stats.batch_size == len(inserts) + len(deletes)
+            assert_rows_exact(engine, g_fast, landmarks)
+            check_query_exactness(g_fast, hcl_fast, num_pairs=40, rng=seed)
+
+    def test_disconnection_drops_rows_and_entries(self):
+        # A path graph: deleting any edge splits it, so the far side must
+        # go unreachable in every landmark row on the cut side.
+        from repro.core.query import query_distance
+
+        graph = grid_graph(1, 8)
+        hcl = build_hcl(graph, [0])
+        engine = FastUpdateEngine(graph, hcl)
+        graph.remove_edge(3, 4)
+        stats = engine.remove_edge(3, 4)
+        assert stats.disconnected == 4  # vertices 4..7 cut from landmark 0
+        assert_rows_exact(engine, graph, [0])
+        table = bfs_distances(graph, 0)
+        for v in graph.vertices():
+            assert query_distance(graph, hcl, 0, v) == table.get(v, float("inf"))
+        # Reconnect: rows and labelling must snap back to exact.
+        graph.add_edge(3, 4)
+        engine.insert_edge(3, 4)
+        assert_rows_exact(engine, graph, [0])
+        check_matches_rebuild(graph, hcl)
+
+    def test_churn_batch_delete_then_reinsert_via_oracle(self):
+        oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+        version = oracle.version
+        stats = oracle.apply_events_batch(
+            [("delete", (0, 1)), ("insert", (0, 1))], fast=True
+        )
+        # Net no-op: nothing repaired, but the epochs still advanced.
+        assert stats.batch_size == 0
+        assert oracle.version == version + 2
+        assert oracle.graph.has_edge(0, 1)
+        check_matches_rebuild(oracle.graph, oracle.labelling)
+
+    def test_oracle_mixed_batch_matches_slow_route(self):
+        for seed in (11, 12):
+            graph = random_connected_graph(seed, n_min=15, n_max=22, density=2.2)
+            fast = DynamicHCL.build(graph.copy(), num_landmarks=3)
+            slow = DynamicHCL.build(graph.copy(), landmarks=list(fast.landmarks))
+            rng = random.Random(seed)
+            events = []
+            sim = graph.copy()
+            for _ in range(10):
+                if rng.random() < 0.45 and sim.num_edges > 4:
+                    u, v = rng.choice(sorted(sim.edges()))
+                    sim.remove_edge(u, v)
+                    events.append(("delete", (u, v)))
+                else:
+                    candidates = non_edges(sim)
+                    if not candidates:
+                        continue
+                    u, v = rng.choice(candidates)
+                    sim.add_edge(u, v)
+                    events.append(("insert", (u, v)))
+            fast.apply_events_batch(events, fast=True)
+            slow.apply_events_batch(events, fast=False)
+            assert fast.labelling == slow.labelling
+            assert fast.version == slow.version
+            assert sorted(fast.graph.edges()) == sorted(slow.graph.edges())
+
+    def test_parallel_mixed_batch_is_byte_identical(self):
+        graph = ring_of_cliques(4, 5)
+        serial = DynamicHCL.build(graph.copy(), num_landmarks=4)
+        parallel = DynamicHCL.build(graph.copy(), landmarks=list(serial.landmarks))
+        rng = random.Random(42)
+        inserts = non_edges(graph)[:6]
+        deletes = rng.sample(sorted(graph.edges()), 5)
+        events = [("insert", e) for e in inserts] + [("delete", e) for e in deletes]
+        serial.apply_events_batch(events, workers=1, fast=True)
+        parallel.apply_events_batch(events, workers=2, fast=True)
+        assert serial.labelling == parallel.labelling
+
+    def test_empty_mixed_batch_rejected(self):
+        graph = grid_graph(3, 3)
+        engine = FastUpdateEngine(graph, build_hcl(graph, [4]))
+        with pytest.raises(InvariantViolationError):
+            engine.apply_mixed([], [])
+
+    def test_invalid_events_raise_before_mutation(self):
+        oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+        edges_before = sorted(oracle.graph.edges())
+        version = oracle.version
+        with pytest.raises(GraphError):
+            oracle.apply_events_batch([("delete", (0, 7))], fast=True)  # absent
+        with pytest.raises(GraphError):
+            oracle.apply_events_batch([("insert", (0, 1))], fast=True)  # present
+        with pytest.raises(GraphError):
+            oracle.apply_events_batch([("insert", (3, 3))], fast=True)  # loop
+        with pytest.raises(GraphError):
+            oracle.apply_events_batch([("frob", (0, 1))], fast=True)  # kind
+        assert sorted(oracle.graph.edges()) == edges_before
+        assert oracle.version == version
+        check_matches_rebuild(oracle.graph, oracle.labelling)
+
+    def test_long_churn_stream_stays_exact(self):
+        graph = random_connected_graph(99, n_min=18, n_max=26, density=2.0)
+        oracle = DynamicHCL.build(graph, num_landmarks=3)
+        reference = DynamicHCL.build(
+            graph.copy(), landmarks=list(oracle.landmarks)
+        )
+        rng = random.Random(99)
+        for step in range(8):
+            events = []
+            sim = oracle.graph.copy()
+            for _ in range(rng.randint(1, 5)):
+                if rng.random() < 0.4 and sim.num_edges > 4:
+                    u, v = rng.choice(sorted(sim.edges()))
+                    sim.remove_edge(u, v)
+                    events.append(("delete", (u, v)))
+                else:
+                    candidates = non_edges(sim)
+                    if not candidates:
+                        continue
+                    u, v = rng.choice(candidates)
+                    sim.add_edge(u, v)
+                    events.append(("insert", (u, v)))
+            if not events:
+                continue
+            oracle.apply_events_batch(events, fast=True)
+            reference.apply_events_batch(events, fast=False)
+            assert oracle.labelling == reference.labelling
+        engine = oracle._fast_engine
+        assert engine is not None
+        assert_rows_exact(engine, oracle.graph, list(oracle.landmarks))

@@ -130,6 +130,107 @@ class TestInsertions:
         assert dyn.num_delta_edges == 0
 
 
+class TestDeletions:
+    def test_remove_base_edge(self):
+        graph = grid_graph(3, 3)
+        dyn = DynCSR.from_graph(graph)
+        graph.remove_edge(0, 1)
+        dyn.remove_edge(0, 1)
+        assert dyn.num_edges == graph.num_edges
+        assert 1 not in dyn.neighbors_compact(dyn.index(0)).tolist()
+        assert_bfs_matches(graph, dyn)
+
+    def test_remove_delta_edge(self):
+        graph = grid_graph(3, 3)
+        dyn = DynCSR.from_graph(graph)
+        graph.add_edge(0, 8)
+        dyn.insert_edge(0, 8)
+        assert dyn.num_delta_edges == 1
+        graph.remove_edge(0, 8)
+        dyn.remove_edge(0, 8)
+        # The delta-resident edge is gone without ever touching the base.
+        assert dyn.num_delta_edges == 0
+        assert dyn.num_edges == graph.num_edges
+        assert_bfs_matches(graph, dyn)
+
+    def test_remove_absent_edge_raises(self):
+        dyn = DynCSR.from_graph(grid_graph(3, 3))
+        with pytest.raises(GraphError):
+            dyn.remove_edge(0, 8)
+
+    def test_reinsert_after_delete(self):
+        graph = grid_graph(3, 3)
+        dyn = DynCSR.from_graph(graph)
+        for _ in range(3):  # delete/re-insert cycles must be stable
+            graph.remove_edge(0, 1)
+            dyn.remove_edge(0, 1)
+            assert_bfs_matches(graph, dyn, sources=[0])
+            graph.add_edge(0, 1)
+            dyn.insert_edge(0, 1)
+            assert_bfs_matches(graph, dyn, sources=[0])
+        assert dyn.num_edges == graph.num_edges
+
+    def test_compact_after_deletions_drops_dead_slots(self):
+        rng = random.Random(23)
+        graph = erdos_renyi(40, 90, rng=rng)
+        dyn = DynCSR.from_graph(graph)
+        edges = sorted(graph.edges())
+        for u, v in rng.sample(edges, 25):
+            graph.remove_edge(u, v)
+            dyn.remove_edge(u, v)
+        for u, v in non_edges(graph)[:10]:
+            graph.add_edge(u, v)
+            dyn.insert_edge(u, v)
+        dyn.compact()
+        assert dyn.num_delta_edges == 0
+        assert dyn.num_edges == graph.num_edges
+        # Post-compaction adjacency holds exactly the live edges.
+        for v in sorted(graph.vertices()):
+            assert sorted(
+                dyn.vertex(w) for w in dyn.neighbors_compact(dyn.index(v)).tolist()
+            ) == sorted(graph.neighbors(v))
+        assert_bfs_matches(graph, dyn)
+
+    def test_batch_removal_equals_one_at_a_time(self):
+        graph_a = random_connected_graph(31, n_min=12, n_max=20, density=2.5)
+        graph_b = graph_a.copy()
+        dyn_a = DynCSR.from_graph(graph_a)
+        dyn_b = DynCSR.from_graph(graph_b)
+        rng = random.Random(31)
+        batch = rng.sample(sorted(graph_a.edges()), 6)
+        dyn_a.remove_edges_batch(batch)
+        for u, v in batch:
+            dyn_b.remove_edge(u, v)
+        for graph in (graph_a, graph_b):
+            for u, v in batch:
+                graph.remove_edge(u, v)
+        assert_bfs_matches(graph_a, dyn_a)
+        assert_bfs_matches(graph_b, dyn_b)
+        assert dyn_a.num_edges == dyn_b.num_edges == graph_a.num_edges
+
+    def test_random_mixed_churn_stays_exact(self):
+        rng = random.Random(77)
+        graph = erdos_renyi(30, 70, rng=rng)
+        dyn = DynCSR.from_graph(graph)
+        for step in range(200):
+            if rng.random() < 0.5 and graph.num_edges > 5:
+                u, v = rng.choice(sorted(graph.edges()))
+                graph.remove_edge(u, v)
+                dyn.remove_edge(u, v)
+            else:
+                candidates = non_edges(graph)
+                if not candidates:
+                    continue
+                u, v = rng.choice(candidates)
+                graph.add_edge(u, v)
+                dyn.insert_edge(u, v)
+            if step % 40 == 0:
+                assert dyn.num_edges == graph.num_edges
+                assert_bfs_matches(graph, dyn, sources=sorted(graph.vertices())[:2])
+        dyn.compact()
+        assert_bfs_matches(graph, dyn)
+
+
 class TestGather:
     def test_gather_variants_agree(self):
         rng = random.Random(5)
@@ -165,4 +266,4 @@ class TestGather:
         views2 = dyn.scalar_views()
         assert views2 is not views1
         # views reflect the delta through delta_count
-        assert views2[3][dyn.index(u)] >= 1
+        assert views2[4][dyn.index(u)] >= 1

@@ -22,7 +22,13 @@ from repro.graph.generators import (
     watts_strogatz,
 )
 
-__all__ = ["GRAPH_FAMILIES", "random_graph", "insertion_stream", "random_batches"]
+__all__ = [
+    "GRAPH_FAMILIES",
+    "random_graph",
+    "insertion_stream",
+    "mixed_event_stream",
+    "random_batches",
+]
 
 
 def _er(rng: random.Random, n: int) -> DynamicGraph:
@@ -106,6 +112,51 @@ def insertion_stream(
         live.add(key)
         stream.append((u, v))
     return stream
+
+
+def mixed_event_stream(
+    graph: DynamicGraph,
+    count: int,
+    rng: random.Random,
+    delete_ratio: float = 0.35,
+    churn_ratio: float = 0.15,
+) -> list[tuple[str, tuple[int, int]]]:
+    """``count`` mixed ``(kind, (u, v))`` events valid under sequential
+    replay against the *evolving* graph.
+
+    Deletions pick live edges (disconnections allowed — that is where the
+    decremental affected regions are largest); ``churn_ratio`` biases a
+    slice of insertions toward *re-inserting recently deleted edges*, the
+    cancellation case the batch engine collapses to a net no-op.  Replay
+    in order never raises; fewer events come back only on saturation.
+    """
+    vertices = sorted(graph.vertices())
+    live = {tuple(sorted(e)) for e in graph.edges()}
+    removed: list[tuple[int, int]] = []
+    events: list[tuple[str, tuple[int, int]]] = []
+    attempts = 0
+    while len(events) < count and attempts < 80 * count:
+        attempts += 1
+        roll = rng.random()
+        if roll < churn_ratio and removed:
+            key = removed.pop(rng.randrange(len(removed)))
+            if key in live:
+                continue
+            live.add(key)
+            events.append(("insert", key))
+        elif roll < churn_ratio + delete_ratio and live:
+            key = rng.choice(sorted(live))
+            live.remove(key)
+            removed.append(key)
+            events.append(("delete", key))
+        else:
+            u, v = rng.sample(vertices, 2)
+            key = (u, v) if u < v else (v, u)
+            if key in live:
+                continue
+            live.add(key)
+            events.append(("insert", key))
+    return events
 
 
 def random_batches(

@@ -24,6 +24,7 @@ from repro.landmarks.selection import top_degree_landmarks
 from tests.proptest.strategies import (
     GRAPH_FAMILIES,
     insertion_stream,
+    mixed_event_stream,
     random_batches,
     random_graph,
 )
@@ -110,6 +111,91 @@ def test_fast_slow_batch_equivalence_stress(family, seed):
     assert batch.labelling == seq.labelling
     assert fastb.labelling == seq.labelling
     assert_queries_match_bfs(fast, rng, samples=60)
+
+
+def run_mixed_stream(family: str, seed: int, stream_length: int,
+                     max_batch: int = 6, workers: int | None = None):
+    """Mixed insert/delete matrix: four maintenance routes over the same
+    event stream must stay byte-identical at every step.
+
+    * ``seq``   — one event at a time on the reference kernels (IncHL+
+      insertions, DecHL deletions);
+    * ``fast``  — one event at a time on the vectorized mixed engine;
+    * ``batch`` — random event batches through ``apply_events_batch`` on
+      the reference route;
+    * ``fastb`` — the same batches through the BatchHL-style mixed batch
+      engine (optionally with ``workers`` fanned out).
+    """
+    graph, rng = random_graph(seed, family=family)
+    seq, fast, batch, fastb = build_oracles(graph, rng)
+    events = mixed_event_stream(graph, stream_length, rng)
+    if not events:
+        pytest.skip("graph saturated; no applicable events")
+    batches = random_batches(events, rng, max_batch=max_batch)
+
+    for i, (kind, (u, v)) in enumerate(events):
+        if kind == "insert":
+            seq.insert_edge(u, v)
+            fast.insert_edge(u, v)
+        else:
+            seq.remove_edge(u, v)
+            fast.remove_edge(u, v)
+        assert fast.labelling == seq.labelling, (family, seed, i, kind)
+
+    for j, chunk in enumerate(batches):
+        batch.apply_events_batch(chunk, fast=False)
+        fastb.apply_events_batch(chunk, workers=workers, fast=True)
+        assert batch.labelling == fastb.labelling, (family, seed, "batch", j)
+    assert batch.labelling == seq.labelling, (family, seed, "batch-vs-seq")
+    assert fastb.labelling == seq.labelling, (family, seed, "fastb-vs-seq")
+    assert fast.version == seq.version == batch.version == fastb.version
+
+    assert_queries_match_bfs(fast, rng)
+    assert_queries_match_bfs(fastb, rng)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mixed_stream_equivalence(family, seed):
+    run_mixed_stream(family, seed, stream_length=14)
+
+
+@pytest.mark.parametrize("family", ["random-tree", "ring-of-cliques"])
+def test_mixed_stream_equivalence_parallel(family):
+    """Disconnection-heavy families with the batch finds fanned out: the
+    worker pool must not perturb byte-identity."""
+    run_mixed_stream(family, 606, stream_length=12, workers=2)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", STRESS_SEEDS)
+def test_mixed_stream_equivalence_stress(family, seed):
+    """Nightly-scale mixed streams: bigger graphs, longer streams."""
+    import zlib
+
+    graph, rng = random_graph(
+        seed * 11 + zlib.crc32(family.encode()) % 1000, family=family,
+        n_min=40, n_max=100,
+    )
+    seq, fast, batch, fastb = build_oracles(graph, rng)
+    events = mixed_event_stream(graph, 50, rng)
+    if not events:
+        pytest.skip("graph saturated; no applicable events")
+    for kind, (u, v) in events:
+        if kind == "insert":
+            seq.insert_edge(u, v)
+            fast.insert_edge(u, v)
+        else:
+            seq.remove_edge(u, v)
+            fast.remove_edge(u, v)
+    assert fast.labelling == seq.labelling
+    for chunk in random_batches(events, rng, max_batch=10):
+        batch.apply_events_batch(chunk, fast=False)
+        fastb.apply_events_batch(chunk, fast=True)
+    assert batch.labelling == seq.labelling
+    assert fastb.labelling == seq.labelling
+    assert_queries_match_bfs(fastb, rng, samples=60)
 
 
 def test_mixed_ops_keep_engines_equal():

@@ -18,7 +18,11 @@ from repro.core.dynamic import DynamicHCL
 from repro.graph.traversal import bfs_distances
 from repro.landmarks.selection import top_degree_landmarks
 
-from tests.proptest.strategies import insertion_stream, random_graph
+from tests.proptest.strategies import (
+    insertion_stream,
+    mixed_event_stream,
+    random_graph,
+)
 
 _SETTINGS = settings(
     max_examples=12,
@@ -85,6 +89,17 @@ class FastSlowMachine(RuleBasedStateMachine):
         u, v = edges[self.rng.randrange(len(edges))]
         self.fast.remove_edge(u, v)
         self.seq.remove_edge(u, v)
+
+    @rule(count=st.integers(2, 5))
+    def mixed_batch(self, count):
+        """One mixed insert/delete batch through ``apply_events_batch``:
+        the fast engine collapses it to a net BatchHL sweep, the slow
+        oracle replays it sequentially — byte-identity must survive."""
+        events = mixed_event_stream(self.fast.graph, count, self.rng)
+        if not events:
+            return
+        self.fast.apply_events_batch(events, fast=True)
+        self.seq.apply_events_batch(events, fast=False)
 
     @rule()
     def promote_landmark(self):

@@ -123,6 +123,152 @@ def test_insert_runs_are_batched():
     assert stats["insert_batches"] == 1
 
 
+def test_mixed_chunk_coalesces_into_one_batch():
+    """A chunk with deletes in the middle of an insert run must apply as
+    ONE mixed batch (satellite of the fully-dynamic engine): previously
+    the first non-insert event broke coalescing and everything after it
+    slow-pathed one event at a time."""
+    graph = grid_graph(4, 4)
+    oracle = DynamicHCL.build(graph, landmarks=[0, 15])
+    events = [
+        UpdateEvent("insert", (0, 5)),
+        UpdateEvent("delete", (5, 6)),     # interrupts the insert run
+        UpdateEvent("insert", (1, 6)),
+        UpdateEvent("delete", (9, 10)),
+        UpdateEvent("insert", (2, 7)),
+    ]
+    reference = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    for event in events:
+        u, v = event.edge
+        if event.is_insert:
+            reference.insert_edge(u, v, fast=False)
+        else:
+            reference.remove_edge(u, v, fast=False)
+
+    service = OracleService(oracle, max_batch=32)
+    service.submit_many(events)  # queued before start → one drained chunk
+    with service:
+        service.flush()
+        stats = service.stats()
+    assert stats["events_applied"] == len(events)
+    assert stats["events_rejected"] == 0
+    assert stats["mixed_batches"] == 1
+    assert stats["insert_batches"] == 0
+    assert oracle.labelling == reference.labelling
+    table = bfs_distances(oracle.graph, 0)
+    for v in oracle.graph.vertices():
+        assert service.snapshot.query(0, v) == table.get(v, INF)
+
+
+def test_mixed_chunk_accepts_intra_chunk_churn():
+    """Sequential chunk semantics: deleting an edge inserted earlier in
+    the same chunk (and re-inserting a deleted one) is valid, and churn
+    pairs cancel inside the engine without desyncing graph/labelling."""
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    service = OracleService(oracle, max_batch=32)
+    events = [
+        UpdateEvent("insert", (0, 8)),
+        UpdateEvent("delete", (0, 8)),     # delete the chunk's own insert
+        UpdateEvent("delete", (0, 1)),
+        UpdateEvent("insert", (0, 1)),     # re-insert after delete
+        UpdateEvent("insert", (2, 6)),
+    ]
+    service.submit_many(events)
+    with service:
+        service.flush()
+        stats = service.stats()
+    assert stats["events_applied"] == len(events)
+    assert stats["events_rejected"] == 0
+    assert not oracle.graph.has_edge(0, 8)
+    assert oracle.graph.has_edge(0, 1)
+    assert oracle.graph.has_edge(2, 6)
+    table = bfs_distances(oracle.graph, 4)
+    for v in oracle.graph.vertices():
+        assert service.snapshot.query(4, v) == table.get(v, INF)
+
+
+def test_mixed_chunk_rejects_without_side_effects():
+    """Rejections inside a mixed chunk track the chunk's own sequential
+    state: a duplicate insert, an absent-edge delete, and a delete of an
+    edge the chunk already deleted are all counted, and rejected inserts
+    leave no orphan vertices behind."""
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    before_vertices = oracle.graph.num_vertices
+    service = OracleService(oracle, max_batch=32)
+    events = [
+        UpdateEvent("delete", (0, 1)),
+        UpdateEvent("delete", (0, 1)),       # already deleted in-chunk
+        UpdateEvent("insert", (0, 8)),
+        UpdateEvent("insert", (0, 8)),       # duplicate within chunk
+        UpdateEvent("delete", (0, 7)),       # never an edge
+        UpdateEvent("insert", (3, 3)),       # self-loop
+        UpdateEvent("insert", (50, -2)),     # bad id → no orphan vertex 50
+    ]
+    service.submit_many(events)
+    with service:
+        service.flush()
+        stats = service.stats()
+    assert stats["events_applied"] == 2
+    assert stats["events_rejected"] == 5
+    assert stats["mixed_batches"] == 1
+    assert oracle.graph.num_vertices == before_vertices
+    assert not oracle.graph.has_vertex(50)
+    table = bfs_distances(oracle.graph, 4)
+    for v in oracle.graph.vertices():
+        assert service.snapshot.query(4, v) == table.get(v, INF)
+
+
+def test_chunk_boundary_epochs_advance_by_accepted_events():
+    """Epoch bookkeeping across chunk boundaries: every *accepted* event
+    advances the published epoch by exactly one (mixed batches stamp
+    ``version += len(run)``, matching a one-at-a-time replay), and
+    rejected events leave the epoch untouched."""
+    oracle = DynamicHCL.build(grid_graph(3, 3), landmarks=[4])
+    base_epoch = oracle.version
+    service = OracleService(oracle, max_batch=3)  # force several chunks
+    with service:
+        # Chunk-sized bursts with flush() between them pin the boundaries.
+        service.submit_many([
+            UpdateEvent("insert", (0, 8)),
+            UpdateEvent("delete", (0, 1)),
+            UpdateEvent("insert", (2, 6)),
+        ])
+        service.flush()
+        assert service.snapshot.epoch == base_epoch + 3
+        service.submit_many([
+            UpdateEvent("delete", (0, 7)),      # rejected: absent edge
+            UpdateEvent("insert", (0, 8)),      # rejected: duplicate
+            UpdateEvent("delete", (2, 6)),      # accepted
+        ])
+        service.flush()
+        assert service.snapshot.epoch == base_epoch + 4
+        stats = service.stats()
+    assert stats["events_applied"] == 4
+    assert stats["events_rejected"] == 2
+
+
+def test_mixed_chunk_slow_route_matches_fast():
+    """``fast=False`` services keep the legacy per-event delete loop; the
+    final labelling must still match the fast service byte for byte."""
+    graph = random_connected_graph(17, n_min=14, n_max=22)
+    events = mixed_stream(graph, 24, rng=5)
+    oracle_fast = DynamicHCL.build(graph.copy(), num_landmarks=3)
+    landmarks = list(oracle_fast.landmarks)
+    oracle_slow = DynamicHCL.build(graph.copy(), landmarks=landmarks)
+    with OracleService(oracle_fast, max_batch=8, fast=True) as fast_svc:
+        fast_svc.submit_many(events)
+        fast_svc.flush()
+        fast_stats = fast_svc.stats()
+    with OracleService(oracle_slow, max_batch=8, fast=False) as slow_svc:
+        slow_svc.submit_many(events)
+        slow_svc.flush()
+        slow_stats = slow_svc.stats()
+    assert fast_stats["events_applied"] == slow_stats["events_applied"]
+    assert slow_stats["mixed_batches"] == 0  # legacy loop, no coalescing
+    assert oracle_fast.labelling == oracle_slow.labelling
+    assert sorted(oracle_fast.graph.edges()) == sorted(oracle_slow.graph.edges())
+
+
 def test_queries_served_while_stopped_writer():
     service = _service(seed=5)
     # Reads never require the writer: the initial snapshot serves them.

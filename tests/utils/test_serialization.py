@@ -81,8 +81,8 @@ class TestStreamedWriter:
         assert text == json.dumps(payload)
         assert payload["labels"] == [
             [v, r, d]
-            for v, label in gamma.labels.items()
-            for r, d in label.items()
+            for v, label in sorted(gamma.labels.items())
+            for r, d in sorted(label.items())
         ]
 
     def test_small_chunk_streaming_matches_one_shot(self, tmp_path):

@@ -2,7 +2,8 @@
 """Stateful fuzz harness for the dynamic oracle and the serving layer.
 
 Generates random op sequences (single insert, batch insert, delete,
-landmark promotion) from a seeded RNG, applies them to a
+delete-of-absent-edge, re-insert-after-delete, mixed insert/delete
+batch, landmark promotion) from a seeded RNG, applies them to a
 ``DynamicHCL`` on the **fast** path while mirroring them on the
 sequential reference, and cross-checks after every op:
 
@@ -37,16 +38,24 @@ import time
 
 from repro.core.dynamic import DynamicHCL
 from repro.core.construction import build_hcl
+from repro.exceptions import ReproError
 from repro.graph.traversal import bfs_distances
 from repro.landmarks.selection import top_degree_landmarks
 from repro.serving.service import OracleService
 from repro.workloads.streams import UpdateEvent
 
 sys.path.insert(0, ".")  # make tests.proptest importable from the repo root
-from tests.proptest.strategies import insertion_stream, random_graph  # noqa: E402
+from tests.proptest.strategies import (  # noqa: E402
+    insertion_stream,
+    mixed_event_stream,
+    random_graph,
+)
 
 # An op is a JSON-friendly list: ["insert", u, v] | ["batch", [[u, v], ...]]
-# | ["delete", u, v] | ["landmark", v].
+# | ["delete", u, v] | ["mixed", [["insert"|"delete", u, v], ...]]
+# | ["landmark", v].  A "delete" whose edge is absent when the op runs is
+# *intentional*: both engines must reject it cleanly (no state change),
+# mirroring what a wire client can send the serving layer.
 
 
 class FuzzFailure(AssertionError):
@@ -60,27 +69,50 @@ def generate_ops(graph, rng: random.Random, count: int) -> list:
     landmark_budget = 2
     while len(ops) < count:
         roll = rng.random()
-        if roll < 0.5:
+        if roll < 0.35:
             stream = insertion_stream(sim, 1, rng)
             if not stream:
                 break
             (u, v) = stream[0]
             sim.add_edge(u, v)
             ops.append(["insert", u, v])
-        elif roll < 0.75:
+        elif roll < 0.55:
             stream = insertion_stream(sim, rng.randint(2, 6), rng)
             if not stream:
                 break
             for u, v in stream:
                 sim.add_edge(u, v)
             ops.append(["batch", [list(e) for e in stream]])
-        elif roll < 0.92:
+        elif roll < 0.72:
             if sim.num_edges <= sim.num_vertices:
                 continue
             edges = list(sim.edges())
             u, v = edges[rng.randrange(len(edges))]
             sim.remove_edge(u, v)
             ops.append(["delete", u, v])
+            if rng.random() < 0.3:
+                # Re-insert-after-delete: the engine must rebuild exactly
+                # the entries the deletion dropped.
+                sim.add_edge(u, v)
+                ops.append(["insert", u, v])
+        elif roll < 0.78:
+            # Delete of a *non-existent* edge: both engines must reject it
+            # with no side effects.  The sim is not mutated, so the edge is
+            # guaranteed absent at replay time too.
+            stream = insertion_stream(sim, 1, rng)
+            if not stream:
+                break
+            ops.append(["delete", stream[0][0], stream[0][1]])
+        elif roll < 0.92:
+            events = mixed_event_stream(sim, rng.randint(2, 6), rng)
+            if not events:
+                continue
+            for kind, (u, v) in events:
+                if kind == "insert":
+                    sim.add_edge(u, v)
+                else:
+                    sim.remove_edge(u, v)
+            ops.append(["mixed", [[kind, u, v] for kind, (u, v) in events]])
         else:
             if landmark_budget == 0:
                 continue
@@ -109,8 +141,29 @@ def _applicable(graph, landmarks: set, op) -> bool:
             seen.add(key)
         return True
     if kind == "delete":
+        # Applicable whenever the endpoints exist: a present edge is
+        # deleted, an absent one exercises the clean-rejection path.
         _, u, v = op
-        return graph.has_edge(u, v)
+        return graph.has_vertex(u) and graph.has_vertex(v)
+    if kind == "mixed":
+        # Sequentially valid w.r.t. the state its own prefix produces.
+        state: dict = {}
+        for evkind, u, v in op[1]:
+            if not graph.has_vertex(u) or not graph.has_vertex(v) or u == v:
+                return False
+            key = (u, v) if u < v else (v, u)
+            present = state[key] if key in state else graph.has_edge(u, v)
+            if evkind == "insert":
+                if present:
+                    return False
+                state[key] = True
+            elif evkind == "delete":
+                if not present:
+                    return False
+                state[key] = False
+            else:
+                return False
+        return bool(op[1])
     if kind == "landmark":
         return graph.has_vertex(op[1]) and op[1] not in landmarks
     raise ValueError(f"unknown op {op!r}")
@@ -135,8 +188,34 @@ def run_sequence(base_graph, landmarks, ops, rng_seed: int, query_samples: int =
             fast.insert_edges_batch(edges)
             ref.insert_edges_batch(edges)
         elif kind == "delete":
-            fast.remove_edge(op[1], op[2])
-            ref.remove_edge(op[1], op[2])
+            if fast.graph.has_edge(op[1], op[2]):
+                fast.remove_edge(op[1], op[2])
+                ref.remove_edge(op[1], op[2])
+            else:
+                # Delete of a non-existent edge: both engines must raise a
+                # clean library error, leaving graph + labelling untouched
+                # (the fast route raises GraphError from the graph, the
+                # reference route InvariantViolationError from DecHL).
+                for oracle in (fast, ref):
+                    edges_before = oracle.graph.num_edges
+                    try:
+                        oracle.remove_edge(op[1], op[2])
+                    except ReproError:
+                        pass
+                    else:
+                        raise FuzzFailure(
+                            f"absent-edge delete did not raise at step "
+                            f"{step}: {op}"
+                        )
+                    if oracle.graph.num_edges != edges_before:
+                        raise FuzzFailure(
+                            f"absent-edge delete mutated the graph at step "
+                            f"{step}: {op}"
+                        )
+        elif kind == "mixed":
+            events = [(evkind, (u, v)) for evkind, u, v in op[1]]
+            fast.apply_events_batch(events, fast=True)
+            ref.apply_events_batch(events, fast=False)
         elif kind == "landmark":
             fast.add_landmark(op[1])
             ref.add_landmark(op[1])
@@ -167,7 +246,13 @@ def run_service_sequence(base_graph, landmarks, ops, query_samples: int = 12):
         elif op[0] == "batch":
             events.extend(UpdateEvent("insert", tuple(e)) for e in op[1])
         elif op[0] == "delete":
+            # Absent-edge deletes ride along: the service must *reject*
+            # them (count only) rather than degrade or desync.
             events.append(UpdateEvent("delete", (op[1], op[2])))
+        elif op[0] == "mixed":
+            events.extend(
+                UpdateEvent(evkind, (u, v)) for evkind, u, v in op[1]
+            )
     rng = random.Random(0xC0FFEE)
     with OracleService(oracle) as service:
         for event in events:
