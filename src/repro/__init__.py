@@ -16,7 +16,9 @@ Incremental Updates in Large Dynamic Graphs"* (Farhan & Wang, EDBT 2021):
   (single-writer update loop, epoch-versioned read snapshots, TCP
   front-end via ``python -m repro serve``);
 * :mod:`repro.bench` — the experiment harness regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.obs` — the unified observability layer (structured logs,
+  request tracing, mergeable histogram metrics, Prometheus exposition).
 
 Quickstart::
 

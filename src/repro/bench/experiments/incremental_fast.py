@@ -51,14 +51,45 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
+def _accumulate_phases(phase_s: dict, affected: list, stats) -> None:
+    """Fold one update's ``UpdateStats`` into running phase totals."""
+    for name, seconds in stats.phases.items():
+        phase_s[name] = phase_s.get(name, 0.0) + seconds
+    affected.append(stats.affected_union)
+
+
+def _phases_block(phase_s: dict, affected: list) -> dict | None:
+    """The per-row ``phases`` block of the BENCH_* JSON report: where the
+    update time went (find vs repair sweeps, engine-attributed) and the
+    |AFF| distribution the paper's complexity analysis charges."""
+    if not phase_s:
+        return None
+    block = {
+        f"{name}_ms": round(seconds * 1000.0, 3)
+        for name, seconds in sorted(phase_s.items())
+    }
+    if affected:
+        ordered = sorted(affected)
+        block["aff"] = {
+            "mean": round(sum(affected) / len(affected), 1),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "max": ordered[-1],
+        }
+    return block
+
+
 def _replay_single(oracle: DynamicHCL, insertions, fast: bool):
-    """One-at-a-time replay; returns (total_s, latencies_s)."""
+    """One-at-a-time replay; returns (total_s, latencies_s, phases)."""
     latencies = []
+    phase_s: dict[str, float] = {}
+    affected: list[int] = []
     for u, v in insertions:
         with Stopwatch() as sw:
-            oracle.insert_edge(u, v, fast=fast)
+            stats = oracle.insert_edge(u, v, fast=fast)
         latencies.append(sw.elapsed)
-    return sum(latencies), latencies
+        _accumulate_phases(phase_s, affected, stats)
+    return sum(latencies), latencies, _phases_block(phase_s, affected)
 
 
 def _replay_batched(oracle: DynamicHCL, insertions, batch_size: int, workers):
@@ -66,16 +97,20 @@ def _replay_batched(oracle: DynamicHCL, insertions, batch_size: int, workers):
     oracle._resolve_fast_engine()  # attach cost reported separately
     total = 0.0
     chunks = 0
+    phase_s: dict[str, float] = {}
+    affected: list[int] = []
     for start in range(0, len(insertions), batch_size):
         chunk = insertions[start : start + batch_size]
         with Stopwatch() as sw:
-            oracle.insert_edges_batch(chunk, workers=workers, fast=True)
+            stats = oracle.insert_edges_batch(chunk, workers=workers, fast=True)
         total += sw.elapsed
         chunks += 1
-    return total, chunks
+        _accumulate_phases(phase_s, affected, stats)
+    return total, chunks, _phases_block(phase_s, affected)
 
 
-def _row(dataset, mode, updates, total_s, latencies, attach_ms, speedup, identical):
+def _row(dataset, mode, updates, total_s, latencies, attach_ms, speedup,
+         identical, phases=None):
     ordered = sorted(latencies) if latencies else []
     per_update = total_s / updates if updates else 0.0
     return {
@@ -90,6 +125,7 @@ def _row(dataset, mode, updates, total_s, latencies, attach_ms, speedup, identic
         "attach_ms": round(attach_ms, 3) if attach_ms is not None else None,
         "speedup": round(speedup, 3) if speedup is not None else None,
         "identical": identical,
+        "phases": phases,
     }
 
 
@@ -118,7 +154,9 @@ def run(
         python_oracle = DynamicHCL.build(
             graph.copy(), landmarks=landmarks, construction="csr"
         )
-        t_python, lat_python = _replay_single(python_oracle, insertions, fast=False)
+        t_python, lat_python, _ = _replay_single(
+            python_oracle, insertions, fast=False
+        )
 
         fast_oracle = DynamicHCL.build(
             graph.copy(), landmarks=landmarks, construction="csr",
@@ -126,14 +164,16 @@ def run(
         )
         with Stopwatch() as attach:
             fast_oracle._resolve_fast_engine()
-        t_fast, lat_fast = _replay_single(fast_oracle, insertions, fast=True)
+        t_fast, lat_fast, phases_fast = _replay_single(
+            fast_oracle, insertions, fast=True
+        )
         identical_fast = fast_oracle.labelling == python_oracle.labelling
 
         batch_oracle = DynamicHCL.build(
             graph.copy(), landmarks=landmarks, construction="csr",
             fast_updates=True, workers=workers,
         )
-        t_batch, chunks = _replay_batched(
+        t_batch, chunks, phases_batch = _replay_batched(
             batch_oracle, insertions, prof.figure4_batch, workers
         )
         identical_batch = batch_oracle.labelling == python_oracle.labelling
@@ -146,10 +186,11 @@ def run(
         rows.append(_row(name, "fast", count, t_fast, lat_fast,
                          attach.elapsed * 1000.0,
                          t_python / t_fast if t_fast > 0 else None,
-                         identical_fast))
+                         identical_fast, phases=phases_fast))
         rows.append(_row(
             name, f"fast-batch/{prof.figure4_batch}", count, t_batch, [],
             None, t_python / t_batch if t_batch > 0 else None, identical_batch,
+            phases=phases_batch,
         ))
 
     if aggregate_fast > 0 and len(names) > 1:

@@ -88,14 +88,30 @@ def _replay_fallback(oracle: DynamicHCL, events, batch: int, workers) -> float:
     return total
 
 
-def _replay_mixed(oracle: DynamicHCL, events, batch: int, workers) -> float:
+def _replay_mixed(oracle: DynamicHCL, events, batch: int, workers):
     oracle._resolve_fast_engine()  # attach once, like a serving deployment
     total = 0.0
+    phase_s: dict[str, float] = {}
+    affected: list[int] = []
     for chunk in _chunks(events, batch):
         with Stopwatch() as sw:
-            oracle.apply_events_batch(chunk, workers=workers, fast=True)
+            stats = oracle.apply_events_batch(chunk, workers=workers, fast=True)
         total += sw.elapsed
-    return total
+        for phase, seconds in stats.phases.items():
+            phase_s[phase] = phase_s.get(phase, 0.0) + seconds
+        affected.append(stats.affected_union)
+    phases = {
+        f"{phase}_ms": round(seconds * 1000.0, 3)
+        for phase, seconds in sorted(phase_s.items())
+    }
+    if affected:
+        ordered = sorted(affected)
+        phases["aff"] = {
+            "mean": round(sum(affected) / len(affected), 1),
+            "p50": ordered[len(ordered) // 2],
+            "max": ordered[-1],
+        }
+    return total, phases or None
 
 
 def _bfs_spot_check(oracle: DynamicHCL, rng, samples: int) -> tuple[int, int]:
@@ -111,7 +127,7 @@ def _bfs_spot_check(oracle: DynamicHCL, rng, samples: int) -> tuple[int, int]:
 
 
 def _row(dataset, mode, events, deletes, total_s, speedup, identical,
-         checked=None, incorrect=None):
+         checked=None, incorrect=None, phases=None):
     return {
         "experiment": "MX-mixed-batch",
         "dataset": dataset,
@@ -124,6 +140,7 @@ def _row(dataset, mode, events, deletes, total_s, speedup, identical,
         "identical": identical,
         "bfs_checked": checked,
         "bfs_incorrect": incorrect,
+        "phases": phases,
     }
 
 
@@ -166,7 +183,9 @@ def run(
             graph.copy(), landmarks=landmarks, construction="csr",
             fast_updates=True, workers=workers,
         )
-        t_mx = _replay_mixed(mx_oracle, events, prof.figure4_batch, workers)
+        t_mx, phases_mx = _replay_mixed(
+            mx_oracle, events, prof.figure4_batch, workers
+        )
         identical_mx = mx_oracle.labelling == seq_oracle.labelling
         checked, incorrect = _bfs_spot_check(mx_oracle, rng, samples=30)
 
@@ -177,7 +196,7 @@ def run(
                          1.0, identical_fb))
         rows.append(_row(name, "mixed-fast", count, deletes, t_mx,
                          t_fb / t_mx if t_mx > 0 else None, identical_mx,
-                         checked, incorrect))
+                         checked, incorrect, phases=phases_mx))
 
     text = format_table(
         ["dataset", "mode", "events", "deletes", "total_ms", "per_event_us",

@@ -13,7 +13,12 @@ tool rather than an API (the benchmark harness has its own entry point,
   (:mod:`repro.serving`; newline-delimited JSON protocol);
 * ``serve-cluster`` — the replicated deployment: N replica processes
   behind a WAL-backed router speaking the same protocol
-  (:mod:`repro.cluster`).
+  (:mod:`repro.cluster`);
+* ``top``     — live stats of a running server or cluster, refreshed
+  like ``top(1)`` (reads the ``stats`` op; works against both).
+
+Both serving commands take ``--metrics-port`` to additionally expose the
+Prometheus text metrics of :mod:`repro.obs` over HTTP.
 
 Both serving commands shut down gracefully on SIGTERM/SIGINT: in-flight
 requests drain, the WAL closes cleanly, replicas exit 0.
@@ -39,7 +44,7 @@ import sys
 
 from repro.exceptions import ReproError
 
-__all__ = ["main"]
+__all__ = ["main", "format_top"]
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -107,6 +112,9 @@ def _parser() -> argparse.ArgumentParser:
                             "(0 = all CPUs)")
     serve.add_argument("--max-batch", type=int, default=128, metavar="K",
                        help="max update events coalesced per writer sweep")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                       help="also serve Prometheus text metrics over HTTP "
+                            "on this port (0 = ephemeral)")
 
     cluster = sub.add_parser(
         "serve-cluster",
@@ -136,6 +144,22 @@ def _parser() -> argparse.ArgumentParser:
                               "events (0 disables)")
     cluster.add_argument("--no-restart", action="store_true",
                          help="do not respawn crashed replicas")
+    cluster.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                         help="also serve router Prometheus text metrics over "
+                              "HTTP on this port (0 = ephemeral)")
+
+    top = sub.add_parser(
+        "top",
+        help="live stats of a running server or cluster (like top(1))",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument("--port", type=int, default=8355, help="server port")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--count", type=int, default=None, metavar="N",
+                     help="stop after N refreshes (default: until Ctrl-C)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (same as --count 1)")
     return parser
 
 
@@ -239,6 +263,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         workers=args.workers,
         max_batch=args.max_batch,
+        metrics_port=args.metrics_port,
     )
     oracle = server.service.oracle
     print(f"loaded |V|={oracle.graph.num_vertices:,} "
@@ -249,8 +274,11 @@ def _cmd_serve(args) -> int:
         host, port = srv.address
         print(f"serving on {host}:{port} "
               f"(newline-delimited JSON; ops: query, query_many, path, "
-              f"update, updates, stats, snapshot, ping; "
+              f"update, updates, stats, metrics, spans, snapshot, ping; "
               f"SIGTERM/SIGINT drain and stop)")
+        if srv.metrics_address is not None:
+            mhost, mport = srv.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/ (Prometheus text)")
 
     try:
         # run() serves until SIGTERM/SIGINT, then drains in-flight
@@ -267,6 +295,9 @@ def _cmd_serve_cluster(args) -> int:
     from repro.cluster.supervisor import ClusterSupervisor
 
     cluster_dir = args.cluster_dir or f"{args.oracle}.cluster"
+    router_kwargs = {}
+    if args.metrics_port is not None:
+        router_kwargs["metrics_port"] = args.metrics_port
     supervisor = ClusterSupervisor(
         args.oracle,
         cluster_dir=cluster_dir,
@@ -278,12 +309,16 @@ def _cmd_serve_cluster(args) -> int:
         fsync=args.fsync,
         restart=not args.no_restart,
         compact_every=args.compact_every or None,
+        router_kwargs=router_kwargs,
     )
 
     def _started(sup) -> None:
         host, port = sup.address
         print(f"cluster router on {host}:{port} with {args.replicas} "
               f"replica(s); WAL in {cluster_dir} (fsync={args.fsync})")
+        if sup.router.metrics_address is not None:
+            mhost, mport = sup.router.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/ (Prometheus text)")
         for name, worker in sorted(sup.workers_by_name.items()):
             print(f"  replica {name}: pid={worker.process.pid} "
                   f"addr={worker.address}")
@@ -298,6 +333,135 @@ def _cmd_serve_cluster(args) -> int:
     return 0
 
 
+def _fmt_summary(summary: dict | None) -> str:
+    """One line for a latency summary (queries/updates sub-dict)."""
+    if not summary or not summary.get("count"):
+        return "n=0"
+    parts = [f"n={summary['count']:,}"]
+    if summary.get("qps"):
+        parts.append(f"qps={summary['qps']:,}")
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        if summary.get(key) is not None:
+            parts.append(f"{key[:-3]}={summary[key]:.3g}ms")
+    if summary.get("merge"):
+        parts.append(f"merge={summary['merge']}")
+    return " ".join(parts)
+
+
+def _fmt_brief(brief: dict | None, unit: str = "") -> str:
+    """One line for a ``_hist_brief`` dict (phases/aff sub-dicts)."""
+    if not brief or not brief.get("count"):
+        return "n=0"
+    parts = [f"n={brief['count']:,}", f"total={brief['total']:,}{unit}"]
+    for key in ("p50", "p99"):
+        if brief.get(key) is not None:
+            parts.append(f"{key}={brief[key]:,}{unit}")
+    return " ".join(parts)
+
+
+def format_top(stats: dict) -> str:
+    """Render one `repro top` frame from a ``stats`` response — pure
+    (testable) string building; works for both a single ``serve`` node and
+    a ``serve-cluster`` router."""
+    lines: list[str] = []
+    if stats.get("role") == "router":
+        wal = stats.get("wal", {})
+        lines.append(
+            f"cluster   log head={stats['log_head']:,} "
+            f"base={stats['log_base']:,} "
+            f"wal={wal.get('segments', 0)} segs/{wal.get('bytes', 0):,}B "
+            f"fsync={stats.get('fsync')}"
+        )
+        lines.append(
+            f"router    reads={stats.get('reads_routed', 0):,} "
+            f"writes={stats.get('writes_appended', 0):,} "
+            f"fanout_batches={stats.get('fanout_batches', 0):,}"
+        )
+        router = stats.get("router", {})
+        lines.append(f"  reads   {_fmt_summary(router.get('queries'))}")
+        lines.append(f"  appends {_fmt_summary(router.get('updates'))}")
+        aggregate = stats.get("aggregate", {})
+        lines.append(
+            f"cluster-wide  applied={aggregate.get('events_applied', 0):,} "
+            f"rejected={aggregate.get('events_rejected', 0):,} "
+            f"snapshots={aggregate.get('snapshots_published', 0):,}"
+        )
+        lines.append(f"  queries {_fmt_summary(aggregate.get('queries'))}")
+        lines.append(f"  updates {_fmt_summary(aggregate.get('updates'))}")
+        for name in sorted(stats.get("replicas", {})):
+            entry = stats["replicas"][name]
+            health = "healthy" if entry.get("healthy") else "UNHEALTHY"
+            lag = entry.get("lag")
+            lines.append(
+                f"replica {name}  {health} "
+                f"acked={entry.get('acked_seq', 0):,} "
+                f"lag={'?' if lag is None else f'{lag:,}'}"
+            )
+            service = entry.get("service")
+            if service:
+                lines.append(
+                    f"  epoch={service.get('epoch', 0):,} "
+                    f"pending={service.get('pending', 0):,} "
+                    f"queries[{_fmt_summary(service.get('queries'))}]"
+                )
+        return "\n".join(lines)
+
+    lines.append(
+        f"oracle    epoch={stats.get('epoch', 0):,} "
+        f"|V|={stats.get('num_vertices', 0):,} "
+        f"|E|={stats.get('num_edges', 0):,} "
+        f"size(L)={stats.get('label_entries', 0):,}"
+    )
+    degraded = stats.get("degraded")
+    lines.append(
+        f"writer    pending={stats.get('pending', 0):,} "
+        f"running={stats.get('running')}"
+        + (f" DEGRADED: {degraded}" if degraded else "")
+    )
+    lines.append(
+        f"events    applied={stats.get('events_applied', 0):,} "
+        f"rejected={stats.get('events_rejected', 0):,} "
+        f"batches(insert={stats.get('insert_batches', 0):,} "
+        f"mixed={stats.get('mixed_batches', 0):,}) "
+        f"snapshots={stats.get('snapshots_published', 0):,}"
+    )
+    lines.append(f"queries   {_fmt_summary(stats.get('queries'))}")
+    lines.append(f"updates   {_fmt_summary(stats.get('updates'))}")
+    for name, brief in (stats.get("phases") or {}).items():
+        lines.append(f"  {name:<8}{_fmt_brief(brief, 'ms')}")
+    aff = stats.get("aff")
+    if aff and aff.get("count"):
+        lines.append(f"aff/batch {_fmt_brief(aff)}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.serving.client import ServingClient
+
+    count = 1 if args.once else args.count
+    shown = 0
+    while True:
+        try:
+            with ServingClient(args.host, args.port) as client:
+                stats = client.stats()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach {args.host}:{args.port}: {exc}"
+            ) from exc
+        print(f"--- {args.host}:{args.port} "
+              f"at {time.strftime('%H:%M:%S')} ---")
+        print(format_top(stats))
+        shown += 1
+        if count is not None and shown >= count:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
@@ -307,6 +471,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "serve-cluster": _cmd_serve_cluster,
+    "top": _cmd_top,
 }
 
 

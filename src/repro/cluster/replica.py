@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import asyncio
 import os
-import sys
 from dataclasses import dataclass
 
 from repro.cluster.wal import restore_checkpoint, scan_wal, write_checkpoint
 from repro.exceptions import ClusterError
+from repro.obs.log import get_logger
 from repro.serving.server import OracleServer
 from repro.serving.service import OracleService
 from repro.workloads.streams import UpdateEvent
@@ -68,6 +68,8 @@ class ReplicaSpec:
 class ReplicaServer(OracleServer):
     """An :class:`OracleServer` that participates in a cluster."""
 
+    obs_component = "replica"
+
     def __init__(
         self,
         service: OracleService,
@@ -77,14 +79,20 @@ class ReplicaServer(OracleServer):
         port: int = 0,
         applied_seq: int = 0,
         checkpoint_path: str | None = None,
+        metrics_port: int | None = None,
     ) -> None:
-        super().__init__(service, host=host, port=port)
+        super().__init__(service, host=host, port=port, metrics_port=metrics_port)
         self.name = name
         self._applied_seq = applied_seq
         self._checkpoint_path = checkpoint_path
         self._async_ops.update(
             {"apply": self._op_apply, "checkpoint": self._op_checkpoint}
         )
+        seq_gauge = self._registry.gauge(
+            "repro_replica_applied_seq",
+            "Highest log seq this replica has applied and published.",
+        )
+        self._registry.on_collect(lambda: seq_gauge.set(self._applied_seq))
 
     @property
     def applied_seq(self) -> int:
@@ -244,13 +252,15 @@ def run_replica(spec: ReplicaSpec, conn=None) -> int:
     ``(host, port)`` once the socket is up — the supervisor assigns
     ephemeral ports, so the replica must report where it landed.
     """
+    log = get_logger("replica")
     try:
         server = build_replica(spec)
     except Exception as exc:
-        print(f"replica {spec.name}: failed to boot: {exc}", file=sys.stderr)
+        log.error("boot_failed", replica=spec.name, err=str(exc))
         if conn is not None:
             conn.close()
         return 1
+    log.info("booted", replica=spec.name, applied_seq=server.applied_seq)
 
     def _report(started_server) -> None:
         if conn is not None:

@@ -34,7 +34,9 @@ from time import perf_counter
 
 from repro.cluster.wal import UpdateLog
 from repro.exceptions import ClusterError
-from repro.serving.metrics import ServiceMetrics, aggregate_summaries
+from repro.obs.exporter import CONTENT_TYPE
+from repro.obs.trace import get_recorder, span
+from repro.serving.metrics import ServiceMetrics, merge_summaries
 from repro.serving.server import LineServer, decode_line
 
 __all__ = ["ClusterRouter"]
@@ -79,6 +81,8 @@ class _ReplicaLink:
 class ClusterRouter(LineServer):
     """Asyncio front door: WAL writer, fan-out pumps, read routing."""
 
+    obs_component = "router"
+
     def __init__(
         self,
         log: UpdateLog,
@@ -91,8 +95,9 @@ class ClusterRouter(LineServer):
         retry_interval: float = 0.2,
         max_stale: int | None = 4096,
         metrics: ServiceMetrics | None = None,
+        metrics_port: int | None = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, metrics_port=metrics_port)
         self._log = log
         self._links: dict[str, _ReplicaLink] = {}
         self._fanout_batch = fanout_batch
@@ -117,9 +122,66 @@ class ClusterRouter(LineServer):
             "update": self._op_update,
             "updates": self._op_updates,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "spans": self._op_spans,
             "snapshot": self._op_snapshot,
             "ping": self._op_ping,
         }
+        self._register_obs()
+
+    def _register_obs(self) -> None:
+        """Wire cluster health into this router's metrics registry.
+
+        The router's own latency histograms (append / routed-read) are
+        attached; replication lag, health, WAL footprint and routing
+        counters refresh lazily on collect — scrapes pay, the hot path
+        never does.
+        """
+        reg = self._registry
+        reg.histogram(
+            "repro_router_read_latency_seconds",
+            "Routed read latency through the router (seconds).",
+        ).attach(self.metrics.queries.hist)
+        reg.histogram(
+            "repro_router_append_latency_seconds",
+            "WAL append latency for accepted writes (seconds).",
+        ).attach(self.metrics.updates.hist)
+        lag_family = reg.gauge(
+            "repro_replica_lag",
+            "Log entries behind the WAL head, per replica.",
+            labelnames=("replica",),
+        )
+        healthy_family = reg.gauge(
+            "repro_replica_healthy",
+            "1 while the replica is routable, 0 otherwise.",
+            labelnames=("replica",),
+        )
+        log_head = reg.gauge("repro_wal_head_seq", "Highest appended log seq.")
+        log_base = reg.gauge(
+            "repro_wal_base_seq", "Oldest retained log seq (compaction floor)."
+        )
+        segments = reg.gauge("repro_wal_segments", "Live WAL segment files.")
+        wal_bytes = reg.gauge("repro_wal_bytes", "Bytes across live WAL segments.")
+        reads = reg.counter("repro_reads_routed_total", "Reads routed to replicas.")
+        writes = reg.counter("repro_writes_appended_total", "Events appended to the WAL.")
+        batches = reg.counter("repro_fanout_batches_total", "Apply batches pumped to replicas.")
+
+        def _collect() -> None:
+            head = self._log.head
+            for link in list(self._links.values()):
+                lag = max(0, head - link.acked_seq) if link.acked_seq >= 0 else head - self._log.base
+                lag_family.labels(replica=link.name).set(lag)
+                healthy_family.labels(replica=link.name).set(1 if link.healthy else 0)
+            wal = self._log.stats()
+            log_head.set(wal["head"])
+            log_base.set(wal["base"])
+            segments.set(wal["segments"])
+            wal_bytes.set(wal["bytes"])
+            reads.set(self._reads_routed)
+            writes.set(self._writes_appended)
+            batches.set(self._fanout_batches)
+
+        reg.on_collect(_collect)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -245,13 +307,38 @@ class ClusterRouter(LineServer):
         handler = self._ops.get(op)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        trace = request.get("trace")
+        start = perf_counter()
         try:
-            return await handler(request, line)
+            # Traced requests get a router span; the raw line (trace field
+            # included) is forwarded verbatim on reads, so the replica
+            # records its own span under the same trace id.
+            with span(str(op), self.obs_component, trace=trace, op=op):
+                return await handler(request, line)
         except (ClusterError, KeyError, TypeError, ValueError) as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self._observe_request(op, (perf_counter() - start) * 1000.0, trace)
 
     async def _op_ping(self, request: dict, line: bytes) -> dict:
         return {"ok": True, "pong": True, "role": "router"}
+
+    async def _op_metrics(self, request: dict, line: bytes) -> dict:
+        return {
+            "ok": True,
+            "content_type": CONTENT_TYPE,
+            "metrics": self._registry.render(),
+        }
+
+    async def _op_spans(self, request: dict, line: bytes) -> dict:
+        limit = request.get("limit")
+        return {
+            "ok": True,
+            "spans": get_recorder().spans(
+                trace=request.get("of"),
+                limit=int(limit) if limit is not None else 256,
+            ),
+        }
 
     # -- writes ---------------------------------------------------------
     async def _op_update(self, request: dict, line: bytes) -> dict:
@@ -432,16 +519,21 @@ class ClusterRouter(LineServer):
                     await self._close_query_conn(link)
                     entry["healthy"] = False
             replicas[link.name] = entry
+        # Exact cluster-wide percentiles: the per-replica summaries carry
+        # mergeable histograms, and merging histograms is lossless (vector
+        # addition), so the aggregate tails are those of the pooled sample
+        # population — not the old conservative max.
         aggregate = {
-            "queries": aggregate_summaries(
+            "queries": merge_summaries(
                 [s["queries"] for s in service_stats if "queries" in s]
             ),
-            "updates": aggregate_summaries(
+            "updates": merge_summaries(
                 [s["updates"] for s in service_stats if "updates" in s]
             ),
             "events_applied": sum(s.get("events_applied", 0) for s in service_stats),
             "events_rejected": sum(s.get("events_rejected", 0) for s in service_stats),
             "insert_batches": sum(s.get("insert_batches", 0) for s in service_stats),
+            "mixed_batches": sum(s.get("mixed_batches", 0) for s in service_stats),
             "snapshots_published": sum(
                 s.get("snapshots_published", 0) for s in service_stats
             ),
@@ -452,6 +544,7 @@ class ClusterRouter(LineServer):
                 "role": "router",
                 "log_head": head,
                 "log_base": self._log.base,
+                "wal": self._log.stats(),
                 "fsync": self._log.fsync_policy,
                 "reads_routed": self._reads_routed,
                 "writes_appended": self._writes_appended,
@@ -539,6 +632,10 @@ class ClusterRouter(LineServer):
     # Fan-out pump
     # ------------------------------------------------------------------
     def _mark_healthy(self, link: _ReplicaLink) -> None:
+        if not link.healthy:
+            self._logger.info(
+                "replica_healthy", replica=link.name, acked_seq=link.acked_seq
+            )
         link.healthy = True
         link.unhealthy_since = None
         link.last_error = None
@@ -558,6 +655,9 @@ class ClusterRouter(LineServer):
         if link.healthy or link.unhealthy_since is None:
             link.unhealthy_since = (
                 self._loop.time() if self._loop is not None else 0.0
+            )
+            self._logger.warning(
+                "replica_unhealthy", replica=link.name, error=error
             )
         link.healthy = False
         link.last_error = error

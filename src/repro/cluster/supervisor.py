@@ -33,10 +33,13 @@ import multiprocessing
 import os
 from pathlib import Path
 
+from time import perf_counter
+
 from repro.cluster.replica import ReplicaSpec, replica_process_entry
 from repro.cluster.router import ClusterRouter
 from repro.cluster.wal import UpdateLog
 from repro.exceptions import ClusterError
+from repro.obs.log import get_logger
 from repro.serving.server import ThreadedLoopRunner
 from repro.utils.serialization import read_oracle_meta
 
@@ -180,6 +183,8 @@ class ClusterSupervisor:
         self.router: ClusterRouter | None = None
         self.log: UpdateLog | None = None
         self._runner = ThreadedLoopRunner(name="cluster-supervisor")
+        self._logger = get_logger("supervisor")
+        self._checkpoint_hist = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -218,6 +223,7 @@ class ClusterSupervisor:
         self.router = ClusterRouter(
             self.log, self._host, self._port, **self._router_kwargs
         )
+        self._register_obs()
         await self.router.start()
         try:
             for i in range(self._num_replicas):
@@ -301,6 +307,27 @@ class ClusterSupervisor:
             fast=self._fast,
         )
 
+    def _register_obs(self) -> None:
+        """Supervisor telemetry lives on the *router's* registry — the
+        router is the cluster's scrape target (``--metrics-port``), and the
+        supervisor runs in the same process."""
+        registry = self.router.registry
+        restarts = registry.gauge(
+            "repro_replica_restarts",
+            "Times each replica process has been respawned.",
+            labelnames=("replica",),
+        )
+        self._checkpoint_hist = registry.histogram(
+            "repro_checkpoint_duration_seconds",
+            "End-to-end checkpoint request latency (router-side).",
+        )
+
+        def _collect() -> None:
+            for name, worker in self._workers_by_name.items():
+                restarts.labels(replica=name).set(worker.restarts)
+
+        registry.on_collect(_collect)
+
     async def _spawn(self, name: str) -> None:
         previous = self._workers_by_name.get(name)
         worker = ReplicaWorker(self._spec(name), self._ctx)
@@ -311,6 +338,12 @@ class ClusterSupervisor:
             None, worker.spawn, self._spawn_timeout
         )
         self._workers_by_name[name] = worker
+        self._logger.info(
+            "replica_spawned",
+            replica=name,
+            port=port,
+            restarts=worker.restarts,
+        )
         await self.router.set_replica_address(name, host, port)
 
     async def _health_loop(self) -> None:
@@ -337,6 +370,13 @@ class ClusterSupervisor:
             )
             if not (dead or stuck):
                 continue
+            self._logger.warning(
+                "replica_down",
+                replica=name,
+                reason="process_dead" if dead else "link_stuck",
+                exitcode=worker.exitcode,
+                restart=self._restart,
+            )
             if not self._restart:
                 await self.router.remove_replica(name)
                 loop = asyncio.get_running_loop()
@@ -364,8 +404,11 @@ class ClusterSupervisor:
 
     async def _compact(self) -> None:
         log = self.log
+        start = perf_counter()
         try:
             covered = await self.router.request_checkpoint(self._checkpoint)
+            if self._checkpoint_hist is not None:
+                self._checkpoint_hist.observe(perf_counter() - start)
             # Never compact past what every live replica has acked — a
             # laggard still needs the records; the checkpoint bounds it.
             acked = [
@@ -376,5 +419,12 @@ class ClusterSupervisor:
                 covered = min(covered, min(acked))
             if covered > log.base:
                 await self.router.compact_log(covered)
-        except ClusterError:
-            pass  # no healthy replica right now; retry next pass
+                self._logger.info(
+                    "wal_compacted",
+                    covered_seq=covered,
+                    head=log.head,
+                    checkpoint_s=round(perf_counter() - start, 3),
+                )
+        except ClusterError as exc:
+            # No healthy replica right now; retry next pass.
+            self._logger.warning("compact_skipped", err=str(exc))

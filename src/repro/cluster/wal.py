@@ -213,6 +213,26 @@ class UpdateLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    def stats(self) -> dict:
+        """On-disk footprint and position summary for telemetry: ``head``
+        and ``base`` seqs plus the number of segment files and their total
+        bytes (both 0 for an in-memory log)."""
+        segments = 0
+        total_bytes = 0
+        if self._dir is not None:
+            for path in _segment_files(self._dir):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue  # racing a compaction's unlink
+                segments += 1
+        return {
+            "head": self.head,
+            "base": self.base,
+            "segments": segments,
+            "bytes": total_bytes,
+        }
+
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------

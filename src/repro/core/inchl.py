@@ -92,6 +92,13 @@ class UpdateStats:
     entries_modified: int = 0
     entries_removed: int = 0
     highway_updates: int = 0
+    #: Per-phase wall-clock seconds (``{"find": s, "repair": s}``),
+    #: populated by the vectorized engine so the serving layer and the
+    #: bench reports can attribute batch cost to the find-affected sweep
+    #: vs the repair sweep.  Empty on the reference dict kernels, and
+    #: excluded from equality — timings are not part of the update's
+    #: semantic result (the route-equivalence tests compare stats).
+    phases: dict = field(default_factory=dict, compare=False)
 
     @property
     def total_affected(self) -> int:

@@ -42,6 +42,7 @@ the next fast update.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from time import perf_counter
 
 import numpy as np
 
@@ -274,6 +275,8 @@ class FastUpdateEngine:
         # repair order equals the sequential Phase C order.
         row_views = self._row_views
         new_mv = self._scratch_views[0]
+        find_s = 0.0
+        repair_s = 0.0
         for k, r in enumerate(self._landmarks):
             row_mv = row_views[k][0]
             da = row_mv[ui]
@@ -282,6 +285,7 @@ class FastUpdateEngine:
                 stats.affected_per_landmark[r] = 0
                 continue
             seeds = [(vi, da + 1)] if da < db else [(ui, db + 1)]
+            t0 = perf_counter()
             levels = csr_find_affected(
                 dyn,
                 self._dist[k],
@@ -289,10 +293,14 @@ class FastUpdateEngine:
                 self._new_dist,
                 views=(row_mv, new_mv),
             )
+            t1 = perf_counter()
             stats.affected_per_landmark[r] = self._repair_and_fold(
                 k, r, levels, stats, union
             )
+            find_s += t1 - t0
+            repair_s += perf_counter() - t1
         stats.affected_union = len(union)
+        stats.phases = {"find": find_s, "repair": repair_s}
         return stats
 
     # ------------------------------------------------------------------
@@ -348,7 +356,9 @@ class FastUpdateEngine:
             stats.entries_modified = batch.entries_modified
             stats.entries_removed = batch.entries_removed
             stats.highway_updates = batch.highway_updates
+            stats.phases = batch.phases
             return stats
+        find_start = perf_counter()
         dyn = self._dyn
         if ins_list:
             dyn.insert_edges_batch(ins_list)
@@ -388,6 +398,7 @@ class FastUpdateEngine:
 
         engine = LandmarkEngine(self.workers if workers is None else workers)
         results = engine.map(csr_mixed_sweep, (dyn, self._dist), plans)
+        repair_start = perf_counter()
 
         union: set[int] = set()
         new_dist = self._new_dist
@@ -405,6 +416,10 @@ class FastUpdateEngine:
                 k, r, levels, removed, stats, union
             )
         stats.affected_union = len(union)
+        stats.phases = {
+            "find": repair_start - find_start,
+            "repair": perf_counter() - repair_start,
+        }
         return stats
 
     def _repair_and_fold_mixed(
@@ -464,6 +479,7 @@ class FastUpdateEngine:
         edge_list = [(int(a), int(b)) for a, b in edges]
         if not edge_list:
             raise InvariantViolationError("batch insertion needs at least one edge")
+        find_start = perf_counter()
         dyn = self._dyn
         dyn.insert_edges_batch(edge_list)
         self._ensure_capacity()
@@ -488,6 +504,7 @@ class FastUpdateEngine:
 
         engine = LandmarkEngine(self.workers if workers is None else workers)
         results = engine.map(csr_batch_sweep, (dyn, self._dist), plans)
+        repair_start = perf_counter()
 
         union: set[int] = set()
         new_dist = self._new_dist
@@ -506,4 +523,8 @@ class FastUpdateEngine:
                 k, r, levels, stats, union
             )
         stats.affected_union = len(union)
+        stats.phases = {
+            "find": repair_start - find_start,
+            "repair": perf_counter() - repair_start,
+        }
         return stats

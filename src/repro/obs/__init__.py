@@ -1,0 +1,65 @@
+"""`repro.obs` — the unified observability layer (docs/DESIGN.md §11).
+
+Four small pieces, shared by every serving/cluster process:
+
+* :mod:`repro.obs.registry` — counters, gauges, and **mergeable**
+  fixed-bucket histograms with Prometheus text exposition (the exact
+  cluster-wide percentile merge lives on these);
+* :mod:`repro.obs.log` — structured JSON logging with trace correlation
+  and the slow-operation threshold;
+* :mod:`repro.obs.trace` — contextvar spans keyed by the wire-level
+  ``trace`` field, recorded to a ring + optional NDJSON span log;
+* :mod:`repro.obs.exporter` — the ``--metrics-port`` HTTP scrape
+  endpoint.
+"""
+
+from repro.obs.log import (
+    StructuredLogger,
+    get_logger,
+    slow_threshold_ms,
+)
+from repro.obs.registry import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_histograms,
+)
+from repro.obs.trace import (
+    SpanRecorder,
+    current_trace_id,
+    get_recorder,
+    new_trace_id,
+    obs_enabled,
+    record_span,
+    reset_recorder,
+    span,
+)
+from repro.obs.exporter import CONTENT_TYPE, MetricsExporter
+
+__all__ = [
+    "LATENCY_BOUNDS",
+    "COUNT_BOUNDS",
+    "Histogram",
+    "merge_histograms",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "get_registry",
+    "StructuredLogger",
+    "get_logger",
+    "slow_threshold_ms",
+    "SpanRecorder",
+    "get_recorder",
+    "reset_recorder",
+    "span",
+    "record_span",
+    "new_trace_id",
+    "current_trace_id",
+    "obs_enabled",
+    "MetricsExporter",
+    "CONTENT_TYPE",
+]

@@ -1,0 +1,119 @@
+"""A minimal asyncio HTTP exporter for Prometheus scrapes.
+
+``repro serve --metrics-port N`` (and the cluster router via
+``serve-cluster``) binds this next to the NDJSON listener: every GET
+gets the registry's text exposition back over HTTP/1.0 with
+``Connection: close`` — exactly what a Prometheus scrape (or ``curl``,
+or the CI smoke jobs' ``urllib`` probe) needs, with no HTTP framework
+in sight.  Anything that is not a GET earns a 405; malformed request
+lines a 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exceptions import ServingError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsExporter", "CONTENT_TYPE"]
+
+#: The Prometheus text exposition content type (format version 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_HEADER = 16 * 1024  # a scrape request has no business being larger
+
+
+class MetricsExporter:
+    """Serve ``registry.render()`` over HTTP on ``(host, port)``.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the resolved one.  Lifecycle mirrors the NDJSON servers: ``await
+    start()`` / ``await stop()`` on the owning event loop.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise ServingError("metrics exporter is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "MetricsExporter":
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port, limit=_MAX_HEADER
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request_line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                request_line = b""
+            parts = request_line.split()
+            if len(parts) < 2:
+                await self._write(writer, 400, "Bad Request", "bad request\n")
+                return
+            method = parts[0].decode("latin-1", "replace").upper()
+            # Drain headers so a keep-alive-minded client sees a clean close.
+            while True:
+                try:
+                    header = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                await self._write(
+                    writer, 405, "Method Not Allowed", "GET only\n"
+                )
+                return
+            await self._write(
+                writer, 200, "OK", self._registry.render(), CONTENT_TYPE
+            )
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()

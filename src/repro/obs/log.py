@@ -1,0 +1,125 @@
+"""Structured JSON logging for the serving and cluster processes.
+
+One JSON object per line on stderr (or any stream), so a supervisor
+running a dozen replica processes produces a machine-mergeable event
+stream instead of interleaved prose.  Every record carries ``ts``,
+``level``, ``component`` and ``event``; the ambient trace id (if a span
+is active — :mod:`repro.obs.trace`) is attached automatically so a log
+line can be joined against the span log.
+
+Level filtering comes from ``REPRO_LOG_LEVEL`` (``debug`` / ``info`` /
+``warning`` / ``error`` / ``off``; default ``info``) and is re-read on
+every call — cheap, and tests can flip it without rebuilding loggers.
+
+The slow-operation threshold (``REPRO_SLOW_MS``, default 250 ms) lives
+here too: the server's slow-query log and the service's slow-batch log
+share it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "StructuredLogger",
+    "get_logger",
+    "log_threshold",
+    "slow_threshold_ms",
+]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+_DEFAULT_SLOW_MS = 250.0
+
+_write_lock = threading.Lock()
+
+
+def log_threshold() -> int:
+    """The numeric level below which records are dropped."""
+    name = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    return _LEVELS.get(name, _LEVELS["info"])
+
+
+def slow_threshold_ms() -> float:
+    """Operations slower than this (milliseconds) earn a warning record
+    (``REPRO_SLOW_MS``; non-numeric values fall back to the default)."""
+    raw = os.environ.get("REPRO_SLOW_MS")
+    if raw is None:
+        return _DEFAULT_SLOW_MS
+    try:
+        return float(raw)
+    except ValueError:
+        return _DEFAULT_SLOW_MS
+
+
+class StructuredLogger:
+    """One component's JSON-lines logger.
+
+    >>> import io
+    >>> buf = io.StringIO()
+    >>> log = StructuredLogger("server", stream=buf)
+    >>> log.info("started", port=8355)
+    >>> record = json.loads(buf.getvalue())
+    >>> record["component"], record["event"], record["port"]
+    ('server', 'started', 8355)
+    """
+
+    __slots__ = ("component", "_stream")
+
+    def __init__(self, component: str, stream=None) -> None:
+        self.component = component
+        self._stream = stream
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if _LEVELS.get(level, 0) < log_threshold():
+            return
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        trace = current_trace_id()
+        if trace is not None:
+            record["trace"] = trace
+        if fields:
+            record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with _write_lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):  # pragma: no cover - closed stream
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_loggers: dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """The (cached) logger for one component name."""
+    with _loggers_lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = StructuredLogger(component)
+            _loggers[component] = logger
+        return logger

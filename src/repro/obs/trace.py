@@ -1,0 +1,250 @@
+"""Request tracing: trace ids on the wire, contextvar spans in process.
+
+The NDJSON protocol carries an optional ``"trace"`` field on any request.
+A client that sets it gets the request *followed* across the stack: the
+router records a span around its forward, the replica records one around
+its dispatch (the router forwards read lines verbatim, so the field
+propagates for free), and the service's writer records chunk spans with
+per-phase timings.  All spans land in a bounded in-process ring
+(:class:`SpanRecorder`), are queryable over the wire via the ``spans``
+protocol op, and are optionally mirrored to an NDJSON file named by the
+``REPRO_SPAN_LOG`` environment variable (one JSON object per line — the
+CI smoke jobs upload it as an artifact).
+
+Spans are recorded **only** when a trace id is in play — an untraced
+request pays one dict lookup and nothing else — and the whole layer can
+be switched off with ``REPRO_OBS=off`` (the overhead acceptance knob).
+
+Span shape::
+
+    {"trace": "9f2c...", "span": "a1b2c3d4", "parent": null,
+     "name": "query_many", "component": "router", "ts": 1754...,
+     "dur_ms": 0.41, ...extra fields...}
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+from collections import deque
+from time import perf_counter, time
+
+__all__ = [
+    "obs_enabled",
+    "new_trace_id",
+    "current_trace_id",
+    "SpanRecorder",
+    "get_recorder",
+    "reset_recorder",
+    "span",
+    "record_span",
+]
+
+_current_trace: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+_current_span: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_span", default=None
+)
+
+
+def obs_enabled() -> bool:
+    """Whether the observability layer records anything (``REPRO_OBS``,
+    default on; set to ``off``/``0``/``false`` to measure raw overhead)."""
+    return os.environ.get("REPRO_OBS", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (collision-safe at cluster scale)."""
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the innermost active span on this thread/task."""
+    return _current_trace.get()
+
+
+class SpanRecorder:
+    """Bounded ring of finished spans + optional NDJSON file sink.
+
+    ``record`` is safe from any thread; the ring keeps the most recent
+    ``capacity`` spans (the ``spans`` protocol op reads it), and when a
+    sink path is configured every span is also appended to that file as
+    one JSON line.
+    """
+
+    def __init__(self, capacity: int = 4096, sink_path: str | None = None):
+        self._spans: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._sink_path = sink_path
+        self._sink = None
+
+    @property
+    def sink_path(self) -> str | None:
+        return self._sink_path
+
+    def record(self, span_data: dict) -> None:
+        with self._lock:
+            self._spans.append(span_data)
+            if self._sink_path is not None:
+                if self._sink is None:
+                    self._sink = open(self._sink_path, "a", encoding="utf-8")
+                self._sink.write(
+                    json.dumps(span_data, separators=(",", ":"), default=str)
+                    + "\n"
+                )
+                self._sink.flush()
+
+    def spans(self, trace: str | None = None, limit: int | None = None) -> list[dict]:
+        """Most-recent-last span dicts, optionally filtered to one trace."""
+        with self._lock:
+            out = list(self._spans)
+        if trace is not None:
+            out = [s for s in out if s.get("trace") == trace]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+
+_recorder: SpanRecorder | None = None
+_recorder_lock = threading.Lock()
+
+
+def get_recorder() -> SpanRecorder:
+    """The process-wide span recorder (sink taken from ``REPRO_SPAN_LOG``
+    at first use)."""
+    global _recorder
+    with _recorder_lock:
+        if _recorder is None:
+            _recorder = SpanRecorder(
+                sink_path=os.environ.get("REPRO_SPAN_LOG") or None
+            )
+        return _recorder
+
+
+def reset_recorder() -> None:
+    """Drop the process recorder (tests re-read ``REPRO_SPAN_LOG``)."""
+    global _recorder
+    with _recorder_lock:
+        if _recorder is not None:
+            _recorder.close()
+        _recorder = None
+
+
+class span:
+    """Context manager recording one span — when a trace id is in play.
+
+    ``trace`` is normally the id pulled off the wire; when ``None`` the
+    ambient trace (an enclosing span's) is inherited.  With no trace at
+    all, or with observability off, entering is a no-op and nothing is
+    recorded — the zero-cost default for untraced traffic.  Extra keyword
+    fields land verbatim in the span dict, and the dict is exposed as the
+    ``as`` target so handlers can annotate mid-flight::
+
+        with span("query", "server", trace=tid, op="query") as s:
+            ...
+            if s is not None:
+                s["epoch"] = snap.epoch
+    """
+
+    __slots__ = (
+        "_name", "_component", "_trace", "_fields", "_recorder",
+        "_data", "_start", "_tok_t", "_tok_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        component: str,
+        *,
+        trace: str | None = None,
+        recorder: SpanRecorder | None = None,
+        **fields,
+    ) -> None:
+        self._name = name
+        self._component = component
+        self._trace = trace
+        self._fields = fields
+        self._recorder = recorder
+        self._data: dict | None = None
+
+    def __enter__(self) -> dict | None:
+        tid = self._trace if self._trace is not None else _current_trace.get()
+        if tid is None or not obs_enabled():
+            return None
+        sid = _new_span_id()
+        self._data = {
+            "trace": str(tid),
+            "span": sid,
+            "parent": _current_span.get(),
+            "name": self._name,
+            "component": self._component,
+            "ts": round(time(), 6),
+        }
+        if self._fields:
+            self._data.update(self._fields)
+        self._tok_t = _current_trace.set(str(tid))
+        self._tok_s = _current_span.set(sid)
+        self._start = perf_counter()
+        return self._data
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._data is None:
+            return
+        self._data["dur_ms"] = round((perf_counter() - self._start) * 1000.0, 3)
+        if exc_type is not None:
+            self._data["error"] = exc_type.__name__
+        _current_span.reset(self._tok_s)
+        _current_trace.reset(self._tok_t)
+        (self._recorder or get_recorder()).record(self._data)
+
+
+def record_span(
+    name: str,
+    component: str,
+    dur_ms: float,
+    *,
+    trace: str | None = None,
+    recorder: SpanRecorder | None = None,
+    **fields,
+) -> dict | None:
+    """Record an already-timed span directly (no context management).
+
+    Used by the service's writer thread, whose chunk applies are not tied
+    to any one request: each chunk gets its own trace id so a slow batch
+    can still be pulled out of the span log by id.  Returns the recorded
+    dict, or ``None`` with observability off.
+    """
+    if not obs_enabled():
+        return None
+    data = {
+        "trace": str(trace) if trace is not None else new_trace_id(),
+        "span": _new_span_id(),
+        "parent": _current_span.get(),
+        "name": name,
+        "component": component,
+        "ts": round(time(), 6),
+        "dur_ms": round(dur_ms, 3),
+    }
+    if fields:
+        data.update(fields)
+    (recorder or get_recorder()).record(data)
+    return data

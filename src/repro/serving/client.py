@@ -83,20 +83,42 @@ class ServingClient:
             payload["min_epoch"] = min_epoch
         return payload
 
+    @staticmethod
+    def _with_trace(payload: dict, trace: str | None) -> dict:
+        """Attach a trace id: the server (and, through it, router and
+        replica) records spans for this request under that id."""
+        if trace is not None:
+            payload["trace"] = trace
+        return payload
+
     # -- convenience wrappers, mirroring the protocol ops ---------------
-    def query(self, u: int, v: int, min_epoch: int | None = None) -> float:
+    def query(
+        self,
+        u: int,
+        v: int,
+        min_epoch: int | None = None,
+        trace: str | None = None,
+    ) -> float:
         """Exact distance; ``inf`` when unreachable.  ``min_epoch`` (cluster
         only) demands a replica that has applied at least that log seq."""
-        payload = self._with_epoch({"op": "query", "u": u, "v": v}, min_epoch)
+        payload = self._with_trace(
+            self._with_epoch({"op": "query", "u": u, "v": v}, min_epoch), trace
+        )
         distance = self._checked(payload)["distance"]
         return float("inf") if distance is None else distance
 
-    def query_many(self, pairs, min_epoch: int | None = None) -> list[float]:
+    def query_many(
+        self, pairs, min_epoch: int | None = None, trace: str | None = None
+    ) -> list[float]:
         """Batch distances in **one** NDJSON ``query_many`` frame — a
         single round-trip for the whole list, answered on one consistent
         snapshot (never N sequential ``query`` round-trips)."""
-        payload = self._with_epoch(
-            {"op": "query_many", "pairs": [list(p) for p in pairs]}, min_epoch
+        payload = self._with_trace(
+            self._with_epoch(
+                {"op": "query_many", "pairs": [list(p) for p in pairs]},
+                min_epoch,
+            ),
+            trace,
         )
         response = self._checked(payload)
         return [
@@ -107,19 +129,39 @@ class ServingClient:
         payload = self._with_epoch({"op": "path", "u": u, "v": v}, min_epoch)
         return self._checked(payload)["path"]
 
-    def update(self, kind: str, u: int, v: int) -> dict:
+    def update(self, kind: str, u: int, v: int, trace: str | None = None) -> dict:
         """Submit one update; against a cluster the response's ``epoch`` is
         the log position to pass as ``min_epoch`` for read-your-writes."""
-        return self._checked({"op": "update", "kind": kind, "u": u, "v": v})
+        return self._checked(
+            self._with_trace(
+                {"op": "update", "kind": kind, "u": u, "v": v}, trace
+            )
+        )
 
-    def updates(self, events) -> dict:
+    def updates(self, events, trace: str | None = None) -> dict:
         """Submit ``[(kind, u, v), ...]`` in one round-trip."""
         return self._checked(
-            {"op": "updates", "events": [[k, u, v] for k, u, v in events]}
+            self._with_trace(
+                {"op": "updates", "events": [[k, u, v] for k, u, v in events]},
+                trace,
+            )
         )
 
     def stats(self) -> dict:
         return self._checked({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition over the NDJSON socket
+        (the same bytes ``--metrics-port`` serves over HTTP)."""
+        return self._checked({"op": "metrics"})["metrics"]
+
+    def spans(self, of: str | None = None, limit: int = 256) -> list[dict]:
+        """Recent spans from the server's recorder; ``of`` filters to one
+        trace id."""
+        payload: dict = {"op": "spans", "limit": limit}
+        if of is not None:
+            payload["of"] = of
+        return self._checked(payload)["spans"]
 
     def snapshot(self) -> dict:
         """Force-publish a snapshot (single node) / drain every replica to

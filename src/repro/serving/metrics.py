@@ -5,10 +5,25 @@ The serving layer is judged on two numbers the paper never had to report
 writer — so the service keeps them continuously and surfaces them through
 the ``stats`` protocol op and the ``serving`` bench experiment.
 
-Latencies are kept in a bounded ring buffer (recent-window percentiles,
-O(1) memory); counters are plain ints.  All methods are safe to call from
-many reader threads: mutation happens under a lock, and the lock is held
-only for appends and for copying the window out.
+Latencies are kept twice, deliberately:
+
+* a bounded ring buffer (recent-window percentiles, O(1) memory) — the
+  human-friendly ``p50/p95/p99`` columns of ``stats``;
+* a **mergeable fixed-bucket histogram**
+  (:class:`repro.obs.registry.Histogram`) covering *all* samples — the
+  ``hist`` block of each summary.  Histograms over the same bucket
+  scheme merge by exact vector addition, which is how the cluster
+  router turns per-replica tails into cluster-wide percentiles without
+  the information loss of a ``max`` (:func:`merge_summaries`).
+
+All methods are safe to call from many reader threads: mutation happens
+under a lock, and the lock is held only for appends and for copying the
+window out.
+
+Per-batch *phase* timings (coalesce / find / repair / publish — the
+quantities IncHL+'s analysis attributes cost to) and affected-set sizes
+(|AFF|) land in :meth:`ServiceMetrics.observe_batch`; the ``stats`` op
+reports their distributions under ``"phases"`` / ``"aff"``.
 """
 
 from __future__ import annotations
@@ -17,12 +32,22 @@ import threading
 from collections import deque
 from time import perf_counter
 
+from repro.obs.registry import COUNT_BOUNDS, Histogram, merge_histograms
+
 __all__ = [
     "percentile",
     "aggregate_summaries",
+    "merge_summaries",
     "LatencyRecorder",
     "ServiceMetrics",
+    "PHASE_NAMES",
 ]
+
+#: The per-batch phases the writer attributes time to.  ``find`` and
+#: ``repair`` come out of the update engine (the paper's two sweeps);
+#: ``coalesce`` is the writer's validation/dedup pass; ``publish`` the
+#: snapshot swap.
+PHASE_NAMES = ("coalesce", "find", "repair", "apply", "publish")
 
 
 def percentile(sorted_samples: list[float], q: float) -> float:
@@ -50,13 +75,13 @@ def percentile(sorted_samples: list[float], q: float) -> float:
 
 
 def aggregate_summaries(summaries) -> dict:
-    """Combine :meth:`LatencyRecorder.summary` dicts from many services.
+    """Combine :meth:`LatencyRecorder.summary` dicts — **legacy** merge.
 
-    The cluster router reports one aggregate over its replicas: counts and
-    throughput **add** (replicas serve disjoint slices of the read load);
-    latency columns take the **max** (the conservative cluster-wide tail —
-    percentiles from separate windows cannot be merged exactly without the
-    raw samples).
+    Counts and throughput **add**; latency columns take the **max** (a
+    conservative cluster-wide tail).  Superseded by
+    :func:`merge_summaries`, which merges the summaries' histograms for
+    *exact* percentiles; this remains the fallback when a summary has no
+    ``hist`` block (e.g. a replica running an older build).
 
     >>> aggregate_summaries([
     ...     {"count": 2, "qps": 10.0, "p99_ms": 1.0},
@@ -68,11 +93,50 @@ def aggregate_summaries(summaries) -> dict:
            "p50_ms": None, "p95_ms": None, "p99_ms": None}
     for summary in summaries:
         out["count"] += summary.get("count", 0)
-        out["qps"] = round(out["qps"] + (summary.get("qps") or 0.0), 3)
+        # Accumulate at full precision; rounding inside the loop would
+        # compound error across many replicas.
+        out["qps"] += summary.get("qps") or 0.0
         for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
             value = summary.get(key)
             if value is not None:
                 out[key] = value if out[key] is None else max(out[key], value)
+    out["qps"] = round(out["qps"], 3)
+    return out
+
+
+def merge_summaries(summaries) -> dict:
+    """Exact cluster-wide merge of :meth:`LatencyRecorder.summary` dicts.
+
+    When every summary carries a ``hist`` block the histograms are merged
+    by vector addition — lossless, so the percentiles below are those of
+    the *pooled* sample population (at bucket resolution), not a bound.
+    Counts/qps add; the mean comes from the merged sum/count.  If any
+    summary lacks a histogram the legacy :func:`aggregate_summaries`
+    answers instead (its max-merge is at least never wrong), flagged with
+    ``"merge": "max"`` vs ``"merge": "exact"``.
+    """
+    summaries = list(summaries)
+    hists = [s.get("hist") for s in summaries]
+    if not summaries or any(h is None for h in hists):
+        out = aggregate_summaries(summaries)
+        out["merge"] = "max"
+        return out
+    merged = merge_histograms(hists)
+    qps = sum(s.get("qps") or 0.0 for s in summaries)
+    count = merged.count
+    out = {
+        "count": count,
+        "qps": round(qps, 3),
+        "mean_ms": round(merged.sum / count * 1000.0, 6) if count else None,
+        "p50_ms": None,
+        "p95_ms": None,
+        "p99_ms": None,
+        "merge": "exact",
+        "hist": merged.to_dict(),
+    }
+    if count:
+        for key, q in (("p50_ms", 50), ("p95_ms", 95), ("p99_ms", 99)):
+            out[key] = round(merged.quantile(q) * 1000.0, 6)
     return out
 
 
@@ -81,7 +145,8 @@ class LatencyRecorder:
 
     ``record(seconds)`` is the hot-path call; ``summary()`` returns a
     plain dict with count, qps (count over the first..last record span),
-    and p50/p95/p99 in milliseconds over the retained window.
+    p50/p95/p99 in milliseconds over the retained window, and the
+    all-samples mergeable histogram under ``hist``.
     """
 
     def __init__(self, window: int = 8192) -> None:
@@ -93,10 +158,15 @@ class LatencyRecorder:
         self._total_seconds = 0.0
         self._first: float | None = None
         self._last: float | None = None
+        #: All-samples mergeable histogram (seconds); exposed on the
+        #: Prometheus endpoint via ``HistogramFamily.attach`` and merged
+        #: exactly across replicas by the cluster router.
+        self.hist = Histogram()
 
     def record(self, seconds: float) -> None:
         """Record one operation that took ``seconds``."""
         now = perf_counter()
+        self.hist.observe(seconds)
         with self._lock:
             self._samples.append(seconds)
             self._count += 1
@@ -124,9 +194,11 @@ class LatencyRecorder:
             count = self._count
             total = self._total_seconds
             first, last = self._first, self._last
+        hist = self.hist.to_dict()
         if not window:
             return {"count": 0, "qps": 0.0, "mean_ms": None,
-                    "p50_ms": None, "p95_ms": None, "p99_ms": None}
+                    "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                    "hist": hist}
         span = (last - first) if (first is not None and last > first) else 0.0
         # Throughput needs a denominator even for a single sample; fall
         # back to summed operation time when the span is degenerate.
@@ -138,6 +210,7 @@ class LatencyRecorder:
             "p50_ms": round(percentile(window, 50) * 1000.0, 6),
             "p95_ms": round(percentile(window, 95) * 1000.0, 6),
             "p99_ms": round(percentile(window, 99) * 1000.0, 6),
+            "hist": hist,
         }
 
 
@@ -145,8 +218,9 @@ class ServiceMetrics:
     """All metrics of one :class:`~repro.serving.service.OracleService`.
 
     Two latency recorders (reads and applied update events) plus event
-    counters; :meth:`stats` flattens everything into the dict the STATS
-    protocol op returns.
+    counters, per-phase batch timing histograms and the |AFF| (affected
+    vertices per batch) distribution; :meth:`stats` flattens everything
+    into the dict the STATS protocol op returns.
     """
 
     def __init__(self, window: int = 8192) -> None:
@@ -158,6 +232,12 @@ class ServiceMetrics:
         self.insert_batches = 0
         self.mixed_batches = 0
         self.snapshots_published = 0
+        #: Per-phase batch timings in seconds (mergeable histograms).
+        self.phase_hists: dict[str, Histogram] = {
+            name: Histogram() for name in PHASE_NAMES
+        }
+        #: Affected vertices (|AFF| union over landmarks) per batch.
+        self.aff_hist = Histogram(bounds=COUNT_BOUNDS)
 
     def count_applied(self, n: int = 1) -> None:
         with self._lock:
@@ -179,15 +259,64 @@ class ServiceMetrics:
         with self._lock:
             self.snapshots_published += 1
 
+    def observe_phase(self, name: str, seconds: float) -> None:
+        """Record one phase duration (unknown names create a histogram)."""
+        hist = self.phase_hists.get(name)
+        if hist is None:
+            with self._lock:
+                hist = self.phase_hists.setdefault(name, Histogram())
+        hist.observe(seconds)
+
+    def observe_batch(self, phases: dict | None, affected: int | None) -> None:
+        """Record one writer batch: its phase timings (``{"find": s, ...}``
+        seconds) and its affected-set size."""
+        if phases:
+            for name, seconds in phases.items():
+                if seconds is not None:
+                    self.observe_phase(name, seconds)
+        if affected is not None:
+            self.aff_hist.observe(affected)
+
+    def counters(self) -> dict:
+        """All event counters snapshotted atomically under the lock."""
+        with self._lock:
+            return {
+                "events_applied": self.events_applied,
+                "events_rejected": self.events_rejected,
+                "insert_batches": self.insert_batches,
+                "mixed_batches": self.mixed_batches,
+                "snapshots_published": self.snapshots_published,
+            }
+
+    @staticmethod
+    def _hist_brief(hist: Histogram, scale: float = 1.0, digits: int = 6) -> dict:
+        """Compact wire form of a distribution: count, total, p50/p99."""
+        count = hist.count
+        out = {
+            "count": count,
+            "total": round(hist.sum * scale, digits),
+            "p50": None,
+            "p99": None,
+        }
+        if count:
+            out["p50"] = round(hist.quantile(50) * scale, digits)
+            out["p99"] = round(hist.quantile(99) * scale, digits)
+        return out
+
     def stats(self) -> dict:
         """Flat stats dict: ``queries.*`` and ``updates.*`` sub-dicts plus
-        the event counters."""
+        the event counters (snapshotted under the lock — readers must
+        never see a torn multi-counter view) and the phase/|AFF|
+        distributions."""
+        phases = {
+            name: self._hist_brief(hist, scale=1000.0)  # ms
+            for name, hist in self.phase_hists.items()
+            if hist.count
+        }
         return {
             "queries": self.queries.summary(),
             "updates": self.updates.summary(),
-            "events_applied": self.events_applied,
-            "events_rejected": self.events_rejected,
-            "insert_batches": self.insert_batches,
-            "mixed_batches": self.mixed_batches,
-            "snapshots_published": self.snapshots_published,
+            **self.counters(),
+            "phases": phases,
+            "aff": self._hist_brief(self.aff_hist, digits=1),
         }

@@ -8,8 +8,17 @@ One request per line, one JSON object per response line.  Ops::
     {"op": "update",     "kind": "insert", "u": 17, "v": 4242}
     {"op": "updates",    "events": [["insert", 1, 2], ["delete", 3, 4]]}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "spans", "of": "<trace-id>", "limit": 100}
     {"op": "snapshot"}
     {"op": "ping"}
+
+Any request may carry ``"trace": "<id>"`` — the observability layer then
+records a span around its dispatch (and the cluster router propagates
+the id to the replica, since read lines are forwarded verbatim); see
+:mod:`repro.obs.trace`.  ``metrics`` returns the Prometheus text
+exposition (also served over HTTP with ``--metrics-port``), ``spans``
+the recent span ring.
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
 Unreachable distances serialise as ``null`` (JSON has no infinity).
@@ -39,9 +48,14 @@ import asyncio
 import json
 import signal
 import threading
+from time import perf_counter
 
 from repro.exceptions import ReproError, ServingError
 from repro.graph.traversal import INF
+from repro.obs.exporter import CONTENT_TYPE, MetricsExporter
+from repro.obs.log import get_logger, slow_threshold_ms
+from repro.obs.registry import COUNT_BOUNDS, MetricsRegistry
+from repro.obs.trace import get_recorder, obs_enabled, span
 from repro.serving.service import OracleService
 from repro.workloads.streams import UpdateEvent
 
@@ -184,12 +198,17 @@ class LineServer:
     ``python -m repro serve`` / ``serve-cluster`` code path.
     """
 
+    #: Component tag used in spans and structured log records; the
+    #: router/replica subclasses override it.
+    obs_component = "server"
+
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8355,
         *,
         drain_timeout: float = _DRAIN_TIMEOUT,
+        metrics_port: int | None = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -201,6 +220,18 @@ class LineServer:
         self._drained: asyncio.Event | None = None
         self._stopping = False
         self._shutdown_event: asyncio.Event | None = None
+        #: Per-server metrics registry (several servers can share one test
+        #: process, so the registry is per instance, not process-global).
+        self._registry = MetricsRegistry()
+        self._metrics_port = metrics_port
+        self._exporter: MetricsExporter | None = None
+        self._requests_family = self._registry.counter(
+            "repro_requests_total",
+            "NDJSON protocol requests handled, by op.",
+            labelnames=("op",),
+        )
+        self._op_counters: dict = {}
+        self._logger = get_logger(self.obs_component)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -210,6 +241,36 @@ class LineServer:
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """This server's metrics registry (rendered by the ``metrics`` op
+        and the ``--metrics-port`` HTTP endpoint)."""
+        return self._registry
+
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """``(host, port)`` of the HTTP metrics endpoint."""
+        if self._exporter is None:
+            raise ServingError("metrics exporter is not running")
+        return self._exporter.address
+
+    def _observe_request(
+        self, op, elapsed_ms: float, trace: str | None = None
+    ) -> None:
+        """Per-request bookkeeping: the op counter and the slow-query log."""
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self._requests_family.labels(op=str(op))
+            self._op_counters[op] = counter
+        counter.inc()
+        if elapsed_ms >= slow_threshold_ms() and obs_enabled():
+            self._logger.warning(
+                "slow_request",
+                op=op,
+                dur_ms=round(elapsed_ms, 3),
+                trace=trace,
+            )
 
     # ------------------------------------------------------------------
     # Hooks
@@ -239,6 +300,11 @@ class LineServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port, limit=_MAX_LINE
         )
+        if self._metrics_port is not None:
+            self._exporter = MetricsExporter(
+                self._registry, self._host, self._metrics_port
+            )
+            await self._exporter.start()
         return self
 
     async def serve_forever(self) -> None:
@@ -297,6 +363,9 @@ class LineServer:
         """Graceful stop: close the listener, drain in-flight requests
         (up to ``drain_timeout``), then run the stop hook."""
         self._stopping = True
+        if self._exporter is not None:
+            await self._exporter.stop()
+            self._exporter = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -400,12 +469,69 @@ class OracleServer(LineServer):
         service: OracleService,
         host: str = "127.0.0.1",
         port: int = 8355,
+        *,
+        metrics_port: int | None = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, metrics_port=metrics_port)
         self._service = service
         #: Ops answered by an async handler (they wait off the event loop);
         #: everything else goes through the synchronous ``_dispatch``.
         self._async_ops = {"snapshot": self._op_snapshot}
+        self._register_obs()
+
+    def _register_obs(self) -> None:
+        """Wire the service's metrics into this server's registry.
+
+        The latency/phase/|AFF| histograms are *attached* (the service
+        owns them; the registry exposes the same objects), counters and
+        gauges are mirrored lazily on collect — a scrape pays for the
+        copy, the hot path never does.
+        """
+        reg = self._registry
+        service = self._service
+        metrics = service.metrics
+        reg.histogram(
+            "repro_query_latency_seconds", "Read-path latency (seconds)."
+        ).attach(metrics.queries.hist)
+        reg.histogram(
+            "repro_update_latency_seconds",
+            "Per-event update apply latency (seconds).",
+        ).attach(metrics.updates.hist)
+        phase_family = reg.histogram(
+            "repro_batch_phase_seconds",
+            "Writer batch phase durations (seconds).",
+            labelnames=("phase",),
+        )
+        for name, hist in metrics.phase_hists.items():
+            phase_family.attach(hist, phase=name)
+        reg.histogram(
+            "repro_batch_affected_vertices",
+            "Affected vertices (|AFF| union over landmarks) per batch.",
+            bounds=COUNT_BOUNDS,
+        ).attach(metrics.aff_hist)
+        counter_families = {
+            key: reg.counter(f"repro_{key}_total", help)
+            for key, help in (
+                ("events_applied", "Update events applied."),
+                ("events_rejected", "Update events rejected."),
+                ("insert_batches", "Coalesced insert-run batch applies."),
+                ("mixed_batches", "Coalesced mixed insert/delete applies."),
+                ("snapshots_published", "Snapshots published."),
+            )
+        }
+        epoch_gauge = reg.gauge("repro_epoch", "Served snapshot epoch.")
+        pending_gauge = reg.gauge(
+            "repro_pending_updates", "Events queued but not yet applied."
+        )
+
+        def _collect() -> None:
+            counters = metrics.counters()
+            for key, family in counter_families.items():
+                family.set(counters[key])
+            epoch_gauge.set(service.snapshot.epoch)
+            pending_gauge.set(service.pending)
+
+        reg.on_collect(_collect)
 
     @classmethod
     def from_file(
@@ -416,6 +542,7 @@ class OracleServer(LineServer):
         port: int = 8355,
         workers: int | None = None,
         max_batch: int = 128,
+        metrics_port: int | None = None,
     ) -> "OracleServer":
         """Warm-start: load a ``save_oracle`` file and wrap it in a service."""
         from repro.utils.serialization import load_oracle
@@ -423,7 +550,7 @@ class OracleServer(LineServer):
         oracle = load_oracle(path)
         oracle.workers = workers
         service = OracleService(oracle, workers=workers, max_batch=max_batch)
-        return cls(service, host=host, port=port)
+        return cls(service, host=host, port=port, metrics_port=metrics_port)
 
     @property
     def service(self) -> OracleService:
@@ -448,17 +575,35 @@ class OracleServer(LineServer):
         """Async dispatch: ops with an async handler (``snapshot`` here;
         ``apply``/``checkpoint`` on cluster replicas) wait off the event
         loop, so one client draining a deep backlog never stalls the other
-        connections' reads."""
+        connections' reads.
+
+        A request carrying a ``trace`` field gets a span recorded around
+        its dispatch (:mod:`repro.obs.trace`); untraced requests pay
+        nothing.  Every request ticks the per-op counter and, past the
+        ``REPRO_SLOW_MS`` threshold, the slow-request log.
+        """
         request, error = decode_line(line)
         if error is not None:
             return error
-        handler = self._async_ops.get(request.get("op"))
-        if handler is not None:
-            try:
-                return await handler(request)
-            except (ReproError, KeyError, TypeError, ValueError) as exc:
-                return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-        return self._dispatch_checked(request)
+        op = request.get("op")
+        trace = request.get("trace")
+        start = perf_counter()
+        try:
+            handler = self._async_ops.get(op)
+            with span(str(op), self.obs_component, trace=trace, op=op):
+                if handler is not None:
+                    try:
+                        return await handler(request)
+                    except (ReproError, KeyError, TypeError, ValueError) as exc:
+                        return {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                return self._dispatch_checked(request)
+        finally:
+            self._observe_request(
+                op, (perf_counter() - start) * 1000.0, trace
+            )
 
     async def _op_snapshot(self, request: dict) -> dict:
         barrier = self._service.request_publish()
@@ -525,6 +670,25 @@ class OracleServer(LineServer):
             return {"ok": True, "queued": queued, "pending": service.pending}
         if op == "stats":
             return {"ok": True, "stats": service.stats()}
+        if op == "metrics":
+            # Prometheus text over NDJSON — same bytes the --metrics-port
+            # HTTP endpoint serves, for clients already on the socket.
+            return {
+                "ok": True,
+                "content_type": CONTENT_TYPE,
+                "metrics": self._registry.render(),
+            }
+        if op == "spans":
+            # Recent spans from the process recorder; ``of`` filters to
+            # one trace id, ``limit`` caps the response size.
+            limit = request.get("limit")
+            return {
+                "ok": True,
+                "spans": get_recorder().spans(
+                    trace=request.get("of"),
+                    limit=int(limit) if limit is not None else 256,
+                ),
+            }
         if op == "snapshot":
             # Blocking form (direct callers); connections take the async
             # handler path in _respond instead.

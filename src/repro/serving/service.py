@@ -39,6 +39,8 @@ from collections.abc import Iterable
 from time import perf_counter
 
 from repro.exceptions import ServingError
+from repro.obs.log import get_logger, slow_threshold_ms
+from repro.obs.trace import obs_enabled, record_span
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.snapshot import OracleSnapshot
 from repro.workloads.streams import UpdateEvent
@@ -46,6 +48,8 @@ from repro.workloads.streams import UpdateEvent
 __all__ = ["OracleService"]
 
 _STOP = object()  # queue sentinel: shut the writer loop down
+
+_log = get_logger("service")
 
 
 def _valid_vertex_id(x) -> bool:
@@ -448,6 +452,7 @@ class OracleService:
         """
         oracle = self._oracle
         graph = oracle.graph
+        coalesce_start = perf_counter()
         accepted: list[tuple[str, tuple[int, int]]] = []
         state: dict[tuple[int, int], bool] = {}
         for event in events:
@@ -476,8 +481,9 @@ class OracleService:
         if not accepted:
             return True
         start = perf_counter()
+        coalesce_s = start - coalesce_start
         try:
-            oracle.apply_events_batch(
+            batch_stats = oracle.apply_events_batch(
                 accepted, workers=self._workers, fast=True
             )
         except Exception as exc:
@@ -489,6 +495,9 @@ class OracleService:
             self.metrics.updates.record(elapsed / len(accepted))
         self.metrics.count_applied(len(accepted))
         self.metrics.count_mixed_batch()
+        self._note_batch(
+            "mixed", len(accepted), elapsed, batch_stats, coalesce_s=coalesce_s
+        )
         return True
 
     def _apply_insert_run(self, run: list[tuple[int, int]]) -> bool:
@@ -497,9 +506,9 @@ class OracleService:
         start = perf_counter()
         try:
             if len(run) == 1:
-                self._oracle.insert_edge(*run[0], fast=self._fast)
+                run_stats = self._oracle.insert_edge(*run[0], fast=self._fast)
             else:
-                self._oracle.insert_edges_batch(
+                run_stats = self._oracle.insert_edges_batch(
                     run, workers=self._workers, fast=self._fast
                 )
                 self.metrics.count_insert_batch()
@@ -512,8 +521,43 @@ class OracleService:
         for _ in run:
             self.metrics.updates.record(elapsed / len(run))
         self.metrics.count_applied(len(run))
+        self._note_batch("insert_run", len(run), elapsed, run_stats)
         return True
 
+    def _note_batch(
+        self,
+        mode: str,
+        events: int,
+        elapsed_s: float,
+        stats,
+        coalesce_s: float | None = None,
+    ) -> None:
+        """Record one writer batch into the observability layer: phase
+        histograms + |AFF|, a chunk span (its own trace id — batches
+        belong to no single request), and the slow-batch log."""
+        phases: dict = {}
+        if stats is not None and getattr(stats, "phases", None):
+            phases.update(stats.phases)
+        if coalesce_s is not None:
+            phases["coalesce"] = coalesce_s
+        phases["apply"] = elapsed_s
+        affected = getattr(stats, "affected_union", None)
+        self.metrics.observe_batch(phases, affected)
+        if not obs_enabled():
+            return
+        dur_ms = elapsed_s * 1000.0
+        fields = {
+            "mode": mode,
+            "events": events,
+            "affected": affected,
+            **{f"{k}_ms": round(v * 1000.0, 3) for k, v in phases.items()},
+        }
+        record_span("apply_chunk", "service", dur_ms, **fields)
+        if dur_ms >= slow_threshold_ms():
+            _log.warning("slow_batch", dur_ms=round(dur_ms, 3), **fields)
+
     def _publish(self) -> None:
+        start = perf_counter()
         self._snapshot = self._oracle.snapshot()
         self.metrics.count_snapshot()
+        self.metrics.observe_phase("publish", perf_counter() - start)

@@ -32,6 +32,17 @@ class TestServingExperiment:
         assert "qps" in result.text
         assert "p99_ms" in result.text
 
+    def test_perf_rows_surface_in_terminal_summary(self, result, perf_record):
+        # The conftest terminal-summary hook prints these at the end of
+        # the run — qps/p99 of the bench smoke visible in plain pytest.
+        for row in result.rows:
+            perf_record({
+                "experiment": "serving",
+                "readers": row["readers"],
+                "qps": row["qps"],
+                "p99_ms": row["p99_ms"],
+            })
+
     def test_unknown_dataset_rejected(self):
         with pytest.raises(BenchmarkError):
             serving.run(profile="smoke", datasets=["nope"])

@@ -69,6 +69,30 @@ def random_connected_graph(
 
 
 # ---------------------------------------------------------------------------
+# Perf summary (bench-smoke rows surfaced at the end of the run)
+# ---------------------------------------------------------------------------
+#: Rows recorded via the ``perf_record`` fixture; the terminal-summary
+#: hook prints them so a plain ``pytest -q`` run still surfaces the
+#: serving qps/p99 numbers CI watches.
+_PERF_ROWS: list[dict] = []
+
+
+@pytest.fixture
+def perf_record():
+    """A callable tests use to report perf rows (qps, p99, ...)."""
+    return _PERF_ROWS.append
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _PERF_ROWS:
+        return
+    terminalreporter.section("perf summary (recorded by tests)")
+    for row in _PERF_ROWS:
+        parts = [f"{k}={v}" for k, v in row.items()]
+        terminalreporter.write_line("  " + "  ".join(parts))
+
+
+# ---------------------------------------------------------------------------
 # Fixtures
 # ---------------------------------------------------------------------------
 @pytest.fixture

@@ -1,0 +1,119 @@
+"""Exporter: the one-endpoint HTTP scrape server for Prometheus."""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.obs.exporter import CONTENT_TYPE, MetricsExporter
+from repro.obs.registry import MetricsRegistry
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _scrape(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+def test_address_requires_started_server():
+    exporter = MetricsExporter(MetricsRegistry())
+    with pytest.raises(ServingError):
+        exporter.address
+
+
+def test_get_returns_rendered_exposition():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests.").inc(3)
+    registry.histogram("repro_query_latency_seconds").observe(0.004)
+
+    async def scenario():
+        exporter = await MetricsExporter(registry, port=0).start()
+        host, port = exporter.address
+        status, ctype, body = await asyncio.to_thread(
+            _scrape, f"http://{host}:{port}/"
+        )
+        await exporter.stop()
+        return status, ctype, body
+
+    status, ctype, body = _run(scenario())
+    assert status == 200
+    assert ctype == CONTENT_TYPE
+    assert "repro_requests_total 3" in body
+    assert 'repro_query_latency_seconds_bucket{le="+Inf"} 1' in body
+
+
+def test_scrape_reflects_live_registry_state():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_requests_total")
+
+    async def scenario():
+        exporter = await MetricsExporter(registry, port=0).start()
+        host, port = exporter.address
+        url = f"http://{host}:{port}/"
+        counter.inc()
+        _, _, first = await asyncio.to_thread(_scrape, url)
+        counter.inc(4)
+        _, _, second = await asyncio.to_thread(_scrape, url)
+        await exporter.stop()
+        return first, second
+
+    first, second = _run(scenario())
+    assert "repro_requests_total 1" in first
+    assert "repro_requests_total 5" in second
+
+
+def test_non_get_is_405():
+    async def scenario():
+        exporter = await MetricsExporter(MetricsRegistry(), port=0).start()
+        host, port = exporter.address
+
+        def post():
+            req = urllib.request.Request(
+                f"http://{host}:{port}/", data=b"x", method="POST"
+            )
+            try:
+                urllib.request.urlopen(req, timeout=5)
+            except urllib.error.HTTPError as err:
+                return err.code
+            return None
+
+        code = await asyncio.to_thread(post)
+        await exporter.stop()
+        return code
+
+    assert _run(scenario()) == 405
+
+
+def test_malformed_request_line_is_400():
+    async def scenario():
+        exporter = await MetricsExporter(MetricsRegistry(), port=0).start()
+        host, port = exporter.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"garbage\r\n")
+        await writer.drain()
+        response = await reader.read()
+        writer.close()
+        await exporter.stop()
+        return response
+
+    assert _run(scenario()).startswith(b"HTTP/1.0 400")
+
+
+def test_stop_is_idempotent_and_releases_port():
+    async def scenario():
+        exporter = await MetricsExporter(MetricsRegistry(), port=0).start()
+        host, port = exporter.address
+        await exporter.stop()
+        await exporter.stop()  # second stop is a no-op
+        # The port is free again: a new exporter can bind it.
+        again = await MetricsExporter(MetricsRegistry(), host=host, port=port).start()
+        await again.stop()
+
+    _run(scenario())

@@ -1,0 +1,96 @@
+"""Structured logging: JSON-lines shape, level gating, env thresholds."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    StructuredLogger,
+    get_logger,
+    log_threshold,
+    slow_threshold_ms,
+)
+from repro.obs.trace import SpanRecorder, span
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    monkeypatch.delenv("REPRO_SLOW_MS", raising=False)
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+
+
+def _records(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def test_record_shape_is_one_json_object_per_line():
+    buf = io.StringIO()
+    log = StructuredLogger("server", stream=buf)
+    log.info("started", port=8355, epoch=0)
+    log.warning("slow_query", ms=412.5)
+    first, second = _records(buf)
+    assert first["component"] == "server"
+    assert first["event"] == "started"
+    assert first["port"] == 8355
+    assert first["level"] == "info"
+    assert isinstance(first["ts"], float)
+    assert second["level"] == "warning"
+    assert second["ms"] == 412.5
+
+
+def test_default_threshold_drops_debug():
+    buf = io.StringIO()
+    log = StructuredLogger("server", stream=buf)
+    log.debug("noisy", detail="x")
+    log.info("kept")
+    assert [rec["event"] for rec in _records(buf)] == ["kept"]
+
+
+def test_threshold_env_is_reread_per_call(monkeypatch):
+    buf = io.StringIO()
+    log = StructuredLogger("server", stream=buf)
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+    log.warning("dropped")
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+    log.debug("kept")
+    assert [rec["event"] for rec in _records(buf)] == ["kept"]
+
+
+def test_level_off_silences_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "off")
+    buf = io.StringIO()
+    StructuredLogger("server", stream=buf).error("fatal")
+    assert buf.getvalue() == ""
+
+
+def test_unknown_level_name_falls_back_to_info(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "verbose")
+    assert log_threshold() == 20  # the "info" rung
+
+
+def test_ambient_trace_id_is_attached():
+    buf = io.StringIO()
+    log = StructuredLogger("server", stream=buf)
+    with span("query", "server", trace="feedbeef", recorder=SpanRecorder()):
+        log.info("inside")
+    log.info("outside")
+    inside, outside = _records(buf)
+    assert inside["trace"] == "feedbeef"
+    assert "trace" not in outside
+
+
+def test_slow_threshold_env(monkeypatch):
+    assert slow_threshold_ms() == 250.0
+    monkeypatch.setenv("REPRO_SLOW_MS", "75.5")
+    assert slow_threshold_ms() == 75.5
+    monkeypatch.setenv("REPRO_SLOW_MS", "not-a-number")
+    assert slow_threshold_ms() == 250.0
+
+
+def test_get_logger_caches_per_component():
+    assert get_logger("router") is get_logger("router")
+    assert get_logger("router") is not get_logger("replica")

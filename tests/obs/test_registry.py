@@ -1,0 +1,139 @@
+"""Registry: families, get-or-create, and the Prometheus exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.registry import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestFamilies:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("reqs_total", "Requests.", labelnames=("op",))
+        requests.labels(op="query").inc()
+        requests.labels(op="query").inc(2)
+        requests.labels(op="update").inc()
+        assert requests.labels(op="query").value == 3
+        assert requests.labels(op="update").value == 1
+
+    def test_counter_rejects_negative_inc(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().counter("c_total").inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        gauge = MetricsRegistry().gauge("lag")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 3
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("shared_total", "help")
+        second = registry.counter("shared_total")
+        assert first is second
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ReproError):
+            registry.gauge("thing")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "has space", "1leading", "dash-ed"):
+            with pytest.raises(ReproError):
+                registry.counter(bad)
+
+    def test_attach_rejects_bound_mismatch(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", bounds=LATENCY_BOUNDS)
+        with pytest.raises(ReproError):
+            family.attach(Histogram(bounds=COUNT_BOUNDS))
+
+    def test_attached_histogram_is_shared_not_copied(self):
+        registry = MetricsRegistry()
+        owned = Histogram()
+        registry.histogram("lat_seconds").attach(owned)
+        owned.observe(0.005)
+        assert "lat_seconds_count 1" in registry.render()
+
+    def test_on_collect_refreshes_lazy_gauges(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("epoch")
+        state = {"epoch": 0}
+        registry.on_collect(lambda: gauge.set(state["epoch"]))
+        state["epoch"] = 7
+        assert "epoch 7" in registry.render()
+        state["epoch"] = 8
+        assert "epoch 8" in registry.render()
+
+    def test_default_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestExposition:
+    """Golden-format checks against the text exposition v0.0.4 rules."""
+
+    def test_golden_exposition(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_requests_total", "Requests handled.", labelnames=("op",)
+        )
+        requests.labels(op="query").inc(4)
+        registry.gauge("repro_epoch", "Served epoch.").set(3)
+        hist = registry.histogram(
+            "repro_latency_seconds", "Latency.", bounds=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render()
+        assert text == (
+            "# HELP repro_epoch Served epoch.\n"
+            "# TYPE repro_epoch gauge\n"
+            "repro_epoch 3\n"
+            "# HELP repro_latency_seconds Latency.\n"
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="0.1"} 1\n'
+            'repro_latency_seconds_bucket{le="1"} 2\n'
+            'repro_latency_seconds_bucket{le="+Inf"} 3\n'
+            "repro_latency_seconds_sum 5.55\n"
+            "repro_latency_seconds_count 3\n"
+            "# HELP repro_requests_total Requests handled.\n"
+            "# TYPE repro_requests_total counter\n"
+            'repro_requests_total{op="query"} 4\n'
+        )
+
+    def test_bucket_counts_are_cumulative_and_end_at_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        lines = [
+            line for line in registry.render().splitlines()
+            if line.startswith("h_seconds_bucket")
+        ]
+        cumulative = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert cumulative == sorted(cumulative)  # monotone
+        assert lines[-1] == 'h_seconds_bucket{le="+Inf"} 4'
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("who",))
+        counter.labels(who='a"b\\c\nd').inc()
+        assert 'c_total{who="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+    def test_families_render_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total").inc()
+        registry.counter("aaa_total").inc()
+        text = registry.render()
+        assert text.index("aaa_total") < text.index("zzz_total")

@@ -1,0 +1,145 @@
+"""Tracing: span lifecycle, ambient propagation, recorder, env gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SpanRecorder,
+    current_trace_id,
+    get_recorder,
+    new_trace_id,
+    obs_enabled,
+    record_span,
+    reset_recorder,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_recorder(monkeypatch):
+    """Each test gets a clean process recorder and a clean env."""
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_SPAN_LOG", raising=False)
+    reset_recorder()
+    yield
+    reset_recorder()
+
+
+def test_new_trace_ids_are_hex_and_distinct():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    for tid in ids:
+        assert len(tid) == 16
+        int(tid, 16)  # hex or ValueError
+
+
+class TestSpan:
+    def test_untraced_span_is_a_no_op(self):
+        recorder = SpanRecorder()
+        with span("query", "server", recorder=recorder) as s:
+            assert s is None
+            assert current_trace_id() is None
+        assert recorder.spans() == []
+
+    def test_traced_span_is_recorded_with_duration(self):
+        recorder = SpanRecorder()
+        tid = new_trace_id()
+        with span("query", "server", trace=tid, recorder=recorder, op="query") as s:
+            assert s is not None
+            assert current_trace_id() == tid
+            s["epoch"] = 7  # mid-flight annotation
+        assert current_trace_id() is None  # restored on exit
+        (rec,) = recorder.spans()
+        assert rec["trace"] == tid
+        assert rec["name"] == "query"
+        assert rec["component"] == "server"
+        assert rec["op"] == "query"
+        assert rec["epoch"] == 7
+        assert rec["parent"] is None
+        assert rec["dur_ms"] >= 0.0
+
+    def test_nested_span_inherits_trace_and_links_parent(self):
+        recorder = SpanRecorder()
+        tid = new_trace_id()
+        with span("outer", "router", trace=tid, recorder=recorder) as outer:
+            with span("inner", "router", recorder=recorder) as inner:
+                assert inner["trace"] == tid  # ambient inheritance
+                assert inner["parent"] == outer["span"]
+        inner_rec, outer_rec = recorder.spans()
+        assert inner_rec["name"] == "inner"  # inner exits first
+        assert outer_rec["parent"] is None
+
+    def test_exception_is_stamped_and_context_restored(self):
+        recorder = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with span("apply", "service", trace="t1", recorder=recorder):
+                raise RuntimeError("boom")
+        (rec,) = recorder.spans()
+        assert rec["error"] == "RuntimeError"
+        assert current_trace_id() is None
+
+    def test_obs_off_disables_recording(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        assert not obs_enabled()
+        recorder = SpanRecorder()
+        with span("query", "server", trace="t1", recorder=recorder) as s:
+            assert s is None
+        assert recorder.spans() == []
+        assert record_span("chunk", "writer", 1.0, recorder=recorder) is None
+
+
+class TestRecordSpan:
+    def test_generates_a_trace_id_when_none_given(self):
+        recorder = SpanRecorder()
+        rec = record_span("chunk", "writer", 12.3456, recorder=recorder, events=8)
+        assert rec["dur_ms"] == 12.346
+        assert rec["events"] == 8
+        int(rec["trace"], 16)
+        assert recorder.spans() == [rec]
+
+    def test_explicit_trace_id_is_kept(self):
+        recorder = SpanRecorder()
+        rec = record_span("chunk", "writer", 1.0, trace="abc123", recorder=recorder)
+        assert rec["trace"] == "abc123"
+
+
+class TestRecorder:
+    def test_ring_keeps_most_recent(self):
+        recorder = SpanRecorder(capacity=4)
+        for i in range(10):
+            recorder.record({"trace": "t", "i": i})
+        assert [s["i"] for s in recorder.spans()] == [6, 7, 8, 9]
+
+    def test_filter_by_trace_and_limit(self):
+        recorder = SpanRecorder()
+        for i in range(6):
+            recorder.record({"trace": "a" if i % 2 else "b", "i": i})
+        assert [s["i"] for s in recorder.spans(trace="a")] == [1, 3, 5]
+        assert [s["i"] for s in recorder.spans(trace="a", limit=2)] == [3, 5]
+
+    def test_clear_empties_the_ring(self):
+        recorder = SpanRecorder()
+        recorder.record({"trace": "t"})
+        recorder.clear()
+        assert recorder.spans() == []
+
+    def test_sink_appends_ndjson_lines(self, tmp_path):
+        sink = tmp_path / "spans.ndjson"
+        recorder = SpanRecorder(sink_path=str(sink))
+        recorder.record({"trace": "t1", "name": "query"})
+        recorder.record({"trace": "t2", "name": "update"})
+        recorder.close()
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [rec["trace"] for rec in lines] == ["t1", "t2"]
+
+    def test_process_recorder_reads_span_log_env(self, tmp_path, monkeypatch):
+        sink = tmp_path / "proc.ndjson"
+        monkeypatch.setenv("REPRO_SPAN_LOG", str(sink))
+        reset_recorder()  # pick up the new env
+        assert get_recorder() is get_recorder()  # one per process
+        with span("query", "server", trace="t9"):
+            pass
+        assert json.loads(sink.read_text().splitlines()[0])["trace"] == "t9"

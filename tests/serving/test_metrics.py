@@ -27,8 +27,10 @@ def test_percentile_rejects_bad_input():
 
 def test_recorder_empty_summary():
     summary = LatencyRecorder().summary()
+    hist = summary.pop("hist")
     assert summary == {"count": 0, "qps": 0.0, "mean_ms": None,
                        "p50_ms": None, "p95_ms": None, "p99_ms": None}
+    assert hist["count"] == 0  # mergeable histogram rides along, empty
 
 
 def test_recorder_summary_fields():
@@ -95,6 +97,21 @@ def test_service_metrics_stats_shape():
     assert stats["snapshots_published"] == 1
     assert stats["queries"]["count"] == 1
     assert stats["updates"]["count"] == 0
+    assert stats["phases"] == {}  # nothing observed yet
+    assert stats["aff"]["count"] == 0
+
+
+def test_service_metrics_observe_batch_feeds_phase_hists():
+    metrics = ServiceMetrics()
+    metrics.observe_batch({"find": 0.010, "repair": 0.020}, affected=7)
+    metrics.observe_batch({"find": 0.030}, affected=3)
+    stats = metrics.stats()
+    assert stats["phases"]["find"]["count"] == 2
+    assert stats["phases"]["find"]["total"] == pytest.approx(40.0)
+    assert stats["phases"]["repair"]["count"] == 1
+    assert "coalesce" not in stats["phases"]  # empty hists are elided
+    assert stats["aff"]["count"] == 2
+    assert stats["aff"]["p99"] >= stats["aff"]["p50"]
 
 
 def _raise():

@@ -1,0 +1,94 @@
+"""Single-node server observability: the ``metrics``/``spans`` protocol
+ops and the ``--metrics-port`` HTTP scrape endpoint, end to end."""
+
+from __future__ import annotations
+
+import urllib.request
+
+import pytest
+
+from repro.core.dynamic import DynamicHCL
+from repro.exceptions import ServingError
+from repro.graph.generators import grid_graph
+from repro.obs.exporter import CONTENT_TYPE
+from repro.obs.trace import new_trace_id, reset_recorder
+from repro.serving.client import ServingClient
+from repro.serving.server import OracleServer
+from repro.serving.service import OracleService
+
+
+@pytest.fixture
+def served(monkeypatch):
+    """A server with the HTTP metrics endpoint on an ephemeral port."""
+    monkeypatch.delenv("REPRO_SPAN_LOG", raising=False)
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    reset_recorder()
+    oracle = DynamicHCL.build(grid_graph(4, 4), landmarks=[0, 15])
+    server = OracleServer(OracleService(oracle), port=0, metrics_port=0)
+    host, port = server.start_in_thread()
+    client = ServingClient(host, port)
+    yield server, client
+    client.close()
+    server.stop_thread()
+    reset_recorder()
+
+
+def test_metrics_op_reflects_served_traffic(served):
+    _, client = served
+    for _ in range(3):
+        client.query(0, 15)
+    client.update("insert", 0, 15)
+    client.snapshot()  # drain the writer so the batch lands
+    text = client.metrics()
+    assert 'repro_requests_total{op="query"} 3' in text
+    assert "repro_query_latency_seconds_count 3" in text
+    assert "repro_update_latency_seconds_count 1" in text
+    assert "repro_epoch 1" in text
+    # The applied batch fed the per-phase histograms.
+    assert 'repro_batch_phase_seconds_count{phase="find"} 1' in text
+    assert "repro_batch_affected_vertices_count 1" in text
+
+
+def test_http_scrape_matches_ndjson_metrics_op(served):
+    server, client = served
+    client.query(0, 15)
+    mhost, mport = server.metrics_address
+    with urllib.request.urlopen(f"http://{mhost}:{mport}/", timeout=5) as resp:
+        assert resp.status == 200
+        assert resp.headers.get("Content-Type") == CONTENT_TYPE
+        body = resp.read().decode()
+    assert "repro_query_latency_seconds_count 1" in body
+    assert 'repro_requests_total{op="query"} 1' in body
+
+
+def test_traced_query_lands_in_the_span_ring(served):
+    _, client = served
+    tid = new_trace_id()
+    assert client.query(0, 15, trace=tid) == 6
+    (span_rec,) = client.spans(of=tid)
+    assert span_rec["trace"] == tid
+    assert span_rec["component"] == "server"
+    assert span_rec["name"] == "query"
+    assert span_rec["dur_ms"] >= 0.0
+
+
+def test_writer_chunks_record_their_own_spans(served):
+    _, client = served
+    client.update("insert", 0, 15)
+    client.snapshot()
+    chunk_spans = [
+        s for s in client.spans() if s["name"] == "apply_chunk"
+    ]
+    assert chunk_spans
+    assert chunk_spans[-1]["component"] == "service"
+
+
+def test_metrics_exporter_absent_without_port():
+    oracle = DynamicHCL.build(grid_graph(2, 2), landmarks=[0])
+    server = OracleServer(OracleService(oracle), port=0)
+    server.start_in_thread()
+    try:
+        with pytest.raises(ServingError):
+            server.metrics_address
+    finally:
+        server.stop_thread()

@@ -146,3 +146,94 @@ class TestServe:
     def test_serve_missing_file_reports_error(self, tmp_path, capsys):
         assert main(["serve", str(tmp_path / "missing.json")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_top_parser_defaults(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["top"])
+        assert args.command == "top"
+        assert (args.host, args.port) == ("127.0.0.1", 8355)
+        assert args.interval == 2.0
+        assert not args.once and args.count is None
+
+    def test_format_top_single_node(self):
+        from repro.cli import format_top
+
+        stats = {
+            "epoch": 3, "num_vertices": 16, "num_edges": 24,
+            "label_entries": 120, "pending": 0, "running": True,
+            "events_applied": 5, "events_rejected": 1,
+            "insert_batches": 2, "mixed_batches": 0,
+            "snapshots_published": 3,
+            "queries": {"count": 10, "qps": 100.0, "p50_ms": 0.5,
+                        "p95_ms": 0.9, "p99_ms": 1.2},
+            "updates": {"count": 0},
+            "phases": {"find": {"count": 2, "total": 12.5,
+                                "p50": 6.0, "p99": 7.0}},
+            "aff": {"count": 2, "total": 10, "p50": 5, "p99": 8},
+        }
+        frame = format_top(stats)
+        assert "oracle    epoch=3 |V|=16 |E|=24 size(L)=120" in frame
+        assert "queries   n=10 qps=100.0 p50=0.5ms p95=0.9ms p99=1.2ms" in frame
+        assert "updates   n=0" in frame
+        assert "find" in frame and "total=12.5ms" in frame
+        assert "aff/batch n=2" in frame
+        assert "DEGRADED" not in frame
+
+    def test_format_top_marks_degraded_writer(self):
+        from repro.cli import format_top
+
+        frame = format_top({"running": False, "degraded": "boom"})
+        assert "DEGRADED: boom" in frame
+
+    def test_format_top_router(self):
+        from repro.cli import format_top
+
+        stats = {
+            "role": "router", "log_head": 7, "log_base": 2,
+            "wal": {"segments": 1, "bytes": 2048}, "fsync": "batch",
+            "reads_routed": 20, "writes_appended": 7, "fanout_batches": 4,
+            "router": {"queries": {"count": 20, "qps": 10.0, "p50_ms": 1.0},
+                       "updates": {"count": 7}},
+            "aggregate": {
+                "events_applied": 14, "events_rejected": 0,
+                "snapshots_published": 2,
+                "queries": {"count": 20, "qps": 9.0, "p50_ms": 1.5,
+                            "p95_ms": 2.0, "p99_ms": 2.5, "merge": "exact"},
+                "updates": {"count": 0, "merge": "exact"},
+            },
+            "replicas": {
+                "r0": {"healthy": True, "acked_seq": 7, "lag": 0,
+                       "service": {"epoch": 7, "pending": 0,
+                                   "queries": {"count": 10}}},
+                "r1": {"healthy": False, "acked_seq": 5, "lag": 2},
+            },
+        }
+        frame = format_top(stats)
+        assert "cluster   log head=7 base=2 wal=1 segs/2,048B fsync=batch" in frame
+        assert "merge=exact" in frame
+        assert "replica r0  healthy acked=7 lag=0" in frame
+        assert "replica r1  UNHEALTHY acked=5 lag=2" in frame
+        assert frame.index("replica r0") < frame.index("replica r1")
+
+    def test_top_once_against_live_server(self, oracle_file, capsys):
+        from repro.serving.server import OracleServer
+
+        out, _ = oracle_file
+        server = OracleServer.from_file(out, port=0)
+        host, port = server.start_in_thread()
+        try:
+            code = main(["top", "--host", host, "--port", str(port), "--once"])
+        finally:
+            server.stop_thread()
+        assert code == 0
+        frame = capsys.readouterr().out
+        assert f"--- {host}:{port} at " in frame
+        assert "oracle    epoch=0" in frame
+        assert "writer    pending=0 running=True" in frame
+
+    def test_top_unreachable_server_reports_error(self, capsys):
+        assert main(["top", "--port", "1", "--once"]) == 1
+        assert "error" in capsys.readouterr().err

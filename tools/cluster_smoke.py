@@ -11,11 +11,15 @@ replica processes — then:
 2. drains every replica to the log head (`snapshot` op), then re-checks
    query pairs — routed with `min_epoch` = head, so every replica must be
    caught up — against a local BFS mirror that replayed the same updates;
-3. stops the supervisor and asserts a **clean shutdown**: every replica
+3. scrapes the router's ``--metrics-port`` Prometheus endpoint after the
+   drain and asserts every per-replica lag gauge reads **zero** (the
+   cluster converged), and that one traced request produced spans
+   (``--span-log FILE`` mirrors spans to an NDJSON artifact);
+4. stops the supervisor and asserts a **clean shutdown**: every replica
    process exited 0 after its SIGTERM drain.
 
-Exit code 0 requires **nonzero qps, zero incorrect answers, and a clean
-shutdown**.
+Exit code 0 requires **nonzero qps, zero incorrect answers, zero-lag
+convergence in the exposition, and a clean shutdown**.
 
 Usage:  PYTHONPATH=src python tools/cluster_smoke.py [--seconds 3]
 """
@@ -23,8 +27,10 @@ Usage:  PYTHONPATH=src python tools/cluster_smoke.py [--seconds 3]
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
+import urllib.request
 from pathlib import Path
 from time import perf_counter
 
@@ -33,6 +39,7 @@ from smoke_common import QueryLoop, bfs_distance
 from repro.cluster import ClusterSupervisor
 from repro.core.dynamic import DynamicHCL
 from repro.graph.generators import barabasi_albert
+from repro.obs.trace import new_trace_id
 from repro.serving.client import ServingClient
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import save_oracle
@@ -48,7 +55,14 @@ def main(argv=None) -> int:
     parser.add_argument("--updates", type=int, default=60)
     parser.add_argument("--checks", type=int, default=150)
     parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--span-log", default=None, metavar="FILE",
+                        help="mirror router spans to this NDJSON file")
     args = parser.parse_args(argv)
+    if args.span_log:
+        # Before any span is recorded and before replicas spawn: they
+        # inherit the environment, so router and replica spans land in
+        # the same NDJSON file (whole-line appends, flushed per span).
+        os.environ["REPRO_SPAN_LOG"] = str(args.span_log)
 
     graph = barabasi_albert(args.vertices, attach=3, rng=args.seed)
     events = mixed_stream(graph, args.updates, rng=args.seed)
@@ -64,6 +78,7 @@ def main(argv=None) -> int:
             replicas=args.replicas,
             port=0,
             fsync="batch",
+            router_kwargs={"metrics_port": 0},
         )
         host, port = supervisor.start_in_thread()
         print(f"cluster router on {host}:{port} with {args.replicas} replicas "
@@ -117,6 +132,22 @@ def main(argv=None) -> int:
                         for (u, v), got in zip(chunk, answers)
                         if got != bfs_distance(mirror, u, v)
                     )
+
+                # Observability: one traced read through the router, then
+                # scrape the router's Prometheus endpoint — every replica
+                # has acked the head, so all lag gauges must read zero.
+                trace = new_trace_id()
+                feeder.query(*pairs[0], min_epoch=head, trace=trace)
+                trace_spans = feeder.spans(of=trace)
+            mhost, mport = supervisor.router.metrics_address
+            with urllib.request.urlopen(
+                f"http://{mhost}:{mport}/", timeout=10
+            ) as response:
+                exposition = response.read().decode("utf-8")
+            lag_lines = [
+                line for line in exposition.splitlines()
+                if line.startswith("repro_replica_lag{")
+            ]
         finally:
             supervisor.stop_thread()
         exit_codes = {
@@ -132,6 +163,9 @@ def main(argv=None) -> int:
           f"aggregate applied {stats['aggregate']['events_applied']}")
     print(f"verification: {args.checks} BFS cross-checks at min_epoch="
           f"{head}, {incorrect} incorrect")
+    print(f"observability: {len(trace_spans)} router span(s) for trace "
+          f"{trace}, {len(exposition)} bytes of exposition, "
+          f"lag gauges: {lag_lines}")
     print(f"shutdown: replica exit codes {exit_codes}")
 
     if queries == 0 or qps <= 0:
@@ -143,6 +177,20 @@ def main(argv=None) -> int:
     if final["epoch"] != args.updates:
         print(f"FAIL: log head {final['epoch']} != {args.updates} updates",
               file=sys.stderr)
+        return 1
+    if not trace_spans:
+        print("FAIL: traced request produced no router spans", file=sys.stderr)
+        return 1
+    if len(lag_lines) != args.replicas:
+        print(f"FAIL: expected {args.replicas} replica lag gauges, "
+              f"got {lag_lines}", file=sys.stderr)
+        return 1
+    if any(not line.rstrip().endswith(" 0") for line in lag_lines):
+        print(f"FAIL: nonzero replication lag after drain: {lag_lines}",
+              file=sys.stderr)
+        return 1
+    if args.span_log and not Path(args.span_log).stat().st_size:
+        print("FAIL: span log is empty", file=sys.stderr)
         return 1
     if any(code != 0 for code in exit_codes.values()):
         print(f"FAIL: unclean replica shutdown: {exit_codes}", file=sys.stderr)

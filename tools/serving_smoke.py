@@ -8,9 +8,15 @@ server, wire protocol — then:
    over TCP while updates stream in through the protocol (measures qps);
 2. drains the writer (``snapshot`` op), then re-checks every query pair
    against a local BFS mirror that replayed the same updates — any
-   disagreement is an incorrect answer.
+   disagreement is an incorrect answer;
+3. exercises the observability layer: one traced request must come back
+   from the ``spans`` op, and the ``--metrics-port`` HTTP endpoint must
+   serve a Prometheus exposition containing the serving histograms
+   (``--span-log FILE`` additionally mirrors spans to an NDJSON file the
+   CI job uploads as an artifact).
 
-Exit code 0 requires **nonzero qps and zero incorrect answers**.
+Exit code 0 requires **nonzero qps, zero incorrect answers, and a live
+metrics exposition**.
 
 Usage:  PYTHONPATH=src python tools/serving_smoke.py [--seconds 3]
 """
@@ -18,8 +24,10 @@ Usage:  PYTHONPATH=src python tools/serving_smoke.py [--seconds 3]
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
+import urllib.request
 from pathlib import Path
 from time import perf_counter
 
@@ -27,11 +35,19 @@ from smoke_common import QueryLoop, bfs_distance
 
 from repro.core.dynamic import DynamicHCL
 from repro.graph.generators import barabasi_albert
+from repro.obs.trace import new_trace_id
 from repro.serving.client import ServingClient
 from repro.serving.server import OracleServer
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import save_oracle
 from repro.workloads.streams import mixed_stream
+
+#: Metric families the exposition must contain for the scrape to count.
+_REQUIRED_METRICS = (
+    "repro_query_latency_seconds_bucket",
+    "repro_update_latency_seconds_bucket",
+    "repro_requests_total",
+)
 
 
 def main(argv=None) -> int:
@@ -42,7 +58,13 @@ def main(argv=None) -> int:
     parser.add_argument("--updates", type=int, default=60)
     parser.add_argument("--checks", type=int, default=150)
     parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--span-log", default=None, metavar="FILE",
+                        help="mirror spans to this NDJSON file")
     args = parser.parse_args(argv)
+    if args.span_log:
+        # Must land in the environment before the first span is recorded:
+        # the process-wide recorder reads it at first use.
+        os.environ["REPRO_SPAN_LOG"] = str(args.span_log)
 
     graph = barabasi_albert(args.vertices, attach=3, rng=args.seed)
     events = mixed_stream(graph, args.updates, rng=args.seed)
@@ -52,7 +74,7 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         oracle_file = Path(tmp) / "oracle.json.gz"
         save_oracle(oracle, oracle_file)
-        server = OracleServer.from_file(oracle_file, port=0)
+        server = OracleServer.from_file(oracle_file, port=0, metrics_port=0)
         host, port = server.start_in_thread()
         print(f"serving warm-started oracle on {host}:{port} "
               f"(|V|={len(vertices)}, |E|={graph.num_edges})")
@@ -101,6 +123,17 @@ def main(argv=None) -> int:
                     for (u, v), got in zip(pairs, answers)
                     if got != bfs_distance(mirror, u, v)
                 )
+
+                # Observability: trace one request end-to-end, then
+                # scrape the Prometheus endpoint over HTTP.
+                trace = new_trace_id()
+                feeder.query(*pairs[0], trace=trace)
+                trace_spans = feeder.spans(of=trace)
+            mhost, mport = server.metrics_address
+            with urllib.request.urlopen(
+                f"http://{mhost}:{mport}/", timeout=10
+            ) as response:
+                exposition = response.read().decode("utf-8")
         finally:
             server.stop_thread()
 
@@ -110,6 +143,8 @@ def main(argv=None) -> int:
           f"{stats['events_rejected']} rejected, epoch {final['epoch']}")
     print(f"verification: {args.checks} BFS cross-checks, "
           f"{incorrect} incorrect")
+    print(f"observability: {len(trace_spans)} span(s) for trace {trace}, "
+          f"{len(exposition)} bytes of Prometheus exposition")
 
     if queries == 0 or qps <= 0:
         print("FAIL: zero query throughput", file=sys.stderr)
@@ -119,6 +154,16 @@ def main(argv=None) -> int:
         return 1
     if stats["events_applied"] == 0:
         print("FAIL: writer applied no updates", file=sys.stderr)
+        return 1
+    if not trace_spans:
+        print("FAIL: traced request produced no spans", file=sys.stderr)
+        return 1
+    missing = [m for m in _REQUIRED_METRICS if m not in exposition]
+    if missing:
+        print(f"FAIL: metrics exposition lacks {missing}", file=sys.stderr)
+        return 1
+    if args.span_log and not Path(args.span_log).stat().st_size:
+        print("FAIL: span log is empty", file=sys.stderr)
         return 1
     print("OK")
     return 0
