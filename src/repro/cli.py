@@ -123,7 +123,12 @@ def _parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("oracle", help="saved oracle path (replica warm start)")
     cluster.add_argument("--replicas", type=int, default=2, metavar="N",
-                         help="replica worker processes (default 2)")
+                         help="replica worker processes per shard group "
+                              "(default 2)")
+    cluster.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="landmark shard groups; each holds only its "
+                              "owned landmarks' label rows and reads "
+                              "scatter-gather across groups (default 1)")
     cluster.add_argument("--host", default="127.0.0.1", help="router bind address")
     cluster.add_argument("--port", type=int, default=8360,
                          help="router bind port (0 = ephemeral)")
@@ -302,6 +307,7 @@ def _cmd_serve_cluster(args) -> int:
         args.oracle,
         cluster_dir=cluster_dir,
         replicas=args.replicas,
+        shards=args.shards,
         host=args.host,
         port=args.port,
         workers=args.workers,
@@ -314,8 +320,11 @@ def _cmd_serve_cluster(args) -> int:
 
     def _started(sup) -> None:
         host, port = sup.address
-        print(f"cluster router on {host}:{port} with {args.replicas} "
-              f"replica(s); WAL in {cluster_dir} (fsync={args.fsync})")
+        topology = (f"{args.shards} shard group(s) x {args.replicas} "
+                    f"replica(s)" if args.shards > 1
+                    else f"{args.replicas} replica(s)")
+        print(f"cluster router on {host}:{port} with {topology}; "
+              f"WAL in {cluster_dir} (fsync={args.fsync})")
         if sup.router.metrics_address is not None:
             mhost, mport = sup.router.metrics_address
             print(f"metrics on http://{mhost}:{mport}/ (Prometheus text)")
@@ -388,12 +397,25 @@ def format_top(stats: dict) -> str:
         )
         lines.append(f"  queries {_fmt_summary(aggregate.get('queries'))}")
         lines.append(f"  updates {_fmt_summary(aggregate.get('updates'))}")
+        for index in sorted(stats.get("shards") or {}, key=int):
+            group = stats["shards"][index]
+            lag = group.get("lag")
+            lines.append(
+                f"shard s{index}   healthy={group.get('healthy', 0)}/"
+                f"{group.get('replicas', 0)} "
+                f"acked={group.get('acked_seq', 0):,} "
+                f"lag={'?' if lag is None else f'{lag:,}'} "
+                f"rss_max={group.get('rss_kb_max', 0):,}KiB"
+            )
+        sharded = stats.get("num_shards", 1) > 1
         for name in sorted(stats.get("replicas", {})):
             entry = stats["replicas"][name]
             health = "healthy" if entry.get("healthy") else "UNHEALTHY"
             lag = entry.get("lag")
             lines.append(
-                f"replica {name}  {health} "
+                f"replica {name}  "
+                + (f"shard=s{entry.get('shard')} " if sharded else "")
+                + f"{health} "
                 f"acked={entry.get('acked_seq', 0):,} "
                 f"lag={'?' if lag is None else f'{lag:,}'}"
             )

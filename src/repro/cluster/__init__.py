@@ -20,7 +20,13 @@ while keeping the paper's update semantics exact (docs/DESIGN.md §9):
   replicas, stats aggregate across the fleet;
 * :mod:`repro.cluster.supervisor` — :class:`ClusterSupervisor`, process
   lifecycle (spawn, health-check, restart, catch-up, WAL compaction) and
-  the ``python -m repro serve-cluster`` entry point.
+  the ``python -m repro serve-cluster`` entry point;
+* :mod:`repro.cluster.shards` — :class:`ShardPlan` /
+  :func:`make_shard_oracle`, deterministic landmark sharding
+  (docs/DESIGN.md §12): N shard groups each hold only their owned
+  landmarks' label rows, updates repair shard-locally, and the router
+  scatter-gathers reads with an element-wise min reduction that stays
+  globally exact.
 
 Every replica applies the same log through the same deterministic
 validation, and IncHL+/DecHL maintain the *canonical minimal* labelling
@@ -30,6 +36,7 @@ replaying the log) hold byte-identical state.
 
 from repro.cluster.replica import ReplicaServer, ReplicaSpec, build_replica, run_replica
 from repro.cluster.router import ClusterRouter
+from repro.cluster.shards import ShardPlan, make_shard_oracle
 from repro.cluster.supervisor import ClusterSupervisor, ReplicaWorker
 from repro.cluster.wal import (
     LogRecord,
@@ -46,8 +53,10 @@ __all__ = [
     "ReplicaServer",
     "ReplicaSpec",
     "ReplicaWorker",
+    "ShardPlan",
     "UpdateLog",
     "build_replica",
+    "make_shard_oracle",
     "restore_checkpoint",
     "run_replica",
     "scan_wal",

@@ -31,7 +31,7 @@ import asyncio
 import os
 from dataclasses import dataclass
 
-from repro.cluster.wal import restore_checkpoint, scan_wal, write_checkpoint
+from repro.cluster.wal import scan_wal, write_checkpoint
 from repro.exceptions import ClusterError
 from repro.obs.log import get_logger
 from repro.serving.server import OracleServer
@@ -49,6 +49,17 @@ __all__ = [
 _APPLY_TIMEOUT = 300.0  # seconds an `apply` waits for the writer to publish
 
 
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 where the
+    ``resource`` module is unavailable).  Reported per replica so the
+    sharded cluster can show per-shard memory in ``repro top``."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 @dataclass(frozen=True)
 class ReplicaSpec:
     """Everything a replica process needs to boot (picklable: crosses the
@@ -63,6 +74,13 @@ class ReplicaSpec:
     max_batch: int = 128
     fast: bool = True
     delete_strategy: str = "partial"
+    #: Landmark sharding: with ``num_shards > 1`` the replica restricts
+    #: the restored oracle to shard ``shard_index``'s owned landmarks
+    #: (:mod:`repro.cluster.shards`) before serving.  The checkpoint may
+    #: be the full seed oracle or a previously written shard checkpoint
+    #: — restriction is idempotent, so both warm-start identically.
+    shard_index: int | None = None
+    num_shards: int = 1
 
 
 class ReplicaServer(OracleServer):
@@ -80,11 +98,15 @@ class ReplicaServer(OracleServer):
         applied_seq: int = 0,
         checkpoint_path: str | None = None,
         metrics_port: int | None = None,
+        shard_index: int | None = None,
+        shard_meta: dict | None = None,
     ) -> None:
         super().__init__(service, host=host, port=port, metrics_port=metrics_port)
         self.name = name
         self._applied_seq = applied_seq
         self._checkpoint_path = checkpoint_path
+        self.shard_index = shard_index
+        self._shard_meta = shard_meta
         self._async_ops.update(
             {"apply": self._op_apply, "checkpoint": self._op_checkpoint}
         )
@@ -157,7 +179,9 @@ class ReplicaServer(OracleServer):
         seq_now = self._applied_seq
         snapshot = self._service.snapshot
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(None, write_checkpoint, snapshot, path, seq_now)
+        await loop.run_in_executor(
+            None, write_checkpoint, snapshot, path, seq_now, self._shard_meta
+        )
         return {"ok": True, "log_seq": seq_now, "path": str(path)}
 
     # ------------------------------------------------------------------
@@ -198,10 +222,14 @@ class ReplicaServer(OracleServer):
             return response
         response = super()._dispatch(request)
         if op == "stats" and response.get("ok"):
-            response["stats"]["replica"] = {
+            entry = {
                 "name": self.name,
                 "applied_seq": self._applied_seq,
+                "rss_kb": _peak_rss_kb(),
             }
+            if self.shard_index is not None:
+                entry["shard"] = self.shard_index
+            response["stats"]["replica"] = entry
         return response
 
 
@@ -211,8 +239,46 @@ def build_replica(spec: ReplicaSpec) -> ReplicaServer:
     The exact boot path a restarted worker takes — the convergence tests
     call it in-process to prove a crash + restart lands byte-identical to
     a sequential replay.  The returned server is not yet started.
+
+    With ``spec.num_shards > 1`` the restored oracle is restricted to
+    shard ``spec.shard_index``'s owned landmarks before the WAL replay:
+    the shard engine repairs only the owned rows, so replaying the same
+    suffix on every shard reconstructs the exact landmark partition of
+    the sequential full-oracle replay.
     """
-    oracle, applied = restore_checkpoint(spec.checkpoint_path)
+    from repro.utils.serialization import load_oracle_with_meta
+
+    oracle, meta = load_oracle_with_meta(spec.checkpoint_path)
+    applied = int(meta.get("log_seq", 0))
+    shard_meta = None
+    if spec.num_shards > 1:
+        from repro.cluster.shards import ShardPlan, make_shard_oracle
+
+        if spec.shard_index is None or not (
+            0 <= spec.shard_index < spec.num_shards
+        ):
+            raise ClusterError(
+                f"replica {spec.name}: shard_index {spec.shard_index!r} "
+                f"invalid for num_shards={spec.num_shards}"
+            )
+        plan = ShardPlan.for_landmarks(oracle.landmarks, spec.num_shards)
+        if "shard_plan" in meta and ShardPlan.from_meta(meta) != plan:
+            raise ClusterError(
+                f"replica {spec.name}: checkpoint shard plan does not match "
+                f"the {spec.num_shards}-shard striping of its landmarks"
+            )
+        recorded_index = meta.get("shard_index")
+        if recorded_index is not None and int(recorded_index) != spec.shard_index:
+            raise ClusterError(
+                f"replica {spec.name}: checkpoint belongs to shard "
+                f"{recorded_index}, not {spec.shard_index}"
+            )
+        # The source oracle is discarded right here, so the shard may
+        # take its graph by reference instead of copying it.
+        oracle = make_shard_oracle(
+            oracle, plan, spec.shard_index, copy_graph=False
+        )
+        shard_meta = {**plan.to_meta(), "shard_index": spec.shard_index}
     oracle.workers = spec.workers
     oracle.fast_updates = spec.fast
     service = OracleService(
@@ -241,6 +307,8 @@ def build_replica(spec: ReplicaSpec) -> ReplicaServer:
         port=spec.port,
         applied_seq=applied,
         checkpoint_path=spec.checkpoint_path,
+        shard_index=spec.shard_index if spec.num_shards > 1 else None,
+        shard_meta=shard_meta,
     )
 
 

@@ -50,19 +50,32 @@ def _valid_vertex_id(x) -> bool:
     return isinstance(x, int) and not isinstance(x, bool) and x >= 0
 
 
+def _min_distance(values):
+    """UNREACH-aware element-wise min: ``None`` encodes ``inf`` on the
+    wire, so it loses to any finite distance and survives only when every
+    shard reports unreachable."""
+    finite = [v for v in values if v is not None]
+    return min(finite) if finite else None
+
+
 class _ReplicaLink:
     """Router-side state for one replica."""
 
     __slots__ = (
-        "name", "host", "port", "generation", "acked_seq", "healthy",
-        "unhealthy_since", "last_error", "kick", "query_lock", "query_conn",
-        "pump_task",
+        "name", "host", "port", "shard", "generation", "acked_seq", "healthy",
+        "unhealthy_since", "last_error", "rss_kb", "kick", "query_lock",
+        "query_conn", "pump_task",
     )
 
-    def __init__(self, name: str, host: str, port: int) -> None:
+    def __init__(self, name: str, host: str, port: int, shard: int = 0) -> None:
         self.name = name
         self.host = host
         self.port = port
+        #: Shard-group index (always 0 on an unsharded cluster).
+        self.shard = shard
+        #: Last observed peak RSS of the replica process (KiB; 0 until a
+        #: stats round-trip reports it).
+        self.rss_kb = 0
         #: Bumped on address changes so a stale pump iteration can tell it
         #: has been superseded and must exit.
         self.generation = 0
@@ -94,6 +107,7 @@ class ClusterRouter(LineServer):
         apply_timeout: float = 300.0,
         retry_interval: float = 0.2,
         max_stale: int | None = 4096,
+        shards: int = 1,
         metrics: ServiceMetrics | None = None,
         metrics_port: int | None = None,
     ) -> None:
@@ -105,8 +119,17 @@ class ClusterRouter(LineServer):
         self._apply_timeout = apply_timeout
         self._retry_interval = retry_interval
         self._max_stale = max_stale
+        #: Landmark shard groups.  With ``shards > 1`` each replica is
+        #: registered under a shard index; ``query``/``query_many``
+        #: scatter to one caught-up replica per group and reduce the
+        #: element-wise min, while writes still append once and fan out
+        #: to every replica of every group.
+        self._shards = max(1, int(shards))
         self.metrics = metrics or ServiceMetrics()
-        self._rr = 0
+        #: Fair round-robin cursors, one per shard group: each names the
+        #: next position to try in the stable sorted membership, so
+        #: rotation stays uniform even when eligibility fluctuates.
+        self._rr: dict[int, int] = {}
         self._reads_routed = 0
         self._writes_appended = 0
         self._fanout_batches = 0
@@ -165,13 +188,33 @@ class ClusterRouter(LineServer):
         reads = reg.counter("repro_reads_routed_total", "Reads routed to replicas.")
         writes = reg.counter("repro_writes_appended_total", "Events appended to the WAL.")
         batches = reg.counter("repro_fanout_batches_total", "Apply batches pumped to replicas.")
+        shard_lag_family = reg.gauge(
+            "repro_shard_lag",
+            "Log entries the freshest replica of the shard group is behind.",
+            labelnames=("shard",),
+        )
+        shard_rss_family = reg.gauge(
+            "repro_shard_rss_kb",
+            "Peak replica RSS observed in the shard group (KiB).",
+            labelnames=("shard",),
+        )
 
         def _collect() -> None:
             head = self._log.head
+            shard_lags: dict[int, int] = {}
+            shard_rss: dict[int, int] = {}
             for link in list(self._links.values()):
                 lag = max(0, head - link.acked_seq) if link.acked_seq >= 0 else head - self._log.base
                 lag_family.labels(replica=link.name).set(lag)
                 healthy_family.labels(replica=link.name).set(1 if link.healthy else 0)
+                best = shard_lags.get(link.shard)
+                shard_lags[link.shard] = lag if best is None else min(best, lag)
+                shard_rss[link.shard] = max(
+                    shard_rss.get(link.shard, 0), link.rss_kb
+                )
+            for shard, lag in shard_lags.items():
+                shard_lag_family.labels(shard=str(shard)).set(lag)
+                shard_rss_family.labels(shard=str(shard)).set(shard_rss[shard])
             wal = self._log.stats()
             log_head.set(wal["head"])
             log_base.set(wal["base"])
@@ -194,6 +237,10 @@ class ClusterRouter(LineServer):
     def replica_names(self) -> list[str]:
         return sorted(self._links)
 
+    @property
+    def num_shards(self) -> int:
+        return self._shards
+
     def replica_states(self) -> dict[str, dict]:
         """Per-replica routing state (the supervisor's health input)."""
         head = self._log.head
@@ -202,6 +249,7 @@ class ClusterRouter(LineServer):
             states[link.name] = {
                 "host": link.host,
                 "port": link.port,
+                "shard": link.shard,
                 "healthy": link.healthy,
                 "acked_seq": link.acked_seq,
                 "lag": max(0, head - link.acked_seq) if link.acked_seq >= 0 else None,
@@ -214,23 +262,40 @@ class ClusterRouter(LineServer):
     # Replica membership (run on the router's loop; *_from_thread wrappers
     # serve callers on other threads — tests, threaded supervisors)
     # ------------------------------------------------------------------
-    async def add_replica(self, name: str, host: str, port: int) -> None:
-        """Register (or re-address) a replica and start pumping to it."""
+    async def add_replica(
+        self, name: str, host: str, port: int, shard: int = 0
+    ) -> None:
+        """Register (or re-address) a replica and start pumping to it.
+
+        ``shard`` places the replica in a shard group (ignored stays 0 on
+        an unsharded cluster); a re-address keeps the original group.
+        """
+        if not 0 <= shard < self._shards:
+            raise ClusterError(
+                f"shard {shard} out of range [0, {self._shards}) for "
+                f"replica {name!r}"
+            )
         link = self._links.get(name)
         if link is not None:
             await self._readdress(link, host, port)
             return
-        link = _ReplicaLink(name, host, port)
+        link = _ReplicaLink(name, host, port, shard=shard)
         self._links[name] = link
         link.pump_task = asyncio.get_running_loop().create_task(
             self._pump(link, link.generation), name=f"pump-{name}"
         )
 
-    async def set_replica_address(self, name: str, host: str, port: int) -> None:
-        """Point an existing replica name at a new process (post-restart)."""
+    async def set_replica_address(
+        self, name: str, host: str, port: int, shard: int = 0
+    ) -> None:
+        """Point an existing replica name at a new process (post-restart).
+
+        ``shard`` only matters for a name not seen before; a re-address
+        keeps the link's original shard group.
+        """
         link = self._links.get(name)
         if link is None:
-            await self.add_replica(name, host, port)
+            await self.add_replica(name, host, port, shard=shard)
             return
         await self._readdress(link, host, port)
 
@@ -270,9 +335,11 @@ class ClusterRouter(LineServer):
         await self._close_query_conn(link)
         link.healthy = False
 
-    def add_replica_from_thread(self, name: str, host: str, port: int) -> None:
+    def add_replica_from_thread(
+        self, name: str, host: str, port: int, shard: int = 0
+    ) -> None:
         asyncio.run_coroutine_threadsafe(
-            self.add_replica(name, host, port), self._loop
+            self.add_replica(name, host, port, shard=shard), self._loop
         ).result()
 
     def set_replica_address_from_thread(self, name: str, host: str, port: int) -> None:
@@ -283,6 +350,13 @@ class ClusterRouter(LineServer):
     def remove_replica_from_thread(self, name: str) -> None:
         asyncio.run_coroutine_threadsafe(
             self.remove_replica(name), self._loop
+        ).result()
+
+    def request_checkpoint_from_thread(
+        self, path, shard: int | None = None
+    ) -> int:
+        return asyncio.run_coroutine_threadsafe(
+            self.request_checkpoint(path, shard=shard), self._loop
         ).result()
 
     # ------------------------------------------------------------------
@@ -411,19 +485,89 @@ class ClusterRouter(LineServer):
         start = perf_counter()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self._read_timeout
+        if self._shards > 1 and request.get("op") in ("query", "query_many"):
+            return await self._scatter_read(request, line, min_epoch, deadline, start)
+        # Single-shard clusters (and `path`, which any shard answers
+        # exactly by BFS on its full graph copy) route to one replica
+        # and pass the response line through verbatim.
+        response = await self._routed_read(line, min_epoch, deadline)
+        if isinstance(response, bytes):
+            self.metrics.queries.record(perf_counter() - start)
+        return response
+
+    async def _scatter_read(
+        self,
+        request: dict,
+        line: bytes,
+        min_epoch: int,
+        deadline: float,
+        start: float,
+    ) -> dict:
+        """Landmark-sharded read: one caught-up replica per shard group,
+        element-wise min reduction over the shard-local answers.
+
+        Every shard's answer is exact through its owned landmarks and an
+        overestimate otherwise, so the min is the exact global distance
+        (:mod:`repro.core.sharding`); ``None`` encodes unreachable and
+        survives only if every shard reports it.  The reduced ``epoch``
+        is the min over the per-shard epochs — the read-your-writes
+        guarantee holds per shard group, and the client may only assume
+        the weakest of them.
+        """
+        results = await asyncio.gather(
+            *(
+                self._routed_read(line, min_epoch, deadline, shard=shard)
+                for shard in range(self._shards)
+            )
+        )
+        responses: list[dict] = []
+        for shard, result in enumerate(results):
+            if isinstance(result, bytes):
+                result = json.loads(result)
+            if not result.get("ok"):
+                result.setdefault("shard", shard)
+                return result
+            responses.append(result)
+        epoch = min(int(r.get("epoch", 0)) for r in responses)
+        if request["op"] == "query":
+            merged: dict = {
+                "ok": True,
+                "distance": _min_distance([r.get("distance") for r in responses]),
+                "epoch": epoch,
+            }
+        else:
+            columns = zip(*(r.get("distances") or [] for r in responses))
+            merged = {
+                "ok": True,
+                "distances": [_min_distance(column) for column in columns],
+                "epoch": epoch,
+            }
+        self.metrics.queries.record(perf_counter() - start)
+        return merged
+
+    async def _routed_read(
+        self,
+        line: bytes,
+        min_epoch: int,
+        deadline: float,
+        shard: int | None = None,
+    ) -> dict | bytes:
+        """Forward ``line`` verbatim to one caught-up replica (of one
+        shard group when ``shard`` is given); returns the raw response
+        line, or an error dict if no replica could answer in time."""
+        loop = asyncio.get_running_loop()
         excluded: set[str] = set()
         while True:
-            link = await self._pick(min_epoch, deadline, excluded)
+            link = await self._pick(min_epoch, deadline, excluded, shard=shard)
             if link is None:
-                return {
-                    "ok": False,
-                    "error": (
-                        f"no replica caught up to epoch {min_epoch}"
-                        if min_epoch
-                        else "no healthy replica available"
-                    ),
-                    "retryable": True,
-                }
+                message = (
+                    f"no replica caught up to epoch {min_epoch}"
+                    if min_epoch
+                    else "no healthy replica available"
+                )
+                if shard is not None:
+                    message = f"shard {shard}: {message}"
+                return {"ok": False, "error": message, "retryable": True}
             try:
                 async with link.query_lock:
                     reader, writer = await self._query_conn(link)
@@ -441,33 +585,57 @@ class ClusterRouter(LineServer):
                 await self._close_query_conn(link)
                 excluded.add(link.name)
                 continue
-            self.metrics.queries.record(perf_counter() - start)
             self._reads_routed += 1
             return bytes(response)  # verbatim passthrough
 
     async def _pick(
-        self, min_epoch: int, deadline: float, excluded: set[str]
+        self,
+        min_epoch: int,
+        deadline: float,
+        excluded: set[str],
+        shard: int | None = None,
     ) -> _ReplicaLink | None:
         loop = asyncio.get_running_loop()
         while True:
-            eligible = [
-                link
-                for link in self._links.values()
-                if link.healthy
-                and link.name not in excluded
-                and link.acked_seq >= min_epoch
-            ]
-            if eligible and self._max_stale is not None:
-                head = self._log.head
-                fresh = [
-                    link for link in eligible
-                    if head - link.acked_seq <= self._max_stale
-                ]
-                eligible = fresh or eligible
-            if eligible:
-                eligible.sort(key=lambda link: link.name)
-                self._rr += 1
-                return eligible[self._rr % len(eligible)]
+            members = sorted(
+                (
+                    link
+                    for link in self._links.values()
+                    if shard is None or link.shard == shard
+                ),
+                key=lambda link: link.name,
+            )
+            # Fair rotation: the cursor names a position in the *stable*
+            # sorted membership, not an offset into the per-call eligible
+            # subset — so replicas that flicker in and out of eligibility
+            # no longer skew selection toward their neighbours.
+            cursor_key = -1 if shard is None else shard
+            cursor = self._rr.get(cursor_key, 0)
+            head = self._log.head
+            picked = None
+            fallback = None
+            for offset in range(len(members)):
+                link = members[(cursor + offset) % len(members)]
+                if (
+                    not link.healthy
+                    or link.name in excluded
+                    or link.acked_seq < min_epoch
+                ):
+                    continue
+                if (
+                    self._max_stale is not None
+                    and head - link.acked_seq > self._max_stale
+                ):
+                    if fallback is None:
+                        fallback = (offset, link)
+                    continue  # prefer a fresher replica if one exists
+                picked = (offset, link)
+                break
+            chosen = picked or fallback
+            if chosen is not None:
+                offset, link = chosen
+                self._rr[cursor_key] = (cursor + offset + 1) % len(members)
+                return link
             remaining = deadline - loop.time()
             if remaining <= 0:
                 return None
@@ -476,6 +644,11 @@ class ClusterRouter(LineServer):
                 await asyncio.wait_for(event.wait(), min(remaining, 0.25))
             except (TimeoutError, asyncio.TimeoutError):
                 pass
+            # Re-admit replicas excluded by earlier failures in this
+            # request: a replica that died mid-read but recovered (its
+            # pump re-acked) must become routable again instead of the
+            # read spinning here until its deadline.
+            excluded.clear()
 
     async def _query_conn(self, link: _ReplicaLink):
         if link.query_conn is None:
@@ -501,6 +674,7 @@ class ClusterRouter(LineServer):
         service_stats: list[dict] = []
         for link in list(self._links.values()):
             entry = {
+                "shard": link.shard,
                 "healthy": link.healthy,
                 "acked_seq": link.acked_seq,
                 "lag": max(0, head - link.acked_seq) if link.acked_seq >= 0 else None,
@@ -512,6 +686,10 @@ class ClusterRouter(LineServer):
                     response = await self._query_roundtrip(link, {"op": "stats"})
                     entry["service"] = response["stats"]
                     service_stats.append(response["stats"])
+                    link.rss_kb = int(
+                        response["stats"].get("replica", {}).get("rss_kb")
+                        or link.rss_kb
+                    )
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:
@@ -538,22 +716,45 @@ class ClusterRouter(LineServer):
                 s.get("snapshots_published", 0) for s in service_stats
             ),
         }
-        return {
-            "ok": True,
-            "stats": {
-                "role": "router",
-                "log_head": head,
-                "log_base": self._log.base,
-                "wal": self._log.stats(),
-                "fsync": self._log.fsync_policy,
-                "reads_routed": self._reads_routed,
-                "writes_appended": self._writes_appended,
-                "fanout_batches": self._fanout_batches,
-                "router": self.metrics.stats(),
-                "replicas": replicas,
-                "aggregate": aggregate,
-            },
+        stats = {
+            "role": "router",
+            "log_head": head,
+            "log_base": self._log.base,
+            "wal": self._log.stats(),
+            "fsync": self._log.fsync_policy,
+            "num_shards": self._shards,
+            "reads_routed": self._reads_routed,
+            "writes_appended": self._writes_appended,
+            "fanout_batches": self._fanout_batches,
+            "router": self.metrics.stats(),
+            "replicas": replicas,
+            "aggregate": aggregate,
         }
+        if self._shards > 1:
+            shards: dict[str, dict] = {}
+            for index in range(self._shards):
+                group = [
+                    link for link in self._links.values() if link.shard == index
+                ]
+                lags = [
+                    max(0, head - link.acked_seq)
+                    for link in group
+                    if link.acked_seq >= 0
+                ]
+                shards[str(index)] = {
+                    "replicas": len(group),
+                    "healthy": sum(1 for link in group if link.healthy),
+                    "acked_seq": max(
+                        (link.acked_seq for link in group), default=-1
+                    ),
+                    # The group's effective read lag: scatter-gather needs
+                    # one caught-up replica per group, so the freshest
+                    # member defines it.
+                    "lag": min(lags) if lags else None,
+                    "rss_kb_max": max((link.rss_kb for link in group), default=0),
+                }
+            stats["shards"] = shards
+        return {"ok": True, "stats": stats}
 
     async def _op_snapshot(self, request: dict, line: bytes) -> dict:
         """Drain: resolve once every registered replica acked the current
@@ -588,16 +789,22 @@ class ClusterRouter(LineServer):
     # ------------------------------------------------------------------
     # Checkpointing (compaction support)
     # ------------------------------------------------------------------
-    async def request_checkpoint(self, path) -> int:
-        """Ask the most caught-up healthy replica to write a checkpoint;
-        returns the log seq the checkpoint covers."""
+    async def request_checkpoint(self, path, shard: int | None = None) -> int:
+        """Ask the most caught-up healthy replica (of one shard group when
+        ``shard`` is given) to write a checkpoint; returns the log seq the
+        checkpoint covers."""
         candidates = sorted(
-            (link for link in self._links.values() if link.healthy),
+            (
+                link
+                for link in self._links.values()
+                if link.healthy and (shard is None or link.shard == shard)
+            ),
             key=lambda link: link.acked_seq,
             reverse=True,
         )
         if not candidates:
-            raise ClusterError("no healthy replica to checkpoint from")
+            scope = "" if shard is None else f" in shard {shard}"
+            raise ClusterError(f"no healthy replica to checkpoint from{scope}")
         link = candidates[0]
         try:
             response = await self._query_roundtrip(
@@ -679,7 +886,9 @@ class ClusterRouter(LineServer):
                 response = await self._pump_roundtrip(
                     reader, writer, {"op": "stats"}, self._read_timeout
                 )
-                link.acked_seq = int(response["stats"]["replica"]["applied_seq"])
+                replica_info = response["stats"]["replica"]
+                link.acked_seq = int(replica_info["applied_seq"])
+                link.rss_kb = int(replica_info.get("rss_kb") or link.rss_kb)
                 self._mark_healthy(link)
                 self._notify_ack()
                 while not self._stopping and link.generation == generation:

@@ -21,6 +21,14 @@ The deployment unit behind ``python -m repro serve-cluster``: given a
    caught-up replica to write a checkpoint, then drops fully-covered WAL
    segments once every replica has acked past them.
 
+With ``shards=N`` (landmark sharding, docs/DESIGN.md §12) the supervisor
+runs N shard groups of ``replicas`` processes each, named ``s{i}r{j}``.
+Every group boots from its own checkpoint (``checkpoint-s{i}.json.gz``,
+falling back to a restriction of the seed oracle), shares the single
+WAL, and the router scatter-gathers reads across groups.  Compaction
+checkpoints every group and only drops WAL records covered by *all* of
+them.
+
 ``run()`` serves until SIGTERM/SIGINT and shuts down cleanly: router
 drains in-flight requests and closes the WAL, replicas get SIGTERM and
 exit 0 after their own graceful drain.
@@ -144,6 +152,7 @@ class ClusterSupervisor:
         *,
         cluster_dir: str | os.PathLike,
         replicas: int = 2,
+        shards: int = 1,
         host: str = "127.0.0.1",
         port: int = 8360,
         workers: int | None = None,
@@ -159,11 +168,15 @@ class ClusterSupervisor:
     ) -> None:
         if replicas < 1:
             raise ClusterError(f"replicas must be >= 1, got {replicas}")
+        if shards < 1:
+            raise ClusterError(f"shards must be >= 1, got {shards}")
         self._oracle_path = Path(oracle_path)
         self._dir = Path(cluster_dir)
         self._wal_dir = self._dir / _WAL_DIRNAME
         self._checkpoint = self._dir / _CHECKPOINT_NAME
         self._num_replicas = replicas
+        self._shards = shards
+        self._shard_of_worker: dict[str, int | None] = {}
         self._host = host
         self._port = port
         self._workers = workers
@@ -192,8 +205,25 @@ class ClusterSupervisor:
     @property
     def checkpoint_path(self) -> Path:
         """The live checkpoint file if one was written, else the seed
-        oracle file replicas boot from."""
+        oracle file replicas boot from (unsharded clusters)."""
         return self._checkpoint if self._checkpoint.exists() else self._oracle_path
+
+    @property
+    def num_shards(self) -> int:
+        return self._shards
+
+    def shard_checkpoint_path(self, index: int) -> Path:
+        """Shard group ``index``'s checkpoint file (may not exist yet)."""
+        return self._dir / f"checkpoint-s{index}.json.gz"
+
+    def _boot_path(self, shard: int | None) -> Path:
+        """The file a replica warm-starts from: its shard group's
+        checkpoint when one exists, else the seed oracle (which
+        ``build_replica`` restricts to the shard's owned landmarks)."""
+        if shard is None:
+            return self.checkpoint_path
+        ckpt = self.shard_checkpoint_path(shard)
+        return ckpt if ckpt.exists() else self._oracle_path
 
     @property
     def address(self) -> tuple[str, int]:
@@ -215,19 +245,21 @@ class ClusterSupervisor:
         if not self._oracle_path.exists() and not self._checkpoint.exists():
             raise ClusterError(f"oracle file not found: {self._oracle_path}")
         self._dir.mkdir(parents=True, exist_ok=True)
-        base_seq = 0
-        checkpoint = self.checkpoint_path
-        if checkpoint == self._checkpoint:
-            base_seq = int(read_oracle_meta(checkpoint).get("log_seq", 0))
+        base_seq = self._base_seq()
         self.log = UpdateLog(self._wal_dir, fsync=self._fsync, base_seq=base_seq)
         self.router = ClusterRouter(
-            self.log, self._host, self._port, **self._router_kwargs
+            self.log,
+            self._host,
+            self._port,
+            shards=self._shards,
+            **self._router_kwargs,
         )
         self._register_obs()
         await self.router.start()
         try:
-            for i in range(self._num_replicas):
-                await self._spawn(f"r{i}")
+            for name, shard in self._worker_layout():
+                self._shard_of_worker[name] = shard
+                await self._spawn(name)
         except Exception:
             await self.stop()
             raise
@@ -296,15 +328,47 @@ class ClusterSupervisor:
     # ------------------------------------------------------------------
     # Spawning and health
     # ------------------------------------------------------------------
+    def _worker_layout(self) -> list[tuple[str, int | None]]:
+        """(name, shard) for every replica process.  Unsharded clusters
+        keep the historical ``r{i}`` names; sharded ones use
+        ``s{shard}r{j}``."""
+        if self._shards == 1:
+            return [(f"r{i}", None) for i in range(self._num_replicas)]
+        return [
+            (f"s{i}r{j}", i)
+            for i in range(self._shards)
+            for j in range(self._num_replicas)
+        ]
+
+    def _base_seq(self) -> int:
+        """WAL position the slowest boot file covers.  Records after it
+        must stay; anything at or before is already in every replica's
+        checkpoint.  A group still booting from the seed oracle pins 0."""
+        if self._shards == 1:
+            checkpoint = self.checkpoint_path
+            if checkpoint == self._checkpoint:
+                return int(read_oracle_meta(checkpoint).get("log_seq", 0))
+            return 0
+        seqs = []
+        for i in range(self._shards):
+            ckpt = self.shard_checkpoint_path(i)
+            if not ckpt.exists():
+                return 0
+            seqs.append(int(read_oracle_meta(ckpt).get("log_seq", 0)))
+        return min(seqs)
+
     def _spec(self, name: str) -> ReplicaSpec:
+        shard = self._shard_of_worker.get(name)
         return ReplicaSpec(
             name=name,
-            checkpoint_path=str(self.checkpoint_path),
+            checkpoint_path=str(self._boot_path(shard)),
             wal_dir=str(self._wal_dir),
             port=0,
             workers=self._workers,
             max_batch=self._max_batch,
             fast=self._fast,
+            shard_index=shard,
+            num_shards=self._shards,
         )
 
     def _register_obs(self) -> None:
@@ -338,13 +402,17 @@ class ClusterSupervisor:
             None, worker.spawn, self._spawn_timeout
         )
         self._workers_by_name[name] = worker
+        shard = self._shard_of_worker.get(name)
         self._logger.info(
             "replica_spawned",
             replica=name,
+            shard=shard,
             port=port,
             restarts=worker.restarts,
         )
-        await self.router.set_replica_address(name, host, port)
+        await self.router.set_replica_address(
+            name, host, port, shard=shard if shard is not None else 0
+        )
 
     async def _health_loop(self) -> None:
         while True:
@@ -406,7 +474,20 @@ class ClusterSupervisor:
         log = self.log
         start = perf_counter()
         try:
-            covered = await self.router.request_checkpoint(self._checkpoint)
+            if self._shards == 1:
+                covered = await self.router.request_checkpoint(self._checkpoint)
+            else:
+                # Every shard group must checkpoint before any WAL record
+                # can go: a record is only covered once *all* shards have
+                # persisted their slice of its effects.
+                covered = min(
+                    [
+                        await self.router.request_checkpoint(
+                            self.shard_checkpoint_path(i), shard=i
+                        )
+                        for i in range(self._shards)
+                    ]
+                )
             if self._checkpoint_hist is not None:
                 self._checkpoint_hist.observe(perf_counter() - start)
             # Never compact past what every live replica has acked — a

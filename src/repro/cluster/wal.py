@@ -420,7 +420,12 @@ def _repair_torn_tail(directory: Path) -> None:
         last.unlink()
 
 
-def write_checkpoint(oracle_like, path: str | os.PathLike, log_seq: int) -> None:
+def write_checkpoint(
+    oracle_like,
+    path: str | os.PathLike,
+    log_seq: int,
+    extra_meta: dict | None = None,
+) -> None:
     """Atomically persist an oracle (or a pinned
     :class:`~repro.serving.snapshot.OracleSnapshot`) as a checkpoint
     covering log position ``log_seq``.
@@ -432,12 +437,20 @@ def write_checkpoint(oracle_like, path: str | os.PathLike, log_seq: int) -> None
     harmless — a duplicate insert or absent-edge delete is rejected
     deterministically, and re-applied survivors land on the same
     canonical minimal labelling.
+
+    ``extra_meta`` merges additional keys into the file's meta dict —
+    the sharded cluster records the shard plan
+    (:meth:`repro.cluster.shards.ShardPlan.to_meta`) so a restart can
+    verify it restores the same landmark partition.
     """
     from repro.utils.serialization import save_oracle
 
     path = Path(path)
+    meta: dict = {"log_seq": int(log_seq)}
+    if extra_meta:
+        meta.update(extra_meta)
     tmp = path.parent / ("~" + path.name)  # same suffix => same compression
-    save_oracle(oracle_like, tmp, meta={"log_seq": int(log_seq)})
+    save_oracle(oracle_like, tmp, meta=meta)
     os.replace(tmp, path)
 
 

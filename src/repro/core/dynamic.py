@@ -88,6 +88,7 @@ class DynamicHCL:
         labelling: HighwayCoverLabelling,
         workers: int | None = None,
         fast_updates: bool = False,
+        owned_landmarks: Sequence[int] | None = None,
     ) -> None:
         self._graph = graph
         self._labelling = labelling
@@ -98,8 +99,18 @@ class DynamicHCL:
         #: (the vectorized CSR engine vs the reference dict kernels);
         #: per-call ``fast=`` arguments override it.
         self.fast_updates = fast_updates
+        #: Landmark-sharded mode (``repro.core.sharding``): this oracle
+        #: owns only these landmarks' label rows; ``labelling`` must be
+        #: the matching restricted labelling.  Queries become
+        #: shard-local (exact through owned landmarks, scatter-gather
+        #: min over all shards is globally exact) and every update runs
+        #: on the vectorized engine restricted to the owned rows.
+        self._owned = list(owned_landmarks) if owned_landmarks is not None else None
+        if self._owned is not None:
+            self.fast_updates = True
         self._version = 0
         self._snapshot_cache = None
+        self._shard_rows_cache = None
         self._fast_engine = None
 
     # ------------------------------------------------------------------
@@ -172,6 +183,12 @@ class DynamicHCL:
         return self._labelling.landmarks
 
     @property
+    def owned_landmarks(self) -> list[int] | None:
+        """The landmark subset this oracle maintains, or ``None`` when it
+        is an ordinary unsharded oracle owning all of them."""
+        return list(self._owned) if self._owned is not None else None
+
+    @property
     def label_entries(self) -> int:
         """``size(L)`` — the paper's labelling-size metric."""
         return self._labelling.label_entries
@@ -239,7 +256,21 @@ class DynamicHCL:
     # Queries
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> float:
-        """Exact distance ``d_G(u, v)``; ``inf`` when disconnected."""
+        """Exact distance ``d_G(u, v)``; ``inf`` when disconnected.
+
+        On a landmark shard the answer is *shard-local*: exact whenever
+        some shortest path meets an owned landmark or no landmark at
+        all, an overestimate otherwise — the element-wise min across all
+        shards of a partition is the exact global distance
+        (:mod:`repro.core.sharding`).
+        """
+        if self._owned is not None:
+            from repro.core.sharding import shard_query_distance
+
+            dist, index_of = self.shard_rows()
+            return shard_query_distance(
+                self._graph, self._labelling.landmark_set, dist, index_of, u, v
+            )
         return query_distance(self._graph, self._labelling, u, v)
 
     def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
@@ -249,7 +280,34 @@ class DynamicHCL:
         per-call attribute lookups hoisted once — the serving hot path
         (:mod:`repro.serving`) answers its bulk requests through this.
         """
+        if self._owned is not None:
+            from repro.core.sharding import shard_query_distances_many
+
+            dist, index_of = self.shard_rows()
+            return shard_query_distances_many(
+                self._graph, self._labelling.landmark_set, dist, index_of, pairs
+            )
         return query_distances_many(self._graph, self._labelling, pairs)
+
+    def shard_rows(self):
+        """Frozen ``(dist, index_of)`` shard-query state at this version.
+
+        ``dist`` is the owned landmarks' dense distance matrix (one int32
+        row per owned landmark, :data:`~repro.graph.dyncsr.UNREACH` for
+        unreachable) and ``index_of`` maps vertex ids to its columns.
+        The copy is cached per :attr:`version`, so snapshots and repeated
+        queries between updates share one frozen state.  Only available
+        in landmark-sharded mode.
+        """
+        if self._owned is None:
+            raise GraphError("shard_rows() requires a landmark-sharded oracle")
+        cached = self._shard_rows_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        engine = self._resolve_fast_engine()
+        dist, index_of = engine.freeze_shard_rows()
+        self._shard_rows_cache = (self._version, dist, index_of)
+        return dist, index_of
 
     def distance_bound(self, u: int, v: int) -> float:
         """The label-only upper bound ``d⊤`` (Eq. 2) — useful on its own as
@@ -277,7 +335,10 @@ class DynamicHCL:
         engine = self._fast_engine
         if engine is None or not engine.matches(self._graph, self._labelling):
             engine = FastUpdateEngine(
-                self._graph, self._labelling, workers=self.workers
+                self._graph,
+                self._labelling,
+                workers=self.workers,
+                owned=self._owned,
             )
             self._fast_engine = engine
         return engine
@@ -285,6 +346,24 @@ class DynamicHCL:
     def _invalidate_fast(self) -> None:
         """Drop the cached fast engine (its overlay/rows are now stale)."""
         self._fast_engine = None
+
+    def _route_fast(self, fast: bool | None) -> bool:
+        """Resolve a per-call ``fast`` argument against the oracle default.
+
+        Landmark shards have no reference route — the dict kernels
+        iterate the full landmark list — so sharded oracles always take
+        the restricted vectorized engine.
+        """
+        if self._owned is not None:
+            return True
+        return self.fast_updates if fast is None else fast
+
+    def _require_unsharded(self, operation: str) -> None:
+        if self._owned is not None:
+            raise GraphError(
+                f"{operation} is not supported on a landmark shard; apply it "
+                f"to the unsharded oracle and re-shard"
+            )
 
     def insert_edge(self, u: int, v: int, fast: bool | None = None) -> UpdateStats:
         """Insert edge ``(u, v)`` and repair the labelling (IncHL+).
@@ -296,8 +375,7 @@ class DynamicHCL:
         way.  Returns the update statistics (affected counts per
         landmark).
         """
-        if fast is None:
-            fast = self.fast_updates
+        fast = self._route_fast(fast)
         if fast:
             engine = self._resolve_fast_engine()
             self._graph.add_edge(u, v)
@@ -311,6 +389,7 @@ class DynamicHCL:
     def insert_vertex(self, v: int, neighbors: Iterable[int]) -> list[UpdateStats]:
         """The paper's vertex insertion: new vertex ``v`` plus edges to
         existing vertices, processed as a sequence of edge insertions."""
+        self._require_unsharded("insert_vertex")
         neighbor_list = list(neighbors)
         self._invalidate_fast()
         self._graph.insert_vertex(v, [])
@@ -351,8 +430,7 @@ class DynamicHCL:
         selects the dict kernels or the vectorized CSR engine (default:
         the oracle's ``fast_updates``).
         """
-        if fast is None:
-            fast = self.fast_updates
+        fast = self._route_fast(fast)
         edge_list = list(edges)
         if fast:
             engine = self._resolve_fast_engine()
@@ -398,8 +476,9 @@ class DynamicHCL:
         count) fan out across a process pool.  All routes preserve exact
         minimality; they differ only in cost profile.
         """
-        if fast is None:
-            fast = self.fast_updates
+        fast = self._route_fast(fast)
+        if self._owned is not None:
+            strategy = "partial"  # shards have no rebuild route
         if strategy == "partial":
             if fast:
                 engine = self._resolve_fast_engine()
@@ -477,8 +556,7 @@ class DynamicHCL:
         """
         from repro.core.batch import MixedUpdateStats
 
-        if fast is None:
-            fast = self.fast_updates
+        fast = self._route_fast(fast)
         graph = self._graph
         normalized: list[tuple[str, int, int]] = []
         state: dict[tuple[int, int], bool] = {}
@@ -558,6 +636,7 @@ class DynamicHCL:
 
         Landmarks must be demoted first (:meth:`remove_landmark`).
         """
+        self._require_unsharded("remove_vertex")
         from repro.core.dechl import apply_vertex_deletion
 
         self._invalidate_fast()
@@ -573,6 +652,7 @@ class DynamicHCL:
         Returns the number of now-covered entries removed; see
         :mod:`repro.landmarks.maintenance`.
         """
+        self._require_unsharded("add_landmark")
         from repro.landmarks.maintenance import add_landmark
 
         self._invalidate_fast()
@@ -584,6 +664,7 @@ class DynamicHCL:
 
         Returns the landmarks whose labellings were rebuilt.
         """
+        self._require_unsharded("remove_landmark")
         from repro.landmarks.maintenance import remove_landmark
 
         self._invalidate_fast()
@@ -594,7 +675,16 @@ class DynamicHCL:
     # Paths
     # ------------------------------------------------------------------
     def shortest_path(self, u: int, v: int) -> list[int] | None:
-        """One exact shortest path (``None`` when disconnected)."""
+        """One exact shortest path (``None`` when disconnected).
+
+        A landmark shard keeps the full graph but only a slice of the
+        labels, so the greedy label walk is unavailable there; shards
+        answer by plain BFS instead.
+        """
+        if self._owned is not None:
+            from repro.core.sharding import bfs_shortest_path
+
+            return bfs_shortest_path(self._graph, u, v)
         from repro.core.paths import shortest_path
 
         return shortest_path(self._graph, self._labelling, u, v)

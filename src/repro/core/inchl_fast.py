@@ -92,6 +92,7 @@ class FastUpdateEngine:
     __slots__ = (
         "_labelling",
         "_landmarks",
+        "_full",
         "_dyn",
         "_dist",
         "_is_landmark",
@@ -103,9 +104,33 @@ class FastUpdateEngine:
         "workers",
     )
 
-    def __init__(self, graph, labelling, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        graph,
+        labelling,
+        workers: int | None = None,
+        owned: Iterable[int] | None = None,
+    ) -> None:
         self._labelling = labelling
-        self._landmarks = list(labelling.landmarks)
+        self._full = list(labelling.landmarks)
+        if owned is None:
+            self._landmarks = self._full
+        else:
+            # Landmark-sharded mode: maintain only the owned landmarks'
+            # label rows and highway cells.  ``labelling`` must be the
+            # matching restricted labelling
+            # (:func:`repro.core.sharding.restrict_labelling`) — the
+            # kernels read/write exactly the owned rows, while the
+            # sparsifying ``is_landmark`` mask below still covers the
+            # FULL landmark set so repairs see the same pruned searches
+            # as the unsharded engine.
+            self._landmarks = list(owned)
+            full_set = set(self._full)
+            for r in self._landmarks:
+                if r not in full_set:
+                    raise InvariantViolationError(
+                        f"owned landmark {r} not in the labelling's landmarks"
+                    )
         self._dyn = DynCSR.from_graph(graph)
         #: Default worker count for batch Phase B fan-out.
         self.workers = workers
@@ -117,7 +142,7 @@ class FastUpdateEngine:
         for k, r in enumerate(self._landmarks):
             self._dist[k, : dyn.num_vertices] = dyn.bfs_compact(dyn.index(r))
         self._is_landmark = np.zeros(capacity, dtype=bool)
-        for r in self._landmarks:
+        for r in self._full:
             self._is_landmark[dyn.index(r)] = True
         # Dense label-membership rows (has_entry[k][i] == 1 iff the k-th
         # landmark has an entry on vertex ids[i]); seeded from the label
@@ -175,8 +200,26 @@ class FastUpdateEngine:
             labelling is self._labelling
             and self._dyn.num_edges == graph.num_edges
             and self._dyn.num_vertices <= graph.num_vertices
-            and self._landmarks == labelling.landmarks
+            and self._full == labelling.landmarks
         )
+
+    @property
+    def owned_landmarks(self) -> list[int]:
+        """The landmarks whose rows this engine maintains (all of them
+        outside sharded mode)."""
+        return list(self._landmarks)
+
+    def freeze_shard_rows(self) -> tuple[np.ndarray, dict[int, int]]:
+        """Pinned copy of the dense rows for shard-local queries.
+
+        Returns ``(dist, index_of)``: an ``(num_owned, num_vertices)``
+        int32 copy of the per-landmark distance rows and a copy of the
+        id -> column map.  Kernels mutate the live rows in place, so a
+        published snapshot must carry its own copy
+        (:meth:`repro.serving.snapshot.OracleSnapshot.capture`).
+        """
+        n = self._dyn.num_vertices
+        return self._dist[:, :n].copy(), self._dyn.index_map()
 
     @property
     def dyn(self) -> DynCSR:

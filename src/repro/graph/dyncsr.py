@@ -182,6 +182,15 @@ class DynCSR:
         except KeyError:
             raise VertexNotFoundError(v) from None
 
+    def index_map(self) -> dict[int, int]:
+        """Copy of the id -> compact-index mapping.
+
+        Snapshot consumers (shard-scoped query paths) pair this with a
+        copy of per-vertex side arrays so later ``ensure_vertex`` calls
+        on the live structure cannot skew a pinned view.
+        """
+        return dict(self._index_of)
+
     def vertex(self, i: int) -> int:
         """Original id of compact index ``i``."""
         return int(self._ids[i])

@@ -77,29 +77,50 @@ def percentile(sorted_samples: list[float], q: float) -> float:
 def aggregate_summaries(summaries) -> dict:
     """Combine :meth:`LatencyRecorder.summary` dicts — **legacy** merge.
 
-    Counts and throughput **add**; latency columns take the **max** (a
-    conservative cluster-wide tail).  Superseded by
-    :func:`merge_summaries`, which merges the summaries' histograms for
-    *exact* percentiles; this remains the fallback when a summary has no
-    ``hist`` block (e.g. a replica running an older build).
+    Counts and throughput **add**; the percentile columns take the
+    **max** (a conservative cluster-wide tail); ``mean_ms`` is the
+    count-weighted mean of the per-replica means — exactly the pooled
+    mean, since each replica's mean is its sum over its count.  A
+    summary without a count contributes to the max-bound fallback
+    instead.  Superseded by :func:`merge_summaries`, which merges the
+    summaries' histograms for *exact* percentiles; this remains the
+    fallback when a summary has no ``hist`` block (e.g. a replica
+    running an older build).
 
-    >>> aggregate_summaries([
-    ...     {"count": 2, "qps": 10.0, "p99_ms": 1.0},
-    ...     {"count": 3, "qps": 5.0, "p99_ms": 4.0},
-    ... ])["qps"]
-    15.0
+    >>> agg = aggregate_summaries([
+    ...     {"count": 2, "qps": 10.0, "mean_ms": 1.0, "p99_ms": 1.0},
+    ...     {"count": 8, "qps": 5.0, "mean_ms": 6.0, "p99_ms": 4.0},
+    ... ])
+    >>> agg["qps"], agg["p99_ms"]
+    (15.0, 4.0)
+    >>> agg["mean_ms"]  # (2*1.0 + 8*6.0) / 10, not max(1.0, 6.0)
+    5.0
     """
     out = {"count": 0, "qps": 0.0, "mean_ms": None,
            "p50_ms": None, "p95_ms": None, "p99_ms": None}
+    weighted_sum = 0.0
+    weighted_count = 0
+    mean_bound = None
     for summary in summaries:
         out["count"] += summary.get("count", 0)
         # Accumulate at full precision; rounding inside the loop would
         # compound error across many replicas.
         out["qps"] += summary.get("qps") or 0.0
-        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+        mean = summary.get("mean_ms")
+        if mean is not None:
+            count = summary.get("count") or 0
+            if count > 0:
+                weighted_sum += mean * count
+                weighted_count += count
+            mean_bound = mean if mean_bound is None else max(mean_bound, mean)
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
             value = summary.get(key)
             if value is not None:
                 out[key] = value if out[key] is None else max(out[key], value)
+    if weighted_count > 0:
+        out["mean_ms"] = weighted_sum / weighted_count
+    else:
+        out["mean_ms"] = mean_bound
     out["qps"] = round(out["qps"], 3)
     return out
 

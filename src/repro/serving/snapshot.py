@@ -245,12 +245,24 @@ class OracleSnapshot:
     (4, 1)
     """
 
-    __slots__ = ("epoch", "graph", "labelling")
+    __slots__ = ("epoch", "graph", "labelling", "shard_rows")
 
-    def __init__(self, epoch: int, graph: FrozenGraph, labelling: FrozenLabelling):
+    def __init__(
+        self,
+        epoch: int,
+        graph: FrozenGraph,
+        labelling: FrozenLabelling,
+        shard_rows=None,
+    ):
         self.epoch = epoch
         self.graph = graph
         self.labelling = labelling
+        #: ``(dist, index_of)`` for landmark-sharded oracles
+        #: (:meth:`repro.core.dynamic.DynamicHCL.shard_rows`), else
+        #: ``None``.  When set, queries answer shard-locally: exact
+        #: through the owned landmarks, with the scatter-gather min over
+        #: all shards globally exact (:mod:`repro.core.sharding`).
+        self.shard_rows = shard_rows
 
     @classmethod
     def capture(cls, oracle) -> "OracleSnapshot":
@@ -261,6 +273,12 @@ class OracleSnapshot:
         landmarks, landmark_set, highway_rows, label_rows, entries = (
             oracle.labelling.freeze()
         )
+        shard_rows = None
+        if getattr(oracle, "owned_landmarks", None) is not None:
+            # The frozen copy of the dense rows is cached per oracle
+            # version, so consecutive snapshots without updates in
+            # between share one copy.
+            shard_rows = oracle.shard_rows()
         return cls(
             oracle.version,
             FrozenGraph(adjacency, num_edges),
@@ -268,6 +286,7 @@ class OracleSnapshot:
                 FrozenHighway(landmarks, landmark_set, highway_rows),
                 FrozenLabels(label_rows, entries),
             ),
+            shard_rows=shard_rows,
         )
 
     # -- read API ------------------------------------------------------
@@ -285,15 +304,37 @@ class OracleSnapshot:
 
     def query(self, u: int, v: int) -> float:
         """Exact ``d(u, v)`` at this snapshot's epoch (``inf`` when
-        disconnected)."""
+        disconnected); shard-local on a landmark shard."""
+        if self.shard_rows is not None:
+            from repro.core.sharding import shard_query_distance
+
+            dist, index_of = self.shard_rows
+            return shard_query_distance(
+                self.graph, self.labelling.landmark_set, dist, index_of, u, v
+            )
         return query_distance(self.graph, self.labelling, u, v)
 
     def query_many(self, pairs: Iterable[tuple[int, int]]) -> list[float]:
         """Exact distances for a batch of pairs at this epoch."""
+        if self.shard_rows is not None:
+            from repro.core.sharding import shard_query_distances_many
+
+            dist, index_of = self.shard_rows
+            return shard_query_distances_many(
+                self.graph, self.labelling.landmark_set, dist, index_of, pairs
+            )
         return query_distances_many(self.graph, self.labelling, pairs)
 
     def shortest_path(self, u: int, v: int) -> list[int] | None:
-        """One exact shortest path at this epoch (``None`` if disconnected)."""
+        """One exact shortest path at this epoch (``None`` if disconnected).
+
+        Landmark shards answer by plain BFS on the (full) frozen graph —
+        the greedy label walk needs the full label slice.
+        """
+        if self.shard_rows is not None:
+            from repro.core.sharding import bfs_shortest_path
+
+            return bfs_shortest_path(self.graph, u, v)
         return _shortest_path(self.graph, self.labelling, u, v)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

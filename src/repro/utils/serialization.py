@@ -39,15 +39,25 @@ def _open(path: str | os.PathLike, mode: str):
 
 
 def _highway_cells(labelling: HighwayCoverLabelling) -> list[list]:
-    cells = []
-    seen = set()
+    """Upper-triangle highway cells in canonical landmark-position order.
+
+    Dict insertion order observes maintenance history; emitting cells
+    keyed by landmark position (``i < j`` over ``landmarks``) makes the
+    serialized highway — like the sorted label rows — a valid byte-level
+    equality check across maintenance routes, and lets landmark-sharded
+    label files reassemble to the exact bytes of the unsharded save.
+    """
+    landmarks = labelling.landmarks
+    position = {r: i for i, r in enumerate(landmarks)}
+    indexed = []
     for r, row in labelling.highway.as_dict().items():
+        i = position[r]
         for r2, d in row.items():
-            if r == r2 or (r2, r) in seen:
-                continue
-            seen.add((r, r2))
-            cells.append([r, r2, d])
-    return cells
+            j = position[r2]
+            if i < j:
+                indexed.append((i, j, d))
+    indexed.sort()
+    return [[landmarks[i], landmarks[j], d] for i, j, d in indexed]
 
 
 def _write_streamed(handle, head: dict, label_rows, chunk: int = 4096) -> None:

@@ -47,7 +47,10 @@ def test_apply_is_idempotent_on_redelivery(replica):
     # Seq 1 was skipped before validation: applied exactly once.
     assert stats["events_applied"] == 2
     assert stats["events_rejected"] == 0
-    assert stats["replica"] == {"name": "r0", "applied_seq": 2}
+    assert stats["replica"]["name"] == "r0"
+    assert stats["replica"]["applied_seq"] == 2
+    # Peak RSS rides along so the router can report per-shard memory.
+    assert stats["replica"]["rss_kb"] > 0
 
 
 def test_apply_refuses_log_gap(replica):

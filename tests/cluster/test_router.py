@@ -170,3 +170,67 @@ def test_remove_replica(cluster):
     fleet.router.remove_replica_from_thread("r0")
     assert client.stats()["replicas"].keys() == {"r1"}
     assert client.query(0, 15) == 6
+
+
+def test_round_robin_spreads_reads_evenly(small_oracle):
+    """Regression: the old rotation used one global counter modulo the
+    *per-call* eligible list, which could starve replicas.  Rotation over
+    stable sorted membership must spread a read burst near-uniformly."""
+    fleet = InProcessCluster(small_oracle, replicas=3)
+    try:
+        with ServingClient(*fleet.address) as client:
+            for _ in range(30):
+                assert client.query(0, 15) == 6
+            stats = client.stats()
+        counts = {
+            name: entry["service"]["queries"]["count"]
+            for name, entry in stats["replicas"].items()
+        }
+    finally:
+        fleet.close()
+    assert sum(counts.values()) == 30
+    # Perfect rotation gives 10/10/10; allow a little slack for the
+    # health/stats traffic interleaving, never starvation.
+    assert all(count >= 8 for count in counts.values()), counts
+
+
+def test_read_retries_readmit_recovered_replica(small_oracle):
+    """Regression: a read that had failed over every replica kept them
+    all in its per-request ``excluded`` set, so the retry loop span until
+    the deadline even after a replica recovered.  The set is now cleared
+    between waits: an in-flight read must succeed as soon as a
+    replacement replica catches up."""
+    from threading import Thread
+
+    from tests.cluster.conftest import make_replica
+
+    log = UpdateLog()
+    router = ClusterRouter(log, port=0, read_timeout=8.0)
+    host, port = router.start_in_thread()
+    first = make_replica(small_oracle, "r0")
+    replacement = None
+    result: dict = {}
+    try:
+        router.add_replica_from_thread("r0", *first.address)
+        with ServingClient(host, port) as warm:
+            assert warm.query(0, 15) == 6
+        first.stop_thread()  # die mid-read: the next attempt fails over
+
+        def read():
+            with ServingClient(host, port) as client:
+                result.update(client.request({"op": "query", "u": 0, "v": 15}))
+
+        reader = Thread(target=read)
+        reader.start()
+        sleep(0.6)  # the read has failed on r0 and is in its wait loop
+        assert reader.is_alive()
+        replacement = make_replica(small_oracle, "r0")
+        router.set_replica_address_from_thread("r0", *replacement.address)
+        reader.join(timeout=6.0)
+        assert not reader.is_alive(), "read did not re-admit the recovered replica"
+    finally:
+        router.stop_thread()
+        if replacement is not None:
+            replacement.stop_thread()
+    assert result.get("ok"), result
+    assert result["distance"] == 6

@@ -218,6 +218,35 @@ class TestTop:
         assert "replica r1  UNHEALTHY acked=5 lag=2" in frame
         assert frame.index("replica r0") < frame.index("replica r1")
 
+    def test_format_top_sharded_router(self):
+        from repro.cli import format_top
+
+        stats = {
+            "role": "router", "log_head": 4, "log_base": 0,
+            "wal": {"segments": 1, "bytes": 512}, "fsync": "batch",
+            "num_shards": 2,
+            "reads_routed": 8, "writes_appended": 4, "fanout_batches": 2,
+            "router": {"queries": {"count": 8}, "updates": {"count": 4}},
+            "aggregate": {"events_applied": 16, "events_rejected": 0,
+                          "snapshots_published": 0,
+                          "queries": {"count": 8}, "updates": {"count": 0}},
+            "shards": {
+                "0": {"replicas": 2, "healthy": 2, "acked_seq": 4,
+                      "lag": 0, "rss_kb_max": 30000},
+                "1": {"replicas": 2, "healthy": 1, "acked_seq": 4,
+                      "lag": 1, "rss_kb_max": 29000},
+            },
+            "replicas": {
+                "s0r0": {"shard": 0, "healthy": True, "acked_seq": 4, "lag": 0},
+                "s1r0": {"shard": 1, "healthy": True, "acked_seq": 3, "lag": 1},
+            },
+        }
+        frame = format_top(stats)
+        assert "shard s0   healthy=2/2 acked=4 lag=0 rss_max=30,000KiB" in frame
+        assert "shard s1   healthy=1/2 acked=4 lag=1 rss_max=29,000KiB" in frame
+        assert "replica s0r0  shard=s0 healthy acked=4 lag=0" in frame
+        assert "replica s1r0  shard=s1 healthy acked=3 lag=1" in frame
+
     def test_top_once_against_live_server(self, oracle_file, capsys):
         from repro.serving.server import OracleServer
 

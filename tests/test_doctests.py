@@ -29,6 +29,7 @@ import repro.graph.weighted
 import repro.parallel
 import repro.parallel.engine
 import repro.parallel.sweeps
+import repro.cluster.shards
 import repro.cluster.wal
 import repro.serving.metrics
 import repro.serving.service
@@ -59,6 +60,7 @@ _MODULES = [
     repro.baselines.pll,
     repro.baselines.incpll,
     repro.baselines.fd,
+    repro.cluster.shards,
     repro.cluster.wal,
     repro.serving.metrics,
     repro.serving.service,

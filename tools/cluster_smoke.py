@@ -21,12 +21,20 @@ replica processes — then:
 Exit code 0 requires **nonzero qps, zero incorrect answers, zero-lag
 convergence in the exposition, and a clean shutdown**.
 
+With ``--shards N`` the supervisor runs N landmark shard groups of
+``--replicas`` each; reads scatter-gather across groups, so the BFS
+cross-checks exercise the element-wise min reduction end to end.  The
+smoke then also asserts every ``repro_shard_lag`` gauge reads zero and
+reports per-shard label entries and peak RSS (``--json-out`` writes the
+whole result as a bench JSON artifact).
+
 Usage:  PYTHONPATH=src python tools/cluster_smoke.py [--seconds 3]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -50,13 +58,18 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seconds", type=float, default=3.0)
     parser.add_argument("--clients", type=int, default=3)
-    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="replica processes per shard group")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="landmark shard groups (1 = unsharded)")
     parser.add_argument("--vertices", type=int, default=400)
     parser.add_argument("--updates", type=int, default=60)
     parser.add_argument("--checks", type=int, default=150)
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--span-log", default=None, metavar="FILE",
                         help="mirror router spans to this NDJSON file")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="write the smoke result as a bench JSON artifact")
     args = parser.parse_args(argv)
     if args.span_log:
         # Before any span is recorded and before replicas spawn: they
@@ -76,12 +89,15 @@ def main(argv=None) -> int:
             oracle_file,
             cluster_dir=Path(tmp) / "cluster",
             replicas=args.replicas,
+            shards=args.shards,
             port=0,
             fsync="batch",
             router_kwargs={"metrics_port": 0},
         )
         host, port = supervisor.start_in_thread()
-        print(f"cluster router on {host}:{port} with {args.replicas} replicas "
+        total_replicas = args.shards * args.replicas
+        print(f"cluster router on {host}:{port} with {args.shards} shard "
+              f"group(s) x {args.replicas} replicas "
               f"(|V|={len(vertices)}, |E|={graph.num_edges})")
         try:
             deadline = perf_counter() + args.seconds
@@ -148,6 +164,10 @@ def main(argv=None) -> int:
                 line for line in exposition.splitlines()
                 if line.startswith("repro_replica_lag{")
             ]
+            shard_lag_lines = [
+                line for line in exposition.splitlines()
+                if line.startswith("repro_shard_lag{")
+            ]
         finally:
             supervisor.stop_thread()
         exit_codes = {
@@ -158,9 +178,24 @@ def main(argv=None) -> int:
     lags = {name: entry["lag"] for name, entry in stats["replicas"].items()}
     print(f"concurrent phase: {queries} queries in {elapsed:.2f}s -> "
           f"{qps:.0f} qps across {args.clients} clients / "
-          f"{args.replicas} replicas")
+          f"{total_replicas} replicas")
     print(f"writer: log head {final['epoch']}, replica lags {lags}, "
           f"aggregate applied {stats['aggregate']['events_applied']}")
+    shard_report = {}
+    for index, group in sorted((stats.get("shards") or {}).items(), key=lambda kv: int(kv[0])):
+        entries = [
+            entry.get("service", {}).get("label_entries", 0)
+            for entry in stats["replicas"].values()
+            if entry.get("shard") == int(index)
+        ]
+        shard_report[index] = {
+            "lag": group.get("lag"),
+            "rss_kb_max": group.get("rss_kb_max"),
+            "label_entries_max": max(entries or [0]),
+        }
+        print(f"shard s{index}: lag={group.get('lag')} "
+              f"rss_max={group.get('rss_kb_max'):,}KiB "
+              f"label_entries={shard_report[index]['label_entries_max']:,}")
     print(f"verification: {args.checks} BFS cross-checks at min_epoch="
           f"{head}, {incorrect} incorrect")
     print(f"observability: {len(trace_spans)} router span(s) for trace "
@@ -181,20 +216,49 @@ def main(argv=None) -> int:
     if not trace_spans:
         print("FAIL: traced request produced no router spans", file=sys.stderr)
         return 1
-    if len(lag_lines) != args.replicas:
-        print(f"FAIL: expected {args.replicas} replica lag gauges, "
+    if len(lag_lines) != total_replicas:
+        print(f"FAIL: expected {total_replicas} replica lag gauges, "
               f"got {lag_lines}", file=sys.stderr)
         return 1
     if any(not line.rstrip().endswith(" 0") for line in lag_lines):
         print(f"FAIL: nonzero replication lag after drain: {lag_lines}",
               file=sys.stderr)
         return 1
+    if args.shards > 1:
+        if len(shard_lag_lines) != args.shards:
+            print(f"FAIL: expected {args.shards} shard lag gauges, "
+                  f"got {shard_lag_lines}", file=sys.stderr)
+            return 1
+        if any(not line.rstrip().endswith(" 0") for line in shard_lag_lines):
+            print(f"FAIL: nonzero shard lag after drain: {shard_lag_lines}",
+                  file=sys.stderr)
+            return 1
     if args.span_log and not Path(args.span_log).stat().st_size:
         print("FAIL: span log is empty", file=sys.stderr)
         return 1
     if any(code != 0 for code in exit_codes.values()):
         print(f"FAIL: unclean replica shutdown: {exit_codes}", file=sys.stderr)
         return 1
+    if args.json_out:
+        result = {
+            "suite": "cluster_smoke",
+            "host_cpus": os.cpu_count(),
+            "shards": args.shards,
+            "replicas_per_shard": args.replicas,
+            "clients": args.clients,
+            "vertices": args.vertices,
+            "updates": args.updates,
+            "checks": args.checks,
+            "seconds": elapsed,
+            "queries": queries,
+            "qps": round(qps, 1),
+            "incorrect": incorrect,
+            "log_head": final["epoch"],
+            "per_shard": shard_report,
+            "exit_codes": exit_codes,
+        }
+        Path(args.json_out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"bench json -> {args.json_out}")
     print("OK")
     return 0
 
