@@ -98,8 +98,14 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Run one experiment (or all) and print its paper-style report."""
+    from repro.obs.profile import dump_if_enabled, start_if_enabled
+
     args = _parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # REPRO_PROFILE=1 profiles the harness itself: folded stacks land in
+    # REPRO_PROFILE_OUT and the phase table in the JSON's `_profile` key
+    # (bench_compare treats non-list top-level keys as metadata).
+    profiler = start_if_enabled()
     reports: list[str] = []
     rows_by_experiment: dict[str, list[dict]] = {}
     for name in names:
@@ -118,9 +124,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.json_out:
         import json
 
+        payload: dict = dict(rows_by_experiment)
+        if profiler is not None:
+            profiler.stop()
+            payload["_profile"] = profiler.stats()
         with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(rows_by_experiment, handle, indent=2, default=str)
+            json.dump(payload, handle, indent=2, default=str)
             handle.write("\n")
+    dump_if_enabled()
     return 0
 
 

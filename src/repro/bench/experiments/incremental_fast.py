@@ -20,6 +20,11 @@ lifetime or after a non-insert mutation) is reported as its own column
 rather than buried in the stream timing — on the paper's 10,000-update
 replay it amortizes to noise, but a deployment that deletes often should
 know it.
+
+A final **fast+profiler** row re-times the first dataset's fast replay
+with the sampling profiler (:mod:`repro.obs.profile`) active and reports
+``overhead_pct`` — the continuous-profiling tax, re-measured on every
+bench run so the "cheap enough to leave on" claim stays checked.
 """
 
 from __future__ import annotations
@@ -129,6 +134,41 @@ def _row(dataset, mode, updates, total_s, latencies, attach_ms, speedup,
     }
 
 
+def _profiler_overhead_row(graph, landmarks, insertions, workers, dataset):
+    """Measure the sampling profiler's drag on the fast single-update
+    replay: min-of-2 timings with and without an active profiler, same
+    stream, fresh oracles.  Ships in the bench JSON so the acceptance
+    bound (overhead under a few percent) is re-verified on every run."""
+    from repro.obs.profile import SamplingProfiler
+
+    def _timed(profiled: bool) -> float:
+        best = None
+        for _ in range(2):
+            oracle = DynamicHCL.build(
+                graph.copy(), landmarks=landmarks, construction="csr",
+                fast_updates=True, workers=workers,
+            )
+            oracle._resolve_fast_engine()
+            profiler = SamplingProfiler() if profiled else None
+            if profiler is not None:
+                profiler.start()
+            with Stopwatch() as sw:
+                for u, v in insertions:
+                    oracle.insert_edge(u, v, fast=True)
+            if profiler is not None:
+                profiler.stop()
+            best = sw.elapsed if best is None else min(best, sw.elapsed)
+        return best
+
+    base_s = _timed(False)
+    profiled_s = _timed(True)
+    overhead = (profiled_s - base_s) / base_s * 100.0 if base_s > 0 else 0.0
+    row = _row(dataset, "fast+profiler", len(insertions), profiled_s, [],
+               None, None, True)
+    row["overhead_pct"] = round(overhead, 2)
+    return row
+
+
 def run(
     profile: str | None = None,
     datasets: list[str] | None = None,
@@ -145,11 +185,14 @@ def run(
     rows: list[dict] = []
     aggregate_python = 0.0
     aggregate_fast = 0.0
+    overhead_inputs = None
     for name in names:
         spec, graph = build_dataset(name, profile=prof.name, seed=seed)
         rng = ensure_rng(zlib.crc32(f"{seed}:{name}:incremental_fast".encode()))
         insertions = sample_edge_insertions(graph, prof.figure4_total, rng=rng)
         landmarks = top_degree_landmarks(graph, spec.num_landmarks)
+        if overhead_inputs is None:
+            overhead_inputs = (graph, landmarks, insertions, name)
 
         python_oracle = DynamicHCL.build(
             graph.copy(), landmarks=landmarks, construction="csr"
@@ -201,9 +244,16 @@ def run(
             aggregate_python / aggregate_fast, all(r["identical"] for r in rows),
         ))
 
+    if overhead_inputs is not None:
+        graph, landmarks, insertions, name = overhead_inputs
+        rows.append(_profiler_overhead_row(
+            graph, landmarks, insertions, workers, name
+        ))
+
     text = format_table(
         ["dataset", "mode", "updates", "total_ms", "per_update_us",
-         "p50_us", "p95_us", "attach_ms", "speedup", "identical"],
+         "p50_us", "p95_us", "attach_ms", "speedup", "identical",
+         "overhead_pct"],
         rows,
         title=(f"IF — vectorized CSR update engine vs pure-Python IncHL+ "
                f"(Figure 4 replay, {prof.figure4_total} insertions/dataset)"),

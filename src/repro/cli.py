@@ -15,10 +15,21 @@ tool rather than an API (the benchmark harness has its own entry point,
   behind a WAL-backed router speaking the same protocol
   (:mod:`repro.cluster`);
 * ``top``     — live stats of a running server or cluster, refreshed
-  like ``top(1)`` (reads the ``stats`` op; works against both).
+  like ``top(1)`` (reads the ``stats`` op; works against both;
+  ``--watch N`` clears and redraws in place every N seconds);
+* ``dash``    — live terminal dashboard: metric sparklines from the
+  server's history recorder (falling back to client-side sampling) plus
+  active SLO alerts;
+* ``profile`` — inspect/control the sampling profiler of a running
+  server (``REPRO_PROFILE=1``): per-phase attribution table and
+  flamegraph-compatible folded stacks.
 
 Both serving commands take ``--metrics-port`` to additionally expose the
-Prometheus text metrics of :mod:`repro.obs` over HTTP.
+Prometheus text metrics of :mod:`repro.obs` over HTTP, ``--history`` to
+record metrics history to an NDJSON file (the ``history`` op / ``dash``
+source), and ``--slo`` to enable multi-window burn-rate alerting
+(``default`` for the built-in rules, or a JSON rules file — see
+:mod:`repro.obs.slo` for the format).
 
 Both serving commands shut down gracefully on SIGTERM/SIGINT: in-flight
 requests drain, the WAL closes cleanly, replicas exit 0.
@@ -44,7 +55,7 @@ import sys
 
 from repro.exceptions import ReproError
 
-__all__ = ["main", "format_top"]
+__all__ = ["main", "format_top", "format_dash", "sparkline"]
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -115,6 +126,15 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=int, default=None, metavar="P",
                        help="also serve Prometheus text metrics over HTTP "
                             "on this port (0 = ephemeral)")
+    serve.add_argument("--history", default=None, metavar="PATH",
+                       help="record metrics history to this NDJSON file "
+                            "(enables the history op / `repro dash`)")
+    serve.add_argument("--history-interval", type=float, default=5.0,
+                       metavar="S", help="seconds between history samples "
+                                         "(default 5)")
+    serve.add_argument("--slo", default=None, metavar="RULES",
+                       help="enable burn-rate alerting: 'default' for the "
+                            "built-in rules, or a JSON rules file")
 
     cluster = sub.add_parser(
         "serve-cluster",
@@ -152,6 +172,15 @@ def _parser() -> argparse.ArgumentParser:
     cluster.add_argument("--metrics-port", type=int, default=None, metavar="P",
                          help="also serve router Prometheus text metrics over "
                               "HTTP on this port (0 = ephemeral)")
+    cluster.add_argument("--history", default=None, metavar="PATH",
+                         help="record router metrics history to this NDJSON "
+                              "file (enables the history op / `repro dash`)")
+    cluster.add_argument("--history-interval", type=float, default=5.0,
+                         metavar="S", help="seconds between history samples "
+                                           "(default 5)")
+    cluster.add_argument("--slo", default=None, metavar="RULES",
+                         help="enable burn-rate alerting: 'default' for the "
+                              "built-in router rules, or a JSON rules file")
 
     top = sub.add_parser(
         "top",
@@ -165,6 +194,41 @@ def _parser() -> argparse.ArgumentParser:
                      help="stop after N refreshes (default: until Ctrl-C)")
     top.add_argument("--once", action="store_true",
                      help="print one snapshot and exit (same as --count 1)")
+    top.add_argument("--watch", type=float, default=None, metavar="S",
+                     help="clear the screen and redraw in place every S "
+                          "seconds (instead of appending frames)")
+
+    dash = sub.add_parser(
+        "dash",
+        help="live dashboard: metric sparklines + SLO alerts of a running "
+             "server or cluster",
+    )
+    dash.add_argument("--host", default="127.0.0.1", help="server address")
+    dash.add_argument("--port", type=int, default=8355, help="server port")
+    dash.add_argument("--interval", type=float, default=2.0, metavar="S",
+                      help="seconds between refreshes (default 2)")
+    dash.add_argument("--count", type=int, default=None, metavar="N",
+                      help="stop after N refreshes (default: until Ctrl-C)")
+    dash.add_argument("--once", action="store_true",
+                      help="print one frame and exit (same as --count 1)")
+    dash.add_argument("--points", type=int, default=120, metavar="N",
+                      help="history points to chart (default 120)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="sampling profiler of a running server: phase attribution + "
+             "folded stacks (server must run with REPRO_PROFILE=1)",
+    )
+    profile.add_argument("--host", default="127.0.0.1", help="server address")
+    profile.add_argument("--port", type=int, default=8355, help="server port")
+    profile.add_argument("--action", default="dump",
+                         choices=("dump", "start", "stop", "reset"),
+                         help="profiler action (default: dump)")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="write flamegraph-compatible folded stacks to "
+                              "PATH ('-' for stdout)")
+    profile.add_argument("--top", type=int, default=5, metavar="N",
+                         help="hottest stacks to print inline (default 5)")
     return parser
 
 
@@ -257,6 +321,18 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _resolve_slos(spec: str | None, role: str):
+    """``--slo`` value -> rule list: ``None`` stays off, ``default`` is
+    the built-in set for the role, anything else is a JSON rules file."""
+    if spec is None:
+        return None
+    from repro.obs.slo import default_slos, load_slos
+
+    if spec == "default":
+        return default_slos(role)
+    return load_slos(spec)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -269,6 +345,9 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         max_batch=args.max_batch,
         metrics_port=args.metrics_port,
+        history_path=args.history,
+        history_interval=args.history_interval,
+        slos=_resolve_slos(args.slo, "server"),
     )
     oracle = server.service.oracle
     print(f"loaded |V|={oracle.graph.num_vertices:,} "
@@ -279,8 +358,8 @@ def _cmd_serve(args) -> int:
         host, port = srv.address
         print(f"serving on {host}:{port} "
               f"(newline-delimited JSON; ops: query, query_many, path, "
-              f"update, updates, stats, metrics, spans, snapshot, ping; "
-              f"SIGTERM/SIGINT drain and stop)")
+              f"update, updates, stats, metrics, spans, profile, history, "
+              f"alerts, snapshot, ping; SIGTERM/SIGINT drain and stop)")
         if srv.metrics_address is not None:
             mhost, mport = srv.metrics_address
             print(f"metrics on http://{mhost}:{mport}/ (Prometheus text)")
@@ -303,6 +382,13 @@ def _cmd_serve_cluster(args) -> int:
     router_kwargs = {}
     if args.metrics_port is not None:
         router_kwargs["metrics_port"] = args.metrics_port
+    if args.history is not None:
+        router_kwargs["history_path"] = args.history
+        router_kwargs["history_interval"] = args.history_interval
+    slos = _resolve_slos(args.slo, "router")
+    if slos is not None:
+        router_kwargs["slos"] = slos
+        router_kwargs.setdefault("history_interval", args.history_interval)
     supervisor = ClusterSupervisor(
         args.oracle,
         cluster_dir=cluster_dir,
@@ -375,11 +461,13 @@ def format_top(stats: dict) -> str:
     lines: list[str] = []
     if stats.get("role") == "router":
         wal = stats.get("wal", {})
+        growth = wal.get("wal_growth_bytes_per_s")
         lines.append(
             f"cluster   log head={stats['log_head']:,} "
             f"base={stats['log_base']:,} "
             f"wal={wal.get('segments', 0)} segs/{wal.get('bytes', 0):,}B "
             f"fsync={stats.get('fsync')}"
+            + (f" growth={growth:,.0f}B/s" if growth is not None else "")
         )
         lines.append(
             f"router    reads={stats.get('reads_routed', 0):,} "
@@ -457,12 +545,18 @@ def format_top(stats: dict) -> str:
     return "\n".join(lines)
 
 
+#: ANSI clear-screen + cursor-home, the ``--watch`` redraw prefix.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
 def _cmd_top(args) -> int:
     import time
 
     from repro.serving.client import ServingClient
 
     count = 1 if args.once else args.count
+    watch = getattr(args, "watch", None)
+    interval = watch if watch is not None else args.interval
     shown = 0
     while True:
         try:
@@ -472,6 +566,10 @@ def _cmd_top(args) -> int:
             raise ReproError(
                 f"cannot reach {args.host}:{args.port}: {exc}"
             ) from exc
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        if watch is not None:
+            print(_CLEAR, end="")
         print(f"--- {args.host}:{args.port} "
               f"at {time.strftime('%H:%M:%S')} ---")
         print(format_top(stats))
@@ -479,9 +577,227 @@ def _cmd_top(args) -> int:
         if count is not None and shown >= count:
             return 0
         try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+#: Dashboard row order; history keys not listed here chart after these,
+#: alphabetically.
+_DASH_PREFERRED = (
+    "qps",
+    "query_p50_ms",
+    "query_p99_ms",
+    "error_rate",
+    "pending",
+    "max_lag",
+    "healthy_replicas",
+    "wal_bytes",
+    "wal_growth_bytes_per_s",
+    "rss_kb",
+)
+
+
+def sparkline(values, width: int = 48) -> str:
+    """Unicode sparkline of the last ``width`` values (min-max scaled;
+    non-numeric/missing samples render as spaces) — pure and testable.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    tail = list(values)[-width:]
+    numeric = [
+        v
+        for v in tail
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    if not numeric:
+        return " " * len(tail)
+    lo, hi = min(numeric), max(numeric)
+    span = hi - lo
+    chars = []
+    for v in tail:
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_CHARS[0])
+        else:
+            index = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    return f"{value:,}"
+
+
+def format_dash(points: list[dict], alerts: dict | None = None,
+                width: int = 48) -> str:
+    """Render one ``repro dash`` frame from history points and an
+    ``alerts`` response — pure (testable) string building."""
+    lines: list[str] = []
+    if not points:
+        lines.append("history   (no points yet)")
+    else:
+        span_s = points[-1].get("ts", 0) - points[0].get("ts", 0)
+        lines.append(f"history   n={len(points)} span={span_s:,.0f}s")
+        keys = [k for k in _DASH_PREFERRED if any(k in p for p in points)]
+        keys += sorted(
+            {
+                k
+                for p in points
+                for k, v in p.items()
+                if k != "ts"
+                and k not in keys
+                and isinstance(v, (int, float))
+                and not isinstance(v, bool)
+            }
+        )
+        for key in keys:
+            series = [p.get(key) for p in points]
+            last = next((v for v in reversed(series) if v is not None), None)
+            lines.append(
+                f"{key:<24}{sparkline(series, width)}"
+                + (f"  {_fmt_value(last)}" if last is not None else "")
+            )
+    evaluations = (alerts or {}).get("evaluations") or []
+    for ev in evaluations:
+        status = "FIRING" if ev.get("firing") else "ok    "
+        lines.append(
+            f"slo {status} {ev.get('slo', '?'):<16}"
+            f"burn={ev.get('burn', 0):,.2f} "
+            f"({ev.get('metric')} {ev.get('direction')} "
+            f"{_fmt_value(ev.get('objective'))})"
+        )
+    if alerts is not None and not evaluations:
+        slos = alerts.get("slos") or []
+        lines.append(
+            f"slo       {len(slos)} rule(s), no evaluations yet"
+            if slos
+            else "slo       (none configured)"
+        )
+    return "\n".join(lines)
+
+
+def _dash_sample(stats: dict) -> dict:
+    """Client-side fallback sample, synthesized from the ``stats`` op for
+    servers running without a history recorder."""
+    import time
+
+    point: dict = {"ts": round(time.time(), 3)}
+    if stats.get("role") == "router":
+        queries = (stats.get("router") or {}).get("queries") or {}
+        wal = stats.get("wal") or {}
+        replicas = (stats.get("replicas") or {}).values()
+        lags = [e.get("lag") for e in replicas if e.get("lag") is not None]
+        point.update(
+            qps=queries.get("qps"),
+            query_p99_ms=queries.get("p99_ms"),
+            max_lag=max(lags, default=0),
+            healthy_replicas=sum(1 for e in replicas if e.get("healthy")),
+            wal_bytes=wal.get("bytes"),
+            wal_growth_bytes_per_s=wal.get("wal_growth_bytes_per_s"),
+        )
+    else:
+        queries = stats.get("queries") or {}
+        point.update(
+            qps=queries.get("qps"),
+            query_p50_ms=queries.get("p50_ms"),
+            query_p99_ms=queries.get("p99_ms"),
+            pending=stats.get("pending"),
+            events_applied=stats.get("events_applied"),
+        )
+    return point
+
+
+def _cmd_dash(args) -> int:
+    import time
+
+    from repro.serving.client import ServingClient
+
+    count = 1 if args.once else args.count
+    #: Fallback buffer when the server records no history of its own.
+    local: list[dict] = []
+    shown = 0
+    while True:
+        try:
+            with ServingClient(args.host, args.port) as client:
+                alerts = None
+                try:
+                    response = client.history(limit=args.points)
+                    alerts = client.alerts()
+                except ReproError:
+                    # Pre-§13 server: no history/alerts ops at all.
+                    response = {"points": [], "recording": False}
+                points = response.get("points") or []
+                if not response.get("recording"):
+                    local.append(_dash_sample(client.stats()))
+                    del local[: -args.points]
+                    points = list(local)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot reach {args.host}:{args.port}: {exc}"
+            ) from exc
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        frame = format_dash(points, alerts)
+        if count != 1:
+            print(_CLEAR, end="")
+        print(f"--- {args.host}:{args.port} "
+              f"at {time.strftime('%H:%M:%S')} ---")
+        print(frame)
+        shown += 1
+        if count is not None and shown >= count:
+            return 0
+        try:
             time.sleep(args.interval)
         except KeyboardInterrupt:  # pragma: no cover - interactive
             return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.serving.client import ServingClient
+
+    want_folded = args.action in ("dump", "stop")
+    try:
+        with ServingClient(args.host, args.port) as client:
+            response = client.profile(action=args.action, folded=want_folded)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot reach {args.host}:{args.port}: {exc}"
+        ) from exc
+    prof = response["profile"]
+    print(f"profiler  running={prof.get('running')} "
+          f"enabled={prof.get('enabled')} "
+          f"interval={prof.get('interval_ms')}ms "
+          f"samples={prof.get('samples', 0):,} "
+          f"distinct={prof.get('distinct_stacks', 0):,} "
+          f"elapsed={prof.get('elapsed_s', 0):,.1f}s")
+    phases = prof.get("phases") or {}
+    for phase, entry in sorted(
+        phases.items(), key=lambda kv: -kv[1]["samples"]
+    ):
+        print(f"  {phase:<10}{entry['samples']:>8,}  {entry['pct']:5.1f}%")
+    folded = response.get("folded")
+    if not folded:
+        if want_folded and not prof.get("samples"):
+            print("no samples; start the server with REPRO_PROFILE=1 "
+                  "(or send action=start) and apply some load")
+        return 0
+    if args.folded == "-":
+        print(folded, end="")
+    elif args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(folded)
+        print(f"folded stacks -> {args.folded}")
+    elif args.top > 0:
+        print(f"hottest {args.top} stack(s):")
+        for line in folded.splitlines()[: args.top]:
+            print(f"  {line}")
+    return 0
 
 
 _COMMANDS = {
@@ -494,6 +810,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "serve-cluster": _cmd_serve_cluster,
     "top": _cmd_top,
+    "dash": _cmd_dash,
+    "profile": _cmd_profile,
 }
 
 

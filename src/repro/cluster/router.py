@@ -35,6 +35,7 @@ from time import perf_counter
 from repro.cluster.wal import UpdateLog
 from repro.exceptions import ClusterError
 from repro.obs.exporter import CONTENT_TYPE
+from repro.obs.timeseries import peak_rss_kb
 from repro.obs.trace import get_recorder, span
 from repro.serving.metrics import ServiceMetrics, merge_summaries
 from repro.serving.server import LineServer, decode_line
@@ -110,8 +111,20 @@ class ClusterRouter(LineServer):
         shards: int = 1,
         metrics: ServiceMetrics | None = None,
         metrics_port: int | None = None,
+        history_path: str | None = None,
+        history_interval: float = 5.0,
+        history_max_points: int = 2048,
+        slos=None,
     ) -> None:
-        super().__init__(host, port, metrics_port=metrics_port)
+        super().__init__(
+            host,
+            port,
+            metrics_port=metrics_port,
+            history_path=history_path,
+            history_interval=history_interval,
+            history_max_points=history_max_points,
+            slos=slos,
+        )
         self._log = log
         self._links: dict[str, _ReplicaLink] = {}
         self._fanout_batch = fanout_batch
@@ -147,6 +160,9 @@ class ClusterRouter(LineServer):
             "stats": self._op_stats,
             "metrics": self._op_metrics,
             "spans": self._op_spans,
+            "profile": self._op_profile,
+            "history": self._op_history,
+            "alerts": self._op_alerts,
             "snapshot": self._op_snapshot,
             "ping": self._op_ping,
         }
@@ -185,6 +201,11 @@ class ClusterRouter(LineServer):
         )
         segments = reg.gauge("repro_wal_segments", "Live WAL segment files.")
         wal_bytes = reg.gauge("repro_wal_bytes", "Bytes across live WAL segments.")
+        wal_growth = reg.gauge(
+            "repro_wal_growth_bytes_per_s",
+            "WAL growth rate between the last two stats reads (bytes/s; "
+            "negative after compaction).",
+        )
         reads = reg.counter("repro_reads_routed_total", "Reads routed to replicas.")
         writes = reg.counter("repro_writes_appended_total", "Events appended to the WAL.")
         batches = reg.counter("repro_fanout_batches_total", "Apply batches pumped to replicas.")
@@ -220,6 +241,8 @@ class ClusterRouter(LineServer):
             log_base.set(wal["base"])
             segments.set(wal["segments"])
             wal_bytes.set(wal["bytes"])
+            if wal["wal_growth_bytes_per_s"] is not None:
+                wal_growth.set(wal["wal_growth_bytes_per_s"])
             reads.set(self._reads_routed)
             writes.set(self._writes_appended)
             batches.set(self._fanout_batches)
@@ -412,6 +435,43 @@ class ClusterRouter(LineServer):
                 trace=request.get("of"),
                 limit=int(limit) if limit is not None else 256,
             ),
+        }
+
+    async def _op_profile(self, request: dict, line: bytes) -> dict:
+        return self._profile_response(request)
+
+    async def _op_history(self, request: dict, line: bytes) -> dict:
+        return self._history_response(request)
+
+    async def _op_alerts(self, request: dict, line: bytes) -> dict:
+        return self._alerts_response(request)
+
+    def _sample_metrics(self) -> dict:
+        """One router metrics-history point: routed-read latency/qps,
+        replica freshness, and WAL footprint/growth — the inputs to the
+        router's default SLOs and the ``repro dash`` cluster view."""
+        queries = self.metrics.queries.summary()
+        wal = self._log.stats()
+        head = self._log.head
+        lags = [
+            max(0, head - link.acked_seq)
+            for link in self._links.values()
+            if link.acked_seq >= 0
+        ]
+        return {
+            "qps": queries["qps"],
+            "query_p99_ms": queries["p99_ms"],
+            "max_lag": max(lags, default=0),
+            "healthy_replicas": sum(
+                1 for link in self._links.values() if link.healthy
+            ),
+            "replicas": len(self._links),
+            "log_head": head,
+            "wal_bytes": wal["bytes"],
+            "wal_growth_bytes_per_s": wal["wal_growth_bytes_per_s"],
+            "reads_routed": self._reads_routed,
+            "writes_appended": self._writes_appended,
+            "rss_kb": peak_rss_kb(),
         }
 
     # -- writes ---------------------------------------------------------

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from time import monotonic
 from typing import Iterable, NamedTuple
 
 from repro.exceptions import ClusterError
@@ -173,6 +174,11 @@ class UpdateLog:
         #: cover ``base + 1 .. head``.
         self._base = base_seq
         self._records: list[LogRecord] = []
+        #: ``(monotonic_ts, bytes)`` of the previous :meth:`stats` size
+        #: reading, plus the last derived growth rate — so WAL bloat is a
+        #: rate, not just a segment count.
+        self._size_sample: tuple[float, int] | None = None
+        self._growth_bytes_per_s: float | None = None
         if self._dir is not None:
             self._dir.mkdir(parents=True, exist_ok=True)
             _repair_torn_tail(self._dir)
@@ -216,7 +222,15 @@ class UpdateLog:
     def stats(self) -> dict:
         """On-disk footprint and position summary for telemetry: ``head``
         and ``base`` seqs plus the number of segment files and their total
-        bytes (both 0 for an in-memory log)."""
+        bytes (both 0 for an in-memory log).
+
+        ``wal_growth_bytes_per_s`` is derived from two successive reads
+        (the byte delta over the elapsed monotonic time): ``None`` on the
+        first call, a rate thereafter — negative after a compaction
+        shrinks the log.  Back-to-back calls (under ~50 ms apart) reuse
+        the previous rate rather than derive one from a degenerate
+        interval.
+        """
         segments = 0
         total_bytes = 0
         if self._dir is not None:
@@ -226,11 +240,23 @@ class UpdateLog:
                 except OSError:
                     continue  # racing a compaction's unlink
                 segments += 1
+        now = monotonic()
+        if self._size_sample is None:
+            self._size_sample = (now, total_bytes)
+        else:
+            prev_ts, prev_bytes = self._size_sample
+            elapsed = now - prev_ts
+            if elapsed >= 0.05:
+                self._growth_bytes_per_s = round(
+                    (total_bytes - prev_bytes) / elapsed, 3
+                )
+                self._size_sample = (now, total_bytes)
         return {
             "head": self.head,
             "base": self.base,
             "segments": segments,
             "bytes": total_bytes,
+            "wal_growth_bytes_per_s": self._growth_bytes_per_s,
         }
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
-"""`repro.obs` — the unified observability layer (docs/DESIGN.md §11).
+"""`repro.obs` — the unified observability layer (docs/DESIGN.md §11, §13).
 
-Four small pieces, shared by every serving/cluster process:
+The point-in-time half (PR 6), shared by every serving/cluster process:
 
 * :mod:`repro.obs.registry` — counters, gauges, and **mergeable**
   fixed-bucket histograms with Prometheus text exposition (the exact
@@ -11,6 +11,15 @@ Four small pieces, shared by every serving/cluster process:
   ``trace`` field, recorded to a ring + optional NDJSON span log;
 * :mod:`repro.obs.exporter` — the ``--metrics-port`` HTTP scrape
   endpoint.
+
+And the continuous half (docs/DESIGN.md §13):
+
+* :mod:`repro.obs.profile` — opt-in sampling wall-clock profiler
+  (``REPRO_PROFILE=1``): folded stacks + per-engine-phase attribution;
+* :mod:`repro.obs.timeseries` — bounded NDJSON metrics history with
+  downsampling (the ``history`` op / ``repro dash`` trajectory source);
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting (``alerts`` op, ``repro_slo_burn``/``repro_slo_breach``).
 """
 
 from repro.obs.log import (
@@ -39,6 +48,18 @@ from repro.obs.trace import (
     span,
 )
 from repro.obs.exporter import CONTENT_TYPE, MetricsExporter
+from repro.obs.profile import (
+    PHASE_MARKERS,
+    SamplingProfiler,
+    attribute_folded,
+    dump_if_enabled,
+    get_profiler,
+    profile_enabled,
+    reset_profiler,
+    start_if_enabled,
+)
+from repro.obs.slo import SLO, SLOEvaluator, default_slos, load_slos, parse_slos
+from repro.obs.timeseries import TimeSeriesRecorder, peak_rss_kb, read_series
 
 __all__ = [
     "LATENCY_BOUNDS",
@@ -62,4 +83,20 @@ __all__ = [
     "obs_enabled",
     "MetricsExporter",
     "CONTENT_TYPE",
+    "PHASE_MARKERS",
+    "SamplingProfiler",
+    "attribute_folded",
+    "profile_enabled",
+    "get_profiler",
+    "reset_profiler",
+    "start_if_enabled",
+    "dump_if_enabled",
+    "TimeSeriesRecorder",
+    "read_series",
+    "peak_rss_kb",
+    "SLO",
+    "SLOEvaluator",
+    "parse_slos",
+    "load_slos",
+    "default_slos",
 ]

@@ -163,6 +163,22 @@ class ServingClient:
             payload["of"] = of
         return self._checked(payload)["spans"]
 
+    def history(self, limit: int = 120) -> dict:
+        """The server's metrics-history points (``repro dash`` source);
+        ``points`` is empty when the server records no history."""
+        return self._checked({"op": "history", "limit": limit})
+
+    def alerts(self) -> dict:
+        """SLO state: ``alerts`` (firing), ``evaluations``, ``slos``."""
+        return self._checked({"op": "alerts"})
+
+    def profile(self, action: str = "dump", folded: bool = True) -> dict:
+        """Control/dump the server's sampling profiler (``action``:
+        ``dump``/``start``/``stop``/``reset``)."""
+        return self._checked(
+            {"op": "profile", "action": action, "folded": folded}
+        )
+
     def snapshot(self) -> dict:
         """Force-publish a snapshot (single node) / drain every replica to
         the log head (cluster); returns epoch info."""

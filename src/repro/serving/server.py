@@ -10,6 +10,9 @@ One request per line, one JSON object per response line.  Ops::
     {"op": "stats"}
     {"op": "metrics"}
     {"op": "spans", "of": "<trace-id>", "limit": 100}
+    {"op": "profile", "action": "dump", "folded": true}
+    {"op": "history", "limit": 120}
+    {"op": "alerts"}
     {"op": "snapshot"}
     {"op": "ping"}
 
@@ -18,7 +21,11 @@ records a span around its dispatch (and the cluster router propagates
 the id to the replica, since read lines are forwarded verbatim); see
 :mod:`repro.obs.trace`.  ``metrics`` returns the Prometheus text
 exposition (also served over HTTP with ``--metrics-port``), ``spans``
-the recent span ring.
+the recent span ring.  The continuous-observability ops
+(docs/DESIGN.md §13): ``profile`` controls/dumps the sampling profiler
+(:mod:`repro.obs.profile`), ``history`` returns the recorded metrics
+trajectory (:mod:`repro.obs.timeseries`) and ``alerts`` the SLO
+burn-rate state (:mod:`repro.obs.slo`).
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
 Unreachable distances serialise as ``null`` (JSON has no infinity).
@@ -54,7 +61,10 @@ from repro.exceptions import ReproError, ServingError
 from repro.graph.traversal import INF
 from repro.obs.exporter import CONTENT_TYPE, MetricsExporter
 from repro.obs.log import get_logger, slow_threshold_ms
+from repro.obs.profile import dump_if_enabled, get_profiler, start_if_enabled
 from repro.obs.registry import COUNT_BOUNDS, MetricsRegistry
+from repro.obs.slo import SLOEvaluator
+from repro.obs.timeseries import TimeSeriesRecorder, peak_rss_kb
 from repro.obs.trace import get_recorder, obs_enabled, span
 from repro.serving.service import OracleService
 from repro.workloads.streams import UpdateEvent
@@ -209,6 +219,10 @@ class LineServer:
         *,
         drain_timeout: float = _DRAIN_TIMEOUT,
         metrics_port: int | None = None,
+        history_path: str | None = None,
+        history_interval: float = 5.0,
+        history_max_points: int = 2048,
+        slos=None,
     ) -> None:
         self._host = host
         self._port = port
@@ -232,6 +246,17 @@ class LineServer:
         )
         self._op_counters: dict = {}
         self._logger = get_logger(self.obs_component)
+        #: Continuous observability (docs/DESIGN.md §13): the metrics
+        #: history recorder feeds both the ``history`` op and the SLO
+        #: evaluator.  With SLOs but no history path the recorder runs
+        #: memory-only — burn rates still need a trajectory.
+        self._history_path = history_path
+        self._history_interval = history_interval
+        self._history_max_points = history_max_points
+        self._history: TimeSeriesRecorder | None = None
+        self._slo_eval: SLOEvaluator | None = (
+            SLOEvaluator(slos, registry=self._registry) if slos else None
+        )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -249,10 +274,11 @@ class LineServer:
         return self._registry
 
     @property
-    def metrics_address(self) -> tuple[str, int]:
-        """``(host, port)`` of the HTTP metrics endpoint."""
+    def metrics_address(self) -> tuple[str, int] | None:
+        """``(host, port)`` of the HTTP metrics endpoint, or ``None`` when
+        no ``metrics_port`` was configured."""
         if self._exporter is None:
-            raise ServingError("metrics exporter is not running")
+            return None
         return self._exporter.address
 
     def _observe_request(
@@ -271,6 +297,71 @@ class LineServer:
                 dur_ms=round(elapsed_ms, 3),
                 trace=trace,
             )
+
+    # ------------------------------------------------------------------
+    # Continuous observability (shared by OracleServer and the router)
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> TimeSeriesRecorder | None:
+        """The metrics-history recorder (``None`` unless enabled)."""
+        return self._history
+
+    @property
+    def slo_evaluator(self) -> SLOEvaluator | None:
+        return self._slo_eval
+
+    def _sample_metrics(self) -> dict:
+        """One metrics-history point (subclass hook; keys feed the
+        ``history`` op, ``repro dash`` sparklines and SLO metrics)."""
+        return {"rss_kb": peak_rss_kb()}
+
+    def _profile_response(self, request: dict) -> dict:
+        """The ``profile`` op: control/dump the process-wide sampling
+        profiler.  ``action``: ``dump`` (default; stats + folded
+        stacks), ``start``, ``stop``, ``reset``.  ``folded: false``
+        omits the stack text (stats only)."""
+        action = str(request.get("action", "dump"))
+        profiler = get_profiler()
+        if action == "start":
+            profiler.start()
+        elif action == "stop":
+            profiler.stop()
+        elif action == "reset":
+            profiler.reset()
+        elif action != "dump":
+            return {"ok": False, "error": f"unknown profile action {action!r}"}
+        response = {"ok": True, "profile": profiler.stats()}
+        if request.get("folded", True):
+            response["folded"] = profiler.folded()
+        return response
+
+    def _history_response(self, request: dict) -> dict:
+        """The ``history`` op: the last ``limit`` metrics-history points
+        (empty when no recorder is running)."""
+        limit = request.get("limit")
+        limit = int(limit) if limit is not None else 120
+        recorder = self._history
+        points = recorder.points(limit=limit) if recorder is not None else []
+        return {
+            "ok": True,
+            "points": points,
+            "recording": recorder is not None,
+            "interval_s": recorder.interval_s if recorder is not None else None,
+            "path": recorder.path if recorder is not None else None,
+        }
+
+    def _alerts_response(self, request: dict) -> dict:
+        """The ``alerts`` op: SLO definitions, active alerts and the last
+        burn-rate evaluations (empty without configured SLOs)."""
+        evaluator = self._slo_eval
+        if evaluator is None:
+            return {"ok": True, "alerts": [], "evaluations": [], "slos": []}
+        return {
+            "ok": True,
+            "alerts": evaluator.active_alerts(),
+            "evaluations": evaluator.last_evaluations(),
+            "slos": [slo.to_dict() for slo in evaluator.slos],
+        }
 
     # ------------------------------------------------------------------
     # Hooks
@@ -305,6 +396,24 @@ class LineServer:
                 self._registry, self._host, self._metrics_port
             )
             await self._exporter.start()
+        # Continuous observability: the history recorder runs whenever a
+        # path was given or SLOs need a trajectory; the sampling profiler
+        # only under REPRO_PROFILE=1 (and it is process-wide — several
+        # servers in one test process share it harmlessly).
+        if self._history_path is not None or self._slo_eval is not None:
+            self._history = TimeSeriesRecorder(
+                self._history_path,
+                self._sample_metrics,
+                interval_s=self._history_interval,
+                max_points=self._history_max_points,
+                on_point=(
+                    self._slo_eval.evaluate
+                    if self._slo_eval is not None
+                    else None
+                ),
+            )
+            self._history.start()
+        start_if_enabled()
         return self
 
     async def serve_forever(self) -> None:
@@ -363,6 +472,10 @@ class LineServer:
         """Graceful stop: close the listener, drain in-flight requests
         (up to ``drain_timeout``), then run the stop hook."""
         self._stopping = True
+        if self._history is not None:
+            self._history.stop()
+            self._history = None
+        dump_if_enabled()
         if self._exporter is not None:
             await self._exporter.stop()
             self._exporter = None
@@ -471,9 +584,24 @@ class OracleServer(LineServer):
         port: int = 8355,
         *,
         metrics_port: int | None = None,
+        history_path: str | None = None,
+        history_interval: float = 5.0,
+        history_max_points: int = 2048,
+        slos=None,
     ) -> None:
-        super().__init__(host, port, metrics_port=metrics_port)
+        super().__init__(
+            host,
+            port,
+            metrics_port=metrics_port,
+            history_path=history_path,
+            history_interval=history_interval,
+            history_max_points=history_max_points,
+            slos=slos,
+        )
         self._service = service
+        #: Counter values at the previous metrics-history sample, so
+        #: ``error_rate`` reflects the last interval, not process lifetime.
+        self._prev_counters: dict | None = None
         #: Ops answered by an async handler (they wait off the event loop);
         #: everything else goes through the synchronous ``_dispatch``.
         self._async_ops = {"snapshot": self._op_snapshot}
@@ -543,6 +671,10 @@ class OracleServer(LineServer):
         workers: int | None = None,
         max_batch: int = 128,
         metrics_port: int | None = None,
+        history_path: str | None = None,
+        history_interval: float = 5.0,
+        history_max_points: int = 2048,
+        slos=None,
     ) -> "OracleServer":
         """Warm-start: load a ``save_oracle`` file and wrap it in a service."""
         from repro.utils.serialization import load_oracle
@@ -550,11 +682,40 @@ class OracleServer(LineServer):
         oracle = load_oracle(path)
         oracle.workers = workers
         service = OracleService(oracle, workers=workers, max_batch=max_batch)
-        return cls(service, host=host, port=port, metrics_port=metrics_port)
+        return cls(
+            service,
+            host=host,
+            port=port,
+            metrics_port=metrics_port,
+            history_path=history_path,
+            history_interval=history_interval,
+            history_max_points=history_max_points,
+            slos=slos,
+        )
 
     @property
     def service(self) -> OracleService:
         return self._service
+
+    def _sample_metrics(self) -> dict:
+        service = self._service
+        queries = service.metrics.queries.summary()
+        counters = service.metrics.counters()
+        prev = self._prev_counters or {}
+        applied = counters["events_applied"] - prev.get("events_applied", 0)
+        rejected = counters["events_rejected"] - prev.get("events_rejected", 0)
+        self._prev_counters = counters
+        total = applied + rejected
+        return {
+            "qps": queries["qps"],
+            "query_p50_ms": queries["p50_ms"],
+            "query_p99_ms": queries["p99_ms"],
+            "pending": service.pending,
+            "epoch": service.snapshot.epoch,
+            "events_applied": counters["events_applied"],
+            "error_rate": round(rejected / total, 6) if total else 0.0,
+            "rss_kb": peak_rss_kb(),
+        }
 
     async def _on_start(self) -> None:
         self._service.start()
@@ -689,6 +850,12 @@ class OracleServer(LineServer):
                     limit=int(limit) if limit is not None else 256,
                 ),
             }
+        if op == "profile":
+            return self._profile_response(request)
+        if op == "history":
+            return self._history_response(request)
+        if op == "alerts":
+            return self._alerts_response(request)
         if op == "snapshot":
             # Blocking form (direct callers); connections take the async
             # handler path in _respond instead.

@@ -1,0 +1,191 @@
+"""The perf-regression gate: row matching, thresholds, skips, invariants."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import (
+    compare_bench,
+    compare_rows,
+    has_failures,
+    load_bench,
+    render_report,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run_gate(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "bench_compare.py"), *argv],
+        capture_output=True, text=True, env=env,
+    )
+
+
+def _row(**kw):
+    base = {
+        "experiment": "IF", "dataset": "d", "mode": "fast",
+        "updates": 100, "total_ms": 100.0, "per_update_us": 1000.0,
+        "speedup": 4.0, "identical": True,
+    }
+    base.update(kw)
+    return base
+
+
+def _statuses(findings, metric):
+    return [f["status"] for f in findings if f["metric"] == metric]
+
+
+class TestCompareRows:
+    def test_identical_rows_are_all_ok(self):
+        findings = compare_rows(("IF",), _row(), _row())
+        assert findings and all(f["status"] == "ok" for f in findings)
+
+    def test_lower_better_regression_past_threshold(self):
+        findings = compare_rows(
+            ("IF",), _row(), _row(total_ms=130.0), threshold=0.20
+        )
+        assert _statuses(findings, "total_ms") == ["regression"]
+        (finding,) = (f for f in findings if f["metric"] == "total_ms")
+        assert finding["delta_pct"] == 30.0
+
+    def test_higher_better_regression(self):
+        findings = compare_rows(("IF",), _row(), _row(speedup=3.0))
+        assert _statuses(findings, "speedup") == ["regression"]
+
+    def test_improvement_is_not_a_failure(self):
+        findings = compare_rows(("IF",), _row(), _row(total_ms=50.0))
+        assert _statuses(findings, "total_ms") == ["improved"]
+        assert not has_failures(findings)
+
+    def test_within_threshold_is_ok(self):
+        findings = compare_rows(
+            ("IF",), _row(), _row(total_ms=115.0), threshold=0.20
+        )
+        assert _statuses(findings, "total_ms") == ["ok"]
+
+    def test_scale_mismatch_skips_the_row(self):
+        findings = compare_rows(("IF",), _row(updates=100), _row(updates=40))
+        (finding,) = findings
+        assert finding["status"] == "skipped"
+        assert "scale mismatch" in finding["detail"]
+
+    def test_host_cpu_mismatch_skips_the_row(self):
+        findings = compare_rows(
+            ("C",), _row(host_cpus=8), _row(host_cpus=8) | {"host_cpus": 1},
+        )
+        (finding,) = findings
+        assert finding["status"] == "skipped"
+        assert finding["metric"] == "host_cpus"
+
+    def test_host_cpus_param_is_the_fresh_fallback(self):
+        findings = compare_rows(
+            ("C",), _row(host_cpus=8), _row(), host_cpus=1
+        )
+        assert [f["status"] for f in findings] == ["skipped"]
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        findings = compare_rows(
+            ("IF",), _row(total_ms=2.0), _row(total_ms=9.0)
+        )
+        (finding,) = (f for f in findings if f["metric"] == "total_ms")
+        assert finding["status"] == "skipped"
+        assert "noise floor" in finding["detail"]
+
+    def test_invariant_failure_beats_good_timings(self):
+        findings = compare_rows(
+            ("IF",), _row(), _row(total_ms=10.0, identical=False)
+        )
+        assert _statuses(findings, "identical") == ["invariant-failure"]
+        assert has_failures(findings)
+
+    def test_incorrect_counts_must_stay_zero(self):
+        findings = compare_rows(
+            ("C",), _row(incorrect=0), _row(incorrect=3)
+        )
+        assert _statuses(findings, "incorrect") == ["invariant-failure"]
+
+    def test_none_metrics_are_ignored(self):
+        findings = compare_rows(
+            ("IF",), _row(p99_us=None), _row(p99_us=12345.0)
+        )
+        assert _statuses(findings, "p99_us") == []
+
+
+class TestCompareBench:
+    def test_missing_and_new_rows_are_informational(self):
+        baseline = {"e": [_row(dataset="a"), _row(dataset="b")]}
+        fresh = {"e": [_row(dataset="a"), _row(dataset="c")]}
+        findings = compare_bench(baseline, fresh, host_cpus=1)
+        statuses = {f["status"] for f in findings}
+        assert "missing" in statuses and "new" in statuses
+        assert not has_failures(findings)
+
+    def test_load_bench_drops_metadata_keys(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "caveat": "1-cpu container",
+            "_profile": {"samples": 5},
+            "exp": [_row()],
+        }))
+        assert list(load_bench(path)) == ["exp"]
+
+    def test_render_report_collapses_ok(self):
+        findings = compare_bench({"e": [_row()]}, {"e": [_row()]}, host_cpus=1)
+        report = render_report(findings)
+        assert report.splitlines()[0].startswith("bench-compare:")
+        assert "[ok]" not in report
+        assert "[ok]" in render_report(findings, verbose=True)
+
+
+class TestCommittedBaselines:
+    """The gate must pass a baseline against itself, and the CLI must
+    exit nonzero on a synthetic 25% regression."""
+
+    BASELINES = sorted(REPO.glob("BENCH_*.json"))
+
+    def test_baselines_exist(self):
+        assert self.BASELINES, "no committed BENCH_*.json baselines"
+
+    @pytest.mark.parametrize(
+        "path", BASELINES, ids=lambda p: p.name
+    )
+    def test_baseline_self_compare_passes(self, path):
+        data = load_bench(path)
+        findings = compare_bench(data, data, host_cpus=1)
+        assert not has_failures(findings), render_report(findings)
+
+    def test_cli_fails_on_synthetic_regression(self, tmp_path):
+        baseline = REPO / "BENCH_incremental_fast.json"
+        data = json.loads(baseline.read_text())
+        degraded = 0
+        for rows in data.values():
+            if not isinstance(rows, list):
+                continue
+            for row in rows:
+                for metric in ("total_ms", "per_update_us"):
+                    value = row.get(metric)
+                    if isinstance(value, (int, float)) and value >= 10.0:
+                        row[metric] = value * 1.25
+                        degraded += 1
+        assert degraded, "baseline had no metrics to degrade"
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(data))
+
+        proc = _run_gate(str(baseline), str(fresh), "--host-cpus", "1")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAIL: performance gate" in proc.stderr
+        assert "[regression]" in proc.stdout
+
+    def test_cli_passes_on_self_compare(self, tmp_path):
+        baseline = REPO / "BENCH_incremental_fast.json"
+        proc = _run_gate(str(baseline), str(baseline), "--host-cpus", "1")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK: no regressions past the threshold" in proc.stdout

@@ -1,0 +1,47 @@
+"""The live perf gate: a fresh smoke bench diffed against the committed
+baselines, with every finding surfaced in the pytest terminal summary
+(the ``bench vs committed baselines`` section).
+
+Marked ``perf`` so CI can select or deselect the gate explicitly
+(``-m perf`` / ``-m "not perf"``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.compare import compare_bench, has_failures, load_bench, render_report
+from repro.bench.experiments import incremental_fast
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "BENCH_incremental_fast.json"
+
+
+@pytest.mark.perf
+def test_fresh_smoke_run_passes_the_gate(bench_delta_record):
+    """A fresh smoke-profile run must never *fail* the gate against the
+    committed full-profile baseline: timing rows are scale-mismatched
+    (reported as skipped, by design), and the correctness invariants
+    (``identical``) must hold in the fresh rows."""
+    result = incremental_fast.run(profile="smoke", datasets=["flickr-s"])
+    fresh = {result.name: result.rows}
+    baseline = load_bench(BASELINE)
+    findings = compare_bench(baseline, fresh, host_cpus=1)
+    bench_delta_record(findings)  # rendered in the terminal summary
+
+    assert findings
+    assert not has_failures(findings), render_report(findings, verbose=True)
+    # The fresh rows themselves kept the oracle exact.
+    assert all(row.get("identical") in (True, None) for row in result.rows)
+
+
+@pytest.mark.perf
+def test_committed_baseline_is_self_consistent(bench_delta_record):
+    """The committed baseline must pass the gate against itself — guards
+    against hand-edits that break the gate's row matching."""
+    baseline = load_bench(BASELINE)
+    findings = compare_bench(baseline, baseline, host_cpus=1)
+    bench_delta_record(findings)
+    assert not has_failures(findings), render_report(findings, verbose=True)

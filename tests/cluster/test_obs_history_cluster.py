@@ -1,0 +1,128 @@
+"""Router-side continuous observability: WAL growth rate in
+``UpdateLog.stats()`` and its gauge, plus the ``history``/``alerts``/
+``profile`` ops served by the router."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterRouter, UpdateLog
+from repro.obs.slo import SLO
+from repro.serving.client import ServingClient
+
+from tests.cluster.conftest import make_replica
+
+
+class TestWalGrowthRate:
+    def test_first_read_has_no_rate(self):
+        log = UpdateLog()
+        assert log.stats()["wal_growth_bytes_per_s"] is None
+
+    def test_rate_reflects_appended_bytes(self, tmp_path):
+        log = UpdateLog(tmp_path / "wal")
+        log.stats()  # arm the size sample
+        log.append("insert", 0, 1)
+        time.sleep(0.06)  # past the minimum sampling interval
+        rate = log.stats()["wal_growth_bytes_per_s"]
+        assert rate is not None and rate > 0
+
+    def test_back_to_back_reads_keep_the_last_rate(self, tmp_path):
+        log = UpdateLog(tmp_path / "wal")
+        log.stats()
+        log.append("insert", 0, 1)
+        time.sleep(0.06)
+        first = log.stats()["wal_growth_bytes_per_s"]
+        # A read inside the minimum interval reuses the last measurement
+        # instead of dividing by a near-zero elapsed time.
+        second = log.stats()["wal_growth_bytes_per_s"]
+        assert second == first
+
+    def test_compaction_yields_negative_growth(self, tmp_path):
+        log = UpdateLog(tmp_path / "wal", segment_records=4)
+        for i in range(40):
+            log.append("insert", i, i + 1)
+        log.stats()  # arm the size sample at the bloated size
+        time.sleep(0.06)
+        log.compact(log.head)
+        rate = log.stats()["wal_growth_bytes_per_s"]
+        assert rate is not None and rate < 0
+
+
+@pytest.fixture
+def routed(small_oracle, tmp_path):
+    replica = make_replica(small_oracle, "r0")
+    history = tmp_path / "router-history.ndjson"
+    slos = [
+        SLO(
+            name="lag-zero",
+            metric="max_lag",
+            objective=-1.0,  # max_lag > -1: every sample violates
+            budget=0.5,
+            windows=((3600.0, 1.0),),
+        )
+    ]
+    router = ClusterRouter(
+        UpdateLog(),
+        port=0,
+        read_timeout=2.0,
+        history_path=str(history),
+        history_interval=3600.0,
+        slos=slos,
+    )
+    address = router.start_in_thread()
+    router.add_replica_from_thread(replica.name, *replica.address)
+    client = ServingClient(*address)
+    yield router, client, history
+    client.close()
+    router.stop_thread()
+    replica.stop_thread()
+
+
+class TestRouterOps:
+    def test_history_op_serves_router_points(self, routed):
+        router, client, history_file = routed
+        client.update("insert", 0, 15)
+        client.snapshot()
+        router.history.record_once()
+        response = client.history()
+        assert response["recording"] is True
+        assert response["path"] == str(history_file)
+        (point,) = response["points"]
+        assert point["log_head"] == 1
+        assert point["healthy_replicas"] == 1
+        assert point["max_lag"] == 0
+        assert "wal_growth_bytes_per_s" in point
+        assert point["rss_kb"] > 0
+
+    def test_alerts_op_and_breach_gauge(self, routed):
+        router, client, _ = routed
+        router.history.record_once()
+        response = client.alerts()
+        (evaluation,) = response["evaluations"]
+        assert evaluation["slo"] == "lag-zero"
+        assert evaluation["firing"] is True
+        text = client.metrics()
+        assert 'repro_slo_breach{slo="lag-zero"} 1' in text
+
+    def test_wal_growth_gauge_appears_after_growth(self, routed):
+        router, client, _ = routed
+        client.metrics()  # first collect arms the size sample
+        client.update("insert", 0, 15)
+        client.snapshot()
+        time.sleep(0.06)
+        text = client.metrics()
+        assert "repro_wal_growth_bytes_per_s" in text
+
+    def test_profile_op_round_trips(self, routed):
+        from repro.obs.profile import reset_profiler
+
+        _, client, _ = routed
+        reset_profiler()
+        try:
+            assert client.profile(action="start")["profile"]["running"] is True
+            client.query(0, 15)
+            assert client.profile(action="stop")["profile"]["running"] is False
+        finally:
+            reset_profiler()

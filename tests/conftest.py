@@ -76,6 +76,10 @@ def random_connected_graph(
 #: serving qps/p99 numbers CI watches.
 _PERF_ROWS: list[dict] = []
 
+#: Bench-vs-baseline findings recorded via ``bench_delta_record`` (the
+#: ``perf``-marked gate tests); printed as a delta table at the end.
+_BENCH_DELTAS: list[dict] = []
+
 
 @pytest.fixture
 def perf_record():
@@ -83,13 +87,24 @@ def perf_record():
     return _PERF_ROWS.append
 
 
+@pytest.fixture
+def bench_delta_record():
+    """A callable the perf-gate tests use to report bench-vs-baseline
+    findings (:mod:`repro.bench.compare` dicts)."""
+    return _BENCH_DELTAS.extend
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _PERF_ROWS:
-        return
-    terminalreporter.section("perf summary (recorded by tests)")
-    for row in _PERF_ROWS:
-        parts = [f"{k}={v}" for k, v in row.items()]
-        terminalreporter.write_line("  " + "  ".join(parts))
+    if _PERF_ROWS:
+        terminalreporter.section("perf summary (recorded by tests)")
+        for row in _PERF_ROWS:
+            parts = [f"{k}={v}" for k, v in row.items()]
+            terminalreporter.write_line("  " + "  ".join(parts))
+    if _BENCH_DELTAS:
+        from repro.bench.compare import render_report
+
+        terminalreporter.section("bench vs committed baselines")
+        terminalreporter.write_line(render_report(_BENCH_DELTAS))
 
 
 # ---------------------------------------------------------------------------

@@ -106,6 +106,53 @@ def test_malformed_request_line_is_400():
     assert _run(scenario()).startswith(b"HTTP/1.0 400")
 
 
+def test_concurrent_scrapes_during_registry_mutation():
+    """Scrapes racing live registry mutation (new families, new label
+    sets, counter bumps) must all succeed and render parseable text —
+    the registry lock makes each render a consistent snapshot."""
+    registry = MetricsRegistry()
+    base = registry.counter("repro_requests_total")
+
+    async def scenario():
+        exporter = await MetricsExporter(registry, port=0).start()
+        host, port = exporter.address
+        url = f"http://{host}:{port}/"
+        stop = asyncio.Event()
+
+        async def mutate():
+            i = 0
+            while not stop.is_set():
+                base.inc()
+                family = registry.counter(
+                    f"repro_chaos_{i % 7}_total", "Churn.", labelnames=("k",)
+                )
+                family.labels(k=f"v{i % 5}").inc()
+                registry.gauge(f"repro_chaos_gauge_{i % 3}").set(i)
+                i += 1
+                await asyncio.sleep(0)
+
+        mutator = asyncio.create_task(mutate())
+        try:
+            results = await asyncio.gather(
+                *(asyncio.to_thread(_scrape, url) for _ in range(8))
+            )
+        finally:
+            stop.set()
+            await mutator
+        await exporter.stop()
+        return results
+
+    results = _run(scenario())
+    assert len(results) == 8
+    for status, ctype, body in results:
+        assert status == 200
+        assert ctype == CONTENT_TYPE
+        assert "repro_requests_total" in body
+        # Every rendered line is either a comment or `name[{labels}] value`.
+        for line in body.splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
 def test_stop_is_idempotent_and_releases_port():
     async def scenario():
         exporter = await MetricsExporter(MetricsRegistry(), port=0).start()

@@ -1,0 +1,170 @@
+"""SLOs: rule parsing, burn-rate evaluation, alert transitions, gauges."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.log import StructuredLogger
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLO, SLOEvaluator, default_slos, load_slos, parse_slos
+
+
+def _events(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def _points(values, *, metric="query_p99_ms", now=1000.0, step=10.0):
+    """One point per value, newest at ``now``, spaced ``step`` apart."""
+    out = []
+    for i, value in enumerate(reversed(values)):
+        out.append({"ts": now - i * step, metric: value})
+    out.reverse()
+    return out
+
+
+class TestSLO:
+    def test_violates_above(self):
+        slo = SLO("p99", "query_p99_ms", objective=100.0)
+        assert slo.violates(150.0) is True
+        assert slo.violates(100.0) is False
+        assert slo.violates(None) is None
+        assert slo.violates("nan-ish-garbage") is None
+        assert slo.violates(True) is None  # bools are not measurements
+
+    def test_violates_below(self):
+        slo = SLO("qps-floor", "qps", objective=10.0, direction="below")
+        assert slo.violates(5.0) is True
+        assert slo.violates(20.0) is False
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SLO("x", "m", 1.0, direction="sideways")
+        with pytest.raises(ReproError):
+            SLO("x", "m", 1.0, budget=0.0)
+        with pytest.raises(ReproError):
+            SLO("x", "m", 1.0, windows=())
+        with pytest.raises(ReproError):
+            SLO("x", "m", 1.0, windows=((60.0, -1.0),))
+
+    def test_to_dict_round_trips_through_parse(self):
+        slo = SLO("p99", "query_p99_ms", 100.0, budget=0.1)
+        (back,) = parse_slos(json.dumps([slo.to_dict()]))
+        assert back == slo
+
+
+class TestParsing:
+    def test_parse_rejects_non_list(self):
+        with pytest.raises(ReproError, match="JSON array"):
+            parse_slos('{"name": "x"}')
+
+    def test_parse_rejects_bad_json(self):
+        with pytest.raises(ReproError, match="invalid SLO rules JSON"):
+            parse_slos("[not json")
+
+    def test_parse_rejects_missing_key(self):
+        with pytest.raises(ReproError, match="missing required key"):
+            parse_slos('[{"name": "x", "metric": "m"}]')
+
+    def test_parse_rejects_duplicate_names(self):
+        rule = {"name": "x", "metric": "m", "objective": 1.0}
+        with pytest.raises(ReproError, match="duplicate"):
+            parse_slos([rule, dict(rule)])
+
+    def test_load_slos_from_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            '[{"name": "lag", "metric": "max_lag", "objective": 64,'
+            ' "windows": [[30, 1.5]]}]'
+        )
+        (slo,) = load_slos(path)
+        assert slo.name == "lag"
+        assert slo.windows == ((30.0, 1.5),)
+
+    def test_default_slos_by_role(self):
+        server = {s.name for s in default_slos("server")}
+        router = {s.name for s in default_slos("router")}
+        assert server == {"query-p99", "error-rate"}
+        assert router == server | {"replica-lag", "wal-growth"}
+
+
+class TestEvaluator:
+    def _slo(self, **kw):
+        kw.setdefault("windows", ((60.0, 1.0),))
+        return SLO("p99", "query_p99_ms", objective=100.0, budget=0.5, **kw)
+
+    def test_no_data_never_burns(self):
+        ev = SLOEvaluator([self._slo()])
+        (evaluation,) = ev.evaluate([], now=1000.0)
+        assert evaluation["firing"] is False
+        assert evaluation["burn"] == 0.0
+        # Points missing the metric are equally inert.
+        (evaluation,) = ev.evaluate(
+            [{"ts": 990.0, "qps": 5}], now=1000.0
+        )
+        assert evaluation["firing"] is False
+
+    def test_all_windows_must_agree(self):
+        slo = SLO(
+            "p99", "query_p99_ms", objective=100.0, budget=0.5,
+            windows=((30.0, 1.0), (300.0, 1.0)),
+        )
+        ev = SLOEvaluator([slo])
+        # Bad samples only in the last 30s; the 300s window is healthy
+        # (mostly good samples), so the alert must not fire.
+        points = _points([50.0] * 20 + [200.0, 200.0], now=1000.0, step=10.0)
+        (evaluation,) = ev.evaluate(points, now=1000.0)
+        short, long = evaluation["windows"]
+        assert short["firing"] is True
+        assert long["firing"] is False
+        assert evaluation["firing"] is False
+
+    def test_firing_and_resolved_transitions_are_logged(self):
+        buf = io.StringIO()
+        logger = StructuredLogger("slo-test", stream=buf)
+        ev = SLOEvaluator([self._slo()], logger=logger)
+        bad = _points([200.0] * 4, now=1000.0)
+        (evaluation,) = ev.evaluate(bad, now=1000.0)
+        assert evaluation["firing"] is True
+        assert evaluation["since"] == 1000.0
+        assert [e["event"] for e in _events(buf)] == ["alert_firing"]
+        assert ev.active_alerts()[0]["slo"] == "p99"
+
+        good = _points([50.0] * 4, now=1100.0)
+        (evaluation,) = ev.evaluate(good, now=1100.0)
+        assert evaluation["firing"] is False
+        assert evaluation["since"] is None
+        assert [e["event"] for e in _events(buf)] == ["alert_firing", "alert_resolved"]
+        assert _events(buf)[-1]["dur_s"] == 100.0
+        assert ev.active_alerts() == []
+        assert len(ev.last_evaluations()) == 1
+
+    def test_refiring_is_not_relogged(self):
+        buf = io.StringIO()
+        logger = StructuredLogger("slo-test", stream=buf)
+        ev = SLOEvaluator([self._slo()], logger=logger)
+        bad = _points([200.0] * 4, now=1000.0)
+        ev.evaluate(bad, now=1000.0)
+        ev.evaluate(bad, now=1000.0)
+        assert [e["event"] for e in _events(buf)] == ["alert_firing"]
+
+    def test_gauges_track_burn_and_breach(self):
+        registry = MetricsRegistry()
+        ev = SLOEvaluator([self._slo()], registry=registry)
+        ev.evaluate(_points([200.0] * 4, now=1000.0), now=1000.0)
+        text = registry.render()
+        assert 'repro_slo_burn{slo="p99"} 2' in text
+        assert 'repro_slo_breach{slo="p99"} 1' in text
+        ev.evaluate(_points([50.0] * 4, now=1100.0), now=1100.0)
+        text = registry.render()
+        assert 'repro_slo_breach{slo="p99"} 0' in text
+
+    def test_old_points_fall_out_of_the_window(self):
+        ev = SLOEvaluator([self._slo()])
+        stale = _points([200.0] * 4, now=100.0)
+        (evaluation,) = ev.evaluate(stale, now=1000.0)
+        assert evaluation["windows"][0]["samples"] == 0
+        assert evaluation["firing"] is False

@@ -1,0 +1,139 @@
+"""Metrics history: bounded NDJSON recorder, downsampling, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.timeseries import TimeSeriesRecorder, peak_rss_kb, read_series
+
+
+class TestReadSeries:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_series(tmp_path / "nope.ndjson") == []
+
+    def test_reads_points_in_order(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        path.write_text('{"ts": 1, "qps": 10}\n{"ts": 2, "qps": 20}\n')
+        assert [p["qps"] for p in read_series(path)] == [10, 20]
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        path.write_text('{"ts": 1, "qps": 10}\n{"ts": 2, "qp')  # crashed mid-append
+        assert [p["ts"] for p in read_series(path)] == [1]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        path.write_text('{"ts": 1}\ngarbage\n{"ts": 2}\n')
+        with pytest.raises(ValueError):
+            read_series(path)
+
+
+class TestRecorder:
+    def test_record_once_stamps_ts_and_appends(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        rec = TimeSeriesRecorder(path, lambda: {"qps": 42.0})
+        point = rec.record_once()
+        assert point["qps"] == 42.0 and point["ts"] > 0
+        on_disk = read_series(path)
+        assert len(on_disk) == 1 and on_disk[0]["qps"] == 42.0
+        assert rec.points() == on_disk
+
+    def test_sampler_exception_counts_as_error(self, tmp_path):
+        calls = iter([ValueError("boom")])
+
+        def sampler():
+            raise next(calls)
+
+        rec = TimeSeriesRecorder(tmp_path / "h.ndjson", sampler)
+        assert rec.record_once() is None
+        assert rec.errors == 1
+        assert rec.points() == []
+
+    def test_downsampling_bounds_memory_and_file(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        rec = TimeSeriesRecorder(path, lambda: {"v": 1}, max_points=8)
+        for _ in range(40):
+            rec.record_once()
+        assert len(rec.points()) <= 8
+        # The file is rewritten in lock-step with the in-memory buffer.
+        assert read_series(path) == rec.points()
+
+    def test_downsampling_keeps_recent_half_dense(self, tmp_path):
+        seq = iter(range(100))
+        rec = TimeSeriesRecorder(
+            tmp_path / "h.ndjson", lambda: {"n": next(seq)}, max_points=8
+        )
+        for _ in range(9):
+            rec.record_once()
+        kept = [p["n"] for p in rec.points()]
+        # Newest points survive verbatim; the old half is thinned 2:1.
+        assert kept[-4:] == [5, 6, 7, 8]
+        assert all(a < b for a, b in zip(kept, kept[1:]))
+
+    def test_resumes_existing_file(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        path.write_text(json.dumps({"ts": 1.0, "qps": 5}) + "\n")
+        rec = TimeSeriesRecorder(path, lambda: {"qps": 6})
+        assert [p["qps"] for p in rec.points()] == [5]
+        rec.record_once()
+        assert [p["qps"] for p in rec.points()] == [5, 6]
+
+    def test_on_point_hook_sees_full_history(self, tmp_path):
+        seen: list[int] = []
+        rec = TimeSeriesRecorder(
+            tmp_path / "h.ndjson",
+            lambda: {"v": 1},
+            on_point=lambda points: seen.append(len(points)),
+        )
+        rec.record_once()
+        rec.record_once()
+        assert seen == [1, 2]
+
+    def test_on_point_exception_is_counted_not_raised(self, tmp_path):
+        def hook(points):
+            raise RuntimeError("evaluator broke")
+
+        rec = TimeSeriesRecorder(tmp_path / "h.ndjson", lambda: {"v": 1}, on_point=hook)
+        assert rec.record_once() is not None
+        assert rec.errors == 1
+
+    def test_memory_only_mode(self):
+        rec = TimeSeriesRecorder(None, lambda: {"v": 7})
+        rec.record_once()
+        assert [p["v"] for p in rec.points()] == [7]
+        assert rec.path is None
+
+    def test_points_limit_returns_tail(self, tmp_path):
+        seq = iter(range(10))
+        rec = TimeSeriesRecorder(None, lambda: {"n": next(seq)})
+        for _ in range(5):
+            rec.record_once()
+        assert [p["n"] for p in rec.points(limit=2)] == [3, 4]
+
+    def test_start_stop_thread(self, tmp_path):
+        rec = TimeSeriesRecorder(
+            tmp_path / "h.ndjson", lambda: {"v": 1}, interval_s=0.01
+        )
+        rec.start()
+        try:
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while not rec.points() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            rec.stop()
+        assert rec.points()
+        assert not rec.running
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(None, lambda: {}, interval_s=0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(None, lambda: {}, max_points=3)
+
+
+def test_peak_rss_kb_is_positive():
+    assert peak_rss_kb() > 0

@@ -135,6 +135,18 @@ class TestRecorder:
         lines = [json.loads(line) for line in sink.read_text().splitlines()]
         assert [rec["trace"] for rec in lines] == ["t1", "t2"]
 
+    def test_sink_retains_spans_the_ring_evicted(self, tmp_path):
+        """The NDJSON sink is append-only history: ring overflow must
+        not lose spans from the on-disk artifact."""
+        sink = tmp_path / "spans.ndjson"
+        recorder = SpanRecorder(capacity=4, sink_path=str(sink))
+        for i in range(10):
+            recorder.record({"trace": "t", "i": i})
+        recorder.close()
+        assert [s["i"] for s in recorder.spans()] == [6, 7, 8, 9]
+        on_disk = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [rec["i"] for rec in on_disk] == list(range(10))
+
     def test_process_recorder_reads_span_log_env(self, tmp_path, monkeypatch):
         sink = tmp_path / "proc.ndjson"
         monkeypatch.setenv("REPRO_SPAN_LOG", str(sink))

@@ -266,3 +266,195 @@ class TestTop:
     def test_top_unreachable_server_reports_error(self, capsys):
         assert main(["top", "--port", "1", "--once"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestWatchAndGrowth:
+    def test_top_watch_parser(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["top", "--watch", "0.5"])
+        assert args.watch == 0.5
+        assert _parser().parse_args(["top"]).watch is None
+
+    def test_format_top_appends_wal_growth_when_present(self):
+        from repro.cli import format_top
+
+        stats = {
+            "role": "router", "log_head": 7, "log_base": 2,
+            "wal": {"segments": 1, "bytes": 2048,
+                    "wal_growth_bytes_per_s": 512.25},
+            "fsync": "batch",
+            "reads_routed": 0, "writes_appended": 7, "fanout_batches": 4,
+            "router": {"queries": {"count": 0}, "updates": {"count": 7}},
+            "aggregate": {"events_applied": 14, "events_rejected": 0,
+                          "snapshots_published": 2,
+                          "queries": {"count": 0}, "updates": {"count": 0}},
+            "replicas": {},
+        }
+        frame = format_top(stats)
+        assert "wal=1 segs/2,048B fsync=batch growth=512B/s" in frame
+
+    def test_format_top_omits_growth_when_unmeasured(self):
+        from repro.cli import format_top
+
+        stats = {
+            "role": "router", "log_head": 0, "log_base": 0,
+            "wal": {"segments": 0, "bytes": 0,
+                    "wal_growth_bytes_per_s": None},
+            "fsync": "batch",
+            "reads_routed": 0, "writes_appended": 0, "fanout_batches": 0,
+            "router": {"queries": {"count": 0}, "updates": {"count": 0}},
+            "aggregate": {"events_applied": 0, "events_rejected": 0,
+                          "snapshots_published": 0,
+                          "queries": {"count": 0}, "updates": {"count": 0}},
+            "replicas": {},
+        }
+        assert "growth=" not in format_top(stats)
+
+
+class TestSloResolution:
+    def test_serve_slo_parser_default_is_off(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["serve", "oracle.json"])
+        assert args.slo is None and args.history is None
+
+    def test_resolve_default_rules_per_role(self):
+        from repro.cli import _resolve_slos
+
+        assert _resolve_slos(None, "server") is None
+        server_names = {s.name for s in _resolve_slos("default", "server")}
+        router_names = {s.name for s in _resolve_slos("default", "router")}
+        assert "wal-growth" in router_names - server_names
+
+    def test_resolve_rules_file(self, tmp_path):
+        from repro.cli import _resolve_slos
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(
+            '[{"name": "p99", "metric": "query_p99_ms", "objective": 5}]'
+        )
+        (slo,) = _resolve_slos(str(rules), "server")
+        assert slo.name == "p99"
+
+
+class TestDash:
+    def test_dash_parser_defaults(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["dash"])
+        assert args.command == "dash"
+        assert (args.host, args.port) == ("127.0.0.1", 8355)
+        assert args.interval == 2.0 and args.points == 120
+        assert not args.once and args.count is None
+
+    def test_sparkline_shapes(self):
+        from repro.cli import sparkline
+
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+        assert sparkline([5, 5, 5]) == "▁▁▁"  # flat series, lowest glyph
+        assert sparkline([0, None, 4]) == "▁ █"  # gaps render as spaces
+        assert sparkline([]) == ""
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_format_dash_empty(self):
+        from repro.cli import format_dash
+
+        assert "no points yet" in format_dash([])
+
+    def test_format_dash_orders_preferred_keys_first(self):
+        from repro.cli import format_dash
+
+        points = [
+            {"ts": 100.0, "qps": 10.0, "zz_custom": 1, "rss_kb": 9000},
+            {"ts": 105.0, "qps": 20.0, "zz_custom": 2, "rss_kb": 9100},
+        ]
+        frame = format_dash(points)
+        assert "history   n=2 span=5s" in frame
+        lines = frame.splitlines()
+        order = [line.split()[0] for line in lines[1:]]
+        assert order == ["qps", "rss_kb", "zz_custom"]
+        assert "20" in lines[1]  # last value annotated after the sparkline
+
+    def test_format_dash_renders_slo_lines(self):
+        from repro.cli import format_dash
+
+        alerts = {
+            "evaluations": [
+                {"slo": "query-p99", "firing": True, "burn": 4.0,
+                 "metric": "query_p99_ms", "direction": "above",
+                 "objective": 100.0},
+                {"slo": "error-rate", "firing": False, "burn": 0.0,
+                 "metric": "error_rate", "direction": "above",
+                 "objective": 0.01},
+            ],
+            "slos": [],
+        }
+        frame = format_dash([{"ts": 1.0, "qps": 1.0}], alerts)
+        assert "slo FIRING query-p99" in frame
+        assert "slo ok     error-rate" in frame
+
+    def test_format_dash_notes_rules_without_evaluations(self):
+        from repro.cli import format_dash
+
+        frame = format_dash([], {"evaluations": [], "slos": [{"name": "x"}]})
+        assert "1 rule(s), no evaluations yet" in frame
+        assert "(none configured)" in format_dash(
+            [], {"evaluations": [], "slos": []}
+        )
+
+    def test_dash_once_against_live_server(self, oracle_file, capsys):
+        from repro.serving.server import OracleServer
+
+        out, _ = oracle_file
+        server = OracleServer.from_file(out, port=0)
+        host, port = server.start_in_thread()
+        try:
+            code = main(["dash", "--host", host, "--port", str(port),
+                         "--once"])
+        finally:
+            server.stop_thread()
+        assert code == 0
+        frame = capsys.readouterr().out
+        # No recorder on the server: the dash synthesizes a local point.
+        assert "history   n=1" in frame
+
+    def test_dash_unreachable_server_reports_error(self, capsys):
+        assert main(["dash", "--port", "1", "--once"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_parser_defaults(self):
+        from repro.cli import _parser
+
+        args = _parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.action == "dump"
+        assert args.folded is None and args.top == 5
+
+    def test_profile_cycle_against_live_server(self, oracle_file, tmp_path,
+                                               capsys):
+        from repro.obs.profile import reset_profiler
+        from repro.serving.server import OracleServer
+
+        out, _ = oracle_file
+        reset_profiler()
+        server = OracleServer.from_file(out, port=0)
+        host, port = server.start_in_thread()
+        target = ["--host", host, "--port", str(port)]
+        try:
+            assert main(["profile", *target, "--action", "start"]) == 0
+            assert "running=True" in capsys.readouterr().out
+            folded_file = tmp_path / "out.folded"
+            assert main(["profile", *target, "--action", "stop",
+                         "--folded", str(folded_file)]) == 0
+        finally:
+            server.stop_thread()
+            reset_profiler()
+        frame = capsys.readouterr().out
+        assert "running=False" in frame
+
+    def test_profile_unreachable_server_reports_error(self, capsys):
+        assert main(["profile", "--port", "1"]) == 1
+        assert "error" in capsys.readouterr().err

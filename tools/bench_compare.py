@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: diff fresh bench JSON against a baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py BASELINE.json FRESH.json \
+        [--threshold 0.20] [--host-cpus N] [--verbose]
+
+Exit code 1 when any matched metric regressed past the threshold or a
+correctness invariant broke (``identical`` flipped, ``incorrect`` became
+non-zero); 0 otherwise.  Scale-mismatched rows (smoke vs full profiles)
+and rows recorded on a different host CPU count are reported as skipped
+— see :mod:`repro.bench.compare` for the exact rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.compare import (
+    compare_bench,
+    has_failures,
+    load_bench,
+    render_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh bench run regressed vs its baseline."
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", help="fresh `repro.bench --json` output")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20, metavar="F",
+        help="relative regression tolerance (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--host-cpus", type=int, default=None, metavar="N",
+        help="CPU count of this host for host_cpus-stamped rows "
+             "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print per-metric ok lines",
+    )
+    args = parser.parse_args(argv)
+    findings = compare_bench(
+        load_bench(args.baseline),
+        load_bench(args.fresh),
+        threshold=args.threshold,
+        host_cpus=args.host_cpus,
+    )
+    print(f"baseline: {args.baseline}")
+    print(f"fresh:    {args.fresh}")
+    print(render_report(findings, verbose=args.verbose))
+    if has_failures(findings):
+        print("FAIL: performance gate", file=sys.stderr)
+        return 1
+    print("OK: no regressions past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ from smoke_common import QueryLoop, bfs_distance
 from repro.cluster import ClusterSupervisor
 from repro.core.dynamic import DynamicHCL
 from repro.graph.generators import barabasi_albert
+from repro.obs.profile import dump_if_enabled
 from repro.obs.trace import new_trace_id
 from repro.serving.client import ServingClient
 from repro.utils.rng import ensure_rng
@@ -259,6 +260,9 @@ def main(argv=None) -> int:
         }
         Path(args.json_out).write_text(json.dumps(result, indent=2) + "\n")
         print(f"bench json -> {args.json_out}")
+    # Under REPRO_PROFILE=1 the router-side folded stacks land in
+    # REPRO_PROFILE_OUT (CI uploads them as an artifact); no-op otherwise.
+    dump_if_enabled()
     print("OK")
     return 0
 

@@ -35,6 +35,7 @@ from smoke_common import QueryLoop, bfs_distance
 
 from repro.core.dynamic import DynamicHCL
 from repro.graph.generators import barabasi_albert
+from repro.obs.profile import dump_if_enabled
 from repro.obs.trace import new_trace_id
 from repro.serving.client import ServingClient
 from repro.serving.server import OracleServer
@@ -165,6 +166,9 @@ def main(argv=None) -> int:
     if args.span_log and not Path(args.span_log).stat().st_size:
         print("FAIL: span log is empty", file=sys.stderr)
         return 1
+    # Under REPRO_PROFILE=1 the folded stacks land in REPRO_PROFILE_OUT
+    # (CI uploads them as an artifact); a no-op otherwise.
+    dump_if_enabled()
     print("OK")
     return 0
 
