@@ -9,9 +9,9 @@ qualitative comparison.  Select with ``REPRO_BENCH_PROFILE`` or the CLI's
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
+from repro import knobs
 from repro.exceptions import BenchmarkError
 
 __all__ = ["BenchProfile", "bench_profile", "PROFILE_NAMES"]
@@ -142,7 +142,7 @@ _PROFILES = {
 def bench_profile(name: str | None = None) -> BenchProfile:
     """Resolve a profile by name, ``REPRO_BENCH_PROFILE``, or the default."""
     if name is None:
-        name = os.environ.get("REPRO_BENCH_PROFILE", "default")
+        name = knobs.get("REPRO_BENCH_PROFILE")
     try:
         return _PROFILES[name]
     except KeyError:

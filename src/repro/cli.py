@@ -22,7 +22,12 @@ tool rather than an API (the benchmark harness has its own entry point,
   active SLO alerts;
 * ``profile`` — inspect/control the sampling profiler of a running
   server (``REPRO_PROFILE=1``): per-phase attribution table and
-  flamegraph-compatible folded stacks.
+  flamegraph-compatible folded stacks;
+* ``lint``    — project-specific static analysis (:mod:`repro.lint`):
+  lock discipline, frozen-snapshot immutability, async hygiene, NDJSON
+  protocol drift, structured logging, env-knob registry;
+* ``knobs``   — list every ``REPRO_*`` tuning knob with defaults and
+  current values (:mod:`repro.knobs`).
 
 Both serving commands take ``--metrics-port`` to additionally expose the
 Prometheus text metrics of :mod:`repro.obs` over HTTP, ``--history`` to
@@ -229,6 +234,40 @@ def _parser() -> argparse.ArgumentParser:
                               "PATH ('-' for stdout)")
     profile.add_argument("--top", type=int, default=5, metavar="N",
                          help="hottest stacks to print inline (default 5)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (reprolint): lock "
+             "discipline, frozen snapshots, async hygiene, protocol "
+             "drift, structured logs, env knobs",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or dirs to lint (default: src/repro)")
+    lint.add_argument("--root", default=".",
+                      help="repo root findings are relative to (default: cwd)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--select", metavar="RULES",
+                      help="comma-separated rule ids (default: all)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline file (default: tools/reprolint-baseline"
+                           ".json under --root, if present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="write current findings to the baseline and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+
+    knobs = sub.add_parser(
+        "knobs",
+        help="list every REPRO_* tuning knob (registry, defaults, "
+             "current values)",
+    )
+    knobs.add_argument("--format", choices=("table", "json", "markdown"),
+                       default="table",
+                       help="output format (default: table; markdown is the "
+                            "README 'Tuning knobs' section)")
     return parser
 
 
@@ -800,6 +839,46 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--root", args.root, "--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
+def _cmd_knobs(args) -> int:
+    import json as _json
+
+    from repro import knobs as _knobs
+
+    if args.format == "markdown":
+        print(_knobs.render_table())
+        return 0
+    rows = _knobs.current_values()
+    if args.format == "json":
+        print(_json.dumps(rows, indent=2, default=str))
+        return 0
+    width = max(len(r["name"]) for r in rows)
+    for row in rows:
+        default = "(unset)" if row["default"] is None else repr(row["default"])
+        marker = "*" if row["set"] else " "
+        print(f"{marker} {row['name']:<{width}}  default={default:<12} "
+              f"value={row['value']!r}")
+    print("\n(* = set in the environment; see README 'Tuning knobs')")
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
@@ -812,6 +891,8 @@ _COMMANDS = {
     "top": _cmd_top,
     "dash": _cmd_dash,
     "profile": _cmd_profile,
+    "lint": _cmd_lint,
+    "knobs": _cmd_knobs,
 }
 
 

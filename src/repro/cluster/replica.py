@@ -28,7 +28,6 @@ replay → serving), shared byte-for-byte between the spawned process entry
 from __future__ import annotations
 
 import asyncio
-import os
 from dataclasses import dataclass
 
 from repro.cluster.wal import scan_wal, write_checkpoint
@@ -354,8 +353,6 @@ def replica_process_entry(spec: ReplicaSpec, conn=None) -> None:
 
 
 if __name__ == "__main__":  # pragma: no cover - manual debugging aid
-    import json as _json
+    from repro import knobs
 
-    raise SystemExit(
-        run_replica(ReplicaSpec(**_json.loads(os.environ["REPRO_REPLICA_SPEC"])))
-    )
+    raise SystemExit(run_replica(ReplicaSpec(**knobs.get("REPRO_REPLICA_SPEC"))))

@@ -1,0 +1,42 @@
+"""reprolint: project-specific static analysis for the repro codebase.
+
+Six AST rules guard the conventions the test suite cannot see
+(docs/DESIGN.md §14):
+
+== ======================= ==================================================
+id name                    guards
+== ======================= ==================================================
+RL001 lock-discipline      attrs written under ``with self._lock`` are never
+                           touched outside one in the same class
+RL002 frozen-mutation      ``Frozen*`` CoW snapshot instances are never
+                           mutated after construction
+RL003 async-blocking       no blocking calls (``time.sleep``, sync ``open``/
+                           ``socket``/``subprocess``, ``.result()``) inside
+                           ``async def`` in serving/ and cluster/
+RL004 protocol-drift       NDJSON ops stay in sync across server, router,
+                           replica and ``ServingClient``
+RL005 no-print             library code logs through ``StructuredLogger``
+RL006 env-knobs            every ``REPRO_*`` env read is declared in
+                           :mod:`repro.knobs`
+== ======================= ==================================================
+
+Run with ``repro lint`` or ``tools/reprolint.py``; silence a finding
+with ``# reprolint: disable=RLnnn`` (same line) or accept it in
+``tools/reprolint-baseline.json``.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module, Project, run_lint
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import all_rules, register
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Module",
+    "Project",
+    "all_rules",
+    "register",
+    "run_lint",
+]

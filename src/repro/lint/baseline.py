@@ -1,0 +1,64 @@
+"""Committed-baseline support: reviewed legacy findings don't fail CI.
+
+The baseline file is JSON with one entry per accepted finding, keyed by
+the location-independent fingerprint (:mod:`repro.lint.findings`), so
+entries survive line drift.  Each entry carries the human-readable
+fields and an optional ``reason`` recorded at review time — the file is
+meant to be read in code review, not just diffed.
+
+A finding whose fingerprint appears in the baseline is reported in the
+``baselined`` bucket and does not affect the exit code.  Entries that no
+longer match anything are *stale*; the reporter lists them so baselines
+shrink over time instead of accreting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """fingerprint -> entry dict.  Missing file = empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    out: dict[str, dict] = {}
+    for entry in data["entries"]:
+        out[entry["fingerprint"]] = entry
+    return out
+
+
+def save_baseline(path: Path, findings: list[Finding], reasons: dict[str, str] | None = None) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs).
+
+    ``reasons`` maps fingerprints to review notes; entries without one
+    get an empty reason to fill in by hand.
+    """
+    reasons = reasons or {}
+    entries = []
+    for finding in sorted(set(findings)):
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+                "reason": reasons.get(finding.fingerprint, ""),
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def stale_entries(baseline: dict[str, dict], matched: set[str]) -> list[dict]:
+    """Baseline entries whose fingerprint matched no current finding."""
+    return [entry for fp, entry in sorted(baseline.items()) if fp not in matched]

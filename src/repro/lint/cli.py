@@ -1,0 +1,133 @@
+"""``repro lint`` / ``tools/reprolint.py`` command-line front end.
+
+Exit codes: 0 clean (after suppressions + baseline), 1 findings,
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, save_baseline
+from repro.lint.config import DEFAULT_BASELINE, LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.registry import all_rules
+from repro.lint.report import render_json, render_text
+
+
+def build_parser(prog: str = "reprolint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} under --root, if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in all_rules().items():
+            doc = (cls.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{rule_id}  {getattr(cls, 'name', '?'):<18} {summary}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: --root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+
+    select: set[str] | None = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+
+    baseline_path: Path | None
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = root / baseline_path
+    else:
+        candidate = root / DEFAULT_BASELINE
+        baseline_path = candidate if candidate.exists() else None
+
+    config = LintConfig(
+        root=root,
+        paths=[Path(p) for p in args.paths],
+        select=select,
+        baseline_path=None if args.update_baseline else baseline_path,
+    )
+
+    try:
+        result = run_lint(config)
+    except ValueError as exc:  # unknown --select ids, bad baseline file
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or root / DEFAULT_BASELINE
+        reasons = {}
+        if target.exists():
+            reasons = {
+                fp: entry.get("reason", "")
+                for fp, entry in load_baseline(target).items()
+            }
+        save_baseline(target, result.findings, reasons)
+        print(f"wrote {len(result.findings)} entr(y/ies) to {target}")
+        return 0
+
+    baseline = load_baseline(config.baseline_path) if config.baseline_path else {}
+    if args.format == "json":
+        print(render_json(result, baseline))
+    else:
+        print(render_text(result, baseline))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Engine + per-rule configuration.
+
+Defaults are tuned for this repository (lint ``src/repro``, baseline at
+``tools/reprolint-baseline.json``); the self-tests point the same engine
+at fixture trees by constructing a :class:`LintConfig` directly.  Rule
+options live in ``rule_options[rule_id]`` — each rule documents its own
+keys and reads them through :meth:`LintConfig.rule_option`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+DEFAULT_BASELINE = "tools/reprolint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """One lint run's configuration."""
+
+    root: Path  # repo root; finding paths are relative to it
+    paths: list[Path] = field(default_factory=list)  # files/dirs to lint
+    select: set[str] | None = None  # rule ids to run (None = all)
+    baseline_path: Path | None = None  # None = no baseline
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).resolve()
+        if not self.paths:
+            default = self.root / "src" / "repro"
+            self.paths = [default if default.is_dir() else self.root]
+        self.paths = [Path(p) if Path(p).is_absolute() else self.root / p for p in self.paths]
+
+    @classmethod
+    def for_repo(cls, root: Path, **kwargs: Any) -> "LintConfig":
+        """The repository defaults: lint ``src/repro`` against the
+        committed baseline (when present)."""
+        config = cls(root=root, **kwargs)
+        if config.baseline_path is None:
+            candidate = config.root / DEFAULT_BASELINE
+            if candidate.exists():
+                config.baseline_path = candidate
+        return config
+
+    def rule_option(self, rule_id: str, key: str, default: Any = None) -> Any:
+        return self.rule_options.get(rule_id, {}).get(key, default)
+
+    def wants(self, rule_id: str) -> bool:
+        return self.select is None or rule_id in self.select

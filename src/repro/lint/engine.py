@@ -1,0 +1,139 @@
+"""The lint engine: collect → parse → run rules → partition findings.
+
+One :func:`run_lint` call walks the configured paths, parses every
+``.py`` file once, hands the module table to each selected rule, then
+partitions raw findings into actionable / suppressed / baselined.  A
+file that fails to parse produces a single ``RL000`` parse-error
+finding instead of aborting the run (CI should say *which* file broke).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import instantiate
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+PARSE_RULE = "RL000"
+
+
+@dataclass
+class Module:
+    """One parsed source file, shared by every rule."""
+
+    path: Path  # absolute
+    relpath: str  # root-relative, POSIX separators
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+
+@dataclass
+class Project:
+    """The whole run's view, for cross-module rules."""
+
+    root: Path
+    modules: list[Module] = field(default_factory=list)
+
+    def find(self, basename: str) -> list[Module]:
+        """Modules whose file name is exactly ``basename``."""
+        return [m for m in self.modules if m.path.name == basename]
+
+
+def _collect_files(config: LintConfig) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in config.paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            continue
+        for file in candidates:
+            if "__pycache__" in file.parts:
+                continue
+            resolved = file.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(resolved)
+    return files
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_project(config: LintConfig) -> tuple[Project, list[Finding]]:
+    """Parse everything; syntax failures become RL000 findings."""
+    project = Project(root=config.root)
+    parse_errors: list[Finding] = []
+    for file in _collect_files(config):
+        relpath = _relpath(file, config.root)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            col = getattr(exc, "offset", None) or 1
+            parse_errors.append(
+                Finding(
+                    path=relpath,
+                    line=int(line),
+                    col=int(col),
+                    rule=PARSE_RULE,
+                    message=f"cannot parse file: {exc.__class__.__name__}: {exc}",
+                    symbol="parse",
+                )
+            )
+            continue
+        project.modules.append(
+            Module(
+                path=file,
+                relpath=relpath,
+                source=source,
+                tree=tree,
+                suppressions=parse_suppressions(source),
+            )
+        )
+    return project, parse_errors
+
+
+def run_lint(config: LintConfig) -> LintResult:
+    """Run the selected rules and partition the outcome.
+
+    Partition order: suppression comments win over the baseline (a
+    suppressed finding never consumes a baseline entry), and only what
+    is left after both buckets sets a nonzero exit code.
+    """
+    project, raw = load_project(config)
+    rules = instantiate(config.select)
+
+    for rule in rules:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(project, config))
+        else:
+            for module in project.modules:
+                raw.extend(rule.check_module(module, config))
+
+    suppress_index = {m.relpath: m.suppressions for m in project.modules}
+    baseline = load_baseline(config.baseline_path) if config.baseline_path else {}
+
+    result = LintResult(checked_files=len(project.modules))
+    for finding in sorted(set(raw)):
+        suppressions = suppress_index.get(finding.path)
+        if suppressions is not None and suppressions.covers(finding.line, finding.rule):
+            result.suppressed.append(finding)
+        elif finding.fingerprint in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result

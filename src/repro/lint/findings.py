@@ -1,0 +1,58 @@
+"""Finding record + stable fingerprints.
+
+A finding's *fingerprint* deliberately excludes the line/column: it is
+``sha1(rule | path | symbol | message)`` so a committed baseline keeps
+matching while unrelated edits shift code up and down the file.  The
+``symbol`` (``Class.method.attr`` for RL001, the op name for RL004, …)
+is what keeps two distinct findings with the same message apart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-root-relative, POSIX separators
+    line: int
+    col: int
+    rule: str  # "RL001"
+    message: str
+    symbol: str = ""  # location-independent anchor for the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        text = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintResult:
+    """Everything one engine run produced, pre-partitioned."""
+
+    findings: list[Finding] = field(default_factory=list)  # actionable
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0

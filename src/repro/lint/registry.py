@@ -1,0 +1,61 @@
+"""Rule registry: rules self-register at import time.
+
+A rule is a class with a ``rule_id`` (``RLnnn``), a one-line ``name``,
+and either ``check_module(module, config)`` (runs once per parsed file)
+or ``check_project(project, config)`` (runs once per lint run, for
+cross-module rules like protocol drift).  Registration is a decorator::
+
+    @register
+    class NoPrint:
+        rule_id = "RL005"
+        name = "no-print"
+        scope = "module"
+        def check_module(self, module, config): ...
+
+Importing :mod:`repro.lint.rules` registers the built-in six.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.lint.findings import Finding
+
+
+@runtime_checkable
+class LintRule(Protocol):
+    rule_id: str
+    name: str
+    scope: str  # "module" | "project"
+
+
+_RULES: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    rule_id = getattr(cls, "rule_id", None)
+    if not rule_id or not rule_id.startswith("RL"):
+        raise ValueError(f"{cls.__name__}: rule_id must look like 'RLnnn'")
+    if rule_id in _RULES and _RULES[rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _RULES[rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type]:
+    """rule_id -> rule class, built-ins included (import side effect)."""
+    import repro.lint.rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_RULES.items()))
+
+
+def instantiate(select: Iterable[str] | None = None) -> list[LintRule]:
+    rules = all_rules()
+    wanted = set(select) if select is not None else set(rules)
+    unknown = wanted - set(rules)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rules[rid]() for rid in sorted(wanted)]
+
+
+__all__ = ["LintRule", "register", "all_rules", "instantiate", "Finding"]

@@ -1,0 +1,47 @@
+"""Text and JSON reporters over a :class:`~repro.lint.findings.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.baseline import stale_entries
+from repro.lint.findings import LintResult
+
+
+def render_text(result: LintResult, baseline: dict[str, dict] | None = None) -> str:
+    lines: list[str] = [f.render() for f in result.findings]
+    counts = Counter(f.rule for f in result.findings)
+    if lines:
+        lines.append("")
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.checked_files} file(s)"
+        f" ({len(result.suppressed)} suppressed, {len(result.baselined)} baselined)"
+    )
+    if counts:
+        summary += " — " + ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+    lines.append(summary)
+    if baseline:
+        matched = {f.fingerprint for f in result.baselined}
+        stale = stale_entries(baseline, matched)
+        if stale:
+            lines.append(f"note: {len(stale)} stale baseline entr(y/ies) — safe to remove:")
+            lines.extend(
+                f"  {e['fingerprint']}  {e['rule']} {e['path']} ({e['symbol']})" for e in stale
+            )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, baseline: dict[str, dict] | None = None) -> str:
+    matched = {f.fingerprint for f in result.baselined}
+    payload = {
+        "version": 1,
+        "checked_files": result.checked_files,
+        "counts": dict(sorted(Counter(f.rule for f in result.findings).items())),
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": stale_entries(baseline or {}, matched),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

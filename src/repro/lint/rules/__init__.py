@@ -1,0 +1,10 @@
+"""Built-in reprolint rules (importing this package registers them)."""
+
+from repro.lint.rules import (  # noqa: F401
+    rl001_lock_discipline,
+    rl002_frozen_mutation,
+    rl003_async_blocking,
+    rl004_protocol_drift,
+    rl005_no_print,
+    rl006_env_knobs,
+)

@@ -1,0 +1,187 @@
+"""RL001: attributes written under the class lock stay under it.
+
+A lightweight race detector: within one class, any ``self.X`` that is
+ever *assigned* inside a ``with self._lock:`` (or ``async with``) block
+is declared lock-guarded, and every other read or write of ``self.X``
+in that class must also sit inside such a block.  This is exactly the
+torn-counter-read bug class PR 4/8 fixed by hand in the metrics layer.
+
+The check is a deliberate **under-approximation** (docs/DESIGN.md §14):
+
+* lock scope is lexical — helpers called while the lock is held are
+  not credited.  The escape hatch is the ``*_locked`` naming
+  convention: a method whose name ends in ``_locked`` asserts "caller
+  holds the lock" and is exempt;
+* ``__init__``/``__new__`` are exempt — no other thread can hold a
+  reference during construction;
+* code inside a nested ``def``/``lambda`` is treated as running
+  *outside* the lock even when defined inside the ``with`` block — the
+  closure may be called after release.
+
+Any ``self`` attribute whose name ends in ``lock`` counts as a lock
+(``_lock``, ``_append_lock``, …; option ``lock_pattern``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, NamedTuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_DEFAULT_LOCK_PATTERN = r"_?[A-Za-z0-9_]*lock"
+_DEFAULT_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+_LOCKED_SUFFIX = "_locked"
+
+
+class _AttrEvent(NamedTuple):
+    node: ast.Attribute
+    attr: str
+    is_store: bool
+    locked: bool  # lexically inside a with-self-lock block
+    in_closure: bool
+
+
+def _self_lock_name(expr: ast.expr, lock_re: re.Pattern) -> str | None:
+    """``_lock`` for ``self._lock`` (lock-named self attribute), else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and lock_re.fullmatch(expr.attr)
+    ):
+        return expr.attr
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _attr_events(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, lock_re: re.Pattern
+) -> list[_AttrEvent]:
+    """Every ``self.X`` touch in ``method`` with its lock context."""
+    events: list[_AttrEvent] = []
+
+    def walk(node: ast.AST, locked: bool, closure: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # a nested callable may run after the lock is released
+            for child in ast.iter_child_nodes(node):
+                walk(child, False, True)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            grabs_lock = any(
+                _self_lock_name(item.context_expr, lock_re) for item in node.items
+            )
+            for item in node.items:
+                walk(item.context_expr, locked, closure)
+                if item.optional_vars is not None:
+                    walk(item.optional_vars, locked, closure)
+            for child in node.body:
+                walk(child, locked or grabs_lock, closure)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            events.append(
+                _AttrEvent(
+                    node,
+                    node.attr,
+                    isinstance(node.ctx, (ast.Store, ast.Del)),
+                    locked,
+                    closure,
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            walk(child, locked, closure)
+
+    for stmt in method.body:
+        walk(stmt, False, False)
+    return events
+
+
+@register
+class LockDisciplineRule:
+    """Lock-guarded attributes accessed outside the lock."""
+
+    rule_id = "RL001"
+    name = "lock-discipline"
+    scope = "module"
+
+    def check_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        lock_re = re.compile(
+            config.rule_option(self.rule_id, "lock_pattern", _DEFAULT_LOCK_PATTERN)
+        )
+        exempt = frozenset(
+            config.rule_option(self.rule_id, "exempt_methods", _DEFAULT_EXEMPT_METHODS)
+        )
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(
+                    self._check_class(node, module, lock_re, exempt)
+                )
+        return findings
+
+    def _check_class(
+        self,
+        cls: ast.ClassDef,
+        module: Module,
+        lock_re: re.Pattern,
+        exempt: frozenset[str],
+    ) -> list[Finding]:
+        events_by_method = {
+            method: _attr_events(method, lock_re) for method in _methods(cls)
+        }
+
+        # Pass 1 — the guarded set: attrs ever *stored* while holding a
+        # lock (``*_locked`` methods count their stores as guarded too:
+        # the convention asserts the caller holds the lock).
+        guarded: set[str] = set()
+        for method, events in events_by_method.items():
+            caller_holds = method.name.endswith(_LOCKED_SUFFIX)
+            for ev in events:
+                if ev.is_store and not ev.in_closure and (ev.locked or caller_holds):
+                    if not lock_re.fullmatch(ev.attr):
+                        guarded.add(ev.attr)
+
+        if not guarded:
+            return []
+
+        # Pass 2 — flag unlocked touches of guarded attrs.
+        findings: list[Finding] = []
+        for method, events in events_by_method.items():
+            if method.name in exempt or method.name.endswith(_LOCKED_SUFFIX):
+                continue
+            flagged: set[str] = set()
+            for ev in events:
+                if ev.attr not in guarded or ev.attr in flagged:
+                    continue
+                if ev.locked and not ev.in_closure:
+                    continue
+                flagged.add(ev.attr)
+                how = "closure may outlive the lock" if ev.in_closure else (
+                    "written under the class lock elsewhere"
+                )
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=ev.node.lineno,
+                        col=ev.node.col_offset + 1,
+                        rule=self.rule_id,
+                        message=f"`self.{ev.attr}` accessed outside the lock in "
+                        f"`{cls.name}.{method.name}` ({how}; hold the lock or "
+                        f"use a `*{_LOCKED_SUFFIX}` helper)",
+                        symbol=f"{cls.name}.{method.name}.{ev.attr}",
+                    )
+                )
+        return findings

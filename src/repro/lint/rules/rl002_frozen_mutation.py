@@ -1,0 +1,249 @@
+"""RL002: copy-on-write ``Frozen*`` snapshot instances are never mutated.
+
+The serving tier's correctness rests on one contract: once an
+``OracleSnapshot`` (and the ``Frozen*`` views inside it) is published,
+every reader thread may traverse it without a lock *because nothing
+ever writes to it again*.  A single post-publish mutation reintroduces
+exactly the torn-read races the CoW design exists to remove — and no
+test can reliably catch it.
+
+Flagged, via function-local dataflow (a name assigned from a
+``Frozen*``/registered constructor call, or a parameter/variable
+annotated with such a type):
+
+* attribute assignment ``snap.attr = ...`` / ``del snap.attr``
+* item assignment ``snap[k] = ...``
+* augmented assignment ``snap.attr += ...``
+* mutating method calls (``append``/``update``/``pop``/…)
+
+Inside a ``Frozen*`` class itself, ``self.attr = ...`` is legal only in
+construction methods (``__init__``/``__new__``/``_freeze``).
+
+Options: ``prefix`` (default ``"Frozen"``), ``extra_names`` (class
+names treated as frozen without the prefix; default
+``{"OracleSnapshot"}``), ``init_methods``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_DEFAULT_PREFIX = "Frozen"
+_DEFAULT_EXTRA = frozenset({"OracleSnapshot"})
+_DEFAULT_INIT_METHODS = frozenset({"__init__", "__new__", "_freeze"})
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    }
+)
+
+
+def _type_name(annotation: ast.expr | None) -> str | None:
+    """The head class name of an annotation (`FrozenGraph`,
+    `"FrozenGraph"`, `Optional[FrozenGraph]`, `repro.x.FrozenGraph`)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[")[0].strip()
+        return head.split(".")[-1] or None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Subscript):
+        inner = annotation.slice
+        for candidate in (inner, annotation.value):
+            name = _type_name(candidate)
+            if name is not None:
+                return name
+    return None
+
+
+class _FrozenNames:
+    """Which local names are frozen instances, per function scope."""
+
+    def __init__(self, frozen_classes):
+        self._is_frozen_class = frozen_classes
+        self.names: set[str] = set()
+
+    def constructor_name(self, call: ast.expr) -> bool:
+        if not isinstance(call, ast.Call):
+            return False
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._is_frozen_class(func.id)
+        if isinstance(func, ast.Attribute):
+            # FrozenX.from_parts(...) / snapshot.OracleSnapshot.capture(...)
+            if self._is_frozen_class(func.attr):
+                return True
+            if isinstance(func.value, ast.Name) and self._is_frozen_class(func.value.id):
+                return True
+            if isinstance(func.value, ast.Attribute) and self._is_frozen_class(
+                func.value.attr
+            ):
+                return True
+        return False
+
+    def learn_assign(self, node: ast.Assign) -> None:
+        if self.constructor_name(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+
+    def learn_annotation(self, name: str, annotation: ast.expr | None) -> None:
+        head = _type_name(annotation)
+        if head is not None and self._is_frozen_class(head):
+            self.names.add(name)
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: Module, rule_id: str, is_frozen_class, init_methods):
+        self.module = module
+        self.rule_id = rule_id
+        self.is_frozen_class = is_frozen_class
+        self.init_methods = init_methods
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
+        self._scopes: list[_FrozenNames] = []
+
+    # -- scope management -------------------------------------------------
+    def _enter_function(self, node) -> None:
+        scope = _FrozenNames(self.is_frozen_class)
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            scope.learn_annotation(arg.arg, arg.annotation)
+        if args.vararg is not None:
+            scope.learn_annotation(args.vararg.arg, args.vararg.annotation)
+        if args.kwarg is not None:
+            scope.learn_annotation(args.kwarg.arg, args.kwarg.annotation)
+        self._scopes.append(scope)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._scopes.pop()
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- inference --------------------------------------------------------
+    def _frozen_name(self, expr: ast.expr) -> str | None:
+        """`snap` if ``expr`` is a name known (or self inside Frozen)."""
+        if isinstance(expr, ast.Name):
+            for scope in reversed(self._scopes):
+                if expr.id in scope.names:
+                    return expr.id
+        return None
+
+    def _in_frozen_construction(self) -> bool:
+        return (
+            bool(self._class_stack)
+            and self.is_frozen_class(self._class_stack[-1])
+            and bool(self._func_stack)
+            and self._func_stack[-1] in self.init_methods
+        )
+
+    def _flag(self, node: ast.AST, target: str, what: str) -> None:
+        where = ".".join(self._class_stack + self._func_stack[-1:]) or "<module>"
+        self.findings.append(
+            Finding(
+                path=self.module.relpath,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=self.rule_id,
+                message=f"mutation of frozen snapshot `{target}` ({what}) — "
+                "published CoW snapshots are immutable",
+                symbol=f"{where}:{target}:{what}",
+            )
+        )
+
+    # -- checks -----------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._scopes:
+            self._scopes[-1].learn_assign(node)
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._scopes and isinstance(node.target, ast.Name):
+            self._scopes[-1].learn_annotation(node.target.id, node.annotation)
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute):
+            name = self._frozen_name(target.value)
+            if name is not None:
+                self._flag(target, name, f"attribute store .{target.attr}")
+            elif (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self._class_stack
+                and self.is_frozen_class(self._class_stack[-1])
+                and not self._in_frozen_construction()
+            ):
+                self._flag(
+                    target,
+                    f"self ({self._class_stack[-1]})",
+                    f"attribute store .{target.attr} outside construction",
+                )
+        elif isinstance(target, ast.Subscript):
+            name = self._frozen_name(target.value)
+            if name is not None:
+                self._flag(target, name, "item store")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            name = self._frozen_name(func.value)
+            if name is not None:
+                self._flag(node, name, f"mutating call .{func.attr}()")
+        self.generic_visit(node)
+
+
+@register
+class FrozenMutationRule:
+    """Mutation of ``Frozen*`` CoW snapshot instances."""
+
+    rule_id = "RL002"
+    name = "frozen-mutation"
+    scope = "module"
+
+    def check_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        prefix = config.rule_option(self.rule_id, "prefix", _DEFAULT_PREFIX)
+        extra = frozenset(config.rule_option(self.rule_id, "extra_names", _DEFAULT_EXTRA))
+        init_methods = frozenset(
+            config.rule_option(self.rule_id, "init_methods", _DEFAULT_INIT_METHODS)
+        )
+
+        def is_frozen_class(name: str) -> bool:
+            return name.startswith(prefix) or name in extra
+
+        visitor = _Visitor(module, self.rule_id, is_frozen_class, init_methods)
+        visitor.visit(module.tree)
+        return visitor.findings

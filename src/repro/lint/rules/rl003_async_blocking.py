@@ -1,0 +1,144 @@
+"""RL003: no blocking calls inside ``async def`` in serving/ and cluster/.
+
+The serving server and cluster router are single-event-loop processes:
+one ``time.sleep`` or synchronous ``open``/``socket``/``subprocess``
+call inside a coroutine stalls *every* in-flight request for its
+duration — invisible at the median, a cliff at p99.  ``Future.result()``
+inside a coroutine is the classic deadlock-or-stall (await it instead).
+
+Flagged inside ``async def`` bodies (nested *sync* ``def``/``lambda``
+bodies are excluded — they may legitimately run in an executor):
+
+* ``time.sleep(...)`` (also a bare ``sleep`` imported from ``time``)
+* builtin ``open(...)``
+* blocking ``socket.*`` constructors/lookups
+* ``subprocess`` run/Popen family
+* any ``*.result()`` call
+
+Scope: modules under the ``dirs`` option (default ``serving``,
+``cluster``); pass ``dirs=None`` to lint every module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_DEFAULT_DIRS = ("serving", "cluster")
+_SOCKET_CALLS = frozenset(
+    {"socket", "create_connection", "getaddrinfo", "gethostbyname", "socketpair"}
+)
+_SUBPROCESS_CALLS = frozenset(
+    {"run", "Popen", "call", "check_call", "check_output", "getoutput"}
+)
+
+
+def _time_sleep_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to ``time.sleep`` via ``from time import sleep``."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _blocking_reason(call: ast.Call, sleep_aliases: set[str]) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "builtin open() blocks the event loop"
+        if func.id in sleep_aliases:
+            return "time.sleep() blocks the event loop (use asyncio.sleep)"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if isinstance(func.value, ast.Name):
+        base = func.value.id
+        if base == "time" and func.attr == "sleep":
+            return "time.sleep() blocks the event loop (use asyncio.sleep)"
+        if base == "socket" and func.attr in _SOCKET_CALLS:
+            return f"socket.{func.attr}() blocks the event loop (use asyncio streams)"
+        if base == "subprocess" and func.attr in _SUBPROCESS_CALLS:
+            return (
+                f"subprocess.{func.attr}() blocks the event loop "
+                "(use asyncio.create_subprocess_exec)"
+            )
+    if func.attr == "result" and len(call.args) + len(call.keywords) <= 1:
+        return ".result() stalls the coroutine (await the future instead)"
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: Module, rule_id: str, sleep_aliases: set[str]):
+        self.module = module
+        self.rule_id = rule_id
+        self.sleep_aliases = sleep_aliases
+        self.findings: list[Finding] = []
+        self._async_depth = 0
+        self._names: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        prev, self._async_depth = self._async_depth, 0
+        self._names.append(node.name)
+        self.generic_visit(node)
+        self._names.pop()
+        self._async_depth = prev
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        prev, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = prev
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self._names.append(node.name)
+        self.generic_visit(node)
+        self._names.pop()
+        self._async_depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._names.append(node.name)
+        self.generic_visit(node)
+        self._names.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth:
+            reason = _blocking_reason(node, self.sleep_aliases)
+            if reason is not None:
+                where = ".".join(self._names) or "<module>"
+                self.findings.append(
+                    Finding(
+                        path=self.module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=self.rule_id,
+                        message=f"blocking call in async function `{where}`: {reason}",
+                        symbol=f"{where}:{ast.unparse(node.func)}",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@register
+class AsyncBlockingRule:
+    """Blocking calls inside ``async def`` (event-loop stalls)."""
+
+    rule_id = "RL003"
+    name = "async-blocking"
+    scope = "module"
+
+    def check_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        dirs = config.rule_option(self.rule_id, "dirs", _DEFAULT_DIRS)
+        if dirs is not None:
+            parts = set(module.relpath.split("/")[:-1])
+            if not parts & set(dirs):
+                return []
+        visitor = _Visitor(module, self.rule_id, _time_sleep_aliases(module.tree))
+        visitor.visit(module.tree)
+        return visitor.findings

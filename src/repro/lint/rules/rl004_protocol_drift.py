@@ -1,0 +1,262 @@
+"""RL004: NDJSON protocol ops stay in sync across server, router,
+replica, and client.
+
+The wire protocol is a set of string op names re-declared in four
+places: the server's dispatch chain, the router's op table, the
+replica's gating logic, and :class:`ServingClient`'s request builders.
+Nothing but convention keeps them aligned — an op added to the server
+without a client method (or vice versa) ships silently and fails at
+runtime.  This cross-module rule extracts each side's op set from the
+AST and reports every asymmetry:
+
+* every op handled by ``server.py``/``router.py``/``replica.py``
+  (minus ``internal_ops`` — replica-internal ``apply``/``checkpoint``)
+  must have a ``ServingClient`` method building ``{"op": <name>}``;
+* every client op must be handled somewhere;
+* every router *passthrough* op (op-table entries bound to the
+  passthrough handler, default ``_op_read``) must be gated/handled by
+  the replica.
+
+Extraction is deliberately narrow — op-table dict literals assigned to
+``*ops*`` attributes, and ``op == "..."`` / ``op in (...)``
+comparisons on a bare ``op`` variable — so request-*building* dicts on
+the caller side never count as handlers.  To guard against the checker
+silently matching nothing, a protocol file that yields **zero** ops is
+itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_DEFAULT_INTERNAL_OPS = frozenset({"apply", "checkpoint"})
+_DEFAULT_PASSTHROUGH_HANDLER = "_op_read"
+_DEFAULT_CLIENT_CLASS = "ServingClient"
+_SERVER_FILES = ("server.py", "router.py", "replica.py")
+_CLIENT_FILE = "client.py"
+
+
+@dataclass
+class _OpSite:
+    op: str
+    module: Module
+    line: int
+    detail: str = ""  # handler / method name when known
+
+
+@dataclass
+class _Extraction:
+    handled: dict[str, list[_OpSite]] = field(default_factory=dict)
+    passthrough: dict[str, _OpSite] = field(default_factory=dict)
+    client: dict[str, _OpSite] = field(default_factory=dict)
+
+    def add_handled(self, site: _OpSite) -> None:
+        self.handled.setdefault(site.op, []).append(site)
+
+
+def _attr_chain_contains_ops(expr: ast.expr) -> bool:
+    """True for targets/receivers like ``self._ops`` / ``self._async_ops``."""
+    return isinstance(expr, ast.Attribute) and "ops" in expr.attr
+
+
+def _dict_op_keys(node: ast.Dict):
+    """(op, handler-name) for each string key bound to a handler ref."""
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if isinstance(value, ast.Attribute):
+            yield key.value, value.attr, key.lineno
+        elif isinstance(value, ast.Name):
+            yield key.value, value.id, key.lineno
+
+
+def _extract_handled(module: Module, op_var: str, extraction: _Extraction) -> None:
+    for node in ast.walk(module.tree):
+        # self._ops = {...} / self._async_ops = {...}
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            if any(_attr_chain_contains_ops(t) for t in node.targets):
+                for op, handler, line in _dict_op_keys(node.value):
+                    extraction.add_handled(_OpSite(op, module, line, handler))
+        # self._async_ops.update({...})
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "update"
+            and _attr_chain_contains_ops(node.func.value)
+            and node.args
+            and isinstance(node.args[0], ast.Dict)
+        ):
+            for op, handler, line in _dict_op_keys(node.args[0]):
+                extraction.add_handled(_OpSite(op, module, line, handler))
+        # op == "query" / op in ("query", "query_many", ...)
+        elif (
+            isinstance(node, ast.Compare)
+            and isinstance(node.left, ast.Name)
+            and node.left.id == op_var
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.Eq, ast.In, ast.NotIn))
+        ):
+            comparator = node.comparators[0]
+            literals: list[ast.expr]
+            if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                literals = list(comparator.elts)
+            else:
+                literals = [comparator]
+            for lit in literals:
+                if isinstance(lit, ast.Constant) and isinstance(lit.value, str):
+                    extraction.add_handled(_OpSite(lit.value, module, node.lineno))
+
+
+def _extract_passthrough(
+    module: Module, handler_name: str, extraction: _Extraction
+) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            if any(_attr_chain_contains_ops(t) for t in node.targets):
+                for op, handler, line in _dict_op_keys(node.value):
+                    if handler == handler_name:
+                        extraction.passthrough[op] = _OpSite(op, module, line, handler)
+
+
+def _extract_client(module: Module, class_name: str, extraction: _Extraction) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for sub in ast.walk(method):
+                    if not isinstance(sub, ast.Dict):
+                        continue
+                    for key, value in zip(sub.keys, sub.values):
+                        if (
+                            isinstance(key, ast.Constant)
+                            and key.value == "op"
+                            and isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                        ):
+                            extraction.client.setdefault(
+                                value.value,
+                                _OpSite(value.value, module, method.lineno, method.name),
+                            )
+
+
+@register
+class ProtocolDriftRule:
+    """NDJSON op drift across server / router / replica / client."""
+
+    rule_id = "RL004"
+    name = "protocol-drift"
+    scope = "project"
+
+    def check_project(self, project: Project, config: LintConfig) -> list[Finding]:
+        internal = frozenset(
+            config.rule_option(self.rule_id, "internal_ops", _DEFAULT_INTERNAL_OPS)
+        )
+        passthrough_handler = config.rule_option(
+            self.rule_id, "passthrough_handler", _DEFAULT_PASSTHROUGH_HANDLER
+        )
+        client_class = config.rule_option(
+            self.rule_id, "client_class", _DEFAULT_CLIENT_CLASS
+        )
+        op_var = config.rule_option(self.rule_id, "op_var", "op")
+
+        server_modules = {
+            name: project.find(name) for name in _SERVER_FILES
+        }
+        client_modules = project.find(_CLIENT_FILE)
+        if not any(server_modules.values()) and not client_modules:
+            return []  # tree has no protocol surface; nothing to check
+
+        extraction = _Extraction()
+        replica_ops: set[str] = set()
+        per_file_counts: list[tuple[Module, int]] = []
+
+        for name, modules in server_modules.items():
+            for module in modules:
+                before = sum(len(s) for s in extraction.handled.values())
+                _extract_handled(module, op_var, extraction)
+                if name == "router.py":
+                    _extract_passthrough(module, passthrough_handler, extraction)
+                after = sum(len(s) for s in extraction.handled.values())
+                per_file_counts.append((module, after - before))
+                if name == "replica.py":
+                    replica_ops |= {
+                        op
+                        for op, sites in extraction.handled.items()
+                        if any(s.module is module for s in sites)
+                    }
+        for module in client_modules:
+            before = len(extraction.client)
+            _extract_client(module, client_class, extraction)
+            per_file_counts.append((module, len(extraction.client) - before))
+
+        findings: list[Finding] = []
+
+        for module, count in per_file_counts:
+            if count == 0:
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=1,
+                        col=1,
+                        rule=self.rule_id,
+                        message=f"protocol file {module.path.name} yielded no ops — "
+                        "the extractor no longer matches the dispatch style",
+                        symbol=f"empty-extraction:{module.path.name}",
+                    )
+                )
+
+        served = set(extraction.handled) - internal
+        client_ops = set(extraction.client)
+        report_module = client_modules[0] if client_modules else next(
+            m for mods in server_modules.values() for m in mods
+        )
+
+        for op in sorted(served - client_ops):
+            site = extraction.handled[op][0]
+            findings.append(
+                Finding(
+                    path=report_module.relpath,
+                    line=1,
+                    col=1,
+                    rule=self.rule_id,
+                    message=f"op `{op}` is handled ({site.module.path.name}:"
+                    f"{site.line}) but {client_class} has no method sending it",
+                    symbol=f"missing-client:{op}",
+                )
+            )
+        for op in sorted(client_ops - served):
+            site = extraction.client[op]
+            findings.append(
+                Finding(
+                    path=site.module.relpath,
+                    line=site.line,
+                    col=1,
+                    rule=self.rule_id,
+                    message=f"{client_class}.{site.detail} sends op `{op}` "
+                    "that no server/router/replica handles",
+                    symbol=f"unhandled:{op}",
+                )
+            )
+
+        if server_modules["replica.py"]:
+            for op in sorted(set(extraction.passthrough) - replica_ops):
+                site = extraction.passthrough[op]
+                findings.append(
+                    Finding(
+                        path=site.module.relpath,
+                        line=site.line,
+                        col=1,
+                        rule=self.rule_id,
+                        message=f"router passthrough op `{op}` is not gated/"
+                        "handled by the replica",
+                        symbol=f"passthrough:{op}",
+                    )
+                )
+        return findings

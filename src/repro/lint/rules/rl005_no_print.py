@@ -1,0 +1,76 @@
+"""RL005: library code must log through StructuredLogger, never ``print``.
+
+A bare ``print(...)`` in a library module writes prose to stdout that a
+supervisor running a dozen replica processes cannot merge or filter;
+:class:`repro.obs.log.StructuredLogger` emits one JSON object per line
+instead.  Command-line entry points are the exception — their job *is*
+to print — so modules named ``cli.py`` or ``__main__.py`` are exempt
+(option ``exempt_basenames``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_DEFAULT_EXEMPT = frozenset({"cli.py", "__main__.py"})
+
+
+@register
+class NoPrintRule:
+    """Bare ``print`` in library code (use StructuredLogger)."""
+
+    rule_id = "RL005"
+    name = "no-print"
+    scope = "module"
+
+    def check_module(self, module: Module, config: LintConfig) -> list[Finding]:
+        exempt = frozenset(
+            config.rule_option(self.rule_id, "exempt_basenames", _DEFAULT_EXEMPT)
+        )
+        if module.path.name in exempt:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(
+                    Finding(
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=self.rule_id,
+                        message="bare print() in library code; use "
+                        "repro.obs.log.StructuredLogger",
+                        symbol=f"print@{_enclosing(module.tree, node)}",
+                    )
+                )
+        return findings
+
+
+def _enclosing(tree: ast.Module, target: ast.AST) -> str:
+    """Dotted name of the function/class lexically containing ``target``
+    (location-independent fingerprint anchor)."""
+    path: list[str] = []
+
+    def visit(node: ast.AST, names: list[str]) -> bool:
+        if node is target:
+            path.extend(names)
+            return True
+        for child in ast.iter_child_nodes(node):
+            label = names
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                label = names + [child.name]
+            if visit(child, label):
+                return True
+        return False
+
+    visit(tree, [])
+    return ".".join(path) or "<module>"

@@ -1,0 +1,140 @@
+"""RL006: every ``REPRO_*`` environment read must go through the knob
+registry.
+
+:mod:`repro.knobs` is the single source of truth for tuning knobs —
+name, default, parser, doc — so a knob can never silently fork its
+spelling or default between modules.  Two violations:
+
+* an env read (``knobs.get``/``knobs.raw`` or any ``os.environ``
+  access) naming a ``REPRO_*`` variable the registry does not declare;
+* a *direct* ``os.environ`` / ``os.getenv`` read of a ``REPRO_*``
+  variable outside the registry module itself — even a declared knob
+  must be read through :func:`repro.knobs.get`, or its parsing forks.
+
+The declared set is extracted from the linted tree's ``knobs.py``
+(every ``Knob("NAME", ...)`` construction), so fixture trees carry
+their own registries.  A tree with no ``knobs.py`` treats every
+``REPRO_*`` read as undeclared.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Module, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import register
+
+_PREFIX = "REPRO_"
+_REGISTRY_BASENAME = "knobs.py"
+
+
+def declared_knobs(project: Project, registry_basename: str = _REGISTRY_BASENAME) -> set[str]:
+    """Knob names constructed as ``Knob("NAME", ...)`` in the registry."""
+    names: set[str] = set()
+    for module in project.find(registry_basename):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Knob"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                names.add(node.args[0].value)
+    return names
+
+
+def _is_environ(node: ast.expr) -> bool:
+    """``os.environ`` or a bare ``environ`` name."""
+    if isinstance(node, ast.Attribute) and node.attr == "environ":
+        return True
+    return isinstance(node, ast.Name) and node.id == "environ"
+
+
+def _env_reads(tree: ast.Module):
+    """Yield ``(node, var_name, direct)`` for every env-knob read site.
+
+    ``direct`` is True for ``os.environ``/``os.getenv`` accesses, False
+    for ``knobs.get``/``knobs.raw``/``get``/``raw`` calls.
+    """
+    for node in ast.walk(tree):
+        # os.environ["X"] / os.environ.get("X", ...) / os.getenv("X")
+        if isinstance(node, ast.Subscript) and _is_environ(node.value):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                yield node, key.value, True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            first = node.args[0] if node.args else None
+            literal = (
+                first.value
+                if isinstance(first, ast.Constant) and isinstance(first.value, str)
+                else None
+            )
+            if literal is None:
+                continue
+            if isinstance(func, ast.Attribute) and func.attr == "get" and _is_environ(
+                func.value
+            ):
+                yield node, literal, True
+            elif isinstance(func, ast.Attribute) and func.attr == "getenv" and isinstance(
+                func.value, ast.Name
+            ) and func.value.id == "os":
+                yield node, literal, True
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("get", "raw")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "knobs"
+            ):
+                yield node, literal, False
+
+
+@register
+class EnvKnobRegistryRule:
+    """``REPRO_*`` env reads must be declared in the knob registry."""
+
+    rule_id = "RL006"
+    name = "env-knobs"
+    scope = "project"
+
+    def check_project(self, project: Project, config: LintConfig) -> list[Finding]:
+        registry_basename = config.rule_option(
+            self.rule_id, "registry_basename", _REGISTRY_BASENAME
+        )
+        prefix = config.rule_option(self.rule_id, "prefix", _PREFIX)
+        declared = declared_knobs(project, registry_basename)
+        findings: list[Finding] = []
+        for module in project.modules:
+            in_registry = module.path.name == registry_basename
+            for node, var, direct in _env_reads(module.tree):
+                if not var.startswith(prefix):
+                    continue
+                if var not in declared:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            rule=self.rule_id,
+                            message=f"env var {var} is not declared in the "
+                            f"knob registry ({registry_basename})",
+                            symbol=f"undeclared:{var}",
+                        )
+                    )
+                elif direct and not in_registry:
+                    findings.append(
+                        Finding(
+                            path=module.relpath,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            rule=self.rule_id,
+                            message=f"read {var} through repro.knobs.get, "
+                            "not os.environ (parsing forks otherwise)",
+                            symbol=f"direct:{var}",
+                        )
+                    )
+        return findings

@@ -1,0 +1,64 @@
+"""``# reprolint: disable=...`` suppression comments.
+
+Two scopes:
+
+* line — ``x = 1  # reprolint: disable=RL001`` silences the named
+  rule(s) for findings reported **on that line**;
+* file — a ``# reprolint: disable-file=RL005`` comment anywhere in the
+  file (conventionally in the header) silences the rule(s) for the
+  whole module.
+
+Multiple rules separate with commas (``disable=RL001,RL003``).  The
+tokenizer — not a regex over raw text — finds the comments, so the
+directive inside a string literal is not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>RL\d+(?:\s*,\s*RL\d+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one module."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def covers(self, line: int, rule: str) -> bool:
+        if rule in self.file_wide:
+            return True
+        return rule in self.by_line.get(line, set())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every reprolint directive from ``source``.
+
+    Unreadable source (tokenize errors on top of a syntax error the
+    parser already reported) yields no suppressions rather than raising.
+    """
+    out = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group("scope") == "disable-file":
+                out.file_wide |= rules
+            else:
+                out.by_line.setdefault(tok.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return out

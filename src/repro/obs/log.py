@@ -19,11 +19,11 @@ share it.
 from __future__ import annotations
 
 import json
-import os
 import sys
 import threading
 import time
 
+from repro import knobs
 from repro.obs.trace import current_trace_id
 
 __all__ = [
@@ -41,20 +41,15 @@ _write_lock = threading.Lock()
 
 def log_threshold() -> int:
     """The numeric level below which records are dropped."""
-    name = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    name = knobs.get("REPRO_LOG_LEVEL")
     return _LEVELS.get(name, _LEVELS["info"])
 
 
 def slow_threshold_ms() -> float:
     """Operations slower than this (milliseconds) earn a warning record
     (``REPRO_SLOW_MS``; non-numeric values fall back to the default)."""
-    raw = os.environ.get("REPRO_SLOW_MS")
-    if raw is None:
-        return _DEFAULT_SLOW_MS
-    try:
-        return float(raw)
-    except ValueError:
-        return _DEFAULT_SLOW_MS
+    value = knobs.get("REPRO_SLOW_MS")
+    return _DEFAULT_SLOW_MS if value is None else float(value)
 
 
 class StructuredLogger:

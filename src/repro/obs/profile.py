@@ -40,6 +40,8 @@ import threading
 from collections import Counter
 from time import perf_counter, sleep
 
+from repro import knobs
+
 __all__ = [
     "PHASE_MARKERS",
     "SamplingProfiler",
@@ -98,20 +100,12 @@ OTHER_PHASE = "other"
 
 def profile_enabled() -> bool:
     """Whether ``REPRO_PROFILE`` asks for sampling (default off)."""
-    return os.environ.get("REPRO_PROFILE", "").strip().lower() in (
-        "1", "on", "true", "yes",
-    )
+    return bool(knobs.get("REPRO_PROFILE"))
 
 
 def _env_interval_ms() -> float:
-    raw = os.environ.get("REPRO_PROFILE_INTERVAL_MS")
-    if raw is None:
-        return _DEFAULT_INTERVAL_MS
-    try:
-        value = float(raw)
-    except ValueError:
-        return _DEFAULT_INTERVAL_MS
-    return value if value > 0 else _DEFAULT_INTERVAL_MS
+    value = knobs.get("REPRO_PROFILE_INTERVAL_MS")
+    return _DEFAULT_INTERVAL_MS if value is None else float(value)
 
 
 def _frame_label(frame) -> str:
@@ -374,7 +368,7 @@ def dump_if_enabled(path: str | None = None) -> str | None:
     path is known; the companion of :func:`start_if_enabled` for process
     shutdown paths.
     """
-    target = path or os.environ.get("REPRO_PROFILE_OUT")
+    target = path or knobs.get("REPRO_PROFILE_OUT")
     if not target or not profile_enabled():
         return None
     return get_profiler().dump(target)

@@ -103,11 +103,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def _bucket_index(self, value: float) -> int:
         # Binary search over the upper bounds: first bucket whose upper
@@ -259,11 +261,11 @@ class Histogram:
         return (
             self._bounds == other._bounds
             and self.counts() == other.counts()
-            and self._count == other._count
+            and self.count == other.count
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return f"Histogram(count={self._count}, sum={self._sum:.6f})"
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
 
 
 def merge_histograms(hists) -> "Histogram | None":
@@ -304,7 +306,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -330,7 +333,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 def _validate_name(name: str) -> str:

@@ -31,6 +31,8 @@ import threading
 from collections import deque
 from time import perf_counter, time
 
+from repro import knobs
+
 __all__ = [
     "obs_enabled",
     "new_trace_id",
@@ -53,9 +55,7 @@ _current_span: contextvars.ContextVar[str | None] = contextvars.ContextVar(
 def obs_enabled() -> bool:
     """Whether the observability layer records anything (``REPRO_OBS``,
     default on; set to ``off``/``0``/``false`` to measure raw overhead)."""
-    return os.environ.get("REPRO_OBS", "on").strip().lower() not in (
-        "off", "0", "false", "no",
-    )
+    return bool(knobs.get("REPRO_OBS"))
 
 
 def new_trace_id() -> str:
@@ -134,9 +134,7 @@ def get_recorder() -> SpanRecorder:
     global _recorder
     with _recorder_lock:
         if _recorder is None:
-            _recorder = SpanRecorder(
-                sink_path=os.environ.get("REPRO_SPAN_LOG") or None
-            )
+            _recorder = SpanRecorder(sink_path=knobs.get("REPRO_SPAN_LOG"))
         return _recorder
 
 

@@ -206,7 +206,8 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def summary(self) -> dict:
         """Point-in-time stats dict (all latencies in milliseconds)."""

@@ -1,0 +1,51 @@
+"""Shared helpers for the reprolint self-tests.
+
+Fixture modules under ``fixtures/`` carry ``# TP:RLnnn`` markers on
+every line a rule must flag and ``# TN:RLnnn`` on deliberate
+near-misses it must not; :func:`expected_lines` parses them and the
+rule tests assert exact equality, so both false negatives *and* false
+positives fail loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_MARKER = re.compile(r"#\s*(TP|TN):(RL\d+)")
+
+
+def expected_lines(fixture_dir: Path, rule: str, kind: str = "TP") -> set[tuple[str, int]]:
+    """``{(relpath, line)}`` carrying a ``kind`` marker for ``rule``."""
+    out: set[tuple[str, int]] = set()
+    for file in sorted(fixture_dir.rglob("*.py")):
+        rel = file.relative_to(fixture_dir).as_posix()
+        for lineno, text in enumerate(file.read_text().splitlines(), start=1):
+            for match in _MARKER.finditer(text):
+                if match.group(1) == kind and match.group(2) == rule:
+                    out.add((rel, lineno))
+    return out
+
+
+def lint_fixture(name: str, rule: str, **config_kwargs):
+    """Run a single rule over one fixture tree (no baseline)."""
+    root = FIXTURES / name
+    config = LintConfig(root=root, paths=[root], select={rule}, **config_kwargs)
+    return run_lint(config)
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

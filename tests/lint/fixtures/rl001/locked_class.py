@@ -1,0 +1,68 @@
+"""RL001 fixture: lock-guarded attributes touched outside the lock.
+
+True-positive markers flag lines the rule must report; true-negative
+markers document deliberate near-misses it must NOT report.  (Asserted
+by tests/lint/test_rules.py.)
+"""
+
+import threading
+
+
+class GuardedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # TN:RL001 (construction is exempt)
+        self._total = 0.0
+
+    def increment(self, amount):
+        with self._lock:
+            self._count += 1  # TN:RL001 (write under the lock)
+            self._total += amount
+
+    def snapshot(self):
+        with self._lock:
+            return self._count, self._total  # TN:RL001 (read under the lock)
+
+    @property
+    def count(self):
+        return self._count  # TP:RL001 (unlocked read of a guarded attr)
+
+    def reset(self):
+        self._count = 0  # TP:RL001 (unlocked write of a guarded attr)
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                return self._total  # TP:RL001 (closure may outlive the lock)
+            return later
+
+    def _drain_locked(self):
+        self._count = 0  # TN:RL001 (`*_locked` asserts the caller holds it)
+        return self._total  # TN:RL001
+
+    def unrelated(self):
+        return self._lock  # TN:RL001 (the lock itself is not guarded data)
+
+
+class Unguarded:
+    """No attr is ever written under a lock here — nothing to enforce."""
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1  # TN:RL001 (class has no lock discipline)
+
+
+class AsyncGuarded:
+    def __init__(self):
+        self._lock = None  # an asyncio.Lock in real code
+        self._pending = []
+
+    async def push(self, item):
+        async with self._lock:
+            self._pending.append(item)
+            self._pending = list(self._pending)  # TN:RL001 (under async with)
+
+    async def peek(self):
+        return self._pending  # TP:RL001 (unlocked read, async lock counts)

@@ -1,0 +1,50 @@
+"""RL002 fixture: mutations of Frozen* copy-on-write snapshot instances."""
+
+
+class FrozenView:
+    __slots__ = ("data", "epoch")
+
+    def __init__(self, data, epoch):
+        self.data = dict(data)  # TN:RL002 (construction)
+        self.epoch = epoch  # TN:RL002
+
+    def thaw(self):
+        self.epoch = None  # TP:RL002 (self-mutation outside construction)
+        return dict(self.data)
+
+    def _freeze(self):
+        self.epoch = -1  # TN:RL002 (_freeze is a construction method)
+
+
+def build(pairs):
+    view = FrozenView(pairs, epoch=1)
+    return view  # TN:RL002 (constructing and returning is fine)
+
+
+def corrupt(pairs):
+    view = FrozenView(pairs, epoch=1)
+    view.epoch = 2  # TP:RL002 (attribute store on a frozen instance)
+    view.data["k"] = 1  # TN:RL002 (interior dict store is out of scope)
+    return view
+
+
+def corrupt_item(pairs):
+    view = FrozenView(pairs, epoch=1)
+    view["k"] = 1  # TP:RL002 (item store on a frozen instance)
+
+
+def corrupt_call(pairs):
+    view = FrozenView(pairs, epoch=1)
+    view.update({"k": 1})  # TP:RL002 (mutating method call)
+    view.epoch += 1  # TP:RL002 (augmented assignment)
+    del view.data  # TP:RL002 (attribute delete)
+
+
+def annotated(view: FrozenView):
+    view.epoch = 9  # TP:RL002 (parameter annotated with a frozen type)
+    return view.epoch  # TN:RL002 (reads are always fine)
+
+
+def not_frozen(store):
+    store.epoch = 2  # TN:RL002 (unknown type: no inference, no finding)
+    store.update({})  # TN:RL002

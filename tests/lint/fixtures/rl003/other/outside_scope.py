@@ -1,0 +1,7 @@
+"""RL003 fixture: same sins, but outside serving//cluster/ — exempt."""
+
+import time
+
+
+async def not_scoped():
+    time.sleep(0.1)  # TN:RL003 (module is outside the rule's dirs)

@@ -1,0 +1,37 @@
+"""RL003 fixture (lives under serving/ so the default scope applies)."""
+
+import asyncio
+import socket
+import subprocess
+import time
+from time import sleep
+
+
+async def handle_request(request):
+    time.sleep(0.1)  # TP:RL003 (blocks the event loop)
+    sleep(0.1)  # TP:RL003 (bare `sleep` imported from time)
+    await asyncio.sleep(0.1)  # TN:RL003 (the async way)
+    with open("/tmp/x") as handle:  # TP:RL003 (sync file I/O)
+        handle.read()
+    sock = socket.socket()  # TP:RL003 (blocking socket constructor)
+    subprocess.run(["true"])  # TP:RL003 (blocking subprocess)
+    return sock
+
+
+async def await_future(future, pool):
+    value = future.result()  # TP:RL003 (stalls the coroutine)
+    good = await future  # TN:RL003
+    return value, good
+
+
+async def uses_executor(loop, pool):
+    def blocking_work():
+        time.sleep(1.0)  # TN:RL003 (sync nested def may run in executor)
+        return open("/tmp/y")  # TN:RL003
+
+    return await loop.run_in_executor(pool, blocking_work)
+
+
+def sync_helper():
+    time.sleep(0.1)  # TN:RL003 (not an async function)
+    return open("/tmp/z")  # TN:RL003

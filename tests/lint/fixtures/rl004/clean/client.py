@@ -1,0 +1,18 @@
+"""RL004 fixture: client methods covering every served op."""
+
+
+class ServingClient:
+    def _request(self, payload):
+        return {"ok": True}
+
+    def query(self, u, v):
+        return self._request({"op": "query", "u": u, "v": v})
+
+    def update(self, kind, u, v):
+        return self._request({"op": "update", "kind": kind, "u": u, "v": v})
+
+    def ping(self):
+        return self._request({"op": "ping"})
+
+    def snapshot(self):
+        return self._request({"op": "snapshot"})

@@ -1,0 +1,20 @@
+"""RL004 fixture: minimal router op table, in sync with client.py."""
+
+
+class MiniRouter:
+    def __init__(self):
+        self._ops = {
+            "query": self._op_read,
+            "update": self._op_update,
+            "ping": self._op_local,
+            "snapshot": self._op_local,
+        }
+
+    async def _op_read(self, request):
+        return {"ok": True}
+
+    async def _op_update(self, request):
+        return {"ok": True}
+
+    async def _op_local(self, request):
+        return {"ok": True}

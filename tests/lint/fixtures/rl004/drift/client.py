@@ -1,0 +1,25 @@
+"""RL004 drift fixture: client sends `bogus` (handled nowhere) and has
+no method for the router's `explain`."""
+
+
+class ServingClient:
+    def _request(self, payload):
+        return {"ok": True}
+
+    def query(self, u, v):
+        return self._request({"op": "query", "u": u, "v": v})
+
+    def path(self, u, v):
+        return self._request({"op": "path", "u": u, "v": v})
+
+    def update(self, kind, u, v):
+        return self._request({"op": "update", "kind": kind, "u": u, "v": v})
+
+    def ping(self):
+        return self._request({"op": "ping"})
+
+    def snapshot(self):
+        return self._request({"op": "snapshot"})
+
+    def bogus(self):
+        return self._request({"op": "bogus"})

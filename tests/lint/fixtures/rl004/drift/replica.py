@@ -1,0 +1,26 @@
+"""RL004 drift fixture: replica gates `query` only — `path` is missing."""
+
+
+class MiniReplica:
+    def __init__(self):
+        self._async_ops = {}
+        self._async_ops.update(
+            {
+                "apply": self._op_apply,
+                "checkpoint": self._op_checkpoint,
+            }
+        )
+
+    def _dispatch(self, request):
+        op = request.get("op")
+        if op in ("update",):
+            return {"ok": False, "error": "read-only replica"}
+        if op in ("query",):
+            return {"ok": True, "dist": 1}
+        return {"ok": True}
+
+    async def _op_apply(self, request):
+        return {"ok": True}
+
+    async def _op_checkpoint(self, request):
+        return {"ok": True}

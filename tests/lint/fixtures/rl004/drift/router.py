@@ -1,0 +1,26 @@
+"""RL004 drift fixture: router grew `explain` (no client method) and a
+`path` passthrough the replica does not gate."""
+
+
+class MiniRouter:
+    def __init__(self):
+        self._ops = {
+            "query": self._op_read,
+            "path": self._op_read,
+            "explain": self._op_explain,
+            "update": self._op_update,
+            "ping": self._op_local,
+            "snapshot": self._op_local,
+        }
+
+    async def _op_read(self, request):
+        return {"ok": True}
+
+    async def _op_explain(self, request):
+        return {"ok": True, "plan": []}
+
+    async def _op_update(self, request):
+        return {"ok": True}
+
+    async def _op_local(self, request):
+        return {"ok": True}

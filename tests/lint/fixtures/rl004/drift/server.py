@@ -1,0 +1,19 @@
+"""RL004 drift fixture: server side (unchanged from the clean tree)."""
+
+
+class MiniServer:
+    def __init__(self):
+        self._async_ops = {"snapshot": self._op_snapshot}
+
+    def _dispatch(self, request):
+        op = request.get("op")
+        if op == "query":
+            return {"ok": True, "dist": 1}
+        if op == "update":
+            return {"ok": True}
+        if op == "ping":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _op_snapshot(self, request):
+        return {"ok": True}

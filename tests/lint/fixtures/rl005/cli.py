@@ -1,0 +1,6 @@
+"""RL005 fixture: entry-point modules named cli.py may print."""
+
+
+def main():
+    print("usage: ...")  # TN:RL005 (cli.py is exempt — printing is its job)
+    return 0

@@ -1,0 +1,16 @@
+"""RL005 fixture: a library module that must not print."""
+
+from repro.obs.log import get_logger
+
+log = get_logger("libmod")
+
+
+def report(value):
+    print(f"value={value}")  # TP:RL005 (bare print in library code)
+    log.info("value", value=value)  # TN:RL005 (structured logging)
+
+
+def helper(stream):
+    stream.write("x")  # TN:RL005 (not a print call)
+    printable = print  # TN:RL005 (referencing, not calling)
+    return printable

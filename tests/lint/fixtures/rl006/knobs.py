@@ -1,0 +1,17 @@
+"""RL006 fixture: the tree's own knob registry."""
+
+
+class Knob:
+    def __init__(self, name, default, doc):
+        self.name = name
+        self.default = default
+        self.doc = doc
+
+
+KNOBS = {
+    knob.name: knob
+    for knob in (
+        Knob("REPRO_GOOD", "1", "a declared knob"),
+        Knob("REPRO_ALSO_GOOD", "x", "another declared knob"),
+    )
+}

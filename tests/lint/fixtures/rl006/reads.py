@@ -1,0 +1,22 @@
+"""RL006 fixture: env reads, declared and undeclared."""
+
+import os
+
+from repro import knobs
+
+
+def fine():
+    value = knobs.get("REPRO_GOOD")  # TN:RL006 (declared, via the registry)
+    other = os.environ.get("HOME")  # TN:RL006 (not a REPRO_* knob)
+    return value, other
+
+
+def undeclared():
+    return knobs.get("REPRO_MISSING")  # TP:RL006 (not in the registry)
+
+
+def direct_reads():
+    a = os.environ.get("REPRO_GOOD")  # TP:RL006 (declared, but bypasses knobs.get)
+    b = os.environ["REPRO_SNEAKY"]  # TP:RL006 (undeclared AND direct)
+    c = os.getenv("REPRO_ALSO_GOOD")  # TP:RL006 (declared, but direct)
+    return a, b, c

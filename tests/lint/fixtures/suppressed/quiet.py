@@ -1,0 +1,10 @@
+"""Suppression fixture: line-scoped disable comments."""
+
+
+def report(value):
+    print(f"value={value}")  # reprolint: disable=RL005
+    print("still flagged")  # TP:RL005 (no suppression on this line)
+
+
+def multi():
+    print("quiet")  # reprolint: disable=RL005,RL001

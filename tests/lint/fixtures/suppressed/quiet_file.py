@@ -1,0 +1,7 @@
+"""Suppression fixture: file-wide disable comment."""
+# reprolint: disable-file=RL005
+
+
+def report():
+    print("a")
+    print("b")

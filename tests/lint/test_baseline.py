@@ -1,0 +1,85 @@
+"""Baseline round-trip: findings accepted today don't fail tomorrow —
+and stale entries surface for removal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.baseline import load_baseline, save_baseline, stale_entries
+from repro.lint.findings import Finding
+from repro.lint.report import render_json
+from tests.lint.conftest import FIXTURES, lint_fixture
+
+
+def test_baseline_round_trip(tmp_path):
+    first = lint_fixture("rl005", "RL005")
+    assert first.findings and first.exit_code == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, first.findings, reasons=None)
+
+    root = FIXTURES / "rl005"
+    second = run_lint(
+        LintConfig(
+            root=root, paths=[root], select={"RL005"}, baseline_path=baseline_path
+        )
+    )
+    assert second.findings == []
+    assert second.exit_code == 0
+    assert [f.fingerprint for f in second.baselined] == [
+        f.fingerprint for f in first.findings
+    ]
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    """Fingerprints exclude line numbers, so shifted code stays accepted."""
+    src = (FIXTURES / "rl005" / "libmod.py").read_text()
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "libmod.py").write_text(src)
+    first = run_lint(LintConfig(root=tree, paths=[tree], select={"RL005"}))
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, first.findings)
+
+    (tree / "libmod.py").write_text("# a new header comment\n\n" + src)
+    shifted = run_lint(
+        LintConfig(root=tree, paths=[tree], select={"RL005"}, baseline_path=baseline_path)
+    )
+    assert shifted.findings == [] and len(shifted.baselined) == len(first.findings)
+
+
+def test_reasons_survive_rewrite(tmp_path):
+    finding = Finding(path="m.py", line=3, col=1, rule="RL005", message="x", symbol="s")
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [finding], reasons={finding.fingerprint: "reviewed: ok"})
+    entries = load_baseline(path)
+    assert entries[finding.fingerprint]["reason"] == "reviewed: ok"
+
+
+def test_stale_entries_are_reported(tmp_path):
+    ghost = Finding(path="gone.py", line=1, col=1, rule="RL001", message="old", symbol="g")
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, [ghost])
+    baseline = load_baseline(baseline_path)
+    assert stale_entries(baseline, matched=set()) == list(baseline.values())
+
+    root = FIXTURES / "rl005"
+    result = run_lint(
+        LintConfig(root=root, paths=[root], select={"RL005"}, baseline_path=baseline_path)
+    )
+    payload = json.loads(render_json(result, baseline))
+    assert [e["fingerprint"] for e in payload["stale_baseline"]] == [ghost.fingerprint]
+    # the ghost entry does not excuse the live finding
+    assert result.exit_code == 1
+
+
+def test_corrupt_baseline_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"not": "a baseline"}')
+    try:
+        load_baseline(path)
+    except ValueError as exc:
+        assert "baseline" in str(exc)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("corrupt baseline should raise ValueError")

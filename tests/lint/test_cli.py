@@ -1,0 +1,93 @@
+"""CLI behaviour: exit codes, JSON output, seeded-violation failure —
+what the CI ``lint`` job relies on."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+from tests.lint.conftest import FIXTURES
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert lint_main(["--root", str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_seeded_violation_fails_the_run(capsys):
+    """The CI gate: a violation means a nonzero exit code."""
+    root = FIXTURES / "rl005"
+    code = lint_main(["--root", str(root), "--select", "RL005"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RL005" in out and "libmod.py" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    root = FIXTURES / "rl005"
+    code = lint_main(["--root", str(root), "--select", "RL005", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"RL005": 1}
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "RL005"
+    assert finding["path"] == "libmod.py"
+    assert finding["fingerprint"]
+    assert payload["exit_code"] == 1
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    """CLI round-trip: --update-baseline accepts today's findings."""
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "mod.py").write_text("print('hi')\n")
+    baseline = tmp_path / "baseline.json"
+
+    assert (
+        lint_main(
+            ["--root", str(tree), "--update-baseline", "--baseline", str(baseline)]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    capsys.readouterr()
+    assert lint_main(["--root", str(tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_unknown_rule_id_is_a_usage_error(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path), "--select", "RL999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_nonexistent_root_is_a_usage_error(capsys):
+    assert lint_main(["--root", "/no/such/dir"]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_list_rules_names_all_six(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in out
+
+
+def test_repro_lint_subcommand_wires_through(capsys):
+    root = FIXTURES / "rl005"
+    code = repro_main(["lint", "--root", str(root), "--select", "RL005"])
+    assert code == 1
+    assert "RL005" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fmt", ["table", "json", "markdown"])
+def test_repro_knobs_subcommand(fmt, capsys):
+    assert repro_main(["knobs", "--format", fmt]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO_LOG_LEVEL" in out
+    if fmt == "json":
+        rows = json.loads(out)
+        assert {r["name"] for r in rows} >= {"REPRO_OBS", "REPRO_SLOW_MS"}

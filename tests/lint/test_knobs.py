@@ -1,0 +1,118 @@
+"""The knob registry: parsing semantics, behavioural equivalence of the
+migrated call sites, and the README table staying in sync."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import knobs
+from tests.lint.conftest import REPO_ROOT
+
+
+def test_every_knob_is_documented_and_parseable():
+    for name, knob in knobs.KNOBS.items():
+        assert name == knob.name and name.startswith("REPRO_")
+        assert knob.doc.strip()
+        if knob.default is not None:
+            knobs.get(name, environ={})  # default must parse
+
+
+def test_defaults_when_unset():
+    env: dict[str, str] = {}
+    assert knobs.get("REPRO_LOG_LEVEL", env) == "info"
+    assert knobs.get("REPRO_SLOW_MS", env) == 250.0
+    assert knobs.get("REPRO_OBS", env) is True
+    assert knobs.get("REPRO_PROFILE", env) is False
+    assert knobs.get("REPRO_PROFILE_INTERVAL_MS", env) == 10.0
+    assert knobs.get("REPRO_SPAN_LOG", env) is None
+    assert knobs.get("REPRO_PROFILE_OUT", env) is None
+    assert knobs.get("REPRO_BENCH_PROFILE", env) == "default"
+
+
+def test_parse_errors_fall_back_to_the_default():
+    assert knobs.get("REPRO_SLOW_MS", {"REPRO_SLOW_MS": "bogus"}) == 250.0
+    assert (
+        knobs.get("REPRO_PROFILE_INTERVAL_MS", {"REPRO_PROFILE_INTERVAL_MS": "-5"})
+        == 10.0
+    )
+    assert (
+        knobs.get("REPRO_PROFILE_INTERVAL_MS", {"REPRO_PROFILE_INTERVAL_MS": "2.5"})
+        == 2.5
+    )
+
+
+def test_switch_parsing_matches_documented_sets():
+    for value in ("off", "0", "false", "no", "OFF", " No "):
+        assert knobs.get("REPRO_OBS", {"REPRO_OBS": value}) is False
+    for value in ("on", "1", "anything-else"):
+        assert knobs.get("REPRO_OBS", {"REPRO_OBS": value}) is True
+    for value in ("1", "on", "true", "YES"):
+        assert knobs.get("REPRO_PROFILE", {"REPRO_PROFILE": value}) is True
+    for value in ("", "0", "off", "banana"):
+        assert knobs.get("REPRO_PROFILE", {"REPRO_PROFILE": value}) is False
+
+
+def test_required_knob_raises_when_unset_and_parses_json():
+    with pytest.raises(KeyError):
+        knobs.get("REPRO_REPLICA_SPEC", {})
+    spec = knobs.get("REPRO_REPLICA_SPEC", {"REPRO_REPLICA_SPEC": '{"port": 1}'})
+    assert spec == {"port": 1}
+    with pytest.raises(ValueError):
+        knobs.get("REPRO_REPLICA_SPEC", {"REPRO_REPLICA_SPEC": "not json"})
+
+
+def test_unknown_knob_is_a_key_error():
+    with pytest.raises(KeyError):
+        knobs.get("REPRO_NOT_A_KNOB")
+
+
+def test_migrated_call_sites_follow_the_registry(monkeypatch):
+    """The accessor functions must behave exactly as before migration."""
+    from repro.bench.profile import bench_profile
+    from repro.obs.log import log_threshold, slow_threshold_ms
+    from repro.obs.profile import _env_interval_ms, profile_enabled
+    from repro.obs.trace import obs_enabled
+
+    monkeypatch.setenv("REPRO_LOG_LEVEL", " DEBUG ")
+    assert log_threshold() == 10
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "nonsense")
+    assert log_threshold() == 20  # unknown level -> info
+
+    monkeypatch.setenv("REPRO_SLOW_MS", "bogus")
+    assert slow_threshold_ms() == 250.0
+    monkeypatch.setenv("REPRO_SLOW_MS", "75.5")
+    assert slow_threshold_ms() == 75.5
+
+    monkeypatch.setenv("REPRO_OBS", "off")
+    assert obs_enabled() is False
+    monkeypatch.delenv("REPRO_OBS")
+    assert obs_enabled() is True
+
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    assert profile_enabled() is True
+    monkeypatch.setenv("REPRO_PROFILE_INTERVAL_MS", "0")
+    assert _env_interval_ms() == 10.0  # non-positive -> default
+
+    monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+    assert bench_profile().name == "smoke"
+
+
+def test_current_values_reports_set_flag():
+    rows = knobs.current_values({"REPRO_OBS": "off"})
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["REPRO_OBS"]["set"] is True
+    assert by_name["REPRO_OBS"]["value"] is False
+    assert by_name["REPRO_SLOW_MS"]["set"] is False
+    assert by_name["REPRO_REPLICA_SPEC"]["value"] is None  # never raises here
+
+
+def test_readme_tuning_table_matches_registry():
+    """README embeds render_table() verbatim between the knob markers."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    begin, end = "<!-- knobs:begin -->", "<!-- knobs:end -->"
+    assert begin in readme and end in readme, "README knob markers missing"
+    embedded = readme.split(begin)[1].split(end)[0].strip()
+    assert embedded == knobs.render_table().strip(), (
+        "README 'Tuning knobs' table is stale — regenerate with "
+        "`python -m repro knobs --format markdown`"
+    )

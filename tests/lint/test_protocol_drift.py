@@ -1,0 +1,118 @@
+"""RL004: clean/drift fixtures, the real protocol surface, and the
+guard against the checker silently matching nothing."""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.lint import LintConfig, run_lint
+from tests.lint.conftest import FIXTURES, REPO_ROOT, lint_fixture
+
+_REAL_PROTOCOL_FILES = (
+    "src/repro/serving/server.py",
+    "src/repro/serving/client.py",
+    "src/repro/cluster/router.py",
+    "src/repro/cluster/replica.py",
+)
+
+# Every op the NDJSON protocol currently speaks (PR 2/4/8/9 surface).
+_EXPECTED_OPS = {
+    "query", "query_many", "path", "update", "updates", "stats",
+    "metrics", "spans", "profile", "history", "alerts", "snapshot", "ping",
+}
+
+
+def _symbols(result):
+    return {f.symbol for f in result.findings if f.rule == "RL004"}
+
+
+def test_clean_fixture_has_no_drift():
+    result = lint_fixture("rl004/clean", "RL004")
+    assert result.findings == []
+
+
+def test_drift_fixture_reports_each_asymmetry():
+    result = lint_fixture("rl004/drift", "RL004")
+    assert _symbols(result) == {
+        "missing-client:explain",  # router op without a client method
+        "unhandled:bogus",  # client method no server handles
+        "passthrough:path",  # router passthrough the replica misses
+    }
+
+
+def test_real_tree_extraction_sees_the_full_protocol():
+    """The extractor must parse the real dispatch styles — all 13 ops."""
+    from repro.lint.engine import load_project
+    from repro.lint.rules.rl004_protocol_drift import (
+        _Extraction,
+        _extract_client,
+        _extract_handled,
+    )
+
+    config = LintConfig(
+        root=REPO_ROOT, paths=[REPO_ROOT / p for p in _REAL_PROTOCOL_FILES]
+    )
+    project, errors = load_project(config)
+    assert errors == []
+    extraction = _Extraction()
+    for module in project.modules:
+        if module.path.name == "client.py":
+            _extract_client(module, "ServingClient", extraction)
+        else:
+            _extract_handled(module, "op", extraction)
+    assert set(extraction.client) == _EXPECTED_OPS
+    assert set(extraction.handled) >= _EXPECTED_OPS | {"apply", "checkpoint"}
+
+
+def test_real_tree_is_drift_free():
+    config = LintConfig(
+        root=REPO_ROOT,
+        paths=[REPO_ROOT / p for p in _REAL_PROTOCOL_FILES],
+        select={"RL004"},
+    )
+    assert run_lint(config).findings == []
+
+
+def test_fake_op_on_real_router_copy_is_caught(tmp_path):
+    """Regression guard: seed drift into a copy of the *real* files and
+    the rule must report it (proves it still parses today's code)."""
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for rel in _REAL_PROTOCOL_FILES:
+        shutil.copy(REPO_ROOT / rel, tree / rel.rsplit("/", 1)[1])
+
+    router = tree / "router.py"
+    source = router.read_text()
+    assert "self._ops = {" in source
+    router.write_text(
+        source.replace(
+            "self._ops = {",
+            'self._ops = {\n            "explain": self._op_read,',
+            1,
+        )
+    )
+
+    result = run_lint(LintConfig(root=tree, paths=[tree], select={"RL004"}))
+    symbols = _symbols(result)
+    assert "missing-client:explain" in symbols
+    # the fake op routes through the passthrough handler the replica
+    # does not know either — both asymmetries must surface
+    assert "passthrough:explain" in symbols
+
+
+def test_empty_extraction_is_itself_a_finding(tmp_path):
+    """A dispatch-style rewrite must not let the rule silently pass."""
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "server.py").write_text(
+        "class S:\n"
+        "    def _dispatch(self, request):\n"
+        "        return self._handlers[request.get('op')](request)\n"
+    )
+    result = run_lint(LintConfig(root=tree, paths=[tree], select={"RL004"}))
+    assert _symbols(result) == {"empty-extraction:server.py"}
+
+
+def test_tree_without_protocol_files_is_skipped():
+    result = lint_fixture("rl005", "RL004")
+    assert result.findings == []

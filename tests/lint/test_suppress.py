@@ -1,0 +1,46 @@
+"""Suppression-comment semantics: line scope, file scope, tokenizing."""
+
+from __future__ import annotations
+
+from repro.lint.suppress import parse_suppressions
+from tests.lint.conftest import lint_fixture
+
+
+def test_line_suppression_moves_finding_to_suppressed_bucket():
+    result = lint_fixture("suppressed", "RL005")
+    # quiet.py: line 5 suppressed, line 6 flagged, line 10 suppressed
+    # (multi-rule list); quiet_file.py: both prints file-suppressed.
+    flagged = {(f.path, f.line) for f in result.findings}
+    assert flagged == {("quiet.py", 6)}
+    suppressed = {(f.path, f.line) for f in result.suppressed}
+    assert ("quiet.py", 5) in suppressed
+    assert ("quiet.py", 10) in suppressed
+    assert {p for p, _ in suppressed} >= {"quiet.py", "quiet_file.py"}
+    assert result.exit_code == 1  # the unsuppressed print still fails
+
+
+def test_file_wide_suppression_covers_every_line():
+    result = lint_fixture("suppressed", "RL005")
+    assert not [f for f in result.findings if f.path == "quiet_file.py"]
+    assert len([f for f in result.suppressed if f.path == "quiet_file.py"]) == 2
+
+
+def test_parse_line_and_file_directives():
+    sup = parse_suppressions(
+        "x = 1  # reprolint: disable=RL001\n"
+        "# reprolint: disable-file=RL005\n"
+        "y = 2  # reprolint: disable=RL002,RL003\n"
+    )
+    assert sup.by_line == {1: {"RL001"}, 3: {"RL002", "RL003"}}
+    assert sup.file_wide == {"RL005"}
+    assert sup.covers(1, "RL001") and not sup.covers(1, "RL002")
+    assert sup.covers(99, "RL005")  # file-wide covers any line
+
+
+def test_directive_inside_string_literal_is_not_a_suppression():
+    sup = parse_suppressions('msg = "# reprolint: disable=RL005"\n')
+    assert not sup.by_line and not sup.file_wide
+
+
+def test_unparseable_source_yields_no_suppressions():
+    assert parse_suppressions("'unterminated\n").file_wide == set()

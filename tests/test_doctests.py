@@ -31,6 +31,7 @@ import repro.parallel.engine
 import repro.parallel.sweeps
 import repro.cluster.shards
 import repro.cluster.wal
+import repro.knobs
 import repro.serving.metrics
 import repro.serving.service
 import repro.serving.snapshot
@@ -62,6 +63,7 @@ _MODULES = [
     repro.baselines.fd,
     repro.cluster.shards,
     repro.cluster.wal,
+    repro.knobs,
     repro.serving.metrics,
     repro.serving.service,
     repro.serving.snapshot,

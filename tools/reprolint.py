@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""CI entry point for reprolint (equivalent to ``repro lint``).
+
+Usable from a checkout without installing the package:
+
+    python tools/reprolint.py --format json > reprolint.json
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    # Default the root to the repo the script lives in, so CI can call
+    # it from any working directory.
+    argv = sys.argv[1:]
+    if not any(a == "--root" or a.startswith("--root=") for a in argv):
+        argv = ["--root", str(REPO_ROOT), *argv]
+    raise SystemExit(main(argv))
